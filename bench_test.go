@@ -1,0 +1,288 @@
+package richnote
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation (Section V), as indexed in DESIGN.md. Each bench regenerates
+// its experiment's series at the quick scale and reports domain metrics
+// (utility, delivery ratio, precision) alongside time/op, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. cmd/richnote-bench produces the
+// full-scale CSVs.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/richnote/richnote/internal/experiments"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+// suite builds the shared workload (trace + trained forest) once per
+// process; individual benches then reuse its run cache.
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = experiments.NewSuite(experiments.QuickScale())
+	})
+	if benchErr != nil {
+		b.Fatalf("building suite: %v", benchErr)
+	}
+	return benchSuite
+}
+
+// seriesEnd returns the last value of the named series, for metric
+// reporting.
+func seriesEnd(r experiments.Result, name string) float64 {
+	for _, s := range r.Series {
+		if s.Name == name && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	return 0
+}
+
+func benchExperiment(b *testing.B, run func() (experiments.Result, error), report func(*testing.B, experiments.Result)) {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if report != nil {
+		report(b, last)
+	}
+}
+
+// BenchmarkT1Classifier regenerates the Section V-A classifier table
+// (paper: precision 0.700, accuracy 0.689 under 5-fold CV).
+func BenchmarkT1Classifier(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.T1, func(b *testing.B, r experiments.Result) {
+		// Aggregate fold metrics for the report.
+		var prec, acc float64
+		for _, v := range r.Series[0].Y {
+			prec += v
+		}
+		for _, v := range r.Series[1].Y {
+			acc += v
+		}
+		b.ReportMetric(prec/float64(len(r.Series[0].Y)), "precision")
+		b.ReportMetric(acc/float64(len(r.Series[1].Y)), "accuracy")
+	})
+}
+
+// BenchmarkF2aPareto regenerates Figure 2(a): useful presentations.
+func BenchmarkF2aPareto(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F2a, func(b *testing.B, r experiments.Result) {
+		useful := 0.0
+		for _, y := range r.Series[1].Y {
+			if y > 0 {
+				useful++
+			}
+		}
+		b.ReportMetric(useful, "useful-presentations")
+	})
+}
+
+// BenchmarkF2bFit regenerates Figure 2(b): survey CDF and model fits.
+func BenchmarkF2bFit(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F2b, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "survey-cdf"), "cdf-at-40s")
+	})
+}
+
+// BenchmarkF3aDeliveryRatio regenerates Figure 3(a).
+func BenchmarkF3aDeliveryRatio(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F3a, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-ratio")
+		b.ReportMetric(seriesEnd(r, "util-L3"), "util-ratio")
+	})
+}
+
+// BenchmarkF3bDataDelivered regenerates Figure 3(b).
+func BenchmarkF3bDataDelivered(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F3b, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-MB")
+	})
+}
+
+// BenchmarkF3cRecall regenerates Figure 3(c).
+func BenchmarkF3cRecall(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F3c, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-recall")
+		b.ReportMetric(seriesEnd(r, "fifo-L3"), "fifo-recall")
+	})
+}
+
+// BenchmarkF3dPrecision regenerates Figure 3(d).
+func BenchmarkF3dPrecision(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F3d, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-precision")
+	})
+}
+
+// BenchmarkF4aUtility regenerates Figure 4(a).
+func BenchmarkF4aUtility(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F4a, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-utility")
+		b.ReportMetric(seriesEnd(r, "util-L3"), "util-utility")
+		b.ReportMetric(seriesEnd(r, "fifo-L3"), "fifo-utility")
+	})
+}
+
+// BenchmarkF4bClickedUtility regenerates Figure 4(b).
+func BenchmarkF4bClickedUtility(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F4b, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-clicked")
+	})
+}
+
+// BenchmarkF4cEnergy regenerates Figure 4(c).
+func BenchmarkF4cEnergy(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F4c, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-J")
+		b.ReportMetric(seriesEnd(r, "util-L3"), "util-J")
+	})
+}
+
+// BenchmarkF4dQueuingDelay regenerates Figure 4(d).
+func BenchmarkF4dQueuingDelay(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F4d, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-rounds")
+		b.ReportMetric(seriesEnd(r, "fifo-L3"), "fifo-rounds")
+	})
+}
+
+// BenchmarkF5aFixedLevels regenerates Figure 5(a).
+func BenchmarkF5aFixedLevels(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F5a, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-utility")
+		b.ReportMetric(seriesEnd(r, "util-L6"), "fixed40s-utility")
+	})
+}
+
+// BenchmarkF5bPresentationMix regenerates Figure 5(b).
+func BenchmarkF5bPresentationMix(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F5b, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(r.Series[0].Y[0], "meta-share-lowbudget")
+		b.ReportMetric(seriesEnd(r, "meta+40s"), "rich-share-highbudget")
+	})
+}
+
+// BenchmarkF5cWifiMix regenerates Figure 5(c).
+func BenchmarkF5cWifiMix(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F5c, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "meta+40s"), "wifi-40s-share")
+	})
+}
+
+// BenchmarkF5dUserCategories regenerates Figure 5(d).
+func BenchmarkF5dUserCategories(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.F5d, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "mean-utility"), "heavy-user-utility")
+	})
+}
+
+// BenchmarkS5VSensitivity regenerates the V-sensitivity study.
+func BenchmarkS5VSensitivity(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.S5, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "utility-per-user"), "utility-at-V10000")
+	})
+}
+
+// BenchmarkA1MCKPQuality regenerates the MCKP ablation.
+func BenchmarkA1MCKPQuality(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.A1, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "greedy/exact"), "greedy-ratio")
+	})
+}
+
+// BenchmarkA2LyapunovAblation regenerates the Lyapunov ablation.
+func BenchmarkA2LyapunovAblation(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.A2, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "lyapunov-V1000-utility"), "lyapunov-utility")
+		b.ReportMetric(seriesEnd(r, "utility-only-V1e9-utility"), "utilityonly-utility")
+	})
+}
+
+// BenchmarkA3BaselineDiscipline regenerates the baseline-discipline
+// ablation.
+func BenchmarkA3BaselineDiscipline(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.A3, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote"), "richnote-utility")
+		b.ReportMetric(seriesEnd(r, "util-queued"), "strongest-baseline-utility")
+	})
+}
+
+// BenchmarkA4HindsightBound regenerates the offline-bound comparison.
+func BenchmarkA4HindsightBound(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.A4, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "richnote/bound"), "online-share-of-optimum")
+	})
+}
+
+// BenchmarkA5MCKPVariant regenerates the in-scheduler MCKP-variant
+// ablation.
+func BenchmarkA5MCKPVariant(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.A5, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "level-by-level"), "plain-utility")
+		b.ReportMetric(seriesEnd(r, "lp-dominance"), "dominance-utility")
+	})
+}
+
+// BenchmarkA6ScorerAblation regenerates the content-utility model
+// ablation.
+func BenchmarkA6ScorerAblation(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.A6, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "forest"), "forest-utility")
+		b.ReportMetric(seriesEnd(r, "oracle"), "oracle-utility")
+		b.ReportMetric(seriesEnd(r, "constant"), "constant-utility")
+	})
+}
+
+// BenchmarkE1SurveyConvergence regenerates the survey-scale study.
+func BenchmarkE1SurveyConvergence(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.E1, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "abs-error-B (vs 0.352)"), "B-error-at-5120")
+	})
+}
+
+// BenchmarkE2OutOfSample regenerates the temporal-generalization study.
+func BenchmarkE2OutOfSample(b *testing.B) {
+	s := suite(b)
+	benchExperiment(b, s.E2, func(b *testing.B, r experiments.Result) {
+		b.ReportMetric(seriesEnd(r, "in-sample"), "in-sample-utility")
+		b.ReportMetric(seriesEnd(r, "out-of-sample"), "out-of-sample-utility")
+	})
+}

@@ -1,0 +1,92 @@
+// Command richnote-bench regenerates every table and figure of the paper's
+// evaluation (Section V) and writes one CSV per experiment plus aligned
+// tables on stdout.
+//
+// Usage:
+//
+//	richnote-bench [-users N] [-rounds N] [-seed N] [-out DIR] [-only IDs] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/richnote/richnote/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		users  = flag.Int("users", 0, "simulated users (0 = profile default)")
+		rounds = flag.Int("rounds", 0, "rounds (0 = profile default)")
+		seed   = flag.Int64("seed", 0, "master seed (0 = profile default)")
+		outDir = flag.String("out", "bench_results", "output directory for CSVs")
+		only   = flag.String("only", "", "comma-separated experiment IDs (e.g. F3a,F4a); empty = all")
+		quick  = flag.Bool("quick", false, "use the reduced quick profile")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *users > 0 {
+		scale.Users = *users
+	}
+	if *rounds > 0 {
+		scale.Rounds = *rounds
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	fmt.Printf("building workload: %d users x %d rounds (seed %d)...\n",
+		scale.Users, scale.Rounds, scale.Seed)
+	start := time.Now()
+	suite, err := experiments.NewSuite(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload ready in %s: %d notifications, click rate %.3f\n\n",
+		time.Since(start).Round(time.Millisecond),
+		suite.Pipeline().Trace.TotalNotifications(),
+		suite.Pipeline().Trace.ClickRate())
+
+	var ids []string
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	results, err := suite.RunIDs(ids)
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", *outDir, err)
+	}
+	for _, r := range results {
+		fmt.Println(experiments.Render(r))
+		if r.Notes != "" {
+			fmt.Printf("notes: %s\n", r.Notes)
+		}
+		fmt.Println()
+		path := filepath.Join(*outDir, r.ID+".csv")
+		if err := os.WriteFile(path, []byte(experiments.RenderCSV(r)), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	fmt.Printf("CSVs written to %s/ (total %s)\n", *outDir, time.Since(start).Round(time.Millisecond))
+	return nil
+}

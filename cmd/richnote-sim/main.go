@@ -1,0 +1,142 @@
+// Command richnote-sim runs one trace-driven simulation configuration and
+// prints the Section V metrics: delivery ratio, precision/recall, utility,
+// energy, queuing delay and the presentation-level mix.
+//
+// Usage:
+//
+//	richnote-sim [-strategy richnote|fifo|util] [-level N] [-budget MB]
+//	             [-users N] [-rounds N] [-seed N] [-network cell|cellonly|wifi]
+//	             [-V f] [-kappa f] [-scorer forest|oracle|constant]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		strategy        = flag.String("strategy", "richnote", "scheduling strategy: richnote, fifo or util")
+		level           = flag.Int("level", 3, "fixed presentation level for fifo/util")
+		budgetMB        = flag.Int64("budget", 20, "weekly data budget in MB")
+		users           = flag.Int("users", 200, "simulated users")
+		rounds          = flag.Int("rounds", 168, "rounds (hours)")
+		seed            = flag.Int64("seed", 42, "master seed")
+		netName         = flag.String("network", "cell", "network model: cell, cellonly or wifi")
+		v               = flag.Float64("V", 0, "Lyapunov V (0 = default)")
+		kappa           = flag.Float64("kappa", 0, "Lyapunov kappa in J/round (0 = default)")
+		scorer          = flag.String("scorer", "forest", "content utility model: forest, oracle or constant")
+		dominance       = flag.Bool("dominance", false, "use the Sinha-Zoltners LP-dominance MCKP variant")
+		queuedBaselines = flag.Bool("queued-baselines", false, "give fifo/util a persistent re-ranked queue instead of the digest discipline")
+		perRound        = flag.Bool("per-round-budget", false, "disable data-budget rollover")
+	)
+	flag.Parse()
+
+	var scorerKind core.ScorerKind
+	switch *scorer {
+	case "forest":
+		scorerKind = core.ScorerForest
+	case "oracle":
+		scorerKind = core.ScorerOracle
+	case "constant":
+		scorerKind = core.ScorerConstant
+	default:
+		return fmt.Errorf("unknown scorer %q", *scorer)
+	}
+
+	var strategyKind core.StrategyKind
+	switch *strategy {
+	case "richnote":
+		strategyKind = core.StrategyRichNote
+	case "fifo":
+		strategyKind = core.StrategyFIFO
+	case "util":
+		strategyKind = core.StrategyUtil
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	var matrix network.Matrix
+	switch *netName {
+	case "cell":
+		matrix = network.AlwaysCellMatrix()
+	case "cellonly":
+		matrix = network.CellOnlyMatrix()
+	case "wifi":
+		matrix = network.PaperMatrix()
+	default:
+		return fmt.Errorf("unknown network model %q", *netName)
+	}
+
+	fmt.Printf("building pipeline (%d users, %d rounds, scorer %s)...\n", *users, *rounds, *scorer)
+	start := time.Now()
+	pipeline, err := core.BuildPipeline(core.PipelineConfig{
+		Trace:  trace.Config{Users: *users, Rounds: *rounds, Seed: *seed},
+		Scorer: scorerKind,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d notifications, click rate %.3f (built in %s)\n",
+		pipeline.Trace.TotalNotifications(), pipeline.Trace.ClickRate(),
+		time.Since(start).Round(time.Millisecond))
+
+	res, err := pipeline.Run(core.RunConfig{
+		Strategy:          strategyKind,
+		FixedLevel:        *level,
+		WeeklyBudgetBytes: *budgetMB << 20,
+		V:                 *v,
+		KappaJ:            *kappa,
+		NetworkMatrix:     &matrix,
+		UseDominance:      *dominance,
+		QueuedBaselines:   *queuedBaselines,
+		PerRoundBudget:    *perRound,
+	})
+	if err != nil {
+		return err
+	}
+
+	r := res.Report
+	fmt.Printf("\n== %s @ %d MB/week over %s ==\n", res.Name, *budgetMB, *netName)
+	fmt.Printf("delivery ratio   %.3f  (%d of %d)\n", r.DeliveryRatio(), r.Delivered, r.Arrived)
+	fmt.Printf("precision        %.3f\n", r.Precision())
+	fmt.Printf("recall           %.3f\n", r.Recall())
+	fmt.Printf("utility          %.1f total, %.4f avg/delivery (true-utility %.1f)\n",
+		r.UtilitySum, r.AvgUtility(), r.TrueUtilitySum)
+	fmt.Printf("data delivered   %.1f MB/user\n", float64(r.DeliveredBytes)/(1<<20)/float64(r.Users))
+	fmt.Printf("download energy  %.0f J/user\n", r.EnergyJ/float64(r.Users))
+	fmt.Printf("queuing delay    %.2f rounds avg (p50 %.0f, p95 %.0f)\n",
+		r.AvgDelayRounds(), r.DelayP50Rounds, r.DelayP95Rounds)
+	if res.Lyapunov.Users > 0 {
+		fmt.Printf("lyapunov         avgQ %.2f MB, maxQ %.2f MB, drift %.2f\n",
+			res.Lyapunov.AvgQMB, res.Lyapunov.MaxQMB, res.Lyapunov.AvgDrift)
+	}
+
+	fmt.Println("\npresentation mix:")
+	levels := make([]int, 0, len(r.LevelCounts))
+	for lvl := range r.LevelCounts {
+		levels = append(levels, lvl)
+	}
+	sort.Ints(levels)
+	share := r.LevelShare()
+	labels := map[int]string{1: "meta", 2: "meta+5s", 3: "meta+10s", 4: "meta+20s", 5: "meta+30s", 6: "meta+40s"}
+	for _, lvl := range levels {
+		fmt.Printf("  L%d %-9s %6d  (%.1f%%)\n", lvl, labels[lvl], r.LevelCounts[lvl], 100*share[lvl])
+	}
+	fmt.Printf("\nsimulated in %s\n", res.Elapsed.Round(time.Millisecond))
+	return nil
+}

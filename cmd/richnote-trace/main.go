@@ -1,0 +1,89 @@
+// Command richnote-trace generates a synthetic Spotify-like notification
+// trace (the substitute for the paper's de-identified production logs) and
+// writes it as JSON lines, or inspects an existing trace file.
+//
+// Usage:
+//
+//	richnote-trace -out trace.jsonl [-users N] [-rounds N] [-seed N] [-rate F]
+//	richnote-trace -inspect trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/richnote/richnote/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "", "output path for a generated trace")
+		inspect = flag.String("inspect", "", "path of an existing trace to summarize")
+		users   = flag.Int("users", 200, "users")
+		rounds  = flag.Int("rounds", 168, "rounds (hours)")
+		seed    = flag.Int64("seed", 42, "master seed")
+		rate    = flag.Float64("rate", 0, "friend-feed notifications per user per round (0 = default)")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		return summarize(*inspect)
+	}
+	if *out == "" {
+		return fmt.Errorf("either -out or -inspect is required")
+	}
+
+	gen, err := trace.NewGenerator(trace.Config{
+		Users:            *users,
+		Rounds:           *rounds,
+		Seed:             *seed,
+		FriendListenRate: *rate,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	tr, err := gen.Generate()
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFile(*out, tr); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d users, %d rounds, %d notifications (click rate %.3f) in %s\n",
+		*out, len(tr.Users), tr.Rounds, tr.TotalNotifications(), tr.ClickRate(),
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func summarize(path string) error {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("trace %s\n", path)
+	fmt.Printf("  epoch            %s\n", tr.Epoch.Format(time.RFC3339))
+	fmt.Printf("  rounds           %d x %s\n", tr.Rounds, tr.RoundLen)
+	fmt.Printf("  users            %d\n", st.Users)
+	fmt.Printf("  records          %d (%.2f per user-round)\n", st.Records, st.ArrivalsPerRound)
+	fmt.Printf("  click rate       %.3f (mean latent interest %.3f)\n", st.ClickRate, st.MeanLatentP)
+	fmt.Printf("  click delay      %.1f rounds mean\n", st.MeanClickDelayRounds)
+	fmt.Printf("  volume/user      min %d, p50 %d, p95 %d, max %d\n",
+		st.VolumeMin, st.VolumeP50, st.VolumeP95, st.VolumeMax)
+	fmt.Printf("  burst p95        %d notifications per round\n", st.BurstP95)
+	fmt.Printf("  master seed      %d\n", tr.MasterSeed)
+	for topic, n := range st.PerTopic {
+		fmt.Printf("  topic %-12s %d\n", topic, n)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Musicfeed: the paper's full Spotify-style scenario end to end.
+//
+// It generates a synthetic week-long notification trace over a social
+// graph and music catalog, trains the Random Forest content-utility model
+// on the trace's click/hover labels, and compares the RichNote scheduler
+// against the FIFO and UTIL baselines at several weekly data budgets —
+// a miniature of the paper's Figures 3 and 4.
+//
+//	go run ./examples/musicfeed
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/richnote/richnote"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "musicfeed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("generating a week of notifications for 100 users and training the utility model...")
+	pipeline, err := richnote.BuildPipeline(richnote.PipelineConfig{
+		Trace:  richnote.TraceConfig{Users: 100, Rounds: 168, Seed: 7},
+		Scorer: richnote.ScorerForest,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d notifications, %.1f%% clicked\n\n",
+		pipeline.Trace.TotalNotifications(), 100*pipeline.Trace.ClickRate())
+
+	configs := []richnote.RunConfig{
+		{Strategy: richnote.StrategyRichNote},
+		{Strategy: richnote.StrategyFIFO, FixedLevel: 3},
+		{Strategy: richnote.StrategyUtil, FixedLevel: 3},
+	}
+	for _, budgetMB := range []int64{3, 20, 100} {
+		fmt.Printf("== weekly budget %d MB ==\n", budgetMB)
+		for _, cfg := range configs {
+			cfg.WeeklyBudgetBytes = budgetMB << 20
+			res, err := pipeline.Run(cfg)
+			if err != nil {
+				return err
+			}
+			r := res.Report
+			fmt.Printf("  %-10s delivery %.2f  recall %.2f  precision %.2f  utility %7.1f  delay %5.1f rounds\n",
+				res.Name, r.DeliveryRatio(), r.Recall(), r.Precision(),
+				r.TrueUtilitySum, r.AvgDelayRounds())
+		}
+		fmt.Println()
+	}
+	fmt.Println("RichNote sustains ~100% delivery at every budget by downgrading presentations,")
+	fmt.Println("while the fixed-level baselines trade delivery ratio against the budget.")
+	return nil
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest end-to-end RichNote program.
+//
+// It builds a streaming Live service with one user on a 10 MB/week data
+// plan, publishes a handful of music notifications on a friend-feed topic
+// and runs a day of hourly scheduling rounds. The run prints what was
+// delivered at which presentation level — demonstrating that the scheduler
+// adapts presentation richness to the budget instead of dropping items.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/richnote/richnote"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	live, err := richnote.NewLive(richnote.LiveConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	const alice richnote.UserID = 1
+	if err := live.AddUser(richnote.LiveUserConfig{
+		User:              alice,
+		Strategy:          richnote.StrategyRichNote,
+		WeeklyBudgetBytes: 10 << 20, // 10 MB per week
+	}); err != nil {
+		return err
+	}
+
+	// Alice follows her friend Bob's listening feed.
+	bobFeed := richnote.Topic(richnote.TopicFriendFeed, 42)
+	if err := live.Subscribe(alice, bobFeed); err != nil {
+		return err
+	}
+
+	// Bob streams five tracks; each play publishes a notification.
+	for i := 0; i < 5; i++ {
+		live.Publish(bobFeed, richnote.Item{
+			ID:        richnote.ItemID(100 + i),
+			Kind:      richnote.KindAudio,
+			Topic:     richnote.TopicFriendFeed,
+			Sender:    42,
+			CreatedAt: time.Date(2015, 1, 1, 9, 0, 0, 0, time.UTC),
+			Meta: richnote.Metadata{
+				TrackID:         int64(1000 + i),
+				TrackPopularity: float64(20 * (i + 1)),
+				URL:             fmt.Sprintf("https://open.example.com/track/%d", 1000+i),
+			},
+		})
+	}
+
+	// Run one day of hourly scheduling rounds.
+	if err := live.RunRounds(24); err != nil {
+		return err
+	}
+
+	report := live.Collector().Aggregate()
+	fmt.Printf("delivered %d of %d notifications (%.0f%%)\n",
+		report.Delivered, report.Arrived, 100*report.DeliveryRatio())
+	fmt.Printf("bytes %d, energy %.1f J, avg queuing delay %.1f rounds\n",
+		report.DeliveredBytes, report.EnergyJ, report.AvgDelayRounds())
+	fmt.Println("presentation mix:")
+	labels := map[int]string{1: "metadata", 2: "meta+5s", 3: "meta+10s", 4: "meta+20s", 5: "meta+30s", 6: "meta+40s"}
+	for lvl := 1; lvl <= 6; lvl++ {
+		if n := report.LevelCounts[lvl]; n > 0 {
+			fmt.Printf("  level %d (%s): %d\n", lvl, labels[lvl], n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/richnote/richnote
+
+go 1.22

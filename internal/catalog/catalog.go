@@ -1,0 +1,232 @@
+// Package catalog generates a synthetic music catalog replacing the
+// Spotify public-API metadata the paper draws content features from:
+// artists, albums and tracks with popularity scores normalized to 1..100.
+//
+// Popularity is Zipf-distributed across artists, matching the heavy-tailed
+// streaming frequencies of a real music service, and album/track
+// popularity is correlated with (but noisier than) the owning artist's.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Genre count used for affinity features. Genres are opaque integers.
+const NumGenres = 12
+
+// Artist is a catalog artist.
+type Artist struct {
+	ID         int64
+	Popularity float64 // 1..100
+	Genre      int
+	Albums     []int64
+}
+
+// Album is a catalog album.
+type Album struct {
+	ID         int64
+	ArtistID   int64
+	Popularity float64
+	Tracks     []int64
+	// ReleaseDay is the simulation day offset the album becomes public;
+	// used to drive album-release notifications.
+	ReleaseDay int
+}
+
+// Track is a catalog track.
+type Track struct {
+	ID          int64
+	AlbumID     int64
+	ArtistID    int64
+	Popularity  float64
+	Genre       int
+	DurationSec float64 // full track duration (paper: avg 276 s)
+}
+
+// Config controls catalog generation.
+type Config struct {
+	Artists        int
+	AlbumsPerMin   int // minimum albums per artist
+	AlbumsPerMax   int
+	TracksPerMin   int // minimum tracks per album
+	TracksPerMax   int
+	ZipfExponent   float64 // artist popularity skew; default 1.1
+	MeanTrackSec   float64 // default 276, per the paper's survey tracks
+	ReleaseHorizon int     // days over which album releases are spread
+}
+
+func (c *Config) applyDefaults() {
+	if c.Artists <= 0 {
+		c.Artists = 500
+	}
+	if c.AlbumsPerMin <= 0 {
+		c.AlbumsPerMin = 1
+	}
+	if c.AlbumsPerMax < c.AlbumsPerMin {
+		c.AlbumsPerMax = c.AlbumsPerMin + 3
+	}
+	if c.TracksPerMin <= 0 {
+		c.TracksPerMin = 6
+	}
+	if c.TracksPerMax < c.TracksPerMin {
+		c.TracksPerMax = c.TracksPerMin + 8
+	}
+	if c.ZipfExponent <= 1 {
+		c.ZipfExponent = 1.1
+	}
+	if c.MeanTrackSec <= 0 {
+		c.MeanTrackSec = 276
+	}
+	if c.ReleaseHorizon <= 0 {
+		c.ReleaseHorizon = 7
+	}
+}
+
+// ErrEmptyCatalog is returned by accessors on a catalog with no tracks.
+var ErrEmptyCatalog = errors.New("catalog: empty")
+
+// Catalog is a generated music catalog.
+type Catalog struct {
+	Artists []Artist
+	Albums  []Album
+	Tracks  []Track
+
+	trackByID  map[int64]int
+	albumByID  map[int64]int
+	artistByID map[int64]int
+}
+
+// Generate builds a catalog deterministically from the RNG.
+func Generate(cfg Config, rng *rand.Rand) (*Catalog, error) {
+	cfg.applyDefaults()
+	c := &Catalog{
+		trackByID:  make(map[int64]int),
+		albumByID:  make(map[int64]int),
+		artistByID: make(map[int64]int),
+	}
+
+	// Zipf ranks over artists: popularity(rank r) ∝ 1/r^s, normalized to
+	// 1..100.
+	zipfWeights := make([]float64, cfg.Artists)
+	maxW := 0.0
+	for r := range zipfWeights {
+		zipfWeights[r] = 1 / math.Pow(float64(r+1), cfg.ZipfExponent)
+		if zipfWeights[r] > maxW {
+			maxW = zipfWeights[r]
+		}
+	}
+
+	var nextAlbumID, nextTrackID int64 = 1, 1
+	for ai := 0; ai < cfg.Artists; ai++ {
+		artist := Artist{
+			ID:         int64(ai + 1),
+			Popularity: 1 + 99*zipfWeights[ai]/maxW,
+			Genre:      rng.Intn(NumGenres),
+		}
+		nAlbums := cfg.AlbumsPerMin + rng.Intn(cfg.AlbumsPerMax-cfg.AlbumsPerMin+1)
+		for bi := 0; bi < nAlbums; bi++ {
+			album := Album{
+				ID:         nextAlbumID,
+				ArtistID:   artist.ID,
+				Popularity: clampPop(artist.Popularity * (0.6 + 0.6*rng.Float64())),
+				ReleaseDay: rng.Intn(cfg.ReleaseHorizon),
+			}
+			nextAlbumID++
+			nTracks := cfg.TracksPerMin + rng.Intn(cfg.TracksPerMax-cfg.TracksPerMin+1)
+			for ti := 0; ti < nTracks; ti++ {
+				track := Track{
+					ID:          nextTrackID,
+					AlbumID:     album.ID,
+					ArtistID:    artist.ID,
+					Popularity:  clampPop(album.Popularity * (0.5 + rng.Float64())),
+					Genre:       artist.Genre,
+					DurationSec: math.Max(60, cfg.MeanTrackSec+rng.NormFloat64()*60),
+				}
+				nextTrackID++
+				album.Tracks = append(album.Tracks, track.ID)
+				c.trackByID[track.ID] = len(c.Tracks)
+				c.Tracks = append(c.Tracks, track)
+			}
+			artist.Albums = append(artist.Albums, album.ID)
+			c.albumByID[album.ID] = len(c.Albums)
+			c.Albums = append(c.Albums, album)
+		}
+		c.artistByID[artist.ID] = len(c.Artists)
+		c.Artists = append(c.Artists, artist)
+	}
+	if len(c.Tracks) == 0 {
+		return nil, ErrEmptyCatalog
+	}
+	return c, nil
+}
+
+func clampPop(p float64) float64 {
+	if p < 1 {
+		return 1
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
+}
+
+// Track returns the track with the given ID.
+func (c *Catalog) Track(id int64) (Track, error) {
+	idx, ok := c.trackByID[id]
+	if !ok {
+		return Track{}, fmt.Errorf("catalog: unknown track %d", id)
+	}
+	return c.Tracks[idx], nil
+}
+
+// Album returns the album with the given ID.
+func (c *Catalog) Album(id int64) (Album, error) {
+	idx, ok := c.albumByID[id]
+	if !ok {
+		return Album{}, fmt.Errorf("catalog: unknown album %d", id)
+	}
+	return c.Albums[idx], nil
+}
+
+// Artist returns the artist with the given ID.
+func (c *Catalog) Artist(id int64) (Artist, error) {
+	idx, ok := c.artistByID[id]
+	if !ok {
+		return Artist{}, fmt.Errorf("catalog: unknown artist %d", id)
+	}
+	return c.Artists[idx], nil
+}
+
+// RandomTrack samples a track with probability proportional to its
+// popularity, mimicking what users actually stream.
+func (c *Catalog) RandomTrack(rng *rand.Rand) (Track, error) {
+	if len(c.Tracks) == 0 {
+		return Track{}, ErrEmptyCatalog
+	}
+	// Rejection sampling against popularity keeps this O(1) expected
+	// without a prefix-sum table.
+	for i := 0; i < 64; i++ {
+		t := c.Tracks[rng.Intn(len(c.Tracks))]
+		if rng.Float64()*100 <= t.Popularity {
+			return t, nil
+		}
+	}
+	return c.Tracks[rng.Intn(len(c.Tracks))], nil
+}
+
+// PopularArtists returns the n most popular artist IDs.
+func (c *Catalog) PopularArtists(n int) []int64 {
+	if n > len(c.Artists) {
+		n = len(c.Artists)
+	}
+	// Artists are generated in Zipf-rank order, so the first n are the most
+	// popular; keep this O(n) rather than sorting.
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.Artists[i].ID)
+	}
+	return out
+}

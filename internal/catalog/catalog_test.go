@@ -1,0 +1,165 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := Generate(Config{Artists: 100}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return c
+}
+
+func TestGenerateStructure(t *testing.T) {
+	c := testCatalog(t)
+	if len(c.Artists) != 100 {
+		t.Fatalf("%d artists, want 100", len(c.Artists))
+	}
+	if len(c.Albums) == 0 || len(c.Tracks) == 0 {
+		t.Fatal("empty albums or tracks")
+	}
+	// Every album belongs to its artist and every track to its album.
+	for _, al := range c.Albums {
+		artist, err := c.Artist(al.ArtistID)
+		if err != nil {
+			t.Fatalf("album %d references unknown artist %d", al.ID, al.ArtistID)
+		}
+		found := false
+		for _, id := range artist.Albums {
+			if id == al.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("artist %d does not list album %d", artist.ID, al.ID)
+		}
+	}
+	for _, tr := range c.Tracks {
+		if _, err := c.Album(tr.AlbumID); err != nil {
+			t.Fatalf("track %d references unknown album: %v", tr.ID, err)
+		}
+		if _, err := c.Artist(tr.ArtistID); err != nil {
+			t.Fatalf("track %d references unknown artist: %v", tr.ID, err)
+		}
+	}
+}
+
+func TestPopularityBounds(t *testing.T) {
+	c := testCatalog(t)
+	for _, a := range c.Artists {
+		if a.Popularity < 1 || a.Popularity > 100 {
+			t.Fatalf("artist popularity %f out of [1,100]", a.Popularity)
+		}
+		if a.Genre < 0 || a.Genre >= NumGenres {
+			t.Fatalf("artist genre %d out of range", a.Genre)
+		}
+	}
+	for _, al := range c.Albums {
+		if al.Popularity < 1 || al.Popularity > 100 {
+			t.Fatalf("album popularity %f out of [1,100]", al.Popularity)
+		}
+	}
+	for _, tr := range c.Tracks {
+		if tr.Popularity < 1 || tr.Popularity > 100 {
+			t.Fatalf("track popularity %f out of [1,100]", tr.Popularity)
+		}
+		if tr.DurationSec < 60 {
+			t.Fatalf("track duration %f below floor", tr.DurationSec)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	c := testCatalog(t)
+	// Artist 0 is rank 1 and must be the most popular; the tail must be
+	// much less popular.
+	if c.Artists[0].Popularity != 100 {
+		t.Fatalf("rank-1 artist popularity %f, want 100", c.Artists[0].Popularity)
+	}
+	last := c.Artists[len(c.Artists)-1].Popularity
+	if last > 20 {
+		t.Fatalf("tail artist popularity %f, want strongly skewed (< 20)", last)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c1, err := Generate(Config{Artists: 50}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	c2, err := Generate(Config{Artists: 50}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(c1.Tracks) != len(c2.Tracks) {
+		t.Fatalf("track counts differ: %d vs %d", len(c1.Tracks), len(c2.Tracks))
+	}
+	for i := range c1.Tracks {
+		if c1.Tracks[i] != c2.Tracks[i] {
+			t.Fatalf("track %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestRandomTrackPopularityBias(t *testing.T) {
+	c := testCatalog(t)
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const draws = 3000
+	for i := 0; i < draws; i++ {
+		tr, err := c.RandomTrack(rng)
+		if err != nil {
+			t.Fatalf("RandomTrack: %v", err)
+		}
+		sum += tr.Popularity
+	}
+	var mean float64
+	for _, tr := range c.Tracks {
+		mean += tr.Popularity
+	}
+	mean /= float64(len(c.Tracks))
+	if sampleMean := sum / draws; sampleMean <= mean {
+		t.Fatalf("popularity-biased sampling mean %.2f not above catalog mean %.2f", sampleMean, mean)
+	}
+}
+
+func TestPopularArtists(t *testing.T) {
+	c := testCatalog(t)
+	top := c.PopularArtists(10)
+	if len(top) != 10 {
+		t.Fatalf("%d artists, want 10", len(top))
+	}
+	// Request beyond catalog size clamps.
+	all := c.PopularArtists(10_000)
+	if len(all) != len(c.Artists) {
+		t.Fatalf("%d artists, want %d", len(all), len(c.Artists))
+	}
+	a0, err := c.Artist(top[0])
+	if err != nil {
+		t.Fatalf("Artist: %v", err)
+	}
+	a9, err := c.Artist(top[9])
+	if err != nil {
+		t.Fatalf("Artist: %v", err)
+	}
+	if a0.Popularity < a9.Popularity {
+		t.Fatalf("top list not popularity-ordered: %f < %f", a0.Popularity, a9.Popularity)
+	}
+}
+
+func TestUnknownLookups(t *testing.T) {
+	c := testCatalog(t)
+	if _, err := c.Track(-1); err == nil {
+		t.Error("unknown track accepted")
+	}
+	if _, err := c.Album(-1); err == nil {
+		t.Error("unknown album accepted")
+	}
+	if _, err := c.Artist(-1); err == nil {
+		t.Error("unknown artist accepted")
+	}
+}

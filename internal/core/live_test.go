@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/pubsub"
+)
+
+func newTestLive(t *testing.T) *Live {
+	t.Helper()
+	l, err := NewLive(LiveConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewLive: %v", err)
+	}
+	return l
+}
+
+func alwaysCell() *network.Matrix {
+	m := network.AlwaysCellMatrix()
+	return &m
+}
+
+func addTestUser(t *testing.T, l *Live, user notif.UserID) {
+	t.Helper()
+	if err := l.AddUser(LiveUserConfig{
+		User:              user,
+		WeeklyBudgetBytes: 50 << 20,
+		NetworkMatrix:     alwaysCell(),
+	}); err != nil {
+		t.Fatalf("AddUser: %v", err)
+	}
+}
+
+func audioItem(id int64) notif.Item {
+	return notif.Item{
+		ID:        notif.ItemID(id),
+		Kind:      notif.KindAudio,
+		Topic:     notif.TopicFriendFeed,
+		CreatedAt: time.Date(2015, 1, 1, 10, 0, 0, 0, time.UTC),
+		Meta:      notif.Metadata{TrackID: id, TrackPopularity: 60},
+	}
+}
+
+func TestLiveEndToEndDelivery(t *testing.T) {
+	l := newTestLive(t)
+	addTestUser(t, l, 1)
+	topic := pubsub.TopicID{Kind: notif.TopicFriendFeed, Entity: 5}
+	if err := l.Subscribe(1, topic); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	for i := int64(0); i < 8; i++ {
+		l.Publish(topic, audioItem(100+i))
+	}
+	if err := l.RunRounds(12); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	rep := l.Collector().Aggregate()
+	if rep.Arrived != 8 {
+		t.Fatalf("arrived %d, want 8", rep.Arrived)
+	}
+	if rep.Delivered != 8 {
+		t.Fatalf("delivered %d, want all 8", rep.Delivered)
+	}
+	if l.Round() != 12 {
+		t.Fatalf("round %d after 12 rounds, want 12", l.Round())
+	}
+}
+
+func TestLiveAddUserValidation(t *testing.T) {
+	l := newTestLive(t)
+	addTestUser(t, l, 1)
+	if err := l.AddUser(LiveUserConfig{User: 1, WeeklyBudgetBytes: 1 << 20}); err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	if err := l.AddUser(LiveUserConfig{User: 2}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if err := l.AddUser(LiveUserConfig{User: 3, WeeklyBudgetBytes: 1 << 20, Strategy: StrategyKind(9)}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestLiveSubscribeUnknownUser(t *testing.T) {
+	l := newTestLive(t)
+	topic := pubsub.TopicID{Kind: notif.TopicFriendFeed, Entity: 5}
+	if err := l.Subscribe(99, topic); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+func TestLivePublishWithoutSubscribersIsHarmless(t *testing.T) {
+	l := newTestLive(t)
+	addTestUser(t, l, 1)
+	l.Publish(pubsub.TopicID{Kind: notif.TopicPlaylist, Entity: 1}, audioItem(1))
+	if err := l.RunRounds(2); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	if rep := l.Collector().Aggregate(); rep.Arrived != 0 {
+		t.Fatalf("arrived %d from unsubscribed topic, want 0", rep.Arrived)
+	}
+}
+
+func TestLiveFanoutToMultipleSubscribers(t *testing.T) {
+	l := newTestLive(t)
+	addTestUser(t, l, 1)
+	addTestUser(t, l, 2)
+	topic := pubsub.TopicID{Kind: notif.TopicArtistPage, Entity: 3}
+	for _, u := range []notif.UserID{1, 2} {
+		if err := l.Subscribe(u, topic); err != nil {
+			t.Fatalf("Subscribe(%d): %v", u, err)
+		}
+	}
+	l.Publish(topic, audioItem(7))
+	if err := l.RunRounds(4); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	rep := l.Collector().Aggregate()
+	if rep.Arrived != 2 {
+		t.Fatalf("arrived %d, want one per subscriber", rep.Arrived)
+	}
+	if rep.Delivered != 2 {
+		t.Fatalf("delivered %d, want 2", rep.Delivered)
+	}
+}
+
+func TestLiveOnDeliveryHook(t *testing.T) {
+	fired := 0
+	l, err := NewLive(LiveConfig{
+		Seed:       2,
+		OnDelivery: func(notif.Delivery) { fired++ },
+	})
+	if err != nil {
+		t.Fatalf("NewLive: %v", err)
+	}
+	addTestUser(t, l, 1)
+	topic := pubsub.TopicID{Kind: notif.TopicFriendFeed, Entity: 1}
+	if err := l.Subscribe(1, topic); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	l.Publish(topic, audioItem(1))
+	if err := l.RunRounds(6); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	if fired == 0 {
+		t.Fatal("OnDelivery hook never fired")
+	}
+}
+
+func TestLiveStepRoundIncrements(t *testing.T) {
+	l := newTestLive(t)
+	addTestUser(t, l, 1)
+	if err := l.StepRound(); err != nil {
+		t.Fatalf("StepRound: %v", err)
+	}
+	if l.Round() != 1 {
+		t.Fatalf("round %d, want 1", l.Round())
+	}
+	// RunRounds after manual steps continues from the current round.
+	if err := l.RunRounds(3); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	if l.Round() != 4 {
+		t.Fatalf("round %d, want 4", l.Round())
+	}
+	if err := l.RunRounds(0); err != nil {
+		t.Fatalf("RunRounds(0): %v", err)
+	}
+}
+
+func TestLiveSetNetwork(t *testing.T) {
+	l := newTestLive(t)
+	addTestUser(t, l, 1)
+	topic := pubsub.TopicID{Kind: notif.TopicFriendFeed, Entity: 1}
+	if err := l.Subscribe(1, topic); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	// Flight mode: items queue.
+	off := network.Matrix{{1, 0, 0}, {1, 0, 0}, {1, 0, 0}}
+	if err := l.SetNetwork(1, off, network.StateOff); err != nil {
+		t.Fatalf("SetNetwork: %v", err)
+	}
+	l.Publish(topic, audioItem(1))
+	if err := l.RunRounds(3); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	d, err := l.Device(1)
+	if err != nil {
+		t.Fatalf("Device: %v", err)
+	}
+	if d.QueueLen() != 1 {
+		t.Fatalf("queue %d while offline, want 1", d.QueueLen())
+	}
+	// Back online: drains.
+	if err := l.SetNetwork(1, network.AlwaysCellMatrix(), network.StateCell); err != nil {
+		t.Fatalf("SetNetwork: %v", err)
+	}
+	if err := l.RunRounds(3); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	if d.QueueLen() != 0 {
+		t.Fatalf("queue %d after reconnect, want 0", d.QueueLen())
+	}
+	if err := l.SetNetwork(42, off, network.StateOff); err == nil {
+		t.Fatal("SetNetwork accepted unknown user")
+	}
+}
+
+func TestLiveDeviceAccessor(t *testing.T) {
+	l := newTestLive(t)
+	addTestUser(t, l, 1)
+	if _, err := l.Device(1); err != nil {
+		t.Fatalf("Device(1): %v", err)
+	}
+	if _, err := l.Device(9); err == nil {
+		t.Fatal("Device(9) succeeded for unknown user")
+	}
+}
+
+func TestLiveBaselineStrategies(t *testing.T) {
+	l := newTestLive(t)
+	for _, cfg := range []LiveUserConfig{
+		{User: 1, Strategy: StrategyFIFO, FixedLevel: 2, WeeklyBudgetBytes: 50 << 20, NetworkMatrix: alwaysCell()},
+		{User: 2, Strategy: StrategyUtil, FixedLevel: 3, WeeklyBudgetBytes: 50 << 20, NetworkMatrix: alwaysCell()},
+	} {
+		if err := l.AddUser(cfg); err != nil {
+			t.Fatalf("AddUser(%d): %v", cfg.User, err)
+		}
+	}
+	topic := pubsub.TopicID{Kind: notif.TopicFriendFeed, Entity: 2}
+	for _, u := range []notif.UserID{1, 2} {
+		if err := l.Subscribe(u, topic); err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+	}
+	l.Publish(topic, audioItem(5))
+	if err := l.RunRounds(6); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	rep := l.Collector().Aggregate()
+	if rep.Delivered != 2 {
+		t.Fatalf("delivered %d, want 2", rep.Delivered)
+	}
+	// Fixed levels: FIFO user at level 2, UTIL user at level 3.
+	if rep.LevelCounts[2] != 1 || rep.LevelCounts[3] != 1 {
+		t.Fatalf("level counts %v, want one L2 and one L3", rep.LevelCounts)
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/mckp"
+	"github.com/richnote/richnote/internal/sim"
+	"github.com/richnote/richnote/internal/survey"
+	"github.com/richnote/richnote/internal/trace"
+)
+
+// A4 computes the hindsight upper bound: an offline scheduler that sees
+// the whole week's items at once and solves a single MCKP per user against
+// the full weekly budget, scored with ground-truth interest. No online
+// policy subject to the same budget can exceed it (connectivity and energy
+// are waived for the bound); the gap to RichNote measures the cost of
+// online, round-by-round decisions.
+func (s *Suite) A4() (Result, error) {
+	res := Result{
+		ID: "A4", Title: "RichNote vs offline hindsight bound",
+		XLabel: "weekly data budget (MB)", YLabel: "utility per user",
+		Notes: "bound: single MCKP over the full horizon per user, oracle scores, no connectivity/energy limits",
+	}
+	for _, b := range s.scale.Budgets {
+		res.X = append(res.X, float64(b)/MB)
+	}
+
+	arrivals := s.pipeline.Arrivals()
+	bound := Series{Name: "offline-bound"}
+	online := Series{Name: "richnote"}
+	ratio := Series{Name: "richnote/bound"}
+	for _, b := range s.scale.Budgets {
+		total := 0.0
+		for ui := range arrivals {
+			var groups []mckp.Group
+			for _, roundItems := range arrivals[ui] {
+				for qi := range roundItems {
+					rich := &roundItems[qi].Rich
+					choices := make([]mckp.Choice, rich.Levels())
+					for j := 1; j <= rich.Levels(); j++ {
+						p := rich.At(j)
+						choices[j-1] = mckp.Choice{
+							Value:  roundItems[qi].TrueUc * p.Utility,
+							Weight: float64(p.Size),
+						}
+					}
+					groups = append(groups, mckp.Group{Choices: choices})
+				}
+			}
+			sol := mckp.SelectGreedyDominance(groups, float64(b))
+			total += sol.Value
+		}
+		users := float64(len(arrivals))
+		bound.Y = append(bound.Y, total/users)
+
+		run, err := s.run(core.RunConfig{Strategy: core.StrategyRichNote, WeeklyBudgetBytes: b})
+		if err != nil {
+			return Result{}, err
+		}
+		onlineVal := run.Report.TrueUtilitySum / float64(run.Report.Users)
+		online.Y = append(online.Y, onlineVal)
+		if total > 0 {
+			ratio.Y = append(ratio.Y, onlineVal/(total/users))
+		} else {
+			ratio.Y = append(ratio.Y, 0)
+		}
+	}
+	res.Series = []Series{online, bound, ratio}
+	return res, nil
+}
+
+// A5 compares the paper's level-by-level greedy against the
+// Sinha-Zoltners LP-dominance greedy inside the live scheduler.
+func (s *Suite) A5() (Result, error) {
+	res := Result{
+		ID: "A5", Title: "MCKP variant inside the scheduler: level-by-level vs LP-dominance",
+		XLabel: "weekly data budget (MB)", YLabel: "utility per user",
+		Notes: "with concave audio ladders the variants coincide; divergence appears only under energy pressure",
+	}
+	for _, b := range s.scale.Budgets {
+		res.X = append(res.X, float64(b)/MB)
+	}
+	plain := Series{Name: "level-by-level"}
+	dom := Series{Name: "lp-dominance"}
+	for _, b := range s.scale.Budgets {
+		p, err := s.run(core.RunConfig{Strategy: core.StrategyRichNote, WeeklyBudgetBytes: b})
+		if err != nil {
+			return Result{}, err
+		}
+		d, err := s.run(core.RunConfig{Strategy: core.StrategyRichNote, WeeklyBudgetBytes: b, UseDominance: true})
+		if err != nil {
+			return Result{}, err
+		}
+		plain.Y = append(plain.Y, p.Report.TrueUtilitySum/float64(p.Report.Users))
+		dom.Y = append(dom.Y, d.Report.TrueUtilitySum/float64(d.Report.Users))
+	}
+	res.Series = []Series{plain, dom}
+	return res, nil
+}
+
+// A6 quantifies the value of the learned content-utility model: RichNote
+// scheduled with the trained Random Forest, the ground-truth oracle and a
+// constant scorer, all scored against ground truth. The forest-oracle gap
+// is the headroom left in the classifier; the forest-constant gap is what
+// learning buys (the paper's core premise).
+func (s *Suite) A6() (Result, error) {
+	res := Result{
+		ID: "A6", Title: "Content-utility model ablation (RichNote)",
+		XLabel: "weekly data budget (MB)", YLabel: "true utility per user",
+		Notes: "scheduling scorer varies; evaluation always scores ground truth",
+	}
+	for _, b := range s.scale.Budgets {
+		res.X = append(res.X, float64(b)/MB)
+	}
+	kinds := []struct {
+		name string
+		kind core.ScorerKind
+	}{
+		{"forest", core.ScorerForest},
+		{"oracle", core.ScorerOracle},
+		{"constant", core.ScorerConstant},
+	}
+	for _, k := range kinds {
+		pipeline, err := s.scorerPipeline(k.kind)
+		if err != nil {
+			return Result{}, err
+		}
+		ys := Series{Name: k.name}
+		for _, b := range s.scale.Budgets {
+			run, err := pipeline.Run(core.RunConfig{
+				Strategy:          core.StrategyRichNote,
+				WeeklyBudgetBytes: b,
+				Workers:           s.scale.Workers,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("experiments: A6 %s: %w", k.name, err)
+			}
+			ys.Y = append(ys.Y, run.Report.TrueUtilitySum/float64(run.Report.Users))
+		}
+		res.Series = append(res.Series, ys)
+	}
+	return res, nil
+}
+
+// scorerPipeline returns a pipeline over the suite's workload with the
+// given content scorer, building (and caching) it on first use. The forest
+// pipeline is the suite's primary one.
+func (s *Suite) scorerPipeline(kind core.ScorerKind) (*core.Pipeline, error) {
+	if kind == core.ScorerForest {
+		return s.pipeline, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.altPipelines == nil {
+		s.altPipelines = make(map[core.ScorerKind]*core.Pipeline)
+	}
+	if p := s.altPipelines[kind]; p != nil {
+		return p, nil
+	}
+	p, err := core.BuildPipeline(core.PipelineConfig{
+		Trace: trace.Config{
+			Users:  s.scale.Users,
+			Rounds: s.scale.Rounds,
+			Seed:   s.scale.Seed,
+		},
+		Scorer: kind,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scorer pipeline %d: %w", kind, err)
+	}
+	s.altPipelines[kind] = p
+	return p, nil
+}
+
+// E1 extends the paper's remark that "a wide scale survey through
+// crowdsourcing can give better results": fitting error of the Equation 8
+// constants as the stop-duration survey population grows.
+func (s *Suite) E1() (Result, error) {
+	populations := []int{20, 80, 320, 1280, 5120}
+	res := Result{
+		ID: "E1", Title: "Survey-scale convergence of the Equation 8 fit",
+		XLabel: "respondents", YLabel: "fit quality",
+		Notes: "paper surveyed 80 users and suggested crowdsourcing for scale",
+	}
+	errA := Series{Name: "abs-error-A (vs -0.397)"}
+	errB := Series{Name: "abs-error-B (vs 0.352)"}
+	r2 := Series{Name: "log-fit-R2"}
+	grid := []float64{5, 10, 15, 20, 25, 30, 35, 40}
+	for _, n := range populations {
+		rng := sim.NewRNG(s.scale.Seed, sim.StreamSurvey)
+		stop, err := survey.RunStopSurvey(survey.StopConfig{Respondents: n}, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		fit, err := stop.Fit(grid, 45)
+		if err != nil {
+			return Result{}, err
+		}
+		res.X = append(res.X, float64(n))
+		errA.Y = append(errA.Y, math.Abs(fit.Log.A-(-0.397)))
+		errB.Y = append(errB.Y, math.Abs(fit.Log.B-0.352))
+		r2.Y = append(r2.Y, fit.Log.R2)
+	}
+	res.Series = []Series{errA, errB, r2}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestA4BoundDominatesOnline(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.A4()
+	if err != nil {
+		t.Fatalf("A4: %v", err)
+	}
+	online := res.Series[0].Y
+	bound := res.Series[1].Y
+	ratio := res.Series[2].Y
+	for i := range bound {
+		if online[i] > bound[i]+1e-6 {
+			t.Errorf("online utility %.2f exceeds hindsight bound %.2f at %gMB",
+				online[i], bound[i], res.X[i])
+		}
+		if ratio[i] <= 0 || ratio[i] > 1+1e-9 {
+			t.Errorf("ratio %.3f outside (0, 1] at %gMB", ratio[i], res.X[i])
+		}
+	}
+	// RichNote should capture a meaningful share of the offline optimum.
+	if ratio[len(ratio)-1] < 0.4 {
+		t.Errorf("online/bound ratio %.3f at the top budget, want >= 0.4", ratio[len(ratio)-1])
+	}
+}
+
+func TestA5VariantsCloseOnConcaveLadders(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.A5()
+	if err != nil {
+		t.Fatalf("A5: %v", err)
+	}
+	plain := res.Series[0].Y
+	dom := res.Series[1].Y
+	for i := range plain {
+		lo, hi := plain[i], dom[i]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 0 && lo/hi < 0.9 {
+			t.Errorf("variants diverge at %gMB: %.2f vs %.2f", res.X[i], plain[i], dom[i])
+		}
+	}
+}
+
+func TestA6LearningBeatsConstant(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.A6()
+	if err != nil {
+		t.Fatalf("A6: %v", err)
+	}
+	bySeries := map[string][]float64{}
+	for _, series := range res.Series {
+		bySeries[series.Name] = series.Y
+	}
+	forest := bySeries["forest"]
+	oracle := bySeries["oracle"]
+	constant := bySeries["constant"]
+	for i := range forest {
+		// Oracle is the ceiling (within simulation noise).
+		if forest[i] > oracle[i]*1.05 {
+			t.Errorf("forest %.2f above oracle %.2f at %gMB", forest[i], oracle[i], res.X[i])
+		}
+	}
+	// The learned model must beat unpersonalized scheduling somewhere it
+	// matters (mid budgets, where selection quality counts).
+	mid := len(forest) / 2
+	if forest[mid] <= constant[mid] {
+		t.Errorf("forest %.2f not above constant %.2f at %gMB",
+			forest[mid], constant[mid], res.X[mid])
+	}
+}
+
+func TestE1FitConvergesWithScale(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.E1()
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	errB := res.Series[1].Y
+	first, last := errB[0], errB[len(errB)-1]
+	if last > first+0.02 {
+		t.Errorf("B-coefficient error grew with population: %.4f -> %.4f", first, last)
+	}
+	if last > 0.05 {
+		t.Errorf("B-coefficient error %.4f at the largest population, want < 0.05", last)
+	}
+	r2 := res.Series[2].Y
+	for i, v := range r2 {
+		if v < 0.9 {
+			t.Errorf("log-fit R² %.3f at %g respondents, want >= 0.9", v, res.X[i])
+		}
+	}
+}
+
+func TestE2OutOfSampleClose(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.E2()
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	bySeries := map[string][]float64{}
+	for _, series := range res.Series {
+		bySeries[series.Name] = series.Y
+	}
+	in := bySeries["in-sample"]
+	out := bySeries["out-of-sample"]
+	oracle := bySeries["oracle"]
+	for i := range in {
+		// Temporal generalization: out-of-sample keeps most of the
+		// in-sample utility (user tastes are stationary in the workload).
+		if out[i] < 0.8*in[i] {
+			t.Errorf("out-of-sample %.2f below 80%% of in-sample %.2f at %gMB",
+				out[i], in[i], res.X[i])
+		}
+		// Neither learned model beats the oracle meaningfully.
+		if in[i] > oracle[i]*1.05 || out[i] > oracle[i]*1.05 {
+			t.Errorf("learned model beats oracle at %gMB", res.X[i])
+		}
+	}
+}

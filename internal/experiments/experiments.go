@@ -1,0 +1,236 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation (Section V), plus the ablations listed
+// in DESIGN.md. Each experiment returns a Result — named series over a
+// swept x-axis — that cmd/richnote-bench renders as aligned tables and
+// CSV, and that bench_test.go regenerates under `go test -bench`.
+//
+// Experiments sharing simulation runs (the F3/F4 family all sweep the same
+// strategies over the same budgets) share them through a per-Suite run
+// cache, so regenerating every figure costs one sweep, not eight.
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/trace"
+)
+
+// MB is one mebibyte in bytes.
+const MB = 1 << 20
+
+// Series is one line of a figure: y values over the shared x axis of the
+// Result.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Result is a regenerated table or figure.
+type Result struct {
+	// ID is the paper's identifier, e.g. "F3a" or "T1".
+	ID    string
+	Title string
+	// XLabel describes X; for table-like results X may be empty.
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Notes records reproduction caveats for EXPERIMENTS.md.
+	Notes string
+}
+
+// Scale sizes the workload. The paper simulates 10k users; every
+// experiment's shape is population-invariant because scheduling is
+// per-user, so smaller scales reproduce the same curves faster.
+type Scale struct {
+	Users   int
+	Rounds  int
+	Seed    int64
+	Budgets []int64 // sweep points in bytes
+	Workers int
+}
+
+// DefaultScale is the full-figure profile.
+func DefaultScale() Scale {
+	return Scale{
+		Users:  200,
+		Rounds: 168,
+		Seed:   42,
+		Budgets: []int64{
+			1 * MB, 3 * MB, 10 * MB, 20 * MB, 50 * MB, 100 * MB, 200 * MB,
+		},
+	}
+}
+
+// QuickScale is a reduced profile for unit benches and tests.
+func QuickScale() Scale {
+	return Scale{
+		Users:   40,
+		Rounds:  96,
+		Seed:    42,
+		Budgets: []int64{3 * MB, 20 * MB, 100 * MB},
+	}
+}
+
+// Suite owns a built pipeline and a cache of simulation runs.
+type Suite struct {
+	scale    Scale
+	pipeline *core.Pipeline
+
+	mu           sync.Mutex
+	runs         map[string]*core.RunResult
+	altPipelines map[core.ScorerKind]*core.Pipeline
+}
+
+// NewSuite builds the workload and trains the content-utility model once.
+func NewSuite(scale Scale) (*Suite, error) {
+	p, err := core.BuildPipeline(core.PipelineConfig{
+		Trace: trace.Config{
+			Users:  scale.Users,
+			Rounds: scale.Rounds,
+			Seed:   scale.Seed,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return &Suite{scale: scale, pipeline: p, runs: make(map[string]*core.RunResult)}, nil
+}
+
+// Pipeline exposes the underlying pipeline (for the T1 experiment and
+// tests).
+func (s *Suite) Pipeline() *core.Pipeline { return s.pipeline }
+
+// Scale returns the suite's scale profile.
+func (s *Suite) Scale() Scale { return s.scale }
+
+// runKey identifies a cached run.
+func runKey(cfg core.RunConfig) string {
+	net := "cell"
+	if cfg.NetworkMatrix != nil {
+		if *cfg.NetworkMatrix == network.PaperMatrix() {
+			net = "paper"
+		} else if *cfg.NetworkMatrix == network.CellOnlyMatrix() {
+			net = "cellonly"
+		}
+	}
+	return fmt.Sprintf("%s-L%d-b%d-V%g-k%g-%s-pr%v-qb%v-dom%v",
+		cfg.Strategy, cfg.FixedLevel, cfg.WeeklyBudgetBytes, cfg.V, cfg.KappaJ,
+		net, cfg.PerRoundBudget, cfg.QueuedBaselines, cfg.UseDominance)
+}
+
+// run executes (or returns the cached) simulation for the configuration.
+func (s *Suite) run(cfg core.RunConfig) (*core.RunResult, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = s.scale.Workers
+	}
+	key := runKey(cfg)
+	s.mu.Lock()
+	cached := s.runs[key]
+	s.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	res, err := s.pipeline.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: run %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.runs[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// methodConfigs lists the standard comparison set of the F3/F4 family:
+// RichNote plus FIFO and UTIL fixed at 5 s and 10 s previews (levels 2 and
+// 3), exactly the baselines of Section V-D-1.
+func methodConfigs(budget int64) []core.RunConfig {
+	return []core.RunConfig{
+		{Strategy: core.StrategyRichNote, WeeklyBudgetBytes: budget},
+		{Strategy: core.StrategyFIFO, FixedLevel: 2, WeeklyBudgetBytes: budget},
+		{Strategy: core.StrategyFIFO, FixedLevel: 3, WeeklyBudgetBytes: budget},
+		{Strategy: core.StrategyUtil, FixedLevel: 2, WeeklyBudgetBytes: budget},
+		{Strategy: core.StrategyUtil, FixedLevel: 3, WeeklyBudgetBytes: budget},
+	}
+}
+
+// sweepMetric runs the standard method set over the budget sweep and
+// extracts one metric per run.
+func (s *Suite) sweepMetric(id, title, ylabel string, metric func(metrics.Report) float64) (Result, error) {
+	res := Result{
+		ID: id, Title: title,
+		XLabel: "weekly data budget (MB)", YLabel: ylabel,
+	}
+	for _, b := range s.scale.Budgets {
+		res.X = append(res.X, float64(b)/MB)
+	}
+	// One series per method, in methodConfigs order.
+	names := []string{}
+	values := map[string][]float64{}
+	for _, b := range s.scale.Budgets {
+		for _, cfg := range methodConfigs(b) {
+			run, err := s.run(cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			if _, seen := values[run.Name]; !seen {
+				names = append(names, run.Name)
+			}
+			values[run.Name] = append(values[run.Name], metric(run.Report))
+		}
+	}
+	for _, name := range names {
+		res.Series = append(res.Series, Series{Name: name, Y: values[name]})
+	}
+	return res, nil
+}
+
+// Render renders the result as an aligned text table (series as columns).
+func Render(r Result) string {
+	header := []string{r.XLabel}
+	if header[0] == "" {
+		header[0] = "x"
+	}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := make([][]string, len(r.X))
+	for i, x := range r.X {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				row = append(row, strconv.FormatFloat(s.Y[i], 'f', 4, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows[i] = row
+	}
+	return fmt.Sprintf("%s — %s (%s)\n%s", r.ID, r.Title, r.YLabel, metrics.Table(header, rows))
+}
+
+// RenderCSV renders the result as CSV.
+func RenderCSV(r Result) string {
+	header := []string{"x"}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := make([][]string, len(r.X))
+	for i, x := range r.X {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows[i] = row
+	}
+	return metrics.CSV(header, rows)
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// suite is shared across tests in this package; building it trains the
+// forest once.
+var testSuite *Suite
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testSuite == nil {
+		s, err := NewSuite(QuickScale())
+		if err != nil {
+			t.Fatalf("NewSuite: %v", err)
+		}
+		testSuite = s
+	}
+	return testSuite
+}
+
+func TestT1ClassifierInPaperBand(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.T1()
+	if err != nil {
+		t.Fatalf("T1: %v", err)
+	}
+	if len(res.Series) != 2 || len(res.X) != 5 {
+		t.Fatalf("T1 shape wrong: %d series, %d folds", len(res.Series), len(res.X))
+	}
+	// Paper: precision 0.700, accuracy 0.689. Synthetic labels carry
+	// Bernoulli noise, so require the same band, not the same point.
+	for _, series := range res.Series {
+		for fold, v := range series.Y {
+			if v < 0.55 || v > 0.95 {
+				t.Errorf("%s fold %d = %.3f outside plausible band [0.55, 0.95]",
+					series.Name, fold, v)
+			}
+		}
+	}
+	if !strings.Contains(res.Notes, "precision") {
+		t.Error("T1 notes missing aggregate metrics")
+	}
+}
+
+func TestF2aParetoReduction(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F2a()
+	if err != nil {
+		t.Fatalf("F2a: %v", err)
+	}
+	if len(res.X) != 20 {
+		t.Fatalf("surveyed %d presentations, want 20", len(res.X))
+	}
+	useful := 0
+	for _, y := range res.Series[1].Y {
+		if y > 0 {
+			useful++
+		}
+	}
+	if useful < 3 || useful > 10 {
+		t.Fatalf("%d useful presentations, want roughly 6", useful)
+	}
+}
+
+func TestF2bFitQuality(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F2b()
+	if err != nil {
+		t.Fatalf("F2b: %v", err)
+	}
+	if !strings.Contains(res.Notes, "log better: true") {
+		t.Errorf("log fit should beat power fit; notes: %s", res.Notes)
+	}
+	// CDF series monotone.
+	cdf := res.Series[0].Y
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("survey CDF not monotone")
+		}
+	}
+}
+
+func TestF3aShape(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F3a()
+	if err != nil {
+		t.Fatalf("F3a: %v", err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("%d series, want 5 (richnote + 4 baselines)", len(res.Series))
+	}
+	bySeries := map[string][]float64{}
+	for _, series := range res.Series {
+		bySeries[series.Name] = series.Y
+	}
+	rich := bySeries["richnote"]
+	// Headline: RichNote delivers close to 100% at every budget.
+	for i, v := range rich {
+		if v < 0.9 {
+			t.Errorf("richnote delivery ratio %.3f at %gMB, want >= 0.9", v, res.X[i])
+		}
+	}
+	// Baselines rise with budget and stay below RichNote.
+	for name, ys := range bySeries {
+		if name == "richnote" {
+			continue
+		}
+		if ys[len(ys)-1] <= ys[0] {
+			t.Errorf("%s delivery ratio does not grow with budget: %v", name, ys)
+		}
+		for i := range ys {
+			if ys[i] > rich[i] {
+				t.Errorf("%s beats richnote delivery ratio at %gMB", name, res.X[i])
+			}
+		}
+	}
+}
+
+func TestF4aRichNoteWins(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F4a()
+	if err != nil {
+		t.Fatalf("F4a: %v", err)
+	}
+	bySeries := map[string][]float64{}
+	for _, series := range res.Series {
+		bySeries[series.Name] = series.Y
+	}
+	rich := bySeries["richnote"]
+	for name, ys := range bySeries {
+		if name == "richnote" {
+			continue
+		}
+		for i := range ys {
+			if rich[i] < ys[i]*0.95 {
+				t.Errorf("richnote utility %.1f below %s %.1f at %gMB",
+					rich[i], name, ys[i], res.X[i])
+			}
+		}
+	}
+	// And the paper's factor against FIFO: comfortably above at low budget.
+	if fifo := bySeries["fifo-L3"]; len(fifo) > 0 && rich[0] < 1.5*fifo[0] {
+		t.Errorf("richnote %.1f not >= 1.5x fifo %.1f at lowest budget", rich[0], fifo[0])
+	}
+}
+
+func TestF4dRichNoteLowestDelay(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F4d()
+	if err != nil {
+		t.Fatalf("F4d: %v", err)
+	}
+	bySeries := map[string][]float64{}
+	for _, series := range res.Series {
+		bySeries[series.Name] = series.Y
+	}
+	rich := bySeries["richnote"]
+	fifo := bySeries["fifo-L3"]
+	for i := range rich {
+		if rich[i] > fifo[i] {
+			t.Errorf("richnote delay %.2f above fifo %.2f at %gMB", rich[i], fifo[i], res.X[i])
+		}
+	}
+}
+
+func TestF5bMetadataShareShrinksWithBudget(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F5b()
+	if err != nil {
+		t.Fatalf("F5b: %v", err)
+	}
+	meta := res.Series[0]
+	if meta.Name != "meta" {
+		t.Fatalf("first series %q, want meta", meta.Name)
+	}
+	if meta.Y[0] <= meta.Y[len(meta.Y)-1] {
+		t.Errorf("metadata-only share should shrink with budget: %v", meta.Y)
+	}
+	// Shares at each budget sum to ~1.
+	for i := range res.X {
+		sum := 0.0
+		for _, series := range res.Series {
+			sum += series.Y[i]
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("level shares sum to %.3f at %gMB", sum, res.X[i])
+		}
+	}
+}
+
+func TestF5cWifiRicherThanCellular(t *testing.T) {
+	s := getSuite(t)
+	cell, err := s.F5b()
+	if err != nil {
+		t.Fatalf("F5b: %v", err)
+	}
+	wifi, err := s.F5c()
+	if err != nil {
+		t.Fatalf("F5c: %v", err)
+	}
+	// Compare the rich-level share (20s+) at the lowest budget.
+	richShare := func(r Result, xi int) float64 {
+		sum := 0.0
+		for si := 3; si < len(r.Series); si++ {
+			sum += r.Series[si].Y[xi]
+		}
+		return sum
+	}
+	if richShare(wifi, 0) <= richShare(cell, 0) {
+		t.Errorf("wifi rich share %.3f not above cellular %.3f at lowest budget",
+			richShare(wifi, 0), richShare(cell, 0))
+	}
+}
+
+func TestF5dHeavyUsersBenefitMore(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F5d()
+	if err != nil {
+		t.Fatalf("F5d: %v", err)
+	}
+	mean := res.Series[0].Y
+	// The heaviest bucket must earn more utility than the lightest
+	// populated one.
+	users := res.Series[2].Y
+	first, last := -1, -1
+	for i := range mean {
+		if users[i] > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || first == last {
+		t.Skip("volume spread too narrow at quick scale")
+	}
+	if mean[last] <= mean[first] {
+		t.Errorf("heavy users (%.1f) not above light users (%.1f)", mean[last], mean[first])
+	}
+}
+
+func TestS5UniformAcrossV(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.S5()
+	if err != nil {
+		t.Fatalf("S5: %v", err)
+	}
+	utility := res.Series[0].Y
+	min, max := utility[0], utility[0]
+	for _, v := range utility {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// Paper: performance uniform across V. Allow 30% spread.
+	if min < 0.7*max {
+		t.Errorf("utility varies too much across V: min %.1f max %.1f", min, max)
+	}
+}
+
+func TestA1GreedyNearExact(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.A1()
+	if err != nil {
+		t.Fatalf("A1: %v", err)
+	}
+	for i, ratio := range res.Series[0].Y {
+		if ratio < 0.9 || ratio > 1.0+1e-9 {
+			t.Errorf("greedy/exact ratio %.4f at n=%g outside [0.9, 1]", ratio, res.X[i])
+		}
+	}
+	for i, ratio := range res.Series[1].Y {
+		if ratio < 1.0-1e-9 {
+			t.Errorf("fractional bound %.4f below exact at n=%g", ratio, res.X[i])
+		}
+	}
+}
+
+func TestA3DisciplineOrdering(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.A3()
+	if err != nil {
+		t.Fatalf("A3: %v", err)
+	}
+	bySeries := map[string][]float64{}
+	for _, series := range res.Series {
+		bySeries[series.Name] = series.Y
+	}
+	// The queued variant is the strongest baseline; per-round the weakest.
+	queued := bySeries["util-queued"]
+	drop := bySeries["util-drop"]
+	perRound := bySeries["util-per-round"]
+	for i := range queued {
+		if queued[i] < drop[i]*0.95 {
+			t.Errorf("queued baseline below drop baseline at %gMB", res.X[i])
+		}
+		if perRound[i] > drop[i]+1e-9 {
+			t.Errorf("per-round baseline above drop baseline at %gMB", res.X[i])
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	s := getSuite(t)
+	res, err := s.F3a()
+	if err != nil {
+		t.Fatalf("F3a: %v", err)
+	}
+	table := Render(res)
+	if !strings.Contains(table, "F3a") || !strings.Contains(table, "richnote") {
+		t.Fatalf("table rendering missing content:\n%s", table)
+	}
+	csv := RenderCSV(res)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(res.X)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(res.X)+1)
+	}
+}
+
+func TestRunCacheHits(t *testing.T) {
+	s := getSuite(t)
+	if _, err := s.F3a(); err != nil {
+		t.Fatalf("F3a: %v", err)
+	}
+	before := len(s.runs)
+	if _, err := s.F3b(); err != nil { // same sweep, must reuse runs
+		t.Fatalf("F3b: %v", err)
+	}
+	if len(s.runs) != before {
+		t.Errorf("F3b added %d runs; expected full cache reuse", len(s.runs)-before)
+	}
+}
+
+func TestRunIDs(t *testing.T) {
+	s := getSuite(t)
+	ids := s.IDs()
+	if len(ids) < 20 {
+		t.Fatalf("%d experiment IDs, want >= 20", len(ids))
+	}
+	results, err := s.RunIDs([]string{"F3a", "A1"})
+	if err != nil {
+		t.Fatalf("RunIDs: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	// Canonical order preserved regardless of request order.
+	if results[0].ID != "F3a" || results[1].ID != "A1" {
+		t.Fatalf("order %s,%s; want F3a,A1", results[0].ID, results[1].ID)
+	}
+	if _, err := s.RunIDs([]string{"F99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/ml/forest"
+	"github.com/richnote/richnote/internal/trace"
+	"github.com/richnote/richnote/internal/utility"
+)
+
+// E2 is the out-of-sample extension: the paper trains its Random Forest on
+// the same week it replays. Here the trace is split in half; the
+// out-of-sample scheduler's forest is trained only on the first half and
+// schedules the second, compared against a forest trained on the second
+// half itself (the paper's in-sample protocol) and the oracle ceiling,
+// all evaluated on the second half against ground truth.
+func (s *Suite) E2() (Result, error) {
+	gen, err := trace.NewGenerator(trace.Config{
+		Users:  s.scale.Users,
+		Rounds: s.scale.Rounds,
+		Seed:   s.scale.Seed + 7, // a fresh workload, not the suite's
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: E2: %w", err)
+	}
+	full, err := gen.Generate()
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: E2: %w", err)
+	}
+	head, tail, err := trace.SplitByRound(full, full.Rounds/2)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: E2: %w", err)
+	}
+
+	fcfg := forest.Config{Trees: 40, Seed: s.scale.Seed}
+	outOfSample, err := utility.TrainForestScorer(head, fcfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: E2 train head: %w", err)
+	}
+	inSample, err := utility.TrainForestScorer(tail, fcfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: E2 train tail: %w", err)
+	}
+
+	res := Result{
+		ID: "E2", Title: "Out-of-sample utility model: train on week head, schedule week tail",
+		XLabel: "weekly data budget (MB)", YLabel: "true utility per user",
+		Notes: "paper protocol is in-sample; the out-of-sample gap measures temporal generalization",
+	}
+	for _, b := range s.scale.Budgets {
+		res.X = append(res.X, float64(b)/MB)
+	}
+	variants := []struct {
+		name   string
+		scorer utility.ContentScorer
+	}{
+		{"in-sample", inSample},
+		{"out-of-sample", outOfSample},
+		{"oracle", utility.OracleScorer{}},
+	}
+	for _, vr := range variants {
+		pipeline, err := core.BuildPipeline(core.PipelineConfig{
+			ExternalTrace:  tail,
+			ExternalScorer: vr.scorer,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: E2 %s: %w", vr.name, err)
+		}
+		ys := Series{Name: vr.name}
+		for _, b := range s.scale.Budgets {
+			run, err := pipeline.Run(core.RunConfig{
+				Strategy:          core.StrategyRichNote,
+				WeeklyBudgetBytes: b,
+				Workers:           s.scale.Workers,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("experiments: E2 %s: %w", vr.name, err)
+			}
+			ys.Y = append(ys.Y, run.Report.TrueUtilitySum/float64(run.Report.Users))
+		}
+		res.Series = append(res.Series, ys)
+	}
+	return res, nil
+}

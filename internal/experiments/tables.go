@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/mckp"
+	"github.com/richnote/richnote/internal/ml/eval"
+	"github.com/richnote/richnote/internal/ml/forest"
+	"github.com/richnote/richnote/internal/sim"
+	"github.com/richnote/richnote/internal/trace"
+)
+
+// T1 reproduces the classifier-quality result of Section V-A: five-fold
+// cross validation of the Random Forest content-utility model (paper:
+// precision 0.700, accuracy 0.689).
+func (s *Suite) T1() (Result, error) {
+	features, labels := trace.Dataset(s.pipeline.Trace)
+	rng := sim.NewRNG(s.scale.Seed, sim.StreamForest)
+	total, folds, err := eval.CrossValidate(features, labels, 5, rng,
+		func(x [][]float64, y []int) (eval.Classifier, error) {
+			return forest.Train(x, y, forest.Config{Trees: 40, Seed: s.scale.Seed})
+		})
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: T1: %w", err)
+	}
+	res := Result{
+		ID:     "T1",
+		Title:  "Content-utility classifier, 5-fold cross validation",
+		XLabel: "fold",
+		YLabel: "metric",
+		Notes: fmt.Sprintf(
+			"paper: precision 0.700, accuracy 0.689; reproduced: precision %.3f, accuracy %.3f (recall %.3f, f1 %.3f, n=%d)",
+			total.Precision(), total.Accuracy(), total.Recall(), total.F1(), total.Total()),
+	}
+	precision := Series{Name: "precision"}
+	accuracy := Series{Name: "accuracy"}
+	for _, f := range folds {
+		res.X = append(res.X, float64(f.Fold))
+		precision.Y = append(precision.Y, f.Confusion.Precision())
+		accuracy.Y = append(accuracy.Y, f.Confusion.Accuracy())
+	}
+	res.Series = []Series{precision, accuracy}
+	return res, nil
+}
+
+// S5 reproduces the Lyapunov V-sensitivity study of Section V-D-5: utility
+// and queue backlog across control-knob values. The paper reports RichNote
+// "performs uniformly better in all these settings".
+func (s *Suite) S5() (Result, error) {
+	vs := []float64{10, 100, 1000, 10_000}
+	res := Result{
+		ID: "S5", Title: "Lyapunov control knob sensitivity (20MB budget)",
+		XLabel: "V", YLabel: "per-user value",
+		Notes: "paper: performance uniform across V; larger V favors utility over backlog",
+	}
+	utility := Series{Name: "utility-per-user"}
+	backlog := Series{Name: "avg-backlog-MB"}
+	for _, v := range vs {
+		run, err := s.run(core.RunConfig{
+			Strategy:          core.StrategyRichNote,
+			WeeklyBudgetBytes: 20 * MB,
+			V:                 v,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res.X = append(res.X, v)
+		utility.Y = append(utility.Y, run.Report.TrueUtilitySum/float64(run.Report.Users))
+		backlog.Y = append(backlog.Y, run.Lyapunov.AvgQMB)
+	}
+	res.Series = []Series{utility, backlog}
+	return res, nil
+}
+
+// A1 is the MCKP-quality ablation: greedy (Algorithm 1) versus the exact
+// dynamic program and the fractional upper bound on random concave
+// instances, reporting the mean value ratio.
+func (s *Suite) A1() (Result, error) {
+	rng := rand.New(rand.NewSource(s.scale.Seed))
+	sizes := []int{5, 10, 20, 40, 80}
+	res := Result{
+		ID: "A1", Title: "MCKP greedy vs exact DP (concave instances)",
+		XLabel: "groups", YLabel: "value ratio",
+		Notes: "paper argues the greedy loses at most the final fractional upgrade",
+	}
+	greedyRatio := Series{Name: "greedy/exact"}
+	boundRatio := Series{Name: "fractional/exact"}
+	const trials = 30
+	for _, n := range sizes {
+		var gSum, bSum float64
+		for t := 0; t < trials; t++ {
+			groups := randomConcaveGroups(rng, n)
+			budget := 5 * n
+			greedy := mckp.SelectGreedy(groups, float64(budget), mckp.Options{})
+			_, exact := mckp.SelectExact(groups, budget)
+			if exact <= 0 {
+				continue
+			}
+			gSum += greedy.Value / exact
+			bSum += greedy.FractionalValue / exact
+		}
+		res.X = append(res.X, float64(n))
+		greedyRatio.Y = append(greedyRatio.Y, gSum/trials)
+		boundRatio.Y = append(boundRatio.Y, bSum/trials)
+	}
+	res.Series = []Series{greedyRatio, boundRatio}
+	return res, nil
+}
+
+// randomConcaveGroups builds MCKP groups with diminishing returns.
+func randomConcaveGroups(rng *rand.Rand, n int) []mckp.Group {
+	groups := make([]mckp.Group, n)
+	for i := range groups {
+		k := 1 + rng.Intn(5)
+		choices := make([]mckp.Choice, k)
+		step := float64(1 + rng.Intn(6))
+		w, v := 0.0, 0.0
+		gain := 1 + rng.Float64()*4
+		for j := range choices {
+			w += step
+			v += gain
+			gain *= 0.55
+			choices[j] = mckp.Choice{Value: v, Weight: w}
+		}
+		groups[i].Choices = choices
+	}
+	return groups
+}
+
+// A2 is the Lyapunov ablation: the full controller versus an effectively
+// utility-only scheduler (V so large that queue and energy terms vanish),
+// comparing utility, backlog and energy.
+func (s *Suite) A2() (Result, error) {
+	res := Result{
+		ID: "A2", Title: "Lyapunov ablation: full controller vs utility-only",
+		XLabel: "weekly data budget (MB)", YLabel: "per-user value",
+		Notes: "V=1e9 makes Q and P terms negligible: pure per-round MCKP on U(i,j)",
+	}
+	for _, b := range s.scale.Budgets {
+		res.X = append(res.X, float64(b)/MB)
+	}
+	type variant struct {
+		name string
+		v    float64
+	}
+	for _, vr := range []variant{{"lyapunov-V1000", core.DefaultV}, {"utility-only-V1e9", 1e9}} {
+		utility := Series{Name: vr.name + "-utility"}
+		backlog := Series{Name: vr.name + "-backlogMB"}
+		for _, b := range s.scale.Budgets {
+			run, err := s.run(core.RunConfig{
+				Strategy:          core.StrategyRichNote,
+				WeeklyBudgetBytes: b,
+				V:                 vr.v,
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			utility.Y = append(utility.Y, run.Report.TrueUtilitySum/float64(run.Report.Users))
+			backlog.Y = append(backlog.Y, run.Lyapunov.AvgQMB)
+		}
+		res.Series = append(res.Series, utility, backlog)
+	}
+	return res, nil
+}
+
+// A3 is the baseline-discipline ablation: the UTIL baseline under the
+// deployed drop discipline (default), a persistent re-sorted queue
+// (stronger than the paper's), and per-round budgets without rollover.
+func (s *Suite) A3() (Result, error) {
+	res := Result{
+		ID: "A3", Title: "Baseline discipline ablation (UTIL-L3)",
+		XLabel: "weekly data budget (MB)", YLabel: "utility per user",
+		Notes: "drop = industry batch digest; queued = strongest baseline; per-round = no budget rollover",
+	}
+	for _, b := range s.scale.Budgets {
+		res.X = append(res.X, float64(b)/MB)
+	}
+	type variant struct {
+		name string
+		cfg  core.RunConfig
+	}
+	variants := []variant{
+		{"richnote", core.RunConfig{Strategy: core.StrategyRichNote}},
+		{"util-drop", core.RunConfig{Strategy: core.StrategyUtil, FixedLevel: 3}},
+		{"util-queued", core.RunConfig{Strategy: core.StrategyUtil, FixedLevel: 3, QueuedBaselines: true}},
+		{"util-per-round", core.RunConfig{Strategy: core.StrategyUtil, FixedLevel: 3, PerRoundBudget: true}},
+	}
+	for _, vr := range variants {
+		ys := Series{Name: vr.name}
+		for _, b := range s.scale.Budgets {
+			c := vr.cfg
+			c.WeeklyBudgetBytes = b
+			run, err := s.run(c)
+			if err != nil {
+				return Result{}, err
+			}
+			ys.Y = append(ys.Y, run.Report.TrueUtilitySum/float64(run.Report.Users))
+		}
+		res.Series = append(res.Series, ys)
+	}
+	return res, nil
+}
+
+// generators lists every experiment in canonical order.
+func (s *Suite) generators() []generator {
+	return []generator{
+		{"T1", s.T1},
+		{"F2a", s.F2a},
+		{"F2b", s.F2b},
+		{"F3a", s.F3a},
+		{"F3b", s.F3b},
+		{"F3c", s.F3c},
+		{"F3d", s.F3d},
+		{"F4a", s.F4a},
+		{"F4b", s.F4b},
+		{"F4c", s.F4c},
+		{"F4d", s.F4d},
+		{"F5a", s.F5a},
+		{"F5b", s.F5b},
+		{"F5c", s.F5c},
+		{"F5d", s.F5d},
+		{"S5", s.S5},
+		{"A1", s.A1},
+		{"A2", s.A2},
+		{"A3", s.A3},
+		{"A4", s.A4},
+		{"A5", s.A5},
+		{"A6", s.A6},
+		{"E1", s.E1},
+		{"E2", s.E2},
+	}
+}
+
+// generator pairs an experiment ID with its runner.
+type generator struct {
+	id string
+	fn func() (Result, error)
+}
+
+// IDs returns the canonical experiment identifiers.
+func (s *Suite) IDs() []string {
+	gens := s.generators()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.id
+	}
+	return out
+}
+
+// All runs every experiment in the canonical order.
+func (s *Suite) All() ([]Result, error) {
+	return s.RunIDs(nil)
+}
+
+// RunIDs runs the named experiments (nil or empty = all) in canonical
+// order. Unknown IDs are an error.
+func (s *Suite) RunIDs(ids []string) ([]Result, error) {
+	wanted := map[string]bool{}
+	for _, id := range ids {
+		wanted[id] = true
+	}
+	gens := s.generators()
+	if len(wanted) > 0 {
+		known := map[string]bool{}
+		for _, g := range gens {
+			known[g.id] = true
+		}
+		for id := range wanted {
+			if !known[id] {
+				return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+			}
+		}
+	}
+	out := make([]Result, 0, len(gens))
+	for _, g := range gens {
+		if len(wanted) > 0 && !wanted[g.id] {
+			continue
+		}
+		r, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", g.id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

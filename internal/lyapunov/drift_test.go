@@ -1,0 +1,102 @@
+package lyapunov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDriftNegativeWhenDraining verifies the Lyapunov argument's core
+// mechanics empirically: starting from a large backlog, serving faster
+// than arrivals makes the one-round drift negative until the queue
+// empties.
+func TestDriftNegativeWhenDraining(t *testing.T) {
+	c, err := New(Config{V: 1000, Kappa: 30})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.OnArrive(10_000); err != nil {
+		t.Fatalf("OnArrive: %v", err)
+	}
+	c.EndRound()
+	negative := 0
+	for r := 0; r < 50 && c.Q() > 0; r++ {
+		if err := c.OnArrive(50); err != nil {
+			t.Fatalf("OnArrive: %v", err)
+		}
+		if err := c.OnDeliver(math.Min(c.Q(), 400), 0); err != nil {
+			t.Fatalf("OnDeliver: %v", err)
+		}
+		before := c.Lyapunov()
+		c.EndRound()
+		if c.Lyapunov() < before || c.Lyapunov() < 0.5*10_000*10_000 {
+			negative++
+		}
+	}
+	st := c.Stats()
+	if st.AvgDrift >= 0 {
+		t.Fatalf("average drift %.1f while draining, want negative", st.AvgDrift)
+	}
+}
+
+// TestDriftBalancesAtEquilibrium: with arrivals equal to service, the
+// long-run average drift approaches zero.
+func TestDriftBalancesAtEquilibrium(t *testing.T) {
+	c, err := New(Config{V: 1000, Kappa: 30})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < 5000; r++ {
+		arrive := 100 + rng.Float64()*20
+		if err := c.OnArrive(arrive); err != nil {
+			t.Fatalf("OnArrive: %v", err)
+		}
+		if err := c.OnDeliver(math.Min(c.Q(), 110), 10); err != nil {
+			t.Fatalf("OnDeliver: %v", err)
+		}
+		if _, err := c.Replenish(10); err != nil {
+			t.Fatalf("Replenish: %v", err)
+		}
+		c.EndRound()
+	}
+	st := c.Stats()
+	// Per-round drift must be a vanishing fraction of the Lyapunov scale.
+	if math.Abs(st.AvgDrift) > st.FinalLyap/10 {
+		t.Fatalf("avg drift %.2f not small relative to L %.2f", st.AvgDrift, st.FinalLyap)
+	}
+}
+
+// TestVirtualQueueTracksKappa: with replenishment gated at kappa and
+// steady spending below it, P oscillates in a band around kappa rather
+// than drifting away — the property the paper uses to enforce the energy
+// budget on average.
+func TestVirtualQueueTracksKappa(t *testing.T) {
+	const kappa = 30.0
+	c, err := New(Config{V: 1000, Kappa: kappa})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var minP, maxP = math.Inf(1), math.Inf(-1)
+	for r := 0; r < 2000; r++ {
+		spend := rng.Float64() * 20 // below the ~30/round replenishment
+		if err := c.OnDeliver(0, spend); err != nil {
+			t.Fatalf("OnDeliver: %v", err)
+		}
+		if _, err := c.Replenish(kappa); err != nil {
+			t.Fatalf("Replenish: %v", err)
+		}
+		c.EndRound()
+		if r > 100 { // after warmup
+			minP = math.Min(minP, c.P())
+			maxP = math.Max(maxP, c.P())
+		}
+	}
+	if minP < kappa/2 {
+		t.Fatalf("P fell to %.1f, want to stay near kappa %.0f", minP, kappa)
+	}
+	if maxP > 2*kappa+1 {
+		t.Fatalf("P rose to %.1f, want bounded near kappa (replenishment gate)", maxP)
+	}
+}

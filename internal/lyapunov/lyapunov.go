@@ -1,0 +1,190 @@
+// Package lyapunov implements the Lyapunov-drift control machinery of
+// RichNote's scheduler (Section IV of the paper).
+//
+// Two queues are tracked per user:
+//
+//   - Q(t): the scheduling-queue backlog in bytes. Every presentation of a
+//     queued item counts toward the backlog; delivering an item at any
+//     level removes all of its presentations, so a delivery of item i
+//     relieves Q by s(i) = sum_j s(i, j).
+//   - P(t): a virtual queue tracking the energy budget. The paper moves the
+//     energy constraint (2c) into the objective by keeping P close to a
+//     target κ: replenishment e(t) is added only while P <= κ, and each
+//     delivery drains P by its energy cost ρ(i, j).
+//
+// The Lyapunov function is L(t) = ½(Q²(t) + (P(t) − κ)²) and drift
+// minimization with utility reward V·U yields the adjusted utility
+//
+//	Ua(i, j) = Q(t)·s(i) + (P(t) − κ)·ρ(i, j) + V·U(i, j)
+//
+// which the per-round MCKP maximizes under the data budget B(t).
+package lyapunov
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config holds the control parameters.
+type Config struct {
+	// V is the utility weight: larger V favors utility over queue backlog.
+	// The paper uses V = 1000.
+	V float64
+	// Kappa is the per-round energy target in joules (paper: 3 kJ/hour).
+	Kappa float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.V <= 0 {
+		return fmt.Errorf("lyapunov: V must be positive, got %f", c.V)
+	}
+	if c.Kappa <= 0 {
+		return fmt.Errorf("lyapunov: kappa must be positive, got %f", c.Kappa)
+	}
+	return nil
+}
+
+// ErrNegativeAmount is returned when a queue mutation receives a negative
+// byte or joule amount.
+var ErrNegativeAmount = errors.New("lyapunov: negative amount")
+
+// Controller tracks the per-user queue states and computes adjusted
+// utilities. It is not safe for concurrent use; the scheduler owns one
+// controller per user and drives it from the simulation loop.
+type Controller struct {
+	cfg Config
+
+	q float64 // scheduling-queue backlog, bytes
+	p float64 // virtual energy queue, joules
+
+	// Telemetry.
+	maxQ        float64
+	sumQ        float64
+	rounds      int
+	driftSum    float64
+	lastL       float64
+	initialized bool
+}
+
+// New returns a controller with empty queues.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Q returns the current scheduling-queue backlog in bytes.
+func (c *Controller) Q() float64 { return c.q }
+
+// P returns the current virtual energy queue in joules.
+func (c *Controller) P() float64 { return c.p }
+
+// Config returns the control parameters.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Lyapunov returns L(t) = ½(Q² + (P−κ)²).
+func (c *Controller) Lyapunov() float64 {
+	dp := c.p - c.cfg.Kappa
+	return 0.5 * (c.q*c.q + dp*dp)
+}
+
+// Adjusted returns Ua(i, j) for an item with total presentation size s(i)
+// (bytes across all levels), per-level energy cost ρ(i, j) (joules) and
+// combined utility U(i, j).
+//
+// The Q·s(i) term rewards relieving the backlog (it is identical across a
+// given item's levels, so it biases which items are selected, not which
+// level). The (P−κ)·ρ term penalizes energy-hungry levels when the energy
+// queue is below target and rewards spending when above it.
+func (c *Controller) Adjusted(itemTotalSize, energy, utility float64) float64 {
+	return c.q*itemTotalSize + (c.p-c.cfg.Kappa)*energy + c.cfg.V*utility
+}
+
+// OnArrive adds ν(t) bytes of new presentations to the scheduling queue.
+func (c *Controller) OnArrive(bytes float64) error {
+	if bytes < 0 {
+		return fmt.Errorf("%w: arrive %f bytes", ErrNegativeAmount, bytes)
+	}
+	c.q += bytes
+	return nil
+}
+
+// OnDeliver applies a delivery: the item's total presentation size leaves
+// Q and the spent energy leaves P. Both queues floor at zero, matching the
+// [·]+ in the paper's queue-update equations (4) and (5).
+func (c *Controller) OnDeliver(itemTotalSize, energy float64) error {
+	if itemTotalSize < 0 || energy < 0 {
+		return fmt.Errorf("%w: deliver size %f energy %f", ErrNegativeAmount, itemTotalSize, energy)
+	}
+	c.q -= itemTotalSize
+	if c.q < 0 {
+		c.q = 0
+	}
+	c.p -= energy
+	if c.p < 0 {
+		c.p = 0
+	}
+	return nil
+}
+
+// Replenish adds e(t) joules to the virtual energy queue, but only while P
+// is at or below the target κ (Algorithm 2, step 2). It returns the amount
+// actually credited.
+func (c *Controller) Replenish(energy float64) (float64, error) {
+	if energy < 0 {
+		return 0, fmt.Errorf("%w: replenish %f", ErrNegativeAmount, energy)
+	}
+	if c.p > c.cfg.Kappa {
+		return 0, nil
+	}
+	c.p += energy
+	return energy, nil
+}
+
+// EndRound records end-of-round telemetry: average/max backlog and the
+// empirical Lyapunov drift Δ(L). Call once per round after all queue
+// mutations.
+func (c *Controller) EndRound() {
+	l := c.Lyapunov()
+	if c.initialized {
+		c.driftSum += l - c.lastL
+	}
+	c.lastL = l
+	c.initialized = true
+	c.rounds++
+	c.sumQ += c.q
+	if c.q > c.maxQ {
+		c.maxQ = c.q
+	}
+}
+
+// Stats is a snapshot of controller telemetry.
+type Stats struct {
+	Rounds    int
+	AvgQ      float64 // average backlog in bytes over rounds
+	MaxQ      float64
+	AvgDrift  float64 // average empirical one-round Lyapunov drift
+	FinalQ    float64
+	FinalP    float64
+	FinalLyap float64
+}
+
+// Stats returns accumulated telemetry.
+func (c *Controller) Stats() Stats {
+	s := Stats{
+		Rounds:    c.rounds,
+		MaxQ:      c.maxQ,
+		FinalQ:    c.q,
+		FinalP:    c.p,
+		FinalLyap: c.Lyapunov(),
+	}
+	if c.rounds > 0 {
+		s.AvgQ = c.sumQ / float64(c.rounds)
+	}
+	if c.rounds > 1 {
+		s.AvgDrift = c.driftSum / float64(c.rounds-1)
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+package mckp
+
+// This file implements the classical preprocessing of Sinha & Zoltners
+// (1979), the paper's reference [4]: before the greedy runs, each group is
+// reduced to its LP-undominated choices. The paper's Algorithm 1 skips
+// this step because survey-derived presentation ladders are already
+// concave ("utilities are monotone across presentations"); with
+// Lyapunov-adjusted utilities that assumption can break, and the
+// dominance-pruned variant then upgrades directly to the best level,
+// "skipping a few in between which may have negative gradients" as the
+// paper puts it. SelectGreedyDominance is exercised by the A1/A2 ablation
+// benches.
+
+// pruneGroup returns the indices (into g.Choices) of the LP-undominated
+// choices of a group, in increasing weight order.
+//
+// A choice a is dominated when another choice has weight <= a's and value
+// >= a's (with one strict). LP dominance additionally removes interior
+// choices that lie below the upper convex hull of the (weight, value)
+// point set extended with the implicit (0, 0) level-0 choice: taking a
+// mix of its neighbors would beat taking the choice itself, so the greedy
+// should jump over it.
+func pruneGroup(g Group) []int {
+	n := len(g.Choices)
+	if n == 0 {
+		return nil
+	}
+	// Plain dominance first: choices are weight-sorted by construction, so
+	// keep only strictly increasing values.
+	kept := make([]int, 0, n)
+	bestValue := 0.0 // the implicit level 0 has value 0
+	for i := 0; i < n; i++ {
+		if g.Choices[i].Value > bestValue {
+			kept = append(kept, i)
+			bestValue = g.Choices[i].Value
+		}
+	}
+	if len(kept) <= 1 {
+		return kept
+	}
+	// Upper convex hull over (weight, value), anchored at (0, 0):
+	// monotone-chain scan removing points with non-increasing marginal
+	// gradients.
+	hull := make([]int, 0, len(kept))
+	for _, idx := range kept {
+		for len(hull) >= 1 {
+			var prevW, prevV float64
+			if len(hull) >= 2 {
+				prev := g.Choices[hull[len(hull)-2]]
+				prevW, prevV = prev.Weight, prev.Value
+			}
+			last := g.Choices[hull[len(hull)-1]]
+			cur := g.Choices[idx]
+			// Gradient into the last hull point vs gradient from it to the
+			// candidate: pop the last point when it is under the chord.
+			gIn := (last.Value - prevV) / (last.Weight - prevW)
+			gOut := (cur.Value - last.Value) / (cur.Weight - last.Weight)
+			if gOut >= gIn {
+				hull = hull[:len(hull)-1]
+				continue
+			}
+			break
+		}
+		hull = append(hull, idx)
+	}
+	return hull
+}
+
+// SelectGreedyDominance runs the Sinha-Zoltners greedy: LP-dominance
+// pruning per group, then gradient-ordered upgrades across the pruned
+// ladders (which may skip levels of the original groups). The returned
+// assignment is expressed in original level numbers.
+func SelectGreedyDominance(groups []Group, budget float64) Result {
+	pruned := make([]Group, len(groups))
+	keptIdx := make([][]int, len(groups))
+	for gi, g := range groups {
+		idx := pruneGroup(g)
+		keptIdx[gi] = idx
+		choices := make([]Choice, len(idx))
+		for i, ci := range idx {
+			choices[i] = g.Choices[ci]
+		}
+		pruned[gi].Choices = choices
+	}
+	res := SelectGreedy(pruned, budget, Options{})
+	// Translate pruned levels back to original levels.
+	out := Result{
+		Assignment:      make(Assignment, len(groups)),
+		Value:           res.Value,
+		Weight:          res.Weight,
+		Upgrades:        res.Upgrades,
+		FractionalValue: res.FractionalValue,
+	}
+	for gi, lvl := range res.Assignment {
+		if lvl > 0 {
+			out.Assignment[gi] = keptIdx[gi][lvl-1] + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package mckp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPruneGroupRemovesDominated(t *testing.T) {
+	g := Group{Choices: []Choice{
+		{Value: 2, Weight: 10},
+		{Value: 1.5, Weight: 20}, // dominated: heavier, less valuable
+		{Value: 3, Weight: 30},
+	}}
+	kept := pruneGroup(g)
+	if len(kept) != 2 || kept[0] != 0 || kept[1] != 2 {
+		t.Fatalf("kept %v, want [0 2]", kept)
+	}
+}
+
+func TestPruneGroupRemovesLPDominated(t *testing.T) {
+	// The middle choice lies below the chord from (0,0)->(10,1)->(30,6):
+	// gradient 0->1 is 0.1, 1->3 is 0.25 — increasing gradients mean the
+	// middle point is LP-dominated (the hull jumps it).
+	g := Group{Choices: []Choice{
+		{Value: 1, Weight: 10},
+		{Value: 2, Weight: 20}, // on the line but with rising gradient after
+		{Value: 6, Weight: 30},
+	}}
+	kept := pruneGroup(g)
+	// The convex hull anchored at origin keeps only choices with strictly
+	// decreasing marginal gradients; (30, 6) has the steepest chord from
+	// the origin (0.2), so earlier shallower points are jumped.
+	last := kept[len(kept)-1]
+	if last != 2 {
+		t.Fatalf("hull must retain the best choice, kept %v", kept)
+	}
+	for i := 1; i < len(kept); i++ {
+		a := g.Choices[kept[i-1]]
+		b := g.Choices[kept[i]]
+		var prevW, prevV float64
+		if i >= 2 {
+			p := g.Choices[kept[i-2]]
+			prevW, prevV = p.Weight, p.Value
+		}
+		gIn := (a.Value - prevV) / (a.Weight - prevW)
+		gOut := (b.Value - a.Value) / (b.Weight - a.Weight)
+		if gOut >= gIn {
+			t.Fatalf("hull gradients not strictly decreasing: kept %v", kept)
+		}
+	}
+}
+
+func TestPruneGroupConcaveKeepsAll(t *testing.T) {
+	// Strictly concave ladder: nothing is dominated.
+	g := Group{Choices: []Choice{
+		{Value: 4, Weight: 10},
+		{Value: 6, Weight: 20},
+		{Value: 7, Weight: 30},
+	}}
+	kept := pruneGroup(g)
+	if len(kept) != 3 {
+		t.Fatalf("concave group pruned to %v, want all 3", kept)
+	}
+}
+
+func TestPruneGroupEmpty(t *testing.T) {
+	if got := pruneGroup(Group{}); got != nil {
+		t.Fatalf("pruneGroup(empty) = %v, want nil", got)
+	}
+	// All choices valueless: nothing beats level 0.
+	g := Group{Choices: []Choice{{Value: 0, Weight: 5}, {Value: -1, Weight: 9}}}
+	if got := pruneGroup(g); len(got) != 0 {
+		t.Fatalf("non-positive-value group kept %v", got)
+	}
+}
+
+func TestSelectGreedyDominanceSkipsLevels(t *testing.T) {
+	// Non-concave ladder: level 2 is a bad deal; the dominance variant
+	// jumps from 0 straight to level 3, the paper's Algorithm 1 variant
+	// climbs through level 2.
+	groups := []Group{{Choices: []Choice{
+		{Value: 0.5, Weight: 10},
+		{Value: 0.6, Weight: 50},
+		{Value: 9, Weight: 60},
+	}}}
+	dom := SelectGreedyDominance(groups, 60)
+	if dom.Assignment[0] != 3 {
+		t.Fatalf("dominance variant chose level %d, want 3", dom.Assignment[0])
+	}
+	plain := SelectGreedy(groups, 60, Options{})
+	if plain.Value > dom.Value {
+		t.Fatalf("plain greedy (%f) beat dominance greedy (%f)", plain.Value, dom.Value)
+	}
+}
+
+func TestSelectGreedyDominanceRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		groups := monoGroups(rng, 15, 5)
+		budget := rng.Float64() * 200
+		res := SelectGreedyDominance(groups, budget)
+		if res.Weight > budget+1e-9 {
+			t.Fatalf("weight %f exceeds budget %f", res.Weight, budget)
+		}
+		v, w := res.Assignment.Value(groups)
+		if math.Abs(v-res.Value) > 1e-9 || math.Abs(w-res.Weight) > 1e-9 {
+			t.Fatalf("assignment (%f, %f) disagrees with result (%f, %f)", v, w, res.Value, res.Weight)
+		}
+	}
+}
+
+// Property: on concave instances the two variants agree exactly (pruning
+// keeps everything, so the walks are identical).
+func TestDominanceMatchesPlainOnConcaveProperty(t *testing.T) {
+	prop := func(seed int64, budgetRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		groups := make([]Group, n)
+		for i := range groups {
+			k := 1 + rng.Intn(4)
+			choices := make([]Choice, k)
+			step := float64(1 + rng.Intn(5))
+			w, v := 0.0, 0.0
+			gain := 1 + rng.Float64()*3
+			for j := range choices {
+				w += step
+				v += gain
+				gain *= 0.5
+				choices[j] = Choice{Value: v, Weight: w}
+			}
+			groups[i].Choices = choices
+		}
+		budget := float64(budgetRaw % 200)
+		plain := SelectGreedy(groups, budget, Options{})
+		dom := SelectGreedyDominance(groups, budget)
+		return math.Abs(plain.Value-dom.Value) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with an unconstrained budget both variants saturate every
+// group at its maximum-value choice, so they agree exactly. (Under tight
+// budgets the two heuristics may legitimately diverge in either
+// direction; neither dominates pointwise.)
+func TestDominanceMatchesPlainUnconstrainedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := monoGroups(rng, 1+rng.Intn(12), 5)
+		const budget = 1e12
+		plain := SelectGreedy(groups, budget, Options{})
+		dom := SelectGreedyDominance(groups, budget)
+		return math.Abs(plain.Value-dom.Value) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectGreedyDominance1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	groups := monoGroups(rng, 1000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectGreedyDominance(groups, 5000)
+	}
+}

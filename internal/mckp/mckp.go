@@ -1,0 +1,270 @@
+// Package mckp solves the Multi-Choice Knapsack Problem instances that
+// arise in RichNote's per-round notification selection (Section III-C and
+// IV of the paper).
+//
+// Each content item is a group; the group's choices are its presentation
+// levels 1..k with (value, weight) = (adjusted utility, byte size). The
+// implicit level 0 choice has zero value and weight and corresponds to not
+// delivering the item. Exactly one choice (possibly level 0) is taken per
+// group, subject to a total weight budget.
+//
+// The package provides:
+//   - SelectGreedy: the paper's Algorithm 1 — start all groups at level 0
+//     and repeatedly apply the upgrade with the largest utility-size
+//     gradient until the budget is exhausted. O(n + U log n) with a binary
+//     max-heap, where U is the number of upgrades performed.
+//   - FractionalValue: the LP relaxation value reached by allowing the
+//     final upgrade to be taken fractionally; the paper's optimality
+//     argument bounds the greedy integral solution against it.
+//   - SelectExact: exact dynamic program over integer weights, used by
+//     tests and the A1 ablation bench to measure the greedy gap.
+package mckp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Choice is one selectable presentation of a group.
+type Choice struct {
+	// Value is the (possibly Lyapunov-adjusted) utility of the choice. It
+	// may be negative after adjustment.
+	Value float64
+	// Weight is the resource cost (bytes). Must be positive and strictly
+	// increasing across a group's choices.
+	Weight float64
+}
+
+// Group is one content item with its ordered presentation choices
+// (levels 1..k). The implicit level-0 choice (0 value, 0 weight) is not
+// stored.
+type Group struct {
+	Choices []Choice
+}
+
+// Validation errors.
+var (
+	ErrEmptyGroup       = errors.New("mckp: group has no choices")
+	ErrWeightOrder      = errors.New("mckp: choice weights not strictly increasing")
+	ErrNonPositiveFirst = errors.New("mckp: first choice weight not positive")
+)
+
+// ValidateGroups checks the structural assumptions of the solvers: every
+// group non-empty with strictly increasing positive weights.
+func ValidateGroups(groups []Group) error {
+	for gi, g := range groups {
+		if len(g.Choices) == 0 {
+			return fmt.Errorf("group %d: %w", gi, ErrEmptyGroup)
+		}
+		if g.Choices[0].Weight <= 0 {
+			return fmt.Errorf("group %d: weight %f: %w", gi, g.Choices[0].Weight, ErrNonPositiveFirst)
+		}
+		for ci := 1; ci < len(g.Choices); ci++ {
+			if g.Choices[ci].Weight <= g.Choices[ci-1].Weight {
+				return fmt.Errorf("group %d choice %d: %w", gi, ci, ErrWeightOrder)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps each group index to its chosen level: 0 means the group
+// was not selected, j in 1..k selects Choices[j-1].
+type Assignment []int
+
+// Result describes a greedy solve.
+type Result struct {
+	Assignment Assignment
+	// Value is the total value of the integral assignment.
+	Value float64
+	// Weight is the total weight of the integral assignment.
+	Weight float64
+	// Upgrades is the number of level upgrades applied.
+	Upgrades int
+	// FractionalValue is the LP-relaxation value: Value plus the fractional
+	// share of the first upgrade that did not fit. It upper-bounds the
+	// optimum of the "monotone upgrade" relaxation the paper analyzes.
+	FractionalValue float64
+}
+
+// gradient returns the utility-size gradient of upgrading group g from
+// level j to level j+1 (levels are 0-based here: j = current level, so the
+// upgrade target choice is Choices[j]).
+func gradient(g Group, level int) float64 {
+	next := g.Choices[level] // upgrade target: level -> level+1
+	var curValue, curWeight float64
+	if level > 0 {
+		curValue = g.Choices[level-1].Value
+		curWeight = g.Choices[level-1].Weight
+	}
+	return (next.Value - curValue) / (next.Weight - curWeight)
+}
+
+// upgradeHeap is a max-heap of candidate upgrades keyed by gradient.
+type upgradeCand struct {
+	group    int
+	gradient float64
+}
+
+type upgradeHeap []upgradeCand
+
+func (h upgradeHeap) Len() int           { return len(h) }
+func (h upgradeHeap) Less(i, j int) bool { return h[i].gradient > h[j].gradient }
+func (h upgradeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *upgradeHeap) Push(x any)        { c, _ := x.(upgradeCand); *h = append(*h, c) }
+func (h *upgradeHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// Options tune the greedy solver.
+type Options struct {
+	// AllowNegative permits upgrades with negative gradient. The paper's
+	// Algorithm 1 keeps upgrading by gradient order until the budget is
+	// exhausted; with Lyapunov-adjusted utilities a negative gradient means
+	// the upgrade lowers the objective, so the default refuses them.
+	AllowNegative bool
+	// StopAtFirstMisfit mirrors Algorithm 1 literally: the first upgrade
+	// that does not fit the remaining budget terminates the loop. When
+	// false (default), the solver skips over misfitting upgrades and keeps
+	// trying smaller ones, which strictly dominates the literal variant.
+	StopAtFirstMisfit bool
+}
+
+// SelectGreedy runs Algorithm 1 of the paper on the given groups and weight
+// budget and returns the chosen assignment. Groups must satisfy
+// ValidateGroups; callers constructing groups from notif.RichItem values
+// get this by construction.
+func SelectGreedy(groups []Group, budget float64, opts Options) Result {
+	res := Result{Assignment: make(Assignment, len(groups))}
+	if budget <= 0 || len(groups) == 0 {
+		return res
+	}
+
+	// Build the initial heap of level-0 -> level-1 upgrades in O(n).
+	h := make(upgradeHeap, 0, len(groups))
+	for gi, g := range groups {
+		if len(g.Choices) == 0 {
+			continue
+		}
+		h = append(h, upgradeCand{group: gi, gradient: gradient(g, 0)})
+	}
+	heap.Init(&h)
+
+	remaining := budget
+	fractional := 0.0
+	for h.Len() > 0 {
+		top := h[0]
+		if !opts.AllowNegative && top.gradient <= 0 {
+			break // all remaining upgrades lower the objective
+		}
+		g := groups[top.group]
+		level := res.Assignment[top.group]
+		next := g.Choices[level]
+		var curValue, curWeight float64
+		if level > 0 {
+			curValue = g.Choices[level-1].Value
+			curWeight = g.Choices[level-1].Weight
+		}
+		weightGain := next.Weight - curWeight
+		valueGain := next.Value - curValue
+
+		if weightGain > remaining {
+			// The fractional relaxation takes the share of this upgrade
+			// that fits; record it once for the bound.
+			if fractional == 0 && valueGain > 0 {
+				fractional = valueGain * (remaining / weightGain)
+			}
+			if opts.StopAtFirstMisfit {
+				break
+			}
+			heap.Pop(&h) // this group cannot be upgraded further this round
+			continue
+		}
+
+		res.Assignment[top.group] = level + 1
+		res.Value += valueGain
+		res.Weight += weightGain
+		res.Upgrades++
+		remaining -= weightGain
+
+		if level+1 < len(g.Choices) {
+			h[0].gradient = gradient(g, level+1)
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	res.FractionalValue = res.Value + fractional
+	return res
+}
+
+// Value returns the total value and weight of an assignment over groups.
+func (a Assignment) Value(groups []Group) (value, weight float64) {
+	for gi, level := range a {
+		if level <= 0 {
+			continue
+		}
+		c := groups[gi].Choices[level-1]
+		value += c.Value
+		weight += c.Weight
+	}
+	return value, weight
+}
+
+// SelectExact solves the MCKP exactly by dynamic programming over integer
+// weights. Weights are ceil-quantized to integers; budget is floor-
+// quantized. Intended for small validation instances: time and memory are
+// O(n * k * budget).
+func SelectExact(groups []Group, budget int) (Assignment, float64) {
+	if budget < 0 {
+		budget = 0
+	}
+	// best[w] = max value using groups processed so far with weight <= w.
+	// Zero initialization is correct: the empty selection has value 0.
+	best := make([]float64, budget+1)
+	choice := make([][]int, len(groups))
+	for gi, g := range groups {
+		choice[gi] = make([]int, budget+1)
+		next := make([]float64, budget+1)
+		for w := 0; w <= budget; w++ {
+			next[w] = best[w] // level 0: skip the group
+		}
+		for ci, c := range g.Choices {
+			cw := int(math.Ceil(c.Weight))
+			if cw <= 0 {
+				cw = 1
+			}
+			for w := cw; w <= budget; w++ {
+				v := best[w-cw] + c.Value
+				if v > next[w] {
+					next[w] = v
+					choice[gi][w] = ci + 1
+				}
+			}
+		}
+		best = next
+	}
+	// Find the best total value and backtrack.
+	bestW := 0
+	for w := 1; w <= budget; w++ {
+		if best[w] > best[bestW] {
+			bestW = w
+		}
+	}
+	assign := make(Assignment, len(groups))
+	w := bestW
+	// Recompute forward tables per group is avoided by storing choice per
+	// group per weight; backtrack from the last group.
+	for gi := len(groups) - 1; gi >= 0; gi-- {
+		lvl := choice[gi][w]
+		assign[gi] = lvl
+		if lvl > 0 {
+			cw := int(math.Ceil(groups[gi].Choices[lvl-1].Weight))
+			if cw <= 0 {
+				cw = 1
+			}
+			w -= cw
+		}
+	}
+	return assign, best[bestW]
+}

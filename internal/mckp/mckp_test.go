@@ -1,0 +1,285 @@
+package mckp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// monoGroups builds groups with strictly increasing weights and
+// non-decreasing values (the paper's presentation invariant).
+func monoGroups(rng *rand.Rand, n, maxK int) []Group {
+	groups := make([]Group, n)
+	for i := range groups {
+		k := 1 + rng.Intn(maxK)
+		choices := make([]Choice, k)
+		w, v := 0.0, 0.0
+		for j := range choices {
+			w += 1 + float64(rng.Intn(20))
+			v += rng.Float64() * 5
+			choices[j] = Choice{Value: v, Weight: w}
+		}
+		groups[i].Choices = choices
+	}
+	return groups
+}
+
+func TestValidateGroups(t *testing.T) {
+	cases := []struct {
+		name   string
+		groups []Group
+		ok     bool
+	}{
+		{"valid", []Group{{Choices: []Choice{{1, 1}, {2, 2}}}}, true},
+		{"empty group", []Group{{}}, false},
+		{"zero first weight", []Group{{Choices: []Choice{{1, 0}}}}, false},
+		{"non-increasing weights", []Group{{Choices: []Choice{{1, 2}, {2, 2}}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateGroups(tc.groups)
+			if (err == nil) != tc.ok {
+				t.Fatalf("ValidateGroups: err=%v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestSelectGreedySingleGroupPicksBestAffordable(t *testing.T) {
+	g := []Group{{Choices: []Choice{
+		{Value: 1, Weight: 10},
+		{Value: 1.8, Weight: 20},
+		{Value: 2.2, Weight: 40},
+	}}}
+	res := SelectGreedy(g, 25, Options{})
+	if res.Assignment[0] != 2 {
+		t.Fatalf("chose level %d, want 2", res.Assignment[0])
+	}
+	if math.Abs(res.Value-1.8) > 1e-12 || math.Abs(res.Weight-20) > 1e-12 {
+		t.Fatalf("value=%f weight=%f, want 1.8/20", res.Value, res.Weight)
+	}
+}
+
+func TestSelectGreedyZeroBudget(t *testing.T) {
+	g := monoGroups(rand.New(rand.NewSource(1)), 5, 4)
+	res := SelectGreedy(g, 0, Options{})
+	for i, lvl := range res.Assignment {
+		if lvl != 0 {
+			t.Fatalf("group %d at level %d with zero budget", i, lvl)
+		}
+	}
+	if res.Value != 0 || res.Weight != 0 {
+		t.Fatalf("nonzero value/weight with zero budget: %+v", res)
+	}
+}
+
+func TestSelectGreedyRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		g := monoGroups(rng, 20, 6)
+		budget := rng.Float64() * 300
+		res := SelectGreedy(g, budget, Options{})
+		if res.Weight > budget+1e-9 {
+			t.Fatalf("weight %f exceeds budget %f", res.Weight, budget)
+		}
+		v, w := res.Assignment.Value(g)
+		if math.Abs(v-res.Value) > 1e-9 || math.Abs(w-res.Weight) > 1e-9 {
+			t.Fatalf("reported value/weight (%f, %f) disagree with assignment (%f, %f)",
+				res.Value, res.Weight, v, w)
+		}
+	}
+}
+
+func TestSelectGreedyPrefersHighGradient(t *testing.T) {
+	// Two items, budget fits exactly one level-1 presentation. The one with
+	// higher value-per-byte must win.
+	g := []Group{
+		{Choices: []Choice{{Value: 1.0, Weight: 10}}},
+		{Choices: []Choice{{Value: 2.0, Weight: 10}}},
+	}
+	res := SelectGreedy(g, 10, Options{})
+	if res.Assignment[0] != 0 || res.Assignment[1] != 1 {
+		t.Fatalf("assignment %v, want [0 1]", res.Assignment)
+	}
+}
+
+func TestSelectGreedySkipsNegativeGradients(t *testing.T) {
+	// Lyapunov-adjusted utilities can make richer levels worse. The default
+	// solver must not upgrade into a value decrease.
+	g := []Group{{Choices: []Choice{
+		{Value: 2, Weight: 10},
+		{Value: 1, Weight: 20}, // upgrade loses value
+	}}}
+	res := SelectGreedy(g, 100, Options{})
+	if res.Assignment[0] != 1 {
+		t.Fatalf("chose level %d, want 1 (stop before negative upgrade)", res.Assignment[0])
+	}
+	resNeg := SelectGreedy(g, 100, Options{AllowNegative: true})
+	if resNeg.Assignment[0] != 2 {
+		t.Fatalf("AllowNegative chose level %d, want 2", resNeg.Assignment[0])
+	}
+}
+
+func TestSelectGreedyStopAtFirstMisfit(t *testing.T) {
+	// Big upgrade first by gradient; literal Algorithm 1 stops there, the
+	// skipping variant still takes the small item.
+	g := []Group{
+		{Choices: []Choice{{Value: 10, Weight: 50}}}, // gradient 0.2
+		{Choices: []Choice{{Value: 1, Weight: 10}}},  // gradient 0.1
+	}
+	literal := SelectGreedy(g, 20, Options{StopAtFirstMisfit: true})
+	if literal.Assignment[0] != 0 || literal.Assignment[1] != 0 {
+		t.Fatalf("literal variant assignment %v, want [0 0]", literal.Assignment)
+	}
+	skipping := SelectGreedy(g, 20, Options{})
+	if skipping.Assignment[1] != 1 {
+		t.Fatalf("skipping variant assignment %v, want group 1 selected", skipping.Assignment)
+	}
+	if skipping.Value < literal.Value {
+		t.Fatalf("skipping variant (%f) worse than literal (%f)", skipping.Value, literal.Value)
+	}
+}
+
+func TestFractionalValueBoundsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		g := monoGroups(rng, 15, 5)
+		budget := 50 + rng.Float64()*200
+		res := SelectGreedy(g, budget, Options{})
+		if res.FractionalValue < res.Value-1e-9 {
+			t.Fatalf("fractional value %f below integral %f", res.FractionalValue, res.Value)
+		}
+	}
+}
+
+// For concave groups (diminishing returns, the paper's survey-derived
+// shape), the greedy integral solution is within one upgrade of the exact
+// optimum; we check the weaker, always-true property that exact >= greedy
+// and that greedy is within the fractional bound of exact.
+func TestGreedyVersusExactOnConcaveInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		groups := make([]Group, n)
+		for i := range groups {
+			k := 1 + rng.Intn(4)
+			choices := make([]Choice, k)
+			// Constant weight step and halving value gains give strictly
+			// decreasing gradients: a concave (convex-hull complete) group.
+			step := float64(1 + rng.Intn(6))
+			w := 0.0
+			gain := 2 + rng.Float64()*4
+			v := 0.0
+			for j := range choices {
+				w += step
+				v += gain
+				gain *= 0.5
+				choices[j] = Choice{Value: v, Weight: w}
+			}
+			groups[i].Choices = choices
+		}
+		budget := 5 + rng.Intn(40)
+		greedy := SelectGreedy(groups, float64(budget), Options{})
+		_, exact := SelectExact(groups, budget)
+		if exact < greedy.Value-1e-9 {
+			t.Fatalf("exact %f below greedy %f", exact, greedy.Value)
+		}
+		// The paper's bound: greedy integral misses at most the last
+		// fractional upgrade, so the fractional value must reach the exact
+		// optimum on concave instances.
+		if greedy.FractionalValue < exact-1e-9 {
+			t.Errorf("trial %d: fractional bound %f below exact %f (gap %.3f)",
+				trial, greedy.FractionalValue, exact, exact-greedy.FractionalValue)
+		}
+	}
+}
+
+func TestSelectExactTiny(t *testing.T) {
+	groups := []Group{
+		{Choices: []Choice{{Value: 6, Weight: 2}, {Value: 10, Weight: 4}}},
+		{Choices: []Choice{{Value: 4, Weight: 3}}},
+	}
+	assign, value := SelectExact(groups, 5)
+	// Best: group 0 level 1 (6,2) + group 1 level 1 (4,3) = 10 at weight 5;
+	// alternative group 0 level 2 alone = 10 at weight 4. Both optimal.
+	if value != 10 {
+		t.Fatalf("exact value %f, want 10", value)
+	}
+	v, w := assign.Value(groups)
+	if v != value {
+		t.Fatalf("assignment value %f disagrees with reported %f", v, value)
+	}
+	if w > 5 {
+		t.Fatalf("assignment weight %f exceeds budget", w)
+	}
+}
+
+func TestSelectExactZeroBudget(t *testing.T) {
+	groups := []Group{{Choices: []Choice{{Value: 5, Weight: 1}}}}
+	assign, value := SelectExact(groups, 0)
+	if value != 0 || assign[0] != 0 {
+		t.Fatalf("zero budget selected something: %v value %f", assign, value)
+	}
+}
+
+// Property: greedy never exceeds the budget and never reports a value
+// different from its assignment's value.
+func TestGreedyConsistencyProperty(t *testing.T) {
+	prop := func(seed int64, budgetRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := monoGroups(rng, 1+rng.Intn(25), 5)
+		budget := float64(budgetRaw % 500)
+		res := SelectGreedy(groups, budget, Options{})
+		if res.Weight > budget+1e-9 {
+			return false
+		}
+		v, w := res.Assignment.Value(groups)
+		return math.Abs(v-res.Value) < 1e-6 && math.Abs(w-res.Weight) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with the literal Algorithm 1 (stop at first misfit), enlarging
+// the budget never lowers the greedy value — the smaller budget's upgrade
+// walk is a prefix of the larger one's. (The misfit-skipping variant is
+// NOT pointwise monotone: a larger budget can afford a big early upgrade
+// and then miss later small ones, so only the literal variant carries this
+// guarantee.)
+func TestGreedyBudgetMonotonicityProperty(t *testing.T) {
+	prop := func(seed int64, b1, b2 uint16) bool {
+		lo, hi := float64(b1%400), float64(b2%400)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		rng := rand.New(rand.NewSource(seed))
+		groups := monoGroups(rng, 1+rng.Intn(15), 4)
+		opts := Options{StopAtFirstMisfit: true}
+		rlo := SelectGreedy(groups, lo, opts)
+		rhi := SelectGreedy(groups, hi, opts)
+		return rhi.Value >= rlo.Value-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectGreedy1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	groups := monoGroups(rng, 1000, 6)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		SelectGreedy(groups, 5000, Options{})
+	}
+}
+
+func BenchmarkSelectGreedy10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	groups := monoGroups(rng, 10_000, 6)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		SelectGreedy(groups, 50_000, Options{})
+	}
+}

@@ -1,0 +1,224 @@
+package media
+
+import (
+	"math"
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// eq8 is the paper's fitted logarithmic utility (Equation 8).
+func eq8(d float64) float64 { return -0.397 + 0.352*math.Log(1+d) }
+
+func audioItem() notif.Item {
+	return notif.Item{ID: 1, Kind: notif.KindAudio, Meta: notif.Metadata{TrackID: 10}}
+}
+
+func TestAudioSizeBytesMatchesPaper(t *testing.T) {
+	// At 160 kbps, a d-second preview is d x 20 KB.
+	if got := AudioSizeBytes(10, 160); got != 200_000 {
+		t.Fatalf("10s @160kbps = %d bytes, want 200000", got)
+	}
+	if got := AudioSizeBytes(40, 160); got != 800_000 {
+		t.Fatalf("40s @160kbps = %d bytes, want 800000", got)
+	}
+}
+
+func TestAudioGeneratorSixLevels(t *testing.T) {
+	g, err := NewAudioGenerator(AudioConfig{Utility: eq8})
+	if err != nil {
+		t.Fatalf("NewAudioGenerator: %v", err)
+	}
+	ps, err := g.Generate(audioItem())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(ps) != 6 {
+		t.Fatalf("%d levels, want 6 (meta + 5 previews)", len(ps))
+	}
+	r := notif.RichItem{Item: audioItem(), ContentUtility: 0.5, Presentations: ps}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("generated ladder invalid: %v", err)
+	}
+	if ps[0].Size != DefaultMetadataBytes {
+		t.Fatalf("level 1 size %d, want metadata only (%d)", ps[0].Size, DefaultMetadataBytes)
+	}
+	if math.Abs(ps[0].Utility-0.01) > 1e-9 {
+		t.Fatalf("level 1 utility %f, want 0.01 (paper's ~1%% metadata share)", ps[0].Utility)
+	}
+	// Richest level: meta + 40 s and utility 1.
+	last := ps[len(ps)-1]
+	if last.Size != DefaultMetadataBytes+800_000 {
+		t.Fatalf("level 6 size %d, want %d", last.Size, DefaultMetadataBytes+800_000)
+	}
+	if math.Abs(last.Utility-1) > 1e-9 {
+		t.Fatalf("level 6 utility %f, want 1", last.Utility)
+	}
+}
+
+func TestAudioGeneratorDiminishingReturns(t *testing.T) {
+	g, err := NewAudioGenerator(AudioConfig{Utility: eq8})
+	if err != nil {
+		t.Fatalf("NewAudioGenerator: %v", err)
+	}
+	ps, err := g.Generate(audioItem())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Marginal utility per added second must decrease across preview
+	// levels (the log curve's diminishing returns).
+	prevGain := math.Inf(1)
+	for i := 2; i < len(ps); i++ {
+		gain := (ps[i].Utility - ps[i-1].Utility) / (ps[i].DurationSec - ps[i-1].DurationSec)
+		if gain > prevGain+1e-12 {
+			t.Fatalf("marginal utility rose at level %d: %f > %f", ps[i].Level, gain, prevGain)
+		}
+		prevGain = gain
+	}
+}
+
+func TestAudioGeneratorValidation(t *testing.T) {
+	if _, err := NewAudioGenerator(AudioConfig{}); err == nil {
+		t.Error("nil utility accepted")
+	}
+	if _, err := NewAudioGenerator(AudioConfig{Utility: eq8, PreviewDurations: []float64{10, 5}}); err == nil {
+		t.Error("non-increasing durations accepted")
+	}
+	if _, err := NewAudioGenerator(AudioConfig{Utility: eq8, MetaUtilityFraction: 1.5}); err == nil {
+		t.Error("meta fraction > 1 accepted")
+	}
+	g, err := NewAudioGenerator(AudioConfig{Utility: eq8})
+	if err != nil {
+		t.Fatalf("NewAudioGenerator: %v", err)
+	}
+	if _, err := g.Generate(notif.Item{Kind: notif.KindImage}); err == nil {
+		t.Error("image item accepted by audio generator")
+	}
+}
+
+func TestImageGeneratorLadder(t *testing.T) {
+	g := NewImageGenerator()
+	ps, err := g.Generate(notif.Item{Kind: notif.KindImage})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(ps) != 5 { // meta + 3 thumbs + full
+		t.Fatalf("%d levels, want 5", len(ps))
+	}
+	r := notif.RichItem{Item: notif.Item{Kind: notif.KindImage}, ContentUtility: 1, Presentations: ps}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("image ladder invalid: %v", err)
+	}
+	if ps[len(ps)-1].Utility != 1 {
+		t.Fatalf("full image utility %f, want 1", ps[len(ps)-1].Utility)
+	}
+	if _, err := g.Generate(notif.Item{Kind: notif.KindAudio}); err == nil {
+		t.Error("audio item accepted by image generator")
+	}
+}
+
+func TestVideoGeneratorLadder(t *testing.T) {
+	g := NewVideoGenerator()
+	ps, err := g.Generate(notif.Item{Kind: notif.KindVideo})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(ps) != 5 { // meta + 4 rungs
+		t.Fatalf("%d levels, want 5", len(ps))
+	}
+	r := notif.RichItem{Item: notif.Item{Kind: notif.KindVideo}, ContentUtility: 1, Presentations: ps}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("video ladder invalid: %v", err)
+	}
+	if _, err := g.Generate(notif.Item{Kind: notif.KindText}); err == nil {
+		t.Error("text item accepted by video generator")
+	}
+}
+
+func TestVideoGeneratorRejectsNonMonotoneRungs(t *testing.T) {
+	g := &VideoGenerator{Rungs: []VideoRung{
+		{30, 1200, "big"},
+		{5, 400, "small"}, // smaller than previous: breaks ladder
+	}}
+	if _, err := g.Generate(notif.Item{Kind: notif.KindVideo}); err == nil {
+		t.Fatal("non-monotone rungs accepted")
+	}
+}
+
+func TestForKind(t *testing.T) {
+	for _, kind := range []notif.ContentKind{notif.KindAudio, notif.KindImage, notif.KindVideo} {
+		g, err := ForKind(kind, eq8)
+		if err != nil {
+			t.Fatalf("ForKind(%s): %v", kind, err)
+		}
+		if g == nil {
+			t.Fatalf("ForKind(%s) returned nil", kind)
+		}
+	}
+	if _, err := ForKind(notif.KindText, eq8); err == nil {
+		t.Error("text kind accepted")
+	}
+}
+
+func TestParetoPruneIllustration(t *testing.T) {
+	// Figure 2(a): B is useless given A (same utility, larger size); C is
+	// useless given D (same size, lower utility).
+	points := []Point{
+		{Name: "A", Size: 100, Utility: 2.0},
+		{Name: "B", Size: 150, Utility: 2.0},
+		{Name: "C", Size: 200, Utility: 2.5},
+		{Name: "D", Size: 200, Utility: 3.0},
+	}
+	useful := ParetoPrune(points)
+	if len(useful) != 2 {
+		t.Fatalf("%d useful points, want 2 (A, D): %+v", len(useful), useful)
+	}
+	if useful[0].Name != "A" || useful[1].Name != "D" {
+		t.Fatalf("retained %s, %s; want A, D", useful[0].Name, useful[1].Name)
+	}
+}
+
+func TestParetoPruneProducesMonotoneLadder(t *testing.T) {
+	points := []Point{
+		{Name: "p1", Size: 500, Utility: 1.1},
+		{Name: "p2", Size: 300, Utility: 1.4},
+		{Name: "p3", Size: 800, Utility: 0.9},
+		{Name: "p4", Size: 900, Utility: 2.0},
+		{Name: "p5", Size: 900, Utility: 1.9},
+		{Name: "p6", Size: 1200, Utility: 2.0},
+	}
+	useful := ParetoPrune(points)
+	for i := 1; i < len(useful); i++ {
+		if useful[i].Size <= useful[i-1].Size || useful[i].Utility <= useful[i-1].Utility {
+			t.Fatalf("pruned ladder not strictly increasing at %d: %+v", i, useful)
+		}
+	}
+	// No retained point may dominate another retained point.
+	for i := range useful {
+		for j := range useful {
+			if i != j && Dominates(useful[i], useful[j]) {
+				t.Fatalf("%s dominates retained %s", useful[i].Name, useful[j].Name)
+			}
+		}
+	}
+}
+
+func TestParetoPruneEmpty(t *testing.T) {
+	if got := ParetoPrune(nil); got != nil {
+		t.Fatalf("ParetoPrune(nil) = %v, want nil", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Point{Size: 100, Utility: 2}
+	b := Point{Size: 200, Utility: 2}
+	if !Dominates(a, b) {
+		t.Error("smaller same-utility point must dominate")
+	}
+	if Dominates(b, a) {
+		t.Error("larger same-utility point must not dominate")
+	}
+	if Dominates(a, a) {
+		t.Error("point must not dominate itself")
+	}
+}

@@ -1,0 +1,57 @@
+package media
+
+import "sort"
+
+// Point is a candidate presentation in the size/utility trade-off space of
+// Section V-B (Figure 2a): a combination of media attributes with its byte
+// size and surveyed utility.
+type Point struct {
+	// Name identifies the attribute combination (e.g. "44kHz/20s").
+	Name string
+	// Size is the presentation byte size.
+	Size int64
+	// Utility is the surveyed utility score.
+	Utility float64
+}
+
+// ParetoPrune returns the "useful" presentations of Figure 2(a): the
+// maximal set where no retained point is dominated by another with equal or
+// smaller size and equal or higher utility. The result is sorted by
+// ascending size and has strictly increasing utility, so it forms a valid
+// presentation ladder.
+func ParetoPrune(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size < sorted[j].Size
+		}
+		return sorted[i].Utility > sorted[j].Utility
+	})
+	out := make([]Point, 0, len(sorted))
+	bestUtility := 0.0
+	for _, p := range sorted {
+		// A point is useful only if it strictly improves utility over every
+		// smaller-or-equal-sized point. Ties in size keep the higher
+		// utility (sorted first).
+		if len(out) > 0 && p.Size == out[len(out)-1].Size {
+			continue
+		}
+		if p.Utility > bestUtility {
+			out = append(out, p)
+			bestUtility = p.Utility
+		}
+	}
+	return out
+}
+
+// Dominates reports whether a dominates b: a is no larger and at least as
+// useful, and strictly better in at least one dimension.
+func Dominates(a, b Point) bool {
+	if a.Size > b.Size || a.Utility < b.Utility {
+		return false
+	}
+	return a.Size < b.Size || a.Utility > b.Utility
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram collects float64 samples and answers percentile queries. The
+// zero value is ready to use. It keeps raw samples (exact percentiles);
+// simulation runs produce at most one sample per delivery, so memory is
+// proportional to deliveries.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the sample mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	max := math.Inf(-1)
+	for _, v := range h.samples {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using
+// nearest-rank on the sorted samples. Empty histograms return 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// Merge folds another histogram's samples into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	h.samples = append(h.samples, o.samples...)
+	h.sorted = false
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Max())
+}

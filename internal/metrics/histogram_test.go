@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean %f, want 3", h.Mean())
+	}
+	if h.Max() != 5 {
+		t.Fatalf("max %f, want 5", h.Max())
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Fatalf("p50 %f, want 3", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Fatalf("p100 %f, want 5", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Fatalf("p0 %f, want 1 (nearest rank floor)", got)
+	}
+	// Out-of-range percentiles clamp.
+	if h.Percentile(-5) != h.Percentile(0) || h.Percentile(150) != h.Percentile(100) {
+		t.Fatal("percentile clamping broken")
+	}
+}
+
+func TestHistogramAddAfterQuery(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	if h.Percentile(50) != 10 {
+		t.Fatal("p50 of single sample")
+	}
+	h.Add(1) // must re-sort lazily
+	if got := h.Percentile(50); got != 1 {
+		t.Fatalf("p50 after new sample %f, want 1", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	b.Add(4)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Max() != 4 {
+		t.Fatalf("merge: count %d max %f", a.Count(), a.Max())
+	}
+	if a.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: percentile is monotone in p and always one of the samples.
+func TestHistogramPercentileProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 1 + rng.Intn(200)
+		set := map[float64]bool{}
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 100
+			h.Add(v)
+			set[v] = true
+		}
+		prev := h.Percentile(0)
+		for p := 5.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev || !set[cur] {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Percentiles agree with a direct nearest-rank computation.
+func TestHistogramAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 50
+		h.Add(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+		rank := int(p / 100 * 1000)
+		if rank < 1 {
+			rank = 1
+		}
+		want := vals[rank-1]
+		// Nearest-rank uses ceil; recompute exactly.
+		wantIdx := int((p/100)*1000 + 0.999999)
+		if wantIdx < 1 {
+			wantIdx = 1
+		}
+		want = vals[wantIdx-1]
+		if got := h.Percentile(p); got != want {
+			t.Fatalf("p%.0f = %f, want %f", p, got, want)
+		}
+	}
+}
+
+func TestCollectorDelayPercentiles(t *testing.T) {
+	c := NewCollector()
+	for i, delay := range []int{0, 0, 1, 2, 10} {
+		c.OnDeliver(notif.Delivery{
+			ItemID: notif.ItemID(i), Recipient: 1, Level: 1,
+			ArrivedRound: 0, DeliveredRound: delay,
+		}, DeliveryOutcome{})
+	}
+	r := c.Aggregate()
+	if r.DelayP50Rounds != 1 {
+		t.Fatalf("p50 %f, want 1", r.DelayP50Rounds)
+	}
+	if r.DelayP95Rounds != 10 {
+		t.Fatalf("p95 %f, want 10", r.DelayP95Rounds)
+	}
+	if c.DelayHistogram().Count() != 5 {
+		t.Fatalf("histogram count %d", c.DelayHistogram().Count())
+	}
+}
+
+func TestCollectorDelayMerge(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	a.OnDeliver(notif.Delivery{Recipient: 1, Level: 1, DeliveredRound: 2}, DeliveryOutcome{})
+	b.OnDeliver(notif.Delivery{Recipient: 2, Level: 1, DeliveredRound: 8}, DeliveryOutcome{})
+	a.Merge(b)
+	if got := a.DelayHistogram().Count(); got != 2 {
+		t.Fatalf("merged histogram count %d, want 2", got)
+	}
+	if got := a.Aggregate().DelayP95Rounds; got != 8 {
+		t.Fatalf("merged p95 %f, want 8", got)
+	}
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func TestEmptyReport(t *testing.T) {
+	c := NewCollector()
+	r := c.Aggregate()
+	if r.DeliveryRatio() != 0 || r.Precision() != 0 || r.Recall() != 0 ||
+		r.AvgUtility() != 0 || r.AvgDelayRounds() != 0 {
+		t.Fatalf("empty report has nonzero metrics: %+v", r)
+	}
+	if len(r.LevelShare()) != 0 {
+		t.Fatal("empty report has level shares")
+	}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	c := NewCollector()
+	c.OnArrive(1, true)
+	c.OnArrive(1, false)
+	c.OnArrive(2, true)
+
+	c.OnDeliver(notif.Delivery{
+		ItemID: 10, Recipient: 1, Level: 2, Size: 1000, Utility: 0.8,
+		EnergyJ: 5, ArrivedRound: 0, DeliveredRound: 2,
+	}, DeliveryOutcome{Clicked: true, BeforeClick: true})
+	c.OnDeliver(notif.Delivery{
+		ItemID: 11, Recipient: 1, Level: 1, Size: 200, Utility: 0.1,
+		EnergyJ: 1, ArrivedRound: 1, DeliveredRound: 1,
+	}, DeliveryOutcome{Clicked: false})
+	c.OnDeliver(notif.Delivery{
+		ItemID: 12, Recipient: 2, Level: 6, Size: 800_000, Utility: 0.9,
+		EnergyJ: 20, ArrivedRound: 0, DeliveredRound: 4,
+	}, DeliveryOutcome{Clicked: true, BeforeClick: false})
+
+	r := c.Aggregate()
+	if r.Users != 2 || r.Arrived != 3 || r.Delivered != 3 {
+		t.Fatalf("aggregate counts wrong: %+v", r)
+	}
+	if r.ClickedTotal != 2 || r.ClickedAndDelivered != 2 || r.DeliveredBeforeClick != 1 {
+		t.Fatalf("click accounting wrong: %+v", r)
+	}
+	if got := r.DeliveryRatio(); got != 1 {
+		t.Fatalf("delivery ratio %f, want 1", got)
+	}
+	if got := r.Precision(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("precision %f, want 1/3", got)
+	}
+	if got := r.Recall(); got != 1 {
+		t.Fatalf("recall %f, want 1", got)
+	}
+	if got := r.AvgUtility(); math.Abs(got-(0.8+0.1+0.9)/3) > 1e-12 {
+		t.Fatalf("avg utility %f", got)
+	}
+	if got := r.AvgDelayRounds(); math.Abs(got-(2+0+4)/3.0) > 1e-12 {
+		t.Fatalf("avg delay %f", got)
+	}
+	if r.DeliveredBytes != 801_200 {
+		t.Fatalf("bytes %d", r.DeliveredBytes)
+	}
+	if math.Abs(r.EnergyJ-26) > 1e-12 {
+		t.Fatalf("energy %f", r.EnergyJ)
+	}
+	if r.LevelCounts[1] != 1 || r.LevelCounts[2] != 1 || r.LevelCounts[6] != 1 {
+		t.Fatalf("level counts %v", r.LevelCounts)
+	}
+	share := r.LevelShare()
+	if math.Abs(share[6]-1.0/3.0) > 1e-12 {
+		t.Fatalf("level 6 share %f", share[6])
+	}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestOnEnergy(t *testing.T) {
+	c := NewCollector()
+	c.OnEnergy(1, 12.5)
+	c.OnEnergy(1, 2.5)
+	if got := c.Aggregate().EnergyJ; got != 15 {
+		t.Fatalf("energy %f, want 15", got)
+	}
+}
+
+func TestBucketByVolume(t *testing.T) {
+	c := NewCollector()
+	// User 1: 2 arrivals, utility 1.0; user 2: 10 arrivals, utility 5.0;
+	// user 3: 100 arrivals, utility 20.
+	addUser := func(u notif.UserID, arrivals int, utility float64) {
+		for i := 0; i < arrivals; i++ {
+			c.OnArrive(u, false)
+		}
+		c.OnDeliver(notif.Delivery{Recipient: u, Level: 1, Utility: utility},
+			DeliveryOutcome{})
+	}
+	addUser(1, 2, 1.0)
+	addUser(2, 10, 5.0)
+	addUser(3, 100, 20.0)
+
+	buckets := c.BucketByVolume([]int{5, 50})
+	if len(buckets) != 3 {
+		t.Fatalf("%d buckets, want 3", len(buckets))
+	}
+	if buckets[0].Users != 1 || buckets[1].Users != 1 || buckets[2].Users != 1 {
+		t.Fatalf("bucket membership wrong: %+v", buckets)
+	}
+	if buckets[0].MeanUtility != 1 || buckets[1].MeanUtility != 5 || buckets[2].MeanUtility != 20 {
+		t.Fatalf("bucket means wrong: %+v", buckets)
+	}
+	// Heavier users earn more utility: the Fig. 5(d) trend.
+	if !(buckets[0].MeanUtility < buckets[1].MeanUtility && buckets[1].MeanUtility < buckets[2].MeanUtility) {
+		t.Fatal("utility not increasing across volume buckets")
+	}
+	// Bucket bounds rendered correctly.
+	if buckets[0].MaxItems != 5 || buckets[1].MinItems != 6 || buckets[2].MaxItems != 0 {
+		t.Fatalf("bucket bounds wrong: %+v", buckets)
+	}
+}
+
+func TestBucketStdDev(t *testing.T) {
+	c := NewCollector()
+	// Two users in one bucket with utilities 2 and 4: stddev 1.
+	c.OnArrive(1, false)
+	c.OnDeliver(notif.Delivery{Recipient: 1, Level: 1, Utility: 2}, DeliveryOutcome{})
+	c.OnArrive(2, false)
+	c.OnDeliver(notif.Delivery{Recipient: 2, Level: 1, Utility: 4}, DeliveryOutcome{})
+	buckets := c.BucketByVolume([]int{10})
+	if buckets[0].Users != 2 {
+		t.Fatalf("bucket users %d, want 2", buckets[0].Users)
+	}
+	if math.Abs(buckets[0].MeanUtility-3) > 1e-9 {
+		t.Fatalf("mean %f, want 3", buckets[0].MeanUtility)
+	}
+	if math.Abs(buckets[0].StdDevUtility-1) > 1e-9 {
+		t.Fatalf("stddev %f, want 1", buckets[0].StdDevUtility)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table(
+		[]string{"method", "utility"},
+		[][]string{{"richnote", "123.4"}, {"fifo", "56.7"}},
+	)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4 (header, sep, 2 rows)", len(lines))
+	}
+	if !strings.Contains(lines[0], "method") || !strings.Contains(lines[2], "richnote") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	// Columns align: header and row cells start at the same offset.
+	if strings.Index(lines[0], "utility") != strings.Index(lines[2], "123.4") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "a,b\n1,2\n3,4\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

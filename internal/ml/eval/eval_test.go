@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 70, FP: 30, TN: 60, FN: 40}
+	if got := c.Precision(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("precision %f, want 0.7", got)
+	}
+	if got := c.Recall(); math.Abs(got-70.0/110.0) > 1e-12 {
+		t.Fatalf("recall %f, want %f", got, 70.0/110.0)
+	}
+	if got := c.Accuracy(); math.Abs(got-130.0/200.0) > 1e-12 {
+		t.Fatalf("accuracy %f, want 0.65", got)
+	}
+	p, r := c.Precision(), c.Recall()
+	if got := c.F1(); math.Abs(got-2*p*r/(p+r)) > 1e-12 {
+		t.Fatalf("f1 %f inconsistent", got)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestConfusionEmptyEdges(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion metrics must be zero")
+	}
+}
+
+func TestConfusionScore(t *testing.T) {
+	var c Confusion
+	c.Score(0.9, 1) // TP
+	c.Score(0.9, 0) // FP
+	c.Score(0.1, 0) // TN
+	c.Score(0.1, 1) // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v, want one of each", c)
+	}
+	c.Score(0.5, 1) // threshold boundary counts as positive
+	if c.TP != 2 {
+		t.Fatalf("proba 0.5 not scored positive: %+v", c)
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Add(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+func TestKFoldIndicesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	folds, err := KFoldIndices(103, 5, rng)
+	if err != nil {
+		t.Fatalf("KFoldIndices: %v", err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds, want 5", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		for _, idx := range fold {
+			if seen[idx] {
+				t.Fatalf("index %d appears in two folds", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("folds cover %d indices, want 103", len(seen))
+	}
+	// Fold sizes within one of each other.
+	for _, fold := range folds {
+		if len(fold) < 20 || len(fold) > 21 {
+			t.Fatalf("fold size %d, want 20 or 21", len(fold))
+		}
+	}
+}
+
+func TestKFoldIndicesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KFoldIndices(0, 2, rng); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := KFoldIndices(10, 1, rng); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := KFoldIndices(3, 5, rng); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+// thresholdClassifier predicts positive when feature 0 exceeds its
+// training-set positive-class mean; a stand-in for a real learner.
+type thresholdClassifier struct{ cut float64 }
+
+func (c thresholdClassifier) PredictProba(x []float64) float64 {
+	if x[0] >= c.cut {
+		return 0.9
+	}
+	return 0.1
+}
+
+func trainThreshold(x [][]float64, y []int) (Classifier, error) {
+	// Midpoint between class means of feature 0.
+	var sum0, sum1 float64
+	var n0, n1 int
+	for i := range x {
+		if y[i] == 1 {
+			sum1 += x[i][0]
+			n1++
+		} else {
+			sum0 += x[i][0]
+			n0++
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		return thresholdClassifier{cut: 0.5}, nil
+	}
+	return thresholdClassifier{cut: (sum0/float64(n0) + sum1/float64(n1)) / 2}, nil
+}
+
+func TestCrossValidateSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = []float64{rng.NormFloat64()*0.1 + 1}
+			y[i] = 1
+		} else {
+			x[i] = []float64{rng.NormFloat64() * 0.1}
+		}
+	}
+	total, folds, err := CrossValidate(x, y, 5, rng, trainThreshold)
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d fold results, want 5", len(folds))
+	}
+	if total.Total() != n {
+		t.Fatalf("scored %d examples, want %d", total.Total(), n)
+	}
+	if total.Accuracy() < 0.98 {
+		t.Fatalf("accuracy %.3f on separable data, want ~1", total.Accuracy())
+	}
+}
+
+func TestCrossValidateShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, _, err := CrossValidate([][]float64{{1}}, []int{1, 0}, 2, rng, trainThreshold); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// Property: per-fold confusion matrices sum exactly to the aggregate.
+func TestCrossValidateAggregationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = []float64{rng.Float64()}
+			y[i] = rng.Intn(2)
+		}
+		total, folds, err := CrossValidate(x, y, 4, rng, trainThreshold)
+		if err != nil {
+			return false
+		}
+		var sum Confusion
+		for _, f := range folds {
+			sum.Add(f.Confusion)
+		}
+		return sum == total && total.Total() == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

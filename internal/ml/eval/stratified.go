@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StratifiedKFoldIndices splits [0, n) into k folds that preserve the
+// class balance of the labels — Weka's default cross-validation mode, and
+// the appropriate protocol when classes are imbalanced (the trace's click
+// rate is ~0.27). Labels must be 0/1 and len(labels) == n.
+func StratifiedKFoldIndices(labels []int, k int, rng *rand.Rand) ([][]int, error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadFoldCount, k, n)
+	}
+	var pos, neg []int
+	for i, l := range labels {
+		switch l {
+		case 1:
+			pos = append(pos, i)
+		case 0:
+			neg = append(neg, i)
+		default:
+			return nil, fmt.Errorf("eval: label %d at row %d not binary", l, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	folds := make([][]int, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		// Offset the round-robin so folds that got an extra positive do
+		// not also get an extra negative.
+		f := (i + len(pos)) % k
+		folds[f] = append(folds[f], idx)
+	}
+	return folds, nil
+}
+
+// CrossValidateStratified is CrossValidate with stratified folds.
+func CrossValidateStratified(features [][]float64, labels []int, k int, rng *rand.Rand, train Trainer) (Confusion, []FoldResult, error) {
+	if len(features) != len(labels) {
+		return Confusion{}, nil, fmt.Errorf("%w: %d vs %d", ErrShape, len(features), len(labels))
+	}
+	folds, err := StratifiedKFoldIndices(labels, k, rng)
+	if err != nil {
+		return Confusion{}, nil, err
+	}
+	return crossValidateFolds(features, labels, folds, train)
+}
+
+// crossValidateFolds runs the train/score loop over prebuilt folds.
+func crossValidateFolds(features [][]float64, labels []int, folds [][]int, train Trainer) (Confusion, []FoldResult, error) {
+	var total Confusion
+	results := make([]FoldResult, 0, len(folds))
+	for fi, test := range folds {
+		inTest := make(map[int]bool, len(test))
+		for _, idx := range test {
+			inTest[idx] = true
+		}
+		trainX := make([][]float64, 0, len(features)-len(test))
+		trainY := make([]int, 0, len(labels)-len(test))
+		for i := range features {
+			if !inTest[i] {
+				trainX = append(trainX, features[i])
+				trainY = append(trainY, labels[i])
+			}
+		}
+		clf, err := train(trainX, trainY)
+		if err != nil {
+			return Confusion{}, nil, fmt.Errorf("fold %d: %w", fi, err)
+		}
+		var cm Confusion
+		for _, idx := range test {
+			cm.Score(clf.PredictProba(features[idx]), labels[idx])
+		}
+		total.Add(cm)
+		results = append(results, FoldResult{Fold: fi, Confusion: cm})
+	}
+	return total, results, nil
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStratifiedFoldsPreserveBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 20% positives over 500 examples.
+	labels := make([]int, 500)
+	for i := 0; i < 100; i++ {
+		labels[i] = 1
+	}
+	rng.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	folds, err := StratifiedKFoldIndices(labels, 5, rng)
+	if err != nil {
+		t.Fatalf("StratifiedKFoldIndices: %v", err)
+	}
+	for fi, fold := range folds {
+		pos := 0
+		for _, idx := range fold {
+			pos += labels[idx]
+		}
+		rate := float64(pos) / float64(len(fold))
+		if math.Abs(rate-0.2) > 0.01 {
+			t.Errorf("fold %d positive rate %.3f, want ~0.20", fi, rate)
+		}
+	}
+}
+
+func TestStratifiedFoldsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := make([]int, 103)
+	for i := range labels {
+		labels[i] = i % 3 % 2 // mixed 0/1
+	}
+	folds, err := StratifiedKFoldIndices(labels, 4, rng)
+	if err != nil {
+		t.Fatalf("StratifiedKFoldIndices: %v", err)
+	}
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		for _, idx := range fold {
+			if seen[idx] {
+				t.Fatalf("index %d in two folds", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("folds cover %d of 103", len(seen))
+	}
+}
+
+func TestStratifiedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := StratifiedKFoldIndices(nil, 2, rng); err == nil {
+		t.Error("empty labels accepted")
+	}
+	if _, err := StratifiedKFoldIndices([]int{0, 1}, 5, rng); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := StratifiedKFoldIndices([]int{0, 2, 1}, 2, rng); err == nil {
+		t.Error("non-binary label accepted")
+	}
+}
+
+func TestCrossValidateStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		if i%5 == 0 { // 20% positives, separable
+			x[i] = []float64{1 + rng.NormFloat64()*0.05}
+			y[i] = 1
+		} else {
+			x[i] = []float64{rng.NormFloat64() * 0.05}
+		}
+	}
+	total, folds, err := CrossValidateStratified(x, y, 5, rng, trainThreshold)
+	if err != nil {
+		t.Fatalf("CrossValidateStratified: %v", err)
+	}
+	if total.Total() != n {
+		t.Fatalf("scored %d, want %d", total.Total(), n)
+	}
+	if total.Accuracy() < 0.98 {
+		t.Fatalf("accuracy %.3f on separable data", total.Accuracy())
+	}
+	// Stratification ensures every fold contains positives.
+	for _, f := range folds {
+		if f.Confusion.TP+f.Confusion.FN == 0 {
+			t.Fatal("a fold has no positive examples")
+		}
+	}
+	if _, _, err := CrossValidateStratified(x[:10], y, 5, rng, trainThreshold); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// Property: stratified fold sizes differ by at most 2 (one per class).
+func TestStratifiedFoldSizesProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(2)
+		}
+		folds, err := StratifiedKFoldIndices(labels, 5, rng)
+		if err != nil {
+			return true // degenerate draws (k > n) cannot happen at n >= 20
+		}
+		min, max := n, 0
+		for _, f := range folds {
+			if len(f) < min {
+				min = len(f)
+			}
+			if len(f) > max {
+				max = len(f)
+			}
+		}
+		return max-min <= 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

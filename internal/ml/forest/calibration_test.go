@@ -1,0 +1,120 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// logisticDataset draws labels from a known logistic model, the same label
+// process the synthetic traces use. Attainable accuracy is bounded by the
+// Bernoulli noise, making it a realistic calibration target.
+func logisticDataset(rng *rand.Rand, n int) (x [][]float64, y []int, probs []float64) {
+	x = make([][]float64, n)
+	y = make([]int, n)
+	probs = make([]float64, n)
+	for i := range x {
+		f := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		z := -2 + 2.5*f[0] + 1.5*f[1] // f[2] is noise
+		p := 1 / (1 + math.Exp(-z))
+		x[i] = f
+		probs[i] = p
+		if rng.Float64() < p {
+			y[i] = 1
+		}
+	}
+	return x, y, probs
+}
+
+// TestMeanPredictionMatchesBaseRate: the forest's average predicted
+// probability must track the population positive rate — gross
+// miscalibration would corrupt the content-utility scores Uc.
+func TestMeanPredictionMatchesBaseRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y, _ := logisticDataset(rng, 2000)
+	f, err := Train(x, y, Config{Trees: 50, MaxDepth: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	baseRate := 0.0
+	for _, l := range y {
+		baseRate += float64(l)
+	}
+	baseRate /= float64(len(y))
+
+	testX, _, _ := logisticDataset(rng, 1000)
+	meanPred := 0.0
+	for _, row := range testX {
+		meanPred += f.PredictMeanProba(row)
+	}
+	meanPred /= float64(len(testX))
+	if math.Abs(meanPred-baseRate) > 0.08 {
+		t.Fatalf("mean prediction %.3f vs base rate %.3f: miscalibrated", meanPred, baseRate)
+	}
+}
+
+// TestPredictionsOrderByTrueProbability: predicted scores must rank
+// examples consistently with the generating probabilities (rank
+// correlation on bucketed means).
+func TestPredictionsOrderByTrueProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x, y, _ := logisticDataset(rng, 3000)
+	f, err := Train(x, y, Config{Trees: 50, MaxDepth: 10, Seed: 6})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	testX, _, testP := logisticDataset(rng, 2000)
+	// Bucket by true probability tercile and compare mean predictions.
+	var buckets [3][]float64
+	for i, p := range testP {
+		b := 0
+		if p > 0.33 {
+			b = 1
+		}
+		if p > 0.66 {
+			b = 2
+		}
+		buckets[b] = append(buckets[b], f.PredictMeanProba(testX[i]))
+	}
+	means := [3]float64{}
+	for b := range buckets {
+		if len(buckets[b]) == 0 {
+			t.Skip("degenerate bucketing")
+		}
+		for _, v := range buckets[b] {
+			means[b] += v
+		}
+		means[b] /= float64(len(buckets[b]))
+	}
+	if !(means[0] < means[1] && means[1] < means[2]) {
+		t.Fatalf("bucket means not ordered: %.3f, %.3f, %.3f", means[0], means[1], means[2])
+	}
+}
+
+// TestAccuracyBoundedByLabelNoise: on logistic data the forest cannot
+// beat the Bayes rate; check it lands between chance and the bound.
+func TestAccuracyBoundedByLabelNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x, y, _ := logisticDataset(rng, 3000)
+	f, err := Train(x, y, Config{Trees: 50, MaxDepth: 10, Seed: 7})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	testX, testY, testP := logisticDataset(rng, 2000)
+	correct := 0
+	bayes := 0.0
+	for i := range testX {
+		if f.Predict(testX[i]) == testY[i] {
+			correct++
+		}
+		bayes += math.Max(testP[i], 1-testP[i])
+	}
+	acc := float64(correct) / float64(len(testX))
+	bayes /= float64(len(testX))
+	if acc < 0.55 {
+		t.Fatalf("accuracy %.3f barely above chance", acc)
+	}
+	if acc > bayes+0.03 {
+		t.Fatalf("accuracy %.3f exceeds Bayes bound %.3f: leakage?", acc, bayes)
+	}
+}

@@ -1,0 +1,204 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the ensemble size. Default 100.
+	Trees int
+	// MaxDepth bounds tree depth. Default 12.
+	MaxDepth int
+	// MinLeafSamples is the minimum number of training rows per leaf.
+	// Default 2.
+	MinLeafSamples int
+	// FeaturesPerNode is the number of features examined per split;
+	// 0 selects ceil(sqrt(d)) as Breiman recommends.
+	FeaturesPerNode int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c *Config) applyDefaults(nFeatures int) {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeafSamples <= 0 {
+		c.MinLeafSamples = 2
+	}
+	if c.FeaturesPerNode <= 0 {
+		c.FeaturesPerNode = int(math.Ceil(math.Sqrt(float64(nFeatures))))
+	}
+}
+
+// Training errors.
+var (
+	ErrEmptyTrainingSet = errors.New("forest: empty training set")
+	ErrShapeMismatch    = errors.New("forest: features/labels mismatch")
+	ErrRaggedFeatures   = errors.New("forest: ragged feature matrix")
+	ErrBadLabel         = errors.New("forest: labels must be 0 or 1")
+)
+
+// Forest is a trained random-forest classifier.
+type Forest struct {
+	trees      []*Tree
+	nFeatures  int
+	importance []float64
+	oobError   float64
+	oobScored  int
+}
+
+// Train fits a random forest on the feature matrix and binary labels.
+func Train(features [][]float64, labels []int, cfg Config) (*Forest, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("%w: %d rows, %d labels", ErrShapeMismatch, n, len(labels))
+	}
+	d := len(features[0])
+	for i, row := range features {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrRaggedFeatures, i, len(row), d)
+		}
+	}
+	for i, l := range labels {
+		if l != 0 && l != 1 {
+			return nil, fmt.Errorf("%w: label %d at row %d", ErrBadLabel, l, i)
+		}
+	}
+	cfg.applyDefaults(d)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := treeParams{
+		maxDepth:        cfg.MaxDepth,
+		minLeafSamples:  cfg.MinLeafSamples,
+		featuresPerNode: cfg.FeaturesPerNode,
+	}
+
+	f := &Forest{
+		trees:      make([]*Tree, cfg.Trees),
+		nFeatures:  d,
+		importance: make([]float64, d),
+	}
+
+	// Out-of-bag vote accumulators.
+	oobSum := make([]float64, n)
+	oobCount := make([]int, n)
+
+	rows := make([]int, n)
+	inBag := make([]bool, n)
+	for ti := 0; ti < cfg.Trees; ti++ {
+		for i := range inBag {
+			inBag[i] = false
+		}
+		for i := range rows {
+			r := rng.Intn(n)
+			rows[i] = r
+			inBag[r] = true
+		}
+		tree := buildTree(features, labels, rows, params, rng, f.importance)
+		f.trees[ti] = tree
+		for i := 0; i < n; i++ {
+			if !inBag[i] {
+				oobSum[i] += tree.PredictProba(features[i])
+				oobCount[i]++
+			}
+		}
+	}
+
+	// Normalize importance to sum to 1.
+	var total float64
+	for _, v := range f.importance {
+		total += v
+	}
+	if total > 0 {
+		for i := range f.importance {
+			f.importance[i] /= total
+		}
+	}
+
+	// OOB error: fraction of misclassified among rows with any OOB vote.
+	wrong, scored := 0, 0
+	for i := 0; i < n; i++ {
+		if oobCount[i] == 0 {
+			continue
+		}
+		scored++
+		pred := 0
+		if oobSum[i]/float64(oobCount[i]) >= 0.5 {
+			pred = 1
+		}
+		if pred != labels[i] {
+			wrong++
+		}
+	}
+	f.oobScored = scored
+	if scored > 0 {
+		f.oobError = float64(wrong) / float64(scored)
+	}
+	return f, nil
+}
+
+// PredictProba returns the fraction of trees whose leaf majority is the
+// positive class — the confidence score Pr(x_i) the paper converts into
+// content utility.
+func (f *Forest) PredictProba(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0.5
+	}
+	votes := 0.0
+	for _, t := range f.trees {
+		if t.PredictProba(x) >= 0.5 {
+			votes++
+		}
+	}
+	return votes / float64(len(f.trees))
+}
+
+// PredictMeanProba averages the per-tree leaf probabilities; a smoother
+// alternative to the vote fraction.
+func (f *Forest) PredictMeanProba(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0.5
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.PredictProba(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Predict returns the majority class at the 0.5 threshold.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// NumFeatures returns the trained feature dimensionality.
+func (f *Forest) NumFeatures() int { return f.nFeatures }
+
+// OOBError returns the out-of-bag misclassification rate and the number of
+// rows it was estimated on.
+func (f *Forest) OOBError() (float64, int) { return f.oobError, f.oobScored }
+
+// FeatureImportance returns the normalized mean-decrease-impurity
+// importance per feature (sums to 1 when any split occurred).
+func (f *Forest) FeatureImportance() []float64 {
+	out := make([]float64, len(f.importance))
+	copy(out, f.importance)
+	return out
+}

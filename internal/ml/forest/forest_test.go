@@ -1,0 +1,237 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// xorDataset is nonlinearly separable: label = (x0 > 0.5) XOR (x1 > 0.5).
+// A linear model cannot learn it; a forest of depth >= 2 can.
+func xorDataset(rng *rand.Rand, n int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		a, b := rng.Float64(), rng.Float64()
+		x[i] = []float64{a, b, rng.Float64()} // third feature is noise
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestTrainValidatesInput(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, Config{}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, []int{0, 1}, Config{}); err == nil {
+		t.Error("ragged features accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{2}, Config{}); err == nil {
+		t.Error("non-binary label accepted")
+	}
+}
+
+func TestForestLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trainX, trainY := xorDataset(rng, 800)
+	testX, testY := xorDataset(rng, 400)
+	f, err := Train(trainX, trainY, Config{Trees: 60, MaxDepth: 8, Seed: 42})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	correct := 0
+	for i := range testX {
+		if f.Predict(testX[i]) == testY[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(testX))
+	if acc < 0.9 {
+		t.Fatalf("XOR test accuracy %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := xorDataset(rng, 300)
+	f1, err := Train(x, y, Config{Trees: 20, Seed: 7})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	f2, err := Train(x, y, Config{Trees: 20, Seed: 7})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	probe := []float64{0.3, 0.8, 0.5}
+	if f1.PredictProba(probe) != f2.PredictProba(probe) {
+		t.Fatal("same seed produced different forests")
+	}
+	f3, err := Train(x, y, Config{Trees: 20, Seed: 8})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	same := true
+	for trial := 0; trial < 20 && same; trial++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if f1.PredictMeanProba(p) != f3.PredictMeanProba(p) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical forests")
+	}
+}
+
+func TestPredictProbaInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := xorDataset(rng, 300)
+	f, err := Train(x, y, Config{Trees: 30, Seed: 1})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		got := f.PredictProba(p)
+		if got < 0 || got > 1 || math.IsNaN(got) {
+			t.Fatalf("PredictProba = %f out of [0,1]", got)
+		}
+		mean := f.PredictMeanProba(p)
+		if mean < 0 || mean > 1 || math.IsNaN(mean) {
+			t.Fatalf("PredictMeanProba = %f out of [0,1]", mean)
+		}
+	}
+}
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Feature 0 fully determines the label; features 1-3 are noise.
+	n := 600
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if x[i][0] > 0.5 {
+			y[i] = 1
+		}
+	}
+	f, err := Train(x, y, Config{Trees: 40, Seed: 5})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	imp := f.FeatureImportance()
+	if len(imp) != 4 {
+		t.Fatalf("importance length %d, want 4", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %f, want 1", sum)
+	}
+	for fi := 1; fi < 4; fi++ {
+		if imp[0] <= imp[fi] {
+			t.Fatalf("signal feature importance %f not above noise feature %d (%f)", imp[0], fi, imp[fi])
+		}
+	}
+	if imp[0] < 0.5 {
+		t.Fatalf("signal feature importance %f, want dominant (>= 0.5)", imp[0])
+	}
+}
+
+func TestOOBErrorReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := xorDataset(rng, 600)
+	f, err := Train(x, y, Config{Trees: 60, MaxDepth: 8, Seed: 6})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	oob, scored := f.OOBError()
+	if scored < 500 {
+		t.Fatalf("only %d rows OOB-scored, want most of 600", scored)
+	}
+	if oob > 0.2 {
+		t.Fatalf("OOB error %.3f on XOR, want <= 0.2", oob)
+	}
+}
+
+func TestPureNodeShortCircuits(t *testing.T) {
+	// All labels identical: the tree must be a single leaf.
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []int{1, 1, 1}
+	f, err := Train(x, y, Config{Trees: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if got := f.PredictProba([]float64{0, 0}); got != 1 {
+		t.Fatalf("pure-positive forest predicts %f, want 1", got)
+	}
+}
+
+func TestPredictWithShortFeatureVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := xorDataset(rng, 200)
+	f, err := Train(x, y, Config{Trees: 10, Seed: 2})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Must not panic; falls back to node probability.
+	got := f.PredictProba([]float64{})
+	if got < 0 || got > 1 {
+		t.Fatalf("short-vector prediction %f out of range", got)
+	}
+}
+
+func TestTreeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := xorDataset(rng, 300)
+	imp := make([]float64, 3)
+	tr := buildTree(x, y, seq(len(x)), treeParams{maxDepth: 6, minLeafSamples: 2, featuresPerNode: 2}, rng, imp)
+	if tr.Depth() < 2 {
+		t.Fatalf("XOR tree depth %d, want >= 2", tr.Depth())
+	}
+	if tr.NodeCount() < 3 {
+		t.Fatalf("node count %d, want >= 3", tr.NodeCount())
+	}
+	if tr.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func BenchmarkTrain100Trees(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := xorDataset(rng, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, Config{Trees: 100, MaxDepth: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := xorDataset(rng, 1000)
+	f, err := Train(x, y, Config{Trees: 100, MaxDepth: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{0.3, 0.7, 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(probe)
+	}
+}

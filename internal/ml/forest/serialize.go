@@ -1,0 +1,136 @@
+package forest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Serialization lets a trained content-utility model be shipped separately
+// from the training data — the deployment split the paper implies (train
+// offline on production logs, score online in the broker).
+
+// modelFile is the on-disk representation of a forest.
+type modelFile struct {
+	Version    int          `json:"version"`
+	NFeatures  int          `json:"n_features"`
+	Importance []float64    `json:"importance"`
+	OOBError   float64      `json:"oob_error"`
+	OOBScored  int          `json:"oob_scored"`
+	Trees      [][]nodeFile `json:"trees"`
+}
+
+// nodeFile is one serialized tree node.
+type nodeFile struct {
+	// F is the split feature; -1 marks a leaf.
+	F int `json:"f"`
+	// T is the split threshold.
+	T float64 `json:"t,omitempty"`
+	// L and R are child indices.
+	L int32 `json:"l,omitempty"`
+	R int32 `json:"r,omitempty"`
+	// P is the leaf probability.
+	P float64 `json:"p"`
+}
+
+const modelVersion = 1
+
+// ErrBadModel is returned when a serialized model is malformed.
+var ErrBadModel = errors.New("forest: malformed model")
+
+// Save writes the trained forest as JSON.
+func (f *Forest) Save(w io.Writer) error {
+	mf := modelFile{
+		Version:    modelVersion,
+		NFeatures:  f.nFeatures,
+		Importance: f.importance,
+		OOBError:   f.oobError,
+		OOBScored:  f.oobScored,
+		Trees:      make([][]nodeFile, len(f.trees)),
+	}
+	for ti, tree := range f.trees {
+		nodes := make([]nodeFile, len(tree.nodes))
+		for ni, n := range tree.nodes {
+			nodes[ni] = nodeFile{F: n.feature, T: n.threshold, L: n.left, R: n.right, P: n.prob}
+		}
+		mf.Trees[ti] = nodes
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(mf); err != nil {
+		return fmt.Errorf("forest: encode model: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a forest serialized by Save.
+func Load(r io.Reader) (*Forest, error) {
+	var mf modelFile
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModel, mf.Version)
+	}
+	if mf.NFeatures <= 0 || len(mf.Trees) == 0 {
+		return nil, fmt.Errorf("%w: empty model", ErrBadModel)
+	}
+	f := &Forest{
+		trees:      make([]*Tree, len(mf.Trees)),
+		nFeatures:  mf.NFeatures,
+		importance: mf.Importance,
+		oobError:   mf.OOBError,
+		oobScored:  mf.OOBScored,
+	}
+	if f.importance == nil {
+		f.importance = make([]float64, mf.NFeatures)
+	}
+	for ti, nodes := range mf.Trees {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("%w: empty tree %d", ErrBadModel, ti)
+		}
+		tree := &Tree{nodes: make([]treeNode, len(nodes))}
+		for ni, n := range nodes {
+			if n.F >= mf.NFeatures {
+				return nil, fmt.Errorf("%w: tree %d node %d references feature %d of %d",
+					ErrBadModel, ti, ni, n.F, mf.NFeatures)
+			}
+			if n.F >= 0 {
+				if n.L < 0 || int(n.L) >= len(nodes) || n.R < 0 || int(n.R) >= len(nodes) {
+					return nil, fmt.Errorf("%w: tree %d node %d child out of range", ErrBadModel, ti, ni)
+				}
+			}
+			tree.nodes[ni] = treeNode{feature: n.F, threshold: n.T, left: n.L, right: n.R, prob: n.P}
+		}
+		f.trees[ti] = tree
+	}
+	return f, nil
+}
+
+// SaveFile writes the model to a path.
+func (f *Forest) SaveFile(path string) (err error) {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("forest: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := file.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("forest: close %s: %w", path, cerr)
+		}
+	}()
+	return f.Save(file)
+}
+
+// LoadFile reads a model from a path.
+func LoadFile(path string) (*Forest, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("forest: open %s: %w", path, err)
+	}
+	defer func() {
+		_ = file.Close() // read-only descriptor
+	}()
+	return Load(file)
+}

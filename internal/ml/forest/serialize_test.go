@@ -1,0 +1,111 @@
+package forest
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := xorDataset(rng, 400)
+	f, err := Train(x, y, Config{Trees: 20, MaxDepth: 8, Seed: 3})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Trees() != f.Trees() || loaded.NumFeatures() != f.NumFeatures() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	// Predictions must be bit-identical.
+	for trial := 0; trial < 200; trial++ {
+		probe := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if f.PredictProba(probe) != loaded.PredictProba(probe) {
+			t.Fatalf("prediction mismatch after round trip")
+		}
+	}
+	// Metadata survives.
+	oobA, nA := f.OOBError()
+	oobB, nB := loaded.OOBError()
+	if oobA != oobB || nA != nB {
+		t.Fatalf("OOB mismatch: (%f, %d) vs (%f, %d)", oobA, nA, oobB, nB)
+	}
+	impA, impB := f.FeatureImportance(), loaded.FeatureImportance()
+	for i := range impA {
+		if impA[i] != impB[i] {
+			t.Fatalf("importance mismatch at %d", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := xorDataset(rng, 200)
+	f, err := Train(x, y, Config{Trees: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := f.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.Trees() != 5 {
+		t.Fatalf("loaded %d trees, want 5", loaded.Trees())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"wrong version", `{"version":99,"n_features":2,"trees":[[{"f":-1,"p":0.5}]]}`},
+		{"no trees", `{"version":1,"n_features":2,"trees":[]}`},
+		{"zero features", `{"version":1,"n_features":0,"trees":[[{"f":-1,"p":0.5}]]}`},
+		{"empty tree", `{"version":1,"n_features":2,"trees":[[]]}`},
+		{"feature out of range", `{"version":1,"n_features":2,"trees":[[{"f":5,"t":1,"l":0,"r":0,"p":0.5}]]}`},
+		{"child out of range", `{"version":1,"n_features":2,"trees":[[{"f":0,"t":1,"l":7,"r":0,"p":0.5}]]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.data)); err == nil {
+				t.Fatal("malformed model accepted")
+			}
+		})
+	}
+}
+
+func TestLoadedModelWithoutImportance(t *testing.T) {
+	data := `{"version":1,"n_features":2,"trees":[[{"f":-1,"p":0.7}]]}`
+	f, err := Load(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := f.PredictProba([]float64{0, 0}); got != 1 {
+		// single leaf with prob 0.7 -> vote fraction 1 (leaf >= 0.5)
+		t.Fatalf("PredictProba = %f, want 1", got)
+	}
+	if got := f.PredictMeanProba([]float64{0, 0}); got != 0.7 {
+		t.Fatalf("PredictMeanProba = %f, want 0.7", got)
+	}
+	if imp := f.FeatureImportance(); len(imp) != 2 {
+		t.Fatalf("importance length %d, want 2", len(imp))
+	}
+}

@@ -1,0 +1,236 @@
+// Package forest implements the Random Forest classifier (Breiman 2001)
+// used by RichNote to model content utility Uc(i) (Section V-A of the
+// paper). The paper trains a Random Forest on click/hover labels with Weka;
+// this package reimplements the algorithm from scratch on the standard
+// library: CART decision trees with gini-impurity splits, bootstrap
+// bagging, per-node random feature subsampling, out-of-bag error estimation
+// and mean-decrease-impurity feature importance.
+//
+// The forest reports a calibrated confidence Pr(x_i) as the fraction of
+// trees voting for the positive class, which the utility layer maps to
+// Uc(i) exactly as the paper's Section V-A prescribes.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART tree stored in a flat slice.
+type treeNode struct {
+	// feature < 0 marks a leaf; prob is then the positive-class fraction of
+	// the training examples that reached the leaf.
+	feature   int
+	threshold float64
+	left      int32
+	right     int32
+	prob      float64
+}
+
+// Tree is a single CART decision tree.
+type Tree struct {
+	nodes []treeNode
+}
+
+// treeParams bundles the growth controls.
+type treeParams struct {
+	maxDepth        int
+	minLeafSamples  int
+	featuresPerNode int
+}
+
+// gini returns the gini impurity of a node with pos positives among n.
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// split describes the best split found at a node.
+type split struct {
+	feature   int
+	threshold float64
+	impurity  float64 // weighted child impurity
+	gain      float64 // impurity decrease, for feature importance
+	ok        bool
+}
+
+// bestSplit scans a random subset of features for the threshold minimizing
+// weighted gini impurity over the rows (indices into X).
+func bestSplit(x [][]float64, y []int, rows []int, p treeParams, rng *rand.Rand, scratch *scratchBuffers) split {
+	n := len(rows)
+	pos := 0
+	for _, r := range rows {
+		pos += y[r]
+	}
+	parentImp := gini(pos, n)
+	best := split{impurity: parentImp}
+	if parentImp == 0 {
+		return best // pure node
+	}
+
+	nFeatures := len(x[0])
+	order := scratch.featureOrder[:0]
+	for f := 0; f < nFeatures; f++ {
+		order = append(order, f)
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	tried := p.featuresPerNode
+	if tried > len(order) {
+		tried = len(order)
+	}
+
+	vals := scratch.vals[:0]
+	for _, f := range order[:tried] {
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, valueLabel{v: x[r][f], label: y[r]})
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+		leftPos, leftN := 0, 0
+		for i := 0; i < n-1; i++ {
+			leftPos += vals[i].label
+			leftN++
+			if vals[i].v == vals[i+1].v {
+				continue // cannot split between equal values
+			}
+			rightPos := pos - leftPos
+			rightN := n - leftN
+			imp := (float64(leftN)*gini(leftPos, leftN) + float64(rightN)*gini(rightPos, rightN)) / float64(n)
+			if imp < best.impurity-1e-12 {
+				best = split{
+					feature:   f,
+					threshold: (vals[i].v + vals[i+1].v) / 2,
+					impurity:  imp,
+					gain:      parentImp - imp,
+					ok:        true,
+				}
+			}
+		}
+	}
+	scratch.featureOrder = order
+	scratch.vals = vals
+	return best
+}
+
+type valueLabel struct {
+	v     float64
+	label int
+}
+
+// scratchBuffers are reused across nodes of one tree build to limit
+// allocation churn.
+type scratchBuffers struct {
+	featureOrder []int
+	vals         []valueLabel
+}
+
+// buildTree grows a CART tree on the given bootstrap rows and accumulates
+// impurity-decrease importance into imp (length = feature count).
+func buildTree(x [][]float64, y []int, rows []int, p treeParams, rng *rand.Rand, imp []float64) *Tree {
+	t := &Tree{}
+	scratch := &scratchBuffers{}
+	t.grow(x, y, rows, 0, p, rng, imp, scratch)
+	return t
+}
+
+func leafProb(y []int, rows []int) float64 {
+	if len(rows) == 0 {
+		return 0.5
+	}
+	pos := 0
+	for _, r := range rows {
+		pos += y[r]
+	}
+	return float64(pos) / float64(len(rows))
+}
+
+// grow appends the subtree for rows and returns its node index.
+func (t *Tree) grow(x [][]float64, y []int, rows []int, depth int, p treeParams, rng *rand.Rand, imp []float64, scratch *scratchBuffers) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1, prob: leafProb(y, rows)})
+	if depth >= p.maxDepth || len(rows) < 2*p.minLeafSamples {
+		return idx
+	}
+	sp := bestSplit(x, y, rows, p, rng, scratch)
+	if !sp.ok {
+		return idx
+	}
+	var leftRows, rightRows []int
+	for _, r := range rows {
+		if x[r][sp.feature] <= sp.threshold {
+			leftRows = append(leftRows, r)
+		} else {
+			rightRows = append(rightRows, r)
+		}
+	}
+	if len(leftRows) < p.minLeafSamples || len(rightRows) < p.minLeafSamples {
+		return idx
+	}
+	if imp != nil {
+		imp[sp.feature] += sp.gain * float64(len(rows))
+	}
+	left := t.grow(x, y, leftRows, depth+1, p, rng, imp, scratch)
+	right := t.grow(x, y, rightRows, depth+1, p, rng, imp, scratch)
+	t.nodes[idx] = treeNode{
+		feature:   sp.feature,
+		threshold: sp.threshold,
+		left:      left,
+		right:     right,
+		prob:      t.nodes[idx].prob,
+	}
+	return idx
+}
+
+// PredictProba returns the positive-class probability at the leaf the
+// feature vector routes to.
+func (t *Tree) PredictProba(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0.5
+	}
+	i := int32(0)
+	for {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return n.prob
+		}
+		if n.feature >= len(x) {
+			return n.prob // defensive: feature vector shorter than training
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		return 1 + int(math.Max(float64(l), float64(r)))
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0)
+}
+
+// NodeCount returns the number of nodes in the tree.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree{nodes=%d depth=%d}", t.NodeCount(), t.Depth())
+}

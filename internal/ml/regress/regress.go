@@ -1,0 +1,176 @@
+// Package regress provides the least-squares fitting used to derive
+// presentation-utility curves from survey data (Section V-B of the paper).
+//
+// The paper models utility of a d-second audio sample with two candidate
+// families and picks the better fit:
+//
+//	logarithmic: util(d) = a + b·ln(1 + d)          (Equation 8)
+//	polynomial:  util(d) = a·(1 − d/D)^b            (Equation 9)
+//
+// The logarithmic family is linear in ln(1+d) and fits with ordinary least
+// squares; the polynomial family is linearized as
+// ln(util) = ln(a) + b·ln(1 − d/D) for util > 0 and a fixed horizon D.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the fitters.
+var (
+	ErrTooFewPoints   = errors.New("regress: need at least two points")
+	ErrLengthMismatch = errors.New("regress: x and y lengths differ")
+	ErrDegenerate     = errors.New("regress: degenerate inputs (zero variance)")
+	ErrDomain         = errors.New("regress: input outside model domain")
+)
+
+// Linear holds a fitted line y = Intercept + Slope·x and its goodness of
+// fit on the training points.
+type Linear struct {
+	Intercept float64
+	Slope     float64
+	R2        float64
+}
+
+// Predict evaluates the fitted line.
+func (l Linear) Predict(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// FitLinear computes the ordinary least-squares line through (x, y).
+func FitLinear(x, y []float64) (Linear, error) {
+	if len(x) != len(y) {
+		return Linear{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return Linear{}, ErrTooFewPoints
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return Linear{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	fit := Linear{Intercept: intercept, Slope: slope}
+	fit.R2 = rSquared(y, func(i int) float64 { return fit.Predict(x[i]) })
+	return fit, nil
+}
+
+// rSquared computes 1 − SSres/SStot for predictions given by pred(i).
+// A constant y vector yields R2 = 1 when predictions are exact, else 0.
+func rSquared(y []float64, pred func(int) float64) float64 {
+	var my float64
+	for _, v := range y {
+		my += v
+	}
+	my /= float64(len(y))
+	var ssRes, ssTot float64
+	for i, v := range y {
+		r := v - pred(i)
+		ssRes += r * r
+		d := v - my
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// LogModel is util(d) = A + B·ln(1 + d), the paper's Equation 8 family.
+type LogModel struct {
+	A, B float64
+	R2   float64
+}
+
+// Predict evaluates the model at duration d (seconds).
+func (m LogModel) Predict(d float64) float64 { return m.A + m.B*math.Log(1+d) }
+
+// FitLog fits the logarithmic family to (duration, utility) samples.
+// Durations must be > −1.
+func FitLog(durations, utils []float64) (LogModel, error) {
+	if len(durations) != len(utils) {
+		return LogModel{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(durations), len(utils))
+	}
+	xs := make([]float64, len(durations))
+	for i, d := range durations {
+		if d <= -1 {
+			return LogModel{}, fmt.Errorf("%w: duration %f", ErrDomain, d)
+		}
+		xs[i] = math.Log(1 + d)
+	}
+	lin, err := FitLinear(xs, utils)
+	if err != nil {
+		return LogModel{}, err
+	}
+	m := LogModel{A: lin.Intercept, B: lin.Slope}
+	m.R2 = rSquared(utils, func(i int) float64 { return m.Predict(durations[i]) })
+	return m, nil
+}
+
+// PowerModel is util(d) = A·(1 − d/D)^B, the paper's Equation 9 family,
+// with fixed horizon D (the largest considered duration).
+type PowerModel struct {
+	A, B, D float64
+	R2      float64
+}
+
+// Predict evaluates the model at duration d. For d >= D the base is
+// clamped to zero, giving util = 0 (or A when B == 0).
+func (m PowerModel) Predict(d float64) float64 {
+	base := 1 - d/m.D
+	if base <= 0 {
+		if m.B == 0 {
+			return m.A
+		}
+		return 0
+	}
+	return m.A * math.Pow(base, m.B)
+}
+
+// FitPower fits the polynomial family by linearizing in log space:
+// ln(util) = ln(A) + B·ln(1 − d/D). Samples with util <= 0 or d >= D are
+// outside the linearized domain and rejected.
+func FitPower(durations, utils []float64, horizon float64) (PowerModel, error) {
+	if len(durations) != len(utils) {
+		return PowerModel{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(durations), len(utils))
+	}
+	if horizon <= 0 {
+		return PowerModel{}, fmt.Errorf("%w: horizon %f", ErrDomain, horizon)
+	}
+	xs := make([]float64, 0, len(durations))
+	ys := make([]float64, 0, len(utils))
+	for i, d := range durations {
+		base := 1 - d/horizon
+		if base <= 0 || utils[i] <= 0 {
+			continue // outside linearized domain
+		}
+		xs = append(xs, math.Log(base))
+		ys = append(ys, math.Log(utils[i]))
+	}
+	if len(xs) < 2 {
+		return PowerModel{}, ErrTooFewPoints
+	}
+	lin, err := FitLinear(xs, ys)
+	if err != nil {
+		return PowerModel{}, err
+	}
+	m := PowerModel{A: math.Exp(lin.Intercept), B: lin.Slope, D: horizon}
+	m.R2 = rSquared(utils, func(i int) float64 { return m.Predict(durations[i]) })
+	return m, nil
+}

@@ -1,0 +1,198 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 2 + 3*v
+	}
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatalf("FitLinear: %v", err)
+	}
+	if math.Abs(fit.Intercept-2) > 1e-9 || math.Abs(fit.Slope-3) > 1e-9 {
+		t.Fatalf("fit = %+v, want intercept 2 slope 3", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %f, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+		y[i] = -1 + 0.5*x[i] + rng.NormFloat64()*0.05
+	}
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatalf("FitLinear: %v", err)
+	}
+	if math.Abs(fit.Intercept+1) > 0.05 || math.Abs(fit.Slope-0.5) > 0.02 {
+		t.Fatalf("fit = %+v, want approx intercept -1 slope 0.5", fit)
+	}
+	if fit.R2 < 0.95 {
+		t.Fatalf("R2 = %f, want > 0.95", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero-variance x accepted")
+	}
+}
+
+// Recover the paper's Equation 8 constants from exact samples of the curve.
+func TestFitLogRecoversEquation8(t *testing.T) {
+	durations := []float64{5, 10, 20, 30, 40}
+	utils := make([]float64, len(durations))
+	for i, d := range durations {
+		utils[i] = -0.397 + 0.352*math.Log(1+d)
+	}
+	m, err := FitLog(durations, utils)
+	if err != nil {
+		t.Fatalf("FitLog: %v", err)
+	}
+	if math.Abs(m.A+0.397) > 1e-9 || math.Abs(m.B-0.352) > 1e-9 {
+		t.Fatalf("recovered A=%f B=%f, want -0.397/0.352", m.A, m.B)
+	}
+	if m.R2 < 1-1e-9 {
+		t.Fatalf("R2 = %f, want 1", m.R2)
+	}
+}
+
+func TestFitLogRejectsBadDomain(t *testing.T) {
+	if _, err := FitLog([]float64{-2, 5}, []float64{0.1, 0.5}); err == nil {
+		t.Fatal("duration <= -1 accepted")
+	}
+}
+
+// Recover the paper's Equation 9 constants from exact samples of the curve.
+func TestFitPowerRecoversEquation9(t *testing.T) {
+	durations := []float64{5, 10, 20, 30, 39}
+	utils := make([]float64, len(durations))
+	for i, d := range durations {
+		utils[i] = 0.253 * math.Pow(1-d/40, 2.087)
+	}
+	m, err := FitPower(durations, utils, 40)
+	if err != nil {
+		t.Fatalf("FitPower: %v", err)
+	}
+	if math.Abs(m.A-0.253) > 1e-6 || math.Abs(m.B-2.087) > 1e-6 {
+		t.Fatalf("recovered A=%f B=%f, want 0.253/2.087", m.A, m.B)
+	}
+}
+
+func TestFitPowerSkipsOutOfDomainSamples(t *testing.T) {
+	durations := []float64{5, 10, 40, 20} // d=40 hits the horizon exactly
+	utils := []float64{0.2, 0.15, 0, 0.1}
+	if _, err := FitPower(durations, utils, 40); err != nil {
+		t.Fatalf("FitPower with clampable samples: %v", err)
+	}
+	if _, err := FitPower([]float64{40, 45}, []float64{0, 0}, 40); err == nil {
+		t.Fatal("all-out-of-domain samples accepted")
+	}
+	if _, err := FitPower(durations[:2], utils[:3], 40); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitPower(durations, utils, -1); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+}
+
+func TestPowerPredictClamps(t *testing.T) {
+	m := PowerModel{A: 0.25, B: 2, D: 40}
+	if got := m.Predict(40); got != 0 {
+		t.Fatalf("Predict(D) = %f, want 0", got)
+	}
+	if got := m.Predict(50); got != 0 {
+		t.Fatalf("Predict(>D) = %f, want 0", got)
+	}
+}
+
+// The paper observes the log model fits its survey better than the power
+// model; verify the comparison machinery orders fits correctly on
+// log-generated data.
+func TestLogBeatsPowerOnLogData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var durations, utils []float64
+	for i := 0; i < 200; i++ {
+		d := 1 + rng.Float64()*38
+		durations = append(durations, d)
+		utils = append(utils, math.Max(0.01, -0.397+0.352*math.Log(1+d)+rng.NormFloat64()*0.02))
+	}
+	lm, err := FitLog(durations, utils)
+	if err != nil {
+		t.Fatalf("FitLog: %v", err)
+	}
+	pm, err := FitPower(durations, utils, 40)
+	if err != nil {
+		t.Fatalf("FitPower: %v", err)
+	}
+	if lm.R2 <= pm.R2 {
+		t.Fatalf("log R2 %f not better than power R2 %f on log data", lm.R2, pm.R2)
+	}
+}
+
+// Property: FitLinear residual orthogonality — predictions at the mean x
+// equal the mean y (the regression line passes through the centroid).
+func TestLinearCentroidProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			y[i] = rng.NormFloat64() * 10
+		}
+		fit, err := FitLinear(x, y)
+		if err != nil {
+			return true // degenerate draws are fine to skip
+		}
+		var mx, my float64
+		for i := range x {
+			mx += x[i]
+			my += y[i]
+		}
+		mx /= float64(n)
+		my /= float64(n)
+		return math.Abs(fit.Predict(mx)-my) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFitLog(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1000
+	d := make([]float64, n)
+	u := make([]float64, n)
+	for i := range d {
+		d[i] = rng.Float64() * 40
+		u[i] = 0.3 * math.Log(1+d[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLog(d, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

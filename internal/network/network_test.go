@@ -1,0 +1,143 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStateStrings(t *testing.T) {
+	if StateOff.String() != "OFF" || StateCell.String() != "CELL" || StateWifi.String() != "WIFI" {
+		t.Fatal("state names mismatch")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state must render")
+	}
+	if StateOff.Online() || !StateCell.Online() || !StateWifi.Online() {
+		t.Fatal("Online() wrong")
+	}
+}
+
+func TestBuiltinMatricesValid(t *testing.T) {
+	for name, m := range map[string]Matrix{
+		"paper":       PaperMatrix(),
+		"cell-only":   CellOnlyMatrix(),
+		"always-cell": AlwaysCellMatrix(),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s matrix invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadMatrix(t *testing.T) {
+	bad := Matrix{{0.5, 0.2, 0.2}, {0.25, 0.5, 0.25}, {0.25, 0.25, 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-stochastic row accepted")
+	}
+	neg := Matrix{{-0.5, 1.5, 0}, {0.25, 0.5, 0.25}, {0.25, 0.25, 0.5}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewModel(PaperMatrix(), State(0), rng); err == nil {
+		t.Error("invalid start state accepted")
+	}
+	if _, err := NewModel(PaperMatrix(), StateCell, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	bad := Matrix{}
+	if _, err := NewModel(bad, StateCell, rng); err == nil {
+		t.Error("zero matrix accepted")
+	}
+}
+
+// The paper's chain is ergodic with uniform stationary distribution (the
+// matrix is doubly stochastic); verify empirical state shares approach 1/3.
+func TestPaperMatrixStationaryDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := NewModel(PaperMatrix(), StateOff, rng)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	counts := map[State]int{}
+	const steps = 60_000
+	for i := 0; i < steps; i++ {
+		counts[m.Step()]++
+	}
+	for _, s := range []State{StateOff, StateCell, StateWifi} {
+		share := float64(counts[s]) / steps
+		if math.Abs(share-1.0/3.0) > 0.02 {
+			t.Fatalf("state %s share %.3f, want ~0.333", s, share)
+		}
+	}
+}
+
+func TestSelfTransitionProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewModel(PaperMatrix(), StateCell, rng)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	stays, steps := 0, 40_000
+	prev := m.State()
+	for i := 0; i < steps; i++ {
+		next := m.Step()
+		if next == prev {
+			stays++
+		}
+		prev = next
+	}
+	share := float64(stays) / float64(steps)
+	if math.Abs(share-0.5) > 0.02 {
+		t.Fatalf("self-transition share %.3f, want ~0.5", share)
+	}
+}
+
+func TestAlwaysCellNeverLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := NewModel(AlwaysCellMatrix(), StateCell, rng)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if m.Step() != StateCell {
+			t.Fatal("always-cell model left CELL")
+		}
+	}
+}
+
+func TestCellOnlyNeverWifi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewModel(CellOnlyMatrix(), StateCell, rng)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	for i := 0; i < 5000; i++ {
+		if m.Step() == StateWifi {
+			t.Fatal("cell-only model reached WIFI")
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	c := DefaultCapacity()
+	cell := c.For(StateCell)
+	if !cell.BillsDataPlan || cell.Bytes == 0 {
+		t.Fatalf("cell capacity %+v, want billable and positive", cell)
+	}
+	wifi := c.For(StateWifi)
+	if wifi.BillsDataPlan {
+		t.Fatal("wifi bytes must not bill the data plan")
+	}
+	if wifi.Bytes <= cell.Bytes {
+		t.Fatal("wifi capacity should exceed cellular")
+	}
+	off := c.For(StateOff)
+	if off.Bytes != 0 || off.BillsDataPlan {
+		t.Fatalf("offline capacity %+v, want zero", off)
+	}
+}

@@ -1,0 +1,80 @@
+package notif
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// Trace files and model exports serialize these types; the JSON shape is
+// a compatibility surface.
+func TestItemJSONRoundTrip(t *testing.T) {
+	item := Item{
+		ID: 42, Kind: KindAudio, Topic: TopicArtistPage,
+		Sender: 7, Recipient: 9,
+		CreatedAt: time.Date(2015, 1, 3, 18, 30, 0, 0, time.UTC),
+		Meta: Metadata{
+			TrackID: 1, AlbumID: 2, ArtistID: 3,
+			TrackPopularity: 55.5, AlbumPopularity: 44.4, ArtistPopularity: 99,
+			Genre: 4, URL: "https://open.example.com/track/1",
+		},
+		TieStrength: 0.75,
+	}
+	data, err := json.Marshal(item)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Item
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != item {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", item, got)
+	}
+}
+
+func TestItemJSONFieldNames(t *testing.T) {
+	data, err := json.Marshal(Item{ID: 1, TieStrength: 0.5})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, key := range []string{`"id"`, `"tie_strength"`, `"meta"`, `"created_at"`} {
+		if !containsBytes(data, key) {
+			t.Errorf("serialized item missing %s: %s", key, data)
+		}
+	}
+}
+
+func TestDeliveryJSONOmitsEmptyTrueUtility(t *testing.T) {
+	data, err := json.Marshal(Delivery{ItemID: 1, Level: 2})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if containsBytes(data, `"true_utility"`) {
+		t.Errorf("zero TrueUtility serialized: %s", data)
+	}
+	data, err = json.Marshal(Delivery{ItemID: 1, Level: 2, TrueUtility: 0.4})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !containsBytes(data, `"true_utility"`) {
+		t.Errorf("nonzero TrueUtility dropped: %s", data)
+	}
+}
+
+func TestPresentationJSONOmitsAudioFieldsForMeta(t *testing.T) {
+	data, err := json.Marshal(Presentation{Level: 1, Size: 200, Utility: 0.01, Label: "meta"})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, absent := range []string{`"duration_sec"`, `"sample_rate_hz"`, `"bitrate_kbps"`} {
+		if containsBytes(data, absent) {
+			t.Errorf("metadata-only presentation serialized %s: %s", absent, data)
+		}
+	}
+}
+
+func containsBytes(data []byte, sub string) bool {
+	return bytes.Contains(data, []byte(sub))
+}

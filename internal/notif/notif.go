@@ -1,0 +1,274 @@
+// Package notif defines the shared data model of the RichNote framework:
+// content items, presentation levels, rich items (an item bundled with its
+// generated presentations and utility scores), and delivered notifications.
+//
+// The model follows Section III of the RichNote paper (ICDCS 2016): a
+// content item i can be presented at discrete levels 1..k_i, where level 1
+// is the smallest presentation (essential metadata only) and level k_i the
+// largest. Level 0 is the implicit "not delivered" presentation with zero
+// size and zero utility. Presentations are strictly ordered in size and
+// monotone in utility.
+package notif
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// UserID identifies a user (both notification senders and recipients).
+type UserID int64
+
+// ItemID identifies a content item.
+type ItemID int64
+
+// ContentKind enumerates the media modality of a content item.
+type ContentKind int
+
+// Supported content kinds. Audio is the modality studied in the paper's
+// Spotify use case; Image and Video exercise the generality of the
+// presentation-generator interface.
+const (
+	KindAudio ContentKind = iota + 1
+	KindImage
+	KindVideo
+	KindText
+)
+
+// String returns a short human-readable name of the kind.
+func (k ContentKind) String() string {
+	switch k {
+	case KindAudio:
+		return "audio"
+	case KindImage:
+		return "image"
+	case KindVideo:
+		return "video"
+	case KindText:
+		return "text"
+	default:
+		return fmt.Sprintf("ContentKind(%d)", int(k))
+	}
+}
+
+// TopicKind enumerates the pub/sub topic classes used by the Spotify-style
+// notification service (Section II of the paper).
+type TopicKind int
+
+// Topic classes. FriendFeed publications are frequent and delivered in
+// (near) real time; ArtistPage and Playlist publications are less frequent
+// and suited to batch/round delivery.
+const (
+	TopicFriendFeed TopicKind = iota + 1
+	TopicArtistPage
+	TopicPlaylist
+)
+
+// String returns a short human-readable name of the topic kind.
+func (t TopicKind) String() string {
+	switch t {
+	case TopicFriendFeed:
+		return "friend-feed"
+	case TopicArtistPage:
+		return "artist-page"
+	case TopicPlaylist:
+		return "playlist"
+	default:
+		return fmt.Sprintf("TopicKind(%d)", int(t))
+	}
+}
+
+// Metadata carries the content attributes used by the content-utility
+// classifier: identifiers and popularity scores of the track, album and
+// artist (normalized 1..100 as returned by the Spotify public API), the
+// genre, and a remote link to the full content.
+type Metadata struct {
+	TrackID  int64 `json:"track_id"`
+	AlbumID  int64 `json:"album_id"`
+	ArtistID int64 `json:"artist_id"`
+
+	// Popularity scores in [1, 100].
+	TrackPopularity  float64 `json:"track_popularity"`
+	AlbumPopularity  float64 `json:"album_popularity"`
+	ArtistPopularity float64 `json:"artist_popularity"`
+
+	Genre int    `json:"genre"`
+	URL   string `json:"url"`
+}
+
+// Item is a single content item a notification may be generated for.
+type Item struct {
+	ID        ItemID      `json:"id"`
+	Kind      ContentKind `json:"kind"`
+	Topic     TopicKind   `json:"topic"`
+	Sender    UserID      `json:"sender"`
+	Recipient UserID      `json:"recipient"`
+	CreatedAt time.Time   `json:"created_at"`
+	Meta      Metadata    `json:"meta"`
+
+	// TieStrength is the social-tie strength between sender and recipient
+	// in [0, 1], resolved from the social graph when the item enters the
+	// system. Zero when sender and recipient are not connected.
+	TieStrength float64 `json:"tie_strength"`
+}
+
+// Presentation is one discrete presentation level of a content item.
+type Presentation struct {
+	// Level is the 1-based presentation level. Level 0 (the "not sent"
+	// presentation) is never materialized as a Presentation value.
+	Level int `json:"level"`
+
+	// Size is the total byte size of the presentation, including metadata
+	// and any media sample.
+	Size int64 `json:"size"`
+
+	// Utility is the presentation utility Up(i, j) in [0, 1], relative to
+	// the richest presentation of the item.
+	Utility float64 `json:"utility"`
+
+	// Audio presentation attributes. Zero for non-audio content.
+	DurationSec  float64 `json:"duration_sec,omitempty"`
+	SampleRateHz int     `json:"sample_rate_hz,omitempty"`
+	BitrateKbps  int     `json:"bitrate_kbps,omitempty"`
+
+	// Label is a short human-readable description such as "meta+10s".
+	Label string `json:"label,omitempty"`
+}
+
+// RichItem bundles a content item with its generated presentations and its
+// content utility Uc(i). It is the unit of work in the scheduling queue.
+type RichItem struct {
+	Item Item
+
+	// ContentUtility is Uc(i) in [0, 1]: the predicted probability that the
+	// recipient consumes the content.
+	ContentUtility float64
+
+	// Presentations holds levels 1..k in ascending level order.
+	// Presentations[j-1].Level == j for every j.
+	Presentations []Presentation
+
+	// ArrivedRound is the round index at which the item entered the
+	// scheduling queue.
+	ArrivedRound int
+}
+
+// Levels returns k, the number of explicit presentation levels.
+func (r *RichItem) Levels() int { return len(r.Presentations) }
+
+// At returns the presentation at the given level. Level 0 returns the zero
+// Presentation (zero size, zero utility), matching the paper's "no
+// presentation at all".
+func (r *RichItem) At(level int) Presentation {
+	if level <= 0 || level > len(r.Presentations) {
+		return Presentation{Level: 0}
+	}
+	return r.Presentations[level-1]
+}
+
+// Utility returns the combined utility U(i, j) = Uc(i) x Up(i, j) of
+// delivering the item at the given level (Equation 1 of the paper).
+func (r *RichItem) Utility(level int) float64 {
+	return r.ContentUtility * r.At(level).Utility
+}
+
+// TotalSize returns s(i) = sum over all presentation levels of s(i, j).
+// This is the weight an item contributes to the scheduling queue backlog:
+// when an item is delivered at any level, all of its presentations leave
+// the queue (Section IV of the paper).
+func (r *RichItem) TotalSize() int64 {
+	var total int64
+	for _, p := range r.Presentations {
+		total += p.Size
+	}
+	return total
+}
+
+// MaxLevelWithin returns the largest level whose size fits the byte budget,
+// or 0 when even level 1 does not fit.
+func (r *RichItem) MaxLevelWithin(budget int64) int {
+	best := 0
+	for _, p := range r.Presentations {
+		if p.Size <= budget {
+			best = p.Level
+		}
+	}
+	return best
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrNoPresentations   = errors.New("notif: rich item has no presentations")
+	ErrLevelOrder        = errors.New("notif: presentation levels are not 1..k in order")
+	ErrSizeNotIncreasing = errors.New("notif: presentation sizes are not strictly increasing")
+	ErrUtilityNotMono    = errors.New("notif: presentation utilities are not monotonically non-decreasing")
+	ErrUtilityRange      = errors.New("notif: utility out of [0, 1]")
+)
+
+// Validate checks the structural invariants the paper assumes of a rich
+// item: levels numbered 1..k, sizes strictly increasing, presentation
+// utilities monotone non-decreasing, and all utilities within [0, 1].
+func (r *RichItem) Validate() error {
+	if len(r.Presentations) == 0 {
+		return fmt.Errorf("item %d: %w", r.Item.ID, ErrNoPresentations)
+	}
+	if r.ContentUtility < 0 || r.ContentUtility > 1 {
+		return fmt.Errorf("item %d: content utility %f: %w", r.Item.ID, r.ContentUtility, ErrUtilityRange)
+	}
+	for idx, p := range r.Presentations {
+		if p.Level != idx+1 {
+			return fmt.Errorf("item %d: level %d at index %d: %w", r.Item.ID, p.Level, idx, ErrLevelOrder)
+		}
+		if p.Utility < 0 || p.Utility > 1 {
+			return fmt.Errorf("item %d level %d: utility %f: %w", r.Item.ID, p.Level, p.Utility, ErrUtilityRange)
+		}
+		if idx > 0 {
+			prev := r.Presentations[idx-1]
+			if p.Size <= prev.Size {
+				return fmt.Errorf("item %d level %d: size %d <= %d: %w",
+					r.Item.ID, p.Level, p.Size, prev.Size, ErrSizeNotIncreasing)
+			}
+			if p.Utility < prev.Utility {
+				return fmt.Errorf("item %d level %d: utility %f < %f: %w",
+					r.Item.ID, p.Level, p.Utility, prev.Utility, ErrUtilityNotMono)
+			}
+		}
+	}
+	return nil
+}
+
+// Delivery records one delivered notification: which item, at what level,
+// its cost and value, and the timing needed for the queuing-delay and
+// precision metrics.
+type Delivery struct {
+	ItemID    ItemID  `json:"item_id"`
+	Recipient UserID  `json:"recipient"`
+	Level     int     `json:"level"`
+	Size      int64   `json:"size"`
+	Utility   float64 `json:"utility"`
+
+	// TrueUtility scores the delivery against the ground-truth interest
+	// probability instead of the predicted one, when the workload knows it
+	// (synthetic traces). Zero when unavailable.
+	TrueUtility float64 `json:"true_utility,omitempty"`
+
+	EnergyJ float64 `json:"energy_j"`
+
+	// ArrivedRound and DeliveredRound bracket the item's time in the
+	// broker; their difference (in rounds) is the queuing delay.
+	ArrivedRound   int `json:"arrived_round"`
+	DeliveredRound int `json:"delivered_round"`
+
+	// DeliveredAt is the virtual delivery time.
+	DeliveredAt time.Time `json:"delivered_at"`
+}
+
+// QueuingDelayRounds returns the number of rounds the item waited in the
+// broker before delivery.
+func (d Delivery) QueuingDelayRounds() int {
+	delay := d.DeliveredRound - d.ArrivedRound
+	if delay < 0 {
+		return 0
+	}
+	return delay
+}

@@ -1,0 +1,151 @@
+package notif
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRichItem() RichItem {
+	return RichItem{
+		Item: Item{
+			ID: 7, Kind: KindAudio, Topic: TopicFriendFeed,
+			Sender: 1, Recipient: 2,
+			CreatedAt: time.Date(2015, 1, 1, 12, 0, 0, 0, time.UTC),
+		},
+		ContentUtility: 0.8,
+		Presentations: []Presentation{
+			{Level: 1, Size: 200, Utility: 0.01, Label: "meta"},
+			{Level: 2, Size: 100_200, Utility: 0.4, Label: "meta+5s"},
+			{Level: 3, Size: 200_200, Utility: 0.6, Label: "meta+10s"},
+		},
+	}
+}
+
+func TestRichItemAt(t *testing.T) {
+	r := sampleRichItem()
+	if got := r.At(0); got.Size != 0 || got.Utility != 0 || got.Level != 0 {
+		t.Fatalf("At(0) = %+v, want zero presentation", got)
+	}
+	if got := r.At(2); got.Size != 100_200 {
+		t.Fatalf("At(2).Size = %d, want 100200", got.Size)
+	}
+	if got := r.At(99); got.Level != 0 {
+		t.Fatalf("At(out of range) = %+v, want zero presentation", got)
+	}
+}
+
+func TestRichItemUtilityCombines(t *testing.T) {
+	r := sampleRichItem()
+	want := 0.8 * 0.6
+	if got := r.Utility(3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Utility(3) = %f, want %f", got, want)
+	}
+	if got := r.Utility(0); got != 0 {
+		t.Fatalf("Utility(0) = %f, want 0", got)
+	}
+}
+
+func TestRichItemTotalSize(t *testing.T) {
+	r := sampleRichItem()
+	want := int64(200 + 100_200 + 200_200)
+	if got := r.TotalSize(); got != want {
+		t.Fatalf("TotalSize = %d, want %d", got, want)
+	}
+}
+
+func TestRichItemMaxLevelWithin(t *testing.T) {
+	r := sampleRichItem()
+	cases := []struct {
+		budget int64
+		want   int
+	}{
+		{0, 0},
+		{199, 0},
+		{200, 1},
+		{100_199, 1},
+		{100_200, 2},
+		{1 << 30, 3},
+	}
+	for _, tc := range cases {
+		if got := r.MaxLevelWithin(tc.budget); got != tc.want {
+			t.Errorf("MaxLevelWithin(%d) = %d, want %d", tc.budget, got, tc.want)
+		}
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	r := sampleRichItem()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := sampleRichItem()
+	cases := []struct {
+		name   string
+		mutate func(*RichItem)
+	}{
+		{"no presentations", func(r *RichItem) { r.Presentations = nil }},
+		{"bad level numbering", func(r *RichItem) { r.Presentations[1].Level = 5 }},
+		{"non-increasing size", func(r *RichItem) { r.Presentations[2].Size = 50 }},
+		{"decreasing utility", func(r *RichItem) { r.Presentations[2].Utility = 0.1 }},
+		{"utility above one", func(r *RichItem) { r.Presentations[2].Utility = 1.5 }},
+		{"content utility out of range", func(r *RichItem) { r.ContentUtility = -0.1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base
+			r.Presentations = append([]Presentation(nil), base.Presentations...)
+			tc.mutate(&r)
+			if err := r.Validate(); err == nil {
+				t.Fatal("Validate accepted malformed item")
+			}
+		})
+	}
+}
+
+func TestDeliveryQueuingDelay(t *testing.T) {
+	d := Delivery{ArrivedRound: 3, DeliveredRound: 7}
+	if got := d.QueuingDelayRounds(); got != 4 {
+		t.Fatalf("delay = %d, want 4", got)
+	}
+	d = Delivery{ArrivedRound: 7, DeliveredRound: 3}
+	if got := d.QueuingDelayRounds(); got != 0 {
+		t.Fatalf("negative delay clamped to %d, want 0", got)
+	}
+}
+
+func TestKindAndTopicStrings(t *testing.T) {
+	if KindAudio.String() != "audio" || KindVideo.String() != "video" {
+		t.Fatal("ContentKind.String mismatch")
+	}
+	if TopicFriendFeed.String() != "friend-feed" || TopicPlaylist.String() != "playlist" {
+		t.Fatal("TopicKind.String mismatch")
+	}
+	if ContentKind(99).String() == "" || TopicKind(99).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+}
+
+// Property: MaxLevelWithin is monotone in the budget and consistent with At.
+func TestMaxLevelWithinProperty(t *testing.T) {
+	r := sampleRichItem()
+	prop := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ll, lh := r.MaxLevelWithin(lo), r.MaxLevelWithin(hi)
+		if ll > lh {
+			return false
+		}
+		// The chosen level always fits its budget.
+		return r.At(ll).Size <= lo && r.At(lh).Size <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package pubsub
+
+import (
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func TestSubscribeCadenceValidation(t *testing.T) {
+	b := NewBroker()
+	if err := b.SubscribeCadence(1, topicA(), ModeRound, 0, func([]notif.Item) {}); err == nil {
+		t.Fatal("cadence 0 accepted")
+	}
+	if err := b.SubscribeCadence(1, topicA(), ModeRound, -3, func([]notif.Item) {}); err == nil {
+		t.Fatal("negative cadence accepted")
+	}
+}
+
+func TestCadenceDrainsOnMultiplesOnly(t *testing.T) {
+	b := NewBroker()
+	var batches [][]notif.Item
+	if err := b.SubscribeCadence(1, topicA(), ModeRound, 3, func(items []notif.Item) {
+		batches = append(batches, items)
+	}); err != nil {
+		t.Fatalf("SubscribeCadence: %v", err)
+	}
+	// One publication per round over 9 rounds: drains at rounds 0, 3, 6.
+	for round := 0; round < 9; round++ {
+		b.Publish(topicA(), item(int64(round)))
+		b.EndRoundIndex(round)
+	}
+	if len(batches) != 3 {
+		t.Fatalf("%d drains, want 3 (rounds 0, 3, 6)", len(batches))
+	}
+	// Round 0 drains the single item published that round; later drains
+	// carry the accumulated three rounds.
+	if len(batches[0]) != 1 || len(batches[1]) != 3 || len(batches[2]) != 3 {
+		t.Fatalf("batch sizes %d/%d/%d, want 1/3/3",
+			len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+}
+
+func TestCadenceOneMatchesEveryRound(t *testing.T) {
+	b := NewBroker()
+	drains := 0
+	if err := b.Subscribe(1, topicA(), ModeRound, func([]notif.Item) { drains++ }); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	for round := 0; round < 5; round++ {
+		b.Publish(topicA(), item(int64(round)))
+		b.EndRoundIndex(round)
+	}
+	if drains != 5 {
+		t.Fatalf("%d drains with cadence 1, want 5", drains)
+	}
+}
+
+func TestMixedCadencesAreIndependent(t *testing.T) {
+	b := NewBroker()
+	fast, slow := 0, 0
+	if err := b.SubscribeCadence(1, topicA(), ModeRound, 1, func(items []notif.Item) {
+		fast += len(items)
+	}); err != nil {
+		t.Fatalf("SubscribeCadence: %v", err)
+	}
+	other := TopicID{Kind: notif.TopicArtistPage, Entity: 8}
+	if err := b.SubscribeCadence(1, other, ModeRound, 4, func(items []notif.Item) {
+		slow += len(items)
+	}); err != nil {
+		t.Fatalf("SubscribeCadence: %v", err)
+	}
+	for round := 0; round < 8; round++ {
+		b.Publish(topicA(), item(int64(round)))
+		b.Publish(other, item(int64(100+round)))
+		b.EndRoundIndex(round)
+	}
+	if fast != 8 {
+		t.Fatalf("fast topic delivered %d, want all 8", fast)
+	}
+	// Cadence 4 drains at rounds 0 and 4: rounds 0..4 published 5 items by
+	// round 4's drain; rounds 5..7 remain pending.
+	if slow != 5 {
+		t.Fatalf("slow topic delivered %d, want 5 (pending ones wait)", slow)
+	}
+	// EndRound (unfiltered) flushes the stragglers.
+	b.EndRound()
+	if slow != 8 {
+		t.Fatalf("slow topic delivered %d after full flush, want 8", slow)
+	}
+}
+
+func TestResubscribeUpdatesCadence(t *testing.T) {
+	b := NewBroker()
+	drains := 0
+	h := func([]notif.Item) { drains++ }
+	if err := b.SubscribeCadence(1, topicA(), ModeRound, 5, h); err != nil {
+		t.Fatalf("SubscribeCadence: %v", err)
+	}
+	if err := b.SubscribeCadence(1, topicA(), ModeRound, 1, h); err != nil {
+		t.Fatalf("re-SubscribeCadence: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	b.EndRoundIndex(1) // not a multiple of 5; must drain under cadence 1
+	if drains != 1 {
+		t.Fatalf("resubscription kept the old cadence")
+	}
+}

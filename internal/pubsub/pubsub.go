@@ -1,0 +1,231 @@
+// Package pubsub implements the topic-based publish/subscribe substrate of
+// Section II: the hybrid engine Spotify deploys for notification delivery.
+// Topics correspond to friends (friend feeds), artist pages and public
+// playlists. Publications are notifications about friends streaming
+// tracks, album releases and playlist updates.
+//
+// Three delivery modes are supported, mirroring the paper:
+//
+//   - RealTime: the publication is handed to subscribers immediately.
+//   - Batch: publications accumulate and are handed over on explicit Flush
+//     (Spotify's batch mode for albums/playlists).
+//   - Round: the middle ground RichNote introduces — publications are
+//     buffered and drained once per scheduling round.
+//
+// The broker is safe for concurrent publishers; handlers are invoked on
+// the publishing (or flushing) goroutine.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// TopicID names a topic: a kind plus the entity it concerns (the friend,
+// artist or playlist).
+type TopicID struct {
+	Kind   notif.TopicKind
+	Entity int64
+}
+
+// String renders the topic.
+func (t TopicID) String() string { return fmt.Sprintf("%s:%d", t.Kind, t.Entity) }
+
+// Mode selects how publications reach a subscriber.
+type Mode int
+
+// Delivery modes.
+const (
+	ModeRealTime Mode = iota + 1
+	ModeBatch
+	ModeRound
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeRealTime:
+		return "real-time"
+	case ModeBatch:
+		return "batch"
+	case ModeRound:
+		return "round"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Handler consumes publications for one subscriber. Batched modes receive
+// multiple items per call.
+type Handler func(items []notif.Item)
+
+// Errors returned by the broker.
+var (
+	ErrNilHandler    = errors.New("pubsub: nil handler")
+	ErrBadMode       = errors.New("pubsub: invalid delivery mode")
+	ErrNotSubscribed = errors.New("pubsub: not subscribed")
+)
+
+type subscription struct {
+	user    notif.UserID
+	mode    Mode
+	handler Handler
+	pending []notif.Item
+	// cadence applies to round mode: the subscription drains every
+	// cadence-th round (Section II: round duration proportional to feed
+	// frequency — friend feeds every round, artist/playlist feeds every
+	// few). Always >= 1.
+	cadence int
+}
+
+// Broker is a topic-based pub/sub broker.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[TopicID]map[notif.UserID]*subscription
+
+	published uint64
+	delivered uint64
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: make(map[TopicID]map[notif.UserID]*subscription)}
+}
+
+// Subscribe registers the user on a topic with the given mode and handler.
+// Re-subscribing replaces the previous subscription (pending items are
+// retained only when the mode is unchanged).
+func (b *Broker) Subscribe(user notif.UserID, topic TopicID, mode Mode, h Handler) error {
+	return b.SubscribeCadence(user, topic, mode, 1, h)
+}
+
+// ErrBadCadence is returned for non-positive round cadences.
+var ErrBadCadence = errors.New("pubsub: cadence must be >= 1")
+
+// SubscribeCadence registers a subscription whose round-mode drains only
+// every cadence-th round, implementing the paper's per-feed round tuning:
+// frequent feeds (friend activity) drain every round, infrequent ones
+// (album releases, playlist updates) every few rounds. Cadence is ignored
+// for real-time and batch modes.
+func (b *Broker) SubscribeCadence(user notif.UserID, topic TopicID, mode Mode, cadence int, h Handler) error {
+	if h == nil {
+		return ErrNilHandler
+	}
+	if mode != ModeRealTime && mode != ModeBatch && mode != ModeRound {
+		return fmt.Errorf("%w: %d", ErrBadMode, int(mode))
+	}
+	if cadence < 1 {
+		return fmt.Errorf("%w: %d", ErrBadCadence, cadence)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.topics[topic]
+	if subs == nil {
+		subs = make(map[notif.UserID]*subscription)
+		b.topics[topic] = subs
+	}
+	if prev, ok := subs[user]; ok && prev.mode == mode {
+		prev.handler = h
+		prev.cadence = cadence
+		return nil
+	}
+	subs[user] = &subscription{user: user, mode: mode, handler: h, cadence: cadence}
+	return nil
+}
+
+// Unsubscribe removes the user's subscription from the topic. Pending
+// batched items are dropped.
+func (b *Broker) Unsubscribe(user notif.UserID, topic TopicID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.topics[topic]
+	if _, ok := subs[user]; !ok {
+		return fmt.Errorf("%w: user %d topic %s", ErrNotSubscribed, user, topic)
+	}
+	delete(subs, user)
+	if len(subs) == 0 {
+		delete(b.topics, topic)
+	}
+	return nil
+}
+
+// Publish delivers the item on a topic. Real-time subscribers are invoked
+// synchronously; batch and round subscribers accumulate the item.
+func (b *Broker) Publish(topic TopicID, item notif.Item) {
+	b.mu.Lock()
+	b.published++
+	var immediate []*subscription
+	for _, sub := range b.topics[topic] {
+		switch sub.mode {
+		case ModeRealTime:
+			immediate = append(immediate, sub)
+			b.delivered++
+		default:
+			sub.pending = append(sub.pending, item)
+		}
+	}
+	b.mu.Unlock()
+	// Invoke handlers outside the lock: handlers may re-enter the broker.
+	for _, sub := range immediate {
+		sub.handler([]notif.Item{item})
+	}
+}
+
+// flushModes drains pending items of subscriptions matching the
+// predicate, across all topics, grouped per subscription.
+func (b *Broker) flushModes(match func(*subscription) bool) {
+	type flushUnit struct {
+		handler Handler
+		items   []notif.Item
+	}
+	b.mu.Lock()
+	var units []flushUnit
+	for _, subs := range b.topics {
+		for _, sub := range subs {
+			if match(sub) && len(sub.pending) > 0 {
+				units = append(units, flushUnit{handler: sub.handler, items: sub.pending})
+				b.delivered += uint64(len(sub.pending))
+				sub.pending = nil
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, u := range units {
+		u.handler(u.items)
+	}
+}
+
+// FlushBatch drains batch-mode subscriptions (Spotify's batch delivery).
+func (b *Broker) FlushBatch() {
+	b.flushModes(func(s *subscription) bool { return s.mode == ModeBatch })
+}
+
+// EndRound drains every round-mode subscription regardless of cadence.
+func (b *Broker) EndRound() {
+	b.flushModes(func(s *subscription) bool { return s.mode == ModeRound })
+}
+
+// EndRoundIndex drains round-mode subscriptions whose cadence divides the
+// given round index; the Live scheduler calls this once per round.
+func (b *Broker) EndRoundIndex(round int) {
+	b.flushModes(func(s *subscription) bool {
+		return s.mode == ModeRound && round%s.cadence == 0
+	})
+}
+
+// Stats reports broker counters.
+type Stats struct {
+	Published uint64
+	Delivered uint64
+	Topics    int
+}
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Published: b.published, Delivered: b.delivered, Topics: len(b.topics)}
+}

@@ -1,0 +1,223 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func topicA() TopicID { return TopicID{Kind: notif.TopicFriendFeed, Entity: 1} }
+
+func item(id int64) notif.Item { return notif.Item{ID: notif.ItemID(id)} }
+
+func TestSubscribeValidation(t *testing.T) {
+	b := NewBroker()
+	if err := b.Subscribe(1, topicA(), ModeRealTime, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if err := b.Subscribe(1, topicA(), Mode(99), func([]notif.Item) {}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestRealTimeDelivery(t *testing.T) {
+	b := NewBroker()
+	var got []notif.Item
+	if err := b.Subscribe(1, topicA(), ModeRealTime, func(items []notif.Item) {
+		got = append(got, items...)
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(10))
+	b.Publish(topicA(), item(11))
+	if len(got) != 2 || got[0].ID != 10 || got[1].ID != 11 {
+		t.Fatalf("real-time delivery got %+v", got)
+	}
+}
+
+func TestBatchModeBuffersUntilFlush(t *testing.T) {
+	b := NewBroker()
+	var got []notif.Item
+	if err := b.Subscribe(1, topicA(), ModeBatch, func(items []notif.Item) {
+		got = append(got, items...)
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	b.Publish(topicA(), item(2))
+	if len(got) != 0 {
+		t.Fatalf("batch items delivered before flush: %v", got)
+	}
+	b.FlushBatch()
+	if len(got) != 2 {
+		t.Fatalf("flush delivered %d items, want 2", len(got))
+	}
+	// Flush again: nothing pending.
+	got = nil
+	b.FlushBatch()
+	if len(got) != 0 {
+		t.Fatal("second flush redelivered items")
+	}
+}
+
+func TestRoundModeDrainedByEndRound(t *testing.T) {
+	b := NewBroker()
+	var rounds [][]notif.Item
+	if err := b.Subscribe(1, topicA(), ModeRound, func(items []notif.Item) {
+		rounds = append(rounds, items)
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	b.EndRound()
+	b.Publish(topicA(), item(2))
+	b.Publish(topicA(), item(3))
+	b.EndRound()
+	if len(rounds) != 2 {
+		t.Fatalf("%d round handoffs, want 2", len(rounds))
+	}
+	if len(rounds[0]) != 1 || len(rounds[1]) != 2 {
+		t.Fatalf("round sizes %d/%d, want 1/2", len(rounds[0]), len(rounds[1]))
+	}
+	// FlushBatch must not touch round-mode subscriptions.
+	b.Publish(topicA(), item(4))
+	b.FlushBatch()
+	if len(rounds) != 2 {
+		t.Fatal("FlushBatch drained a round-mode subscription")
+	}
+}
+
+func TestTopicsAreIsolated(t *testing.T) {
+	b := NewBroker()
+	other := TopicID{Kind: notif.TopicArtistPage, Entity: 7}
+	var gotA, gotB int
+	if err := b.Subscribe(1, topicA(), ModeRealTime, func(items []notif.Item) { gotA += len(items) }); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := b.Subscribe(1, other, ModeRealTime, func(items []notif.Item) { gotB += len(items) }); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	if gotA != 1 || gotB != 0 {
+		t.Fatalf("cross-topic leak: a=%d b=%d", gotA, gotB)
+	}
+}
+
+func TestMultipleSubscribersReceiveSameItem(t *testing.T) {
+	b := NewBroker()
+	var got1, got2 int
+	if err := b.Subscribe(1, topicA(), ModeRealTime, func(items []notif.Item) { got1 += len(items) }); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := b.Subscribe(2, topicA(), ModeRealTime, func(items []notif.Item) { got2 += len(items) }); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	if got1 != 1 || got2 != 1 {
+		t.Fatalf("fanout got %d/%d, want 1/1", got1, got2)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	got := 0
+	if err := b.Subscribe(1, topicA(), ModeRealTime, func(items []notif.Item) { got += len(items) }); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := b.Unsubscribe(1, topicA()); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	if got != 0 {
+		t.Fatal("unsubscribed handler invoked")
+	}
+	if err := b.Unsubscribe(1, topicA()); err == nil {
+		t.Fatal("double unsubscribe accepted")
+	}
+}
+
+func TestResubscribeChangesMode(t *testing.T) {
+	b := NewBroker()
+	var got []notif.Item
+	h := func(items []notif.Item) { got = append(got, items...) }
+	if err := b.Subscribe(1, topicA(), ModeBatch, h); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	// Switch to real-time: pending batch item is dropped with the old
+	// subscription, new publications arrive immediately.
+	if err := b.Subscribe(1, topicA(), ModeRealTime, h); err != nil {
+		t.Fatalf("re-Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(2))
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("after mode switch got %+v, want only item 2", got)
+	}
+}
+
+func TestHandlerMayReenterBroker(t *testing.T) {
+	b := NewBroker()
+	reentered := false
+	if err := b.Subscribe(1, topicA(), ModeRealTime, func([]notif.Item) {
+		if !reentered {
+			reentered = true
+			b.Publish(TopicID{Kind: notif.TopicPlaylist, Entity: 2}, item(99))
+		}
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1)) // must not deadlock
+	if !reentered {
+		t.Fatal("handler did not run")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBroker()
+	if err := b.Subscribe(1, topicA(), ModeRound, func([]notif.Item) {}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topicA(), item(1))
+	b.Publish(topicA(), item(2))
+	st := b.Stats()
+	if st.Published != 2 || st.Delivered != 0 || st.Topics != 1 {
+		t.Fatalf("stats before drain %+v", st)
+	}
+	b.EndRound()
+	st = b.Stats()
+	if st.Delivered != 2 {
+		t.Fatalf("delivered %d after drain, want 2", st.Delivered)
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := NewBroker()
+	var mu sync.Mutex
+	count := 0
+	if err := b.Subscribe(1, topicA(), ModeRealTime, func(items []notif.Item) {
+		mu.Lock()
+		count += len(items)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	var wg sync.WaitGroup
+	const publishers, per = 8, 200
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Publish(topicA(), item(int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	if count != publishers*per {
+		t.Fatalf("delivered %d, want %d", count, publishers*per)
+	}
+	if st := b.Stats(); st.Published != publishers*per {
+		t.Fatalf("published %d, want %d", st.Published, publishers*per)
+	}
+}

@@ -1,0 +1,328 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/richnote/richnote/internal/energy"
+	"github.com/richnote/richnote/internal/lyapunov"
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// DeviceConfig wires one user's device state.
+type DeviceConfig struct {
+	User     notif.UserID
+	Strategy Strategy
+
+	// WeeklyBudgetBytes is the user's cellular data-plan budget per week;
+	// the per-round increment θ is WeeklyBudgetBytes / RoundsPerWeek.
+	WeeklyBudgetBytes int64
+	// RoundsPerWeek defaults to 168 (hourly rounds).
+	RoundsPerWeek int
+
+	// Epoch and RoundLen place rounds on the wall clock (for battery
+	// diurnal patterns and delivery timestamps).
+	Epoch    time.Time
+	RoundLen time.Duration
+
+	Network  *network.Model
+	Capacity network.Capacity
+	Battery  *energy.Battery
+	Transfer energy.TransferModel
+
+	// Controller is required when Strategy is *RichNote; ignored otherwise.
+	Controller *lyapunov.Controller
+
+	// Collector receives metric events; required.
+	Collector *metrics.Collector
+
+	// MaxDeliveriesPerRound caps how many notifications the device accepts
+	// per round — the delivery queue drains at the pace of the user's
+	// attention, not instantaneously (pushing dozens of notifications per
+	// hour would overwhelm the user, the overload the paper's introduction
+	// warns about). Selections beyond the cap return to the scheduling
+	// queue with no budget consumed, exactly as Algorithm 2's
+	// budget-deduction-on-delivery prescribes. Zero means unlimited.
+	MaxDeliveriesPerRound int
+
+	// PerRoundBudget, when true, resets the data budget to θ each round
+	// instead of rolling it over. Algorithm 2 explicitly rolls unused
+	// budget over; industry push pipelines typically do not. Used by the
+	// baseline-variant ablation.
+	PerRoundBudget bool
+
+	// DropUndelivered, when true, clears the scheduling queue after every
+	// online round: items the round's budget could not afford are dropped
+	// instead of retried — the discipline of an industry batch digest,
+	// which sends today's batch and moves on. RichNote's persistent
+	// scheduling queue (Algorithm 2) never drops; this models the paper's
+	// FIFO/UTIL baselines as deployed in Spotify's real-time and batch
+	// modes.
+	DropUndelivered bool
+}
+
+// Validation errors.
+var (
+	ErrNilStrategy       = errors.New("sched: nil strategy")
+	ErrNilNetwork        = errors.New("sched: nil network model")
+	ErrNilBattery        = errors.New("sched: nil battery")
+	ErrNilCollector      = errors.New("sched: nil collector")
+	ErrNeedController    = errors.New("sched: RichNote strategy requires a Lyapunov controller")
+	ErrNonPositiveBudget = errors.New("sched: weekly budget must be positive")
+)
+
+// Device executes the per-round scheduling loop for one user.
+type Device struct {
+	cfg   DeviceConfig
+	theta float64 // per-round data-budget increment, bytes
+
+	queue  []Queued
+	budget float64 // accumulated cellular budget B(t), bytes
+
+	// kappa mirrors the controller's per-round energy target for
+	// replenishment; zero for baselines.
+	kappa float64
+}
+
+// NewDevice validates the configuration and returns a device.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	if cfg.Strategy == nil {
+		return nil, ErrNilStrategy
+	}
+	if cfg.Network == nil {
+		return nil, ErrNilNetwork
+	}
+	if cfg.Battery == nil {
+		return nil, ErrNilBattery
+	}
+	if cfg.Collector == nil {
+		return nil, ErrNilCollector
+	}
+	if cfg.WeeklyBudgetBytes <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNonPositiveBudget, cfg.WeeklyBudgetBytes)
+	}
+	if cfg.RoundsPerWeek <= 0 {
+		cfg.RoundsPerWeek = 168
+	}
+	if cfg.RoundLen <= 0 {
+		cfg.RoundLen = time.Hour
+	}
+	if _, isRichNote := cfg.Strategy.(*RichNote); isRichNote && cfg.Controller == nil {
+		return nil, ErrNeedController
+	}
+	d := &Device{
+		cfg:   cfg,
+		theta: float64(cfg.WeeklyBudgetBytes) / float64(cfg.RoundsPerWeek),
+	}
+	if cfg.Controller != nil {
+		d.kappa = cfg.Controller.Config().Kappa
+	}
+	return d, nil
+}
+
+// User returns the device's owner.
+func (d *Device) User() notif.UserID { return d.cfg.User }
+
+// QueueLen returns the scheduling-queue length.
+func (d *Device) QueueLen() int { return len(d.queue) }
+
+// Budget returns the accumulated cellular data budget in bytes.
+func (d *Device) Budget() float64 { return d.budget }
+
+// SetNetwork replaces the device's connectivity process mid-run, e.g. when
+// a user moves from cellular to home WiFi. The scheduling queue, budgets
+// and controller state persist.
+func (d *Device) SetNetwork(m *network.Model) error {
+	if m == nil {
+		return ErrNilNetwork
+	}
+	d.cfg.Network = m
+	return nil
+}
+
+// Enqueue adds newly arrived items to the scheduling queue and notifies
+// the metrics collector and Lyapunov controller.
+func (d *Device) Enqueue(items []Queued) error {
+	for i := range items {
+		if err := items[i].Rich.Validate(); err != nil {
+			return fmt.Errorf("sched: enqueue: %w", err)
+		}
+	}
+	for _, it := range items {
+		d.queue = append(d.queue, it)
+		d.cfg.Collector.OnArrive(d.cfg.User, it.Clicked)
+		if d.cfg.Controller != nil {
+			if err := d.cfg.Controller.OnArrive(float64(it.Rich.TotalSize()) / bytesPerMB); err != nil {
+				return fmt.Errorf("sched: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RoundResult summarizes one executed round.
+type RoundResult struct {
+	Round      int
+	State      network.State
+	Planned    int
+	Delivered  int
+	Bytes      int64
+	EnergyJ    float64
+	QueueAfter int
+}
+
+// RunRound executes Algorithm 2 for one round: budget update, energy
+// replenishment, network step, selection, delivery and queue settlement.
+func (d *Device) RunRound(round int) (RoundResult, error) {
+	res := RoundResult{Round: round}
+
+	// Step 2 of Algorithm 2: data and energy budget update.
+	if d.cfg.PerRoundBudget {
+		d.budget = d.theta // industry variant: unused budget evaporates
+	} else {
+		d.budget += d.theta
+	}
+	when := d.cfg.Epoch.Add(time.Duration(round) * d.cfg.RoundLen)
+	d.cfg.Battery.Tick(when.Hour())
+	if d.cfg.Controller != nil {
+		if _, err := d.cfg.Controller.Replenish(d.cfg.Battery.ReplenishRate(d.kappa)); err != nil {
+			return res, fmt.Errorf("sched: %w", err)
+		}
+	}
+
+	state := d.cfg.Network.Step()
+	res.State = state
+
+	if state.Online() && len(d.queue) > 0 {
+		if err := d.deliverRound(round, when, state, &res); err != nil {
+			return res, err
+		}
+	}
+	if d.cfg.Controller != nil {
+		d.cfg.Controller.EndRound()
+	}
+	res.QueueAfter = len(d.queue)
+	return res, nil
+}
+
+// deliverRound plans with the strategy and downloads selections subject to
+// link capacity, data plan and battery.
+func (d *Device) deliverRound(round int, when time.Time, state network.State, res *RoundResult) error {
+	linkCap := d.cfg.Capacity.For(state)
+	planBudget := float64(linkCap.Bytes)
+	if linkCap.BillsDataPlan {
+		planBudget = math.Min(planBudget, d.budget)
+	}
+	if planBudget <= 0 {
+		return nil
+	}
+	ctx := &PlanContext{
+		Round:       round,
+		BudgetBytes: planBudget,
+		Controller:  d.cfg.Controller,
+		EnergyJ: func(size int64) float64 {
+			j, err := d.cfg.Transfer.TransferJ(size, state)
+			if err != nil {
+				return 0 // offline states never reach here
+			}
+			return j
+		},
+	}
+	sels := d.cfg.Strategy.Plan(d.queue, ctx)
+	res.Planned = len(sels)
+	if len(sels) == 0 {
+		return nil
+	}
+
+	// Pay the radio batch overhead once per active round.
+	overhead := d.cfg.Transfer.BatchOverheadJ(state)
+	d.cfg.Battery.Spend(overhead)
+	d.cfg.Collector.OnEnergy(d.cfg.User, overhead)
+	res.EnergyJ += overhead
+
+	remainingLink := linkCap.Bytes
+	delivered := make(map[int]bool, len(sels))
+	for _, sel := range sels {
+		if d.cfg.MaxDeliveriesPerRound > 0 && res.Delivered >= d.cfg.MaxDeliveriesPerRound {
+			break // delivery queue pace: the rest re-plan next round
+		}
+		entry := &d.queue[sel.Index]
+		p := entry.Rich.At(sel.Level)
+		if p.Level == 0 {
+			continue // defensive: strategy returned an invalid level
+		}
+		if p.Size > remainingLink {
+			continue
+		}
+		if linkCap.BillsDataPlan && float64(p.Size) > d.budget {
+			continue
+		}
+		transferJ, err := d.cfg.Transfer.TransferJ(p.Size, state)
+		if err != nil {
+			return fmt.Errorf("sched: %w", err)
+		}
+		if spent := d.cfg.Battery.Spend(transferJ); spent < transferJ {
+			break // battery depleted: no further downloads this round
+		}
+
+		remainingLink -= p.Size
+		if linkCap.BillsDataPlan {
+			d.budget -= float64(p.Size) // step 3: budget deduction
+		}
+		if d.cfg.Controller != nil {
+			if err := d.cfg.Controller.OnDeliver(float64(entry.Rich.TotalSize())/bytesPerMB, transferJ); err != nil {
+				return fmt.Errorf("sched: %w", err)
+			}
+		}
+		delivery := notif.Delivery{
+			ItemID:         entry.Rich.Item.ID,
+			Recipient:      d.cfg.User,
+			Level:          p.Level,
+			Size:           p.Size,
+			Utility:        entry.Rich.Utility(p.Level),
+			TrueUtility:    entry.TrueUc * p.Utility,
+			EnergyJ:        transferJ,
+			ArrivedRound:   entry.Rich.ArrivedRound,
+			DeliveredRound: round,
+			DeliveredAt:    when,
+		}
+		d.cfg.Collector.OnDeliver(delivery, metrics.DeliveryOutcome{
+			Clicked:     entry.Clicked,
+			BeforeClick: entry.Clicked && round <= entry.ClickRound,
+		})
+		delivered[sel.Index] = true
+		res.Delivered++
+		res.Bytes += p.Size
+		res.EnergyJ += transferJ
+	}
+
+	if d.cfg.DropUndelivered {
+		// Batch-digest discipline: today's batch was offered; whatever the
+		// budget could not afford is dropped, not retried.
+		for i := range d.queue {
+			d.queue[i] = Queued{}
+		}
+		d.queue = d.queue[:0]
+		return nil
+	}
+	if len(delivered) > 0 {
+		// Drop all presentations of delivered items from the scheduling
+		// queue (Algorithm 2, step 3).
+		kept := d.queue[:0]
+		for qi := range d.queue {
+			if !delivered[qi] {
+				kept = append(kept, d.queue[qi])
+			}
+		}
+		// Zero the tail so released entries do not pin memory.
+		for i := len(kept); i < len(d.queue); i++ {
+			d.queue[i] = Queued{}
+		}
+		d.queue = kept
+	}
+	return nil
+}

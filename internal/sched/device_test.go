@@ -1,0 +1,300 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"github.com/richnote/richnote/internal/energy"
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/sim"
+)
+
+type deviceFixture struct {
+	device    *Device
+	collector *metrics.Collector
+}
+
+func newFixture(t *testing.T, strategy Strategy, opts ...func(*DeviceConfig)) *deviceFixture {
+	t.Helper()
+	rng := sim.NewRNG(1, sim.StreamNetwork)
+	net, err := network.NewModel(network.AlwaysCellMatrix(), network.StateCell, rng)
+	if err != nil {
+		t.Fatalf("network.NewModel: %v", err)
+	}
+	bat, err := energy.NewBattery(energy.BatteryConfig{}, sim.NewRNG(1, sim.StreamEnergy))
+	if err != nil {
+		t.Fatalf("NewBattery: %v", err)
+	}
+	col := metrics.NewCollector()
+	cfg := DeviceConfig{
+		User:              7,
+		Strategy:          strategy,
+		WeeklyBudgetBytes: 20 << 20, // 20 MB/week
+		Epoch:             time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		Network:           net,
+		Capacity:          network.DefaultCapacity(),
+		Battery:           bat,
+		Transfer:          energy.DefaultTransferModel(),
+		Collector:         col,
+	}
+	if _, ok := strategy.(*RichNote); ok {
+		cfg.Controller = newController(t)
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return &deviceFixture{device: d, collector: col}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	fx := newFixture(t, &RichNote{}) // establishes a valid base config
+	base := fx.device.cfg
+
+	cases := []struct {
+		name   string
+		mutate func(*DeviceConfig)
+	}{
+		{"nil strategy", func(c *DeviceConfig) { c.Strategy = nil }},
+		{"nil network", func(c *DeviceConfig) { c.Network = nil }},
+		{"nil battery", func(c *DeviceConfig) { c.Battery = nil }},
+		{"nil collector", func(c *DeviceConfig) { c.Collector = nil }},
+		{"zero budget", func(c *DeviceConfig) { c.WeeklyBudgetBytes = 0 }},
+		{"richnote without controller", func(c *DeviceConfig) { c.Controller = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := NewDevice(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestEnqueueValidatesItems(t *testing.T) {
+	fx := newFixture(t, &RichNote{})
+	bad := Queued{Rich: notif.RichItem{Item: notif.Item{ID: 1}}} // no presentations
+	if err := fx.device.Enqueue([]Queued{bad}); err == nil {
+		t.Fatal("malformed item accepted")
+	}
+}
+
+func TestBudgetAccrualAndRollover(t *testing.T) {
+	fx := newFixture(t, &RichNote{})
+	d := fx.device
+	// No items: budget accrues theta per round and rolls over.
+	for round := 0; round < 10; round++ {
+		if _, err := d.RunRound(round); err != nil {
+			t.Fatalf("RunRound: %v", err)
+		}
+	}
+	wantTheta := float64(20<<20) / 168
+	if got := d.Budget(); got < 9.9*wantTheta || got > 10.1*wantTheta {
+		t.Fatalf("budget after 10 idle rounds = %f, want ~%f", got, 10*wantTheta)
+	}
+}
+
+func TestDeviceDeliversAndSettlesQueue(t *testing.T) {
+	fx := newFixture(t, &RichNote{})
+	d := fx.device
+	items := []Queued{
+		{Rich: makeRich(t, 1, 0.9), Clicked: true, ClickRound: 5},
+		{Rich: makeRich(t, 2, 0.4)},
+	}
+	if err := d.Enqueue(items); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if d.QueueLen() != 2 {
+		t.Fatalf("queue %d, want 2", d.QueueLen())
+	}
+	var delivered int
+	for round := 0; round < 20 && d.QueueLen() > 0; round++ {
+		res, err := d.RunRound(round)
+		if err != nil {
+			t.Fatalf("RunRound: %v", err)
+		}
+		delivered += res.Delivered
+	}
+	if d.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d left", d.QueueLen())
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+	rep := fx.collector.Aggregate()
+	if rep.Delivered != 2 || rep.Arrived != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Recall() != 1 {
+		t.Fatalf("recall %f, want 1 (the clicked item was delivered)", rep.Recall())
+	}
+	if rep.EnergyJ <= 0 {
+		t.Fatal("no energy recorded")
+	}
+}
+
+func TestDeviceRespectsDataPlanBudget(t *testing.T) {
+	// Tiny weekly budget: only metadata presentations can ever be afforded
+	// by the baselines' fixed rich level, so UTIL delivers nothing early.
+	u, err := NewUtil(6)
+	if err != nil {
+		t.Fatalf("NewUtil: %v", err)
+	}
+	fx := newFixture(t, u, func(c *DeviceConfig) { c.WeeklyBudgetBytes = 1 << 20 }) // 1 MB/week
+	d := fx.device
+	if err := d.Enqueue([]Queued{{Rich: makeRich(t, 1, 0.9)}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	// Level 6 costs 800,200 bytes; theta is ~6.2 KB/round, so ~128 rounds
+	// must pass before the first delivery.
+	deliveredAt := -1
+	for round := 0; round < 168; round++ {
+		res, err := d.RunRound(round)
+		if err != nil {
+			t.Fatalf("RunRound: %v", err)
+		}
+		if res.Delivered > 0 {
+			deliveredAt = round
+			break
+		}
+	}
+	if deliveredAt < 100 {
+		t.Fatalf("level-6 delivery at round %d, want >= 100 (budget accrual)", deliveredAt)
+	}
+}
+
+func TestDeviceOfflineNeverDelivers(t *testing.T) {
+	offMatrix := network.Matrix{
+		{1, 0, 0},
+		{1, 0, 0},
+		{1, 0, 0},
+	}
+	rng := sim.NewRNG(2, sim.StreamNetwork)
+	net, err := network.NewModel(offMatrix, network.StateOff, rng)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	fx := newFixture(t, &RichNote{}, func(c *DeviceConfig) { c.Network = net })
+	d := fx.device
+	if err := d.Enqueue([]Queued{{Rich: makeRich(t, 1, 0.9)}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	for round := 0; round < 24; round++ {
+		res, err := d.RunRound(round)
+		if err != nil {
+			t.Fatalf("RunRound: %v", err)
+		}
+		if res.Delivered != 0 {
+			t.Fatal("delivered while offline")
+		}
+	}
+	if d.QueueLen() != 1 {
+		t.Fatal("queue mutated while offline")
+	}
+}
+
+func TestDeviceStopsWhenBatteryDepleted(t *testing.T) {
+	bat, err := energy.NewBattery(energy.BatteryConfig{
+		CapacityJ:    100,
+		InitialLevel: 0.02, // 2 J available: below one transfer
+		DrainPerHour: 0.001,
+		// Recharge window placed where rounds never land.
+		RechargeStartHour: 3, RechargeEndHour: 4,
+	}, sim.NewRNG(3, sim.StreamEnergy))
+	if err != nil {
+		t.Fatalf("NewBattery: %v", err)
+	}
+	fx := newFixture(t, &RichNote{}, func(c *DeviceConfig) {
+		c.Battery = bat
+		c.Epoch = time.Date(2015, 1, 1, 8, 0, 0, 0, time.UTC)
+	})
+	d := fx.device
+	if err := d.Enqueue([]Queued{{Rich: makeRich(t, 1, 0.9)}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	res, err := d.RunRound(0)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if res.Delivered != 0 {
+		t.Fatal("delivered with a depleted battery")
+	}
+}
+
+func TestWifiDoesNotBillDataPlan(t *testing.T) {
+	rng := sim.NewRNG(4, sim.StreamNetwork)
+	wifiMatrix := network.Matrix{
+		{0, 0, 1},
+		{0, 0, 1},
+		{0, 0, 1},
+	}
+	net, err := network.NewModel(wifiMatrix, network.StateWifi, rng)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	fx := newFixture(t, &RichNote{}, func(c *DeviceConfig) {
+		c.Network = net
+		c.WeeklyBudgetBytes = 1 << 20 // tiny plan
+	})
+	d := fx.device
+	if err := d.Enqueue([]Queued{{Rich: makeRich(t, 1, 0.9)}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	budgetBefore := d.Budget()
+	res, err := d.RunRound(0)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if res.Delivered != 1 {
+		t.Fatalf("wifi delivery count %d, want 1", res.Delivered)
+	}
+	wantTheta := float64(1<<20) / 168
+	if got := d.Budget(); got < budgetBefore+wantTheta-1 || got > budgetBefore+wantTheta+1 {
+		t.Fatalf("wifi delivery changed data plan budget: %f -> %f", budgetBefore, got)
+	}
+	// On abundant WiFi the scheduler picks a rich presentation even though
+	// the cellular plan is tiny — the Fig. 5(c) effect.
+	rep := fx.collector.Aggregate()
+	foundRich := false
+	for lvl := range rep.LevelCounts {
+		if lvl >= 4 {
+			foundRich = true
+		}
+	}
+	if !foundRich {
+		t.Fatalf("wifi delivery used levels %v, want a rich level (>= 4)", rep.LevelCounts)
+	}
+}
+
+func TestRoundResultQueueAfter(t *testing.T) {
+	fx := newFixture(t, &RichNote{})
+	d := fx.device
+	if err := d.Enqueue([]Queued{{Rich: makeRich(t, 1, 0.9)}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	res, err := d.RunRound(0)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if res.QueueAfter != d.QueueLen() {
+		t.Fatalf("QueueAfter %d != QueueLen %d", res.QueueAfter, d.QueueLen())
+	}
+}
+
+// offlineModel returns a network process pinned to OFF.
+func offlineModel(t *testing.T) *network.Model {
+	t.Helper()
+	m := network.Matrix{{1, 0, 0}, {1, 0, 0}, {1, 0, 0}}
+	model, err := network.NewModel(m, network.StateOff, sim.NewRNG(9, sim.StreamNetwork))
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return model
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func TestDropUndeliveredClearsQueue(t *testing.T) {
+	u, err := NewUtil(6)
+	if err != nil {
+		t.Fatalf("NewUtil: %v", err)
+	}
+	fx := newFixture(t, u, func(c *DeviceConfig) {
+		c.DropUndelivered = true
+		c.WeeklyBudgetBytes = 168 * 850_000 // one L6 item per round
+	})
+	d := fx.device
+	items := []Queued{
+		{Rich: makeRich(t, 1, 0.9)},
+		{Rich: makeRich(t, 2, 0.8)},
+		{Rich: makeRich(t, 3, 0.7)},
+	}
+	if err := d.Enqueue(items); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	res, err := d.RunRound(0)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	// Budget affords one item; the digest drops the other two.
+	if res.Delivered != 1 {
+		t.Fatalf("delivered %d, want 1", res.Delivered)
+	}
+	if d.QueueLen() != 0 {
+		t.Fatalf("queue %d after digest round, want 0 (dropped)", d.QueueLen())
+	}
+	// Best item won (utility order).
+	rep := fx.collector.Aggregate()
+	if rep.Delivered != 1 {
+		t.Fatalf("report delivered %d", rep.Delivered)
+	}
+}
+
+func TestDropUndeliveredKeepsQueueWhileOffline(t *testing.T) {
+	u, err := NewUtil(3)
+	if err != nil {
+		t.Fatalf("NewUtil: %v", err)
+	}
+	fx := newFixture(t, u, func(c *DeviceConfig) {
+		c.DropUndelivered = true
+		c.Network = offlineModel(t)
+	})
+	d := fx.device
+	if err := d.Enqueue([]Queued{{Rich: makeRich(t, 1, 0.9)}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if _, err := d.RunRound(0); err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if d.QueueLen() != 1 {
+		t.Fatalf("offline digest dropped queued items: queue %d, want 1", d.QueueLen())
+	}
+}
+
+func TestPerRoundBudgetDoesNotAccrue(t *testing.T) {
+	f, err := NewFIFO(3)
+	if err != nil {
+		t.Fatalf("NewFIFO: %v", err)
+	}
+	fx := newFixture(t, f, func(c *DeviceConfig) {
+		c.PerRoundBudget = true
+		c.WeeklyBudgetBytes = 10 << 20 // theta ~62 KB < one L3 item
+	})
+	d := fx.device
+	if err := d.Enqueue([]Queued{{Rich: makeRich(t, 1, 0.9)}}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	for round := 0; round < 50; round++ {
+		res, err := d.RunRound(round)
+		if err != nil {
+			t.Fatalf("RunRound: %v", err)
+		}
+		if res.Delivered != 0 {
+			t.Fatalf("per-round budget delivered an unaffordable item at round %d", round)
+		}
+	}
+	theta := float64(10<<20) / 168
+	if d.Budget() > theta+1 {
+		t.Fatalf("budget %f accrued beyond theta %f", d.Budget(), theta)
+	}
+}
+
+func TestMaxDeliveriesPerRoundCaps(t *testing.T) {
+	fx := newFixture(t, &RichNote{}, func(c *DeviceConfig) {
+		c.MaxDeliveriesPerRound = 2
+		c.WeeklyBudgetBytes = 1 << 30
+	})
+	d := fx.device
+	items := make([]Queued, 6)
+	for i := range items {
+		items[i] = Queued{Rich: makeRich(t, notif.ItemID(i+1), 0.5)}
+	}
+	if err := d.Enqueue(items); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	res, err := d.RunRound(0)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if res.Delivered != 2 {
+		t.Fatalf("delivered %d with cap 2, want 2", res.Delivered)
+	}
+	if d.QueueLen() != 4 {
+		t.Fatalf("queue %d, want 4 retained for later rounds", d.QueueLen())
+	}
+	// Subsequent rounds drain the rest.
+	total := res.Delivered
+	for round := 1; round < 5 && d.QueueLen() > 0; round++ {
+		r, err := d.RunRound(round)
+		if err != nil {
+			t.Fatalf("RunRound: %v", err)
+		}
+		total += r.Delivered
+	}
+	if total != 6 {
+		t.Fatalf("total delivered %d, want 6", total)
+	}
+}
+
+func TestUnlimitedDeliveriesByDefault(t *testing.T) {
+	fx := newFixture(t, &RichNote{}, func(c *DeviceConfig) {
+		c.WeeklyBudgetBytes = 1 << 30
+	})
+	d := fx.device
+	items := make([]Queued, 40)
+	for i := range items {
+		items[i] = Queued{Rich: makeRich(t, notif.ItemID(i+1), 0.5)}
+	}
+	if err := d.Enqueue(items); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	res, err := d.RunRound(0)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if res.Delivered != 40 {
+		t.Fatalf("delivered %d, want all 40 without a cap", res.Delivered)
+	}
+}
+
+func TestSetNetworkValidation(t *testing.T) {
+	fx := newFixture(t, &RichNote{})
+	if err := fx.device.SetNetwork(nil); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}

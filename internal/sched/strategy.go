@@ -1,0 +1,233 @@
+// Package sched implements RichNote's round-based notification scheduler
+// (Section IV, Algorithm 2) and the two industry baselines of Section V-C:
+//
+//   - RichNote: per round, Lyapunov-adjusted utilities feed the MCKP greedy
+//     of Algorithm 1, choosing a presentation level per queued item under
+//     the round's data budget; selections are delivered in descending
+//     utility order.
+//   - FIFO: delivers at a fixed presentation level in arrival order
+//     (Spotify's real-time mode).
+//   - UTIL: delivers at a fixed presentation level in descending utility
+//     order (Spotify's batch mode).
+//
+// A Device owns one user's scheduling queue, data budget, battery, network
+// process and (for RichNote) Lyapunov controller, and executes the
+// per-round sequence: replenish budgets, step the network, plan, deliver,
+// settle queues.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/richnote/richnote/internal/lyapunov"
+	"github.com/richnote/richnote/internal/mckp"
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// bytesPerMB converts queue backlogs to the megabyte scale used inside the
+// Lyapunov score, keeping the Q·s term commensurate with V·U at the
+// paper's V = 1000 (see EXPERIMENTS.md for the unit discussion).
+const bytesPerMB = 1 << 20
+
+// Queued is one scheduling-queue entry: the enriched item plus the ground
+// truth the metrics layer scores against.
+type Queued struct {
+	Rich notif.RichItem
+	// Clicked and ClickRound carry the trace ground truth.
+	Clicked    bool
+	ClickRound int
+	// TrueUc is the ground-truth content utility (latent click
+	// probability) when the workload knows it; used only by metrics, never
+	// by strategies.
+	TrueUc float64
+}
+
+// Selection chooses a presentation level for one queue entry.
+type Selection struct {
+	// Index refers into the queue slice passed to Plan.
+	Index int
+	// Level is the chosen presentation level (>= 1).
+	Level int
+}
+
+// PlanContext is the per-round state a strategy plans against.
+type PlanContext struct {
+	// Round is the current round index.
+	Round int
+	// BudgetBytes is the byte budget available to this round's plan: the
+	// accumulated data budget on cellular, or the link capacity on WiFi.
+	BudgetBytes float64
+	// Controller is the user's Lyapunov controller; nil for baselines.
+	Controller *lyapunov.Controller
+	// EnergyJ estimates the energy to download size bytes on the current
+	// network.
+	EnergyJ func(size int64) float64
+}
+
+// Strategy plans which queued items to deliver this round, at which levels,
+// in delivery order.
+type Strategy interface {
+	Name() string
+	Plan(queue []Queued, ctx *PlanContext) []Selection
+}
+
+// RichNote is the paper's scheduler.
+type RichNote struct {
+	// Options tunes the underlying MCKP greedy; the zero value follows the
+	// paper's variant with misfit skipping.
+	Options mckp.Options
+	// UseDominance switches to the Sinha-Zoltners LP-dominance greedy the
+	// paper cites as the original algorithm: dominated presentation levels
+	// are pruned per item, letting upgrades skip levels. With concave
+	// ladders the two variants coincide; under Lyapunov energy pressure
+	// they can differ.
+	UseDominance bool
+}
+
+var _ Strategy = (*RichNote)(nil)
+
+// Name implements Strategy.
+func (*RichNote) Name() string { return "richnote" }
+
+// Plan implements Strategy: it computes adjusted utilities
+// Ua(i, j) = Q·s(i) + (P−κ)·ρ(i, j) + V·U(i, j), solves the MCKP under the
+// round's byte budget and returns the selections sorted by descending
+// combined utility (Algorithm 2, step 1).
+func (s *RichNote) Plan(queue []Queued, ctx *PlanContext) []Selection {
+	if ctx.Controller == nil || len(queue) == 0 || ctx.BudgetBytes <= 0 {
+		return nil
+	}
+	groups := make([]mckp.Group, len(queue))
+	for qi := range queue {
+		rich := &queue[qi].Rich
+		totalMB := float64(rich.TotalSize()) / bytesPerMB
+		choices := make([]mckp.Choice, rich.Levels())
+		for j := 1; j <= rich.Levels(); j++ {
+			p := rich.At(j)
+			var energy float64
+			if ctx.EnergyJ != nil {
+				energy = ctx.EnergyJ(p.Size)
+			}
+			choices[j-1] = mckp.Choice{
+				Value:  ctx.Controller.Adjusted(totalMB, energy, rich.Utility(j)),
+				Weight: float64(p.Size),
+			}
+		}
+		groups[qi] = mckp.Group{Choices: choices}
+	}
+	var res mckp.Result
+	if s.UseDominance {
+		res = mckp.SelectGreedyDominance(groups, ctx.BudgetBytes)
+	} else {
+		res = mckp.SelectGreedy(groups, ctx.BudgetBytes, s.Options)
+	}
+	sels := make([]Selection, 0, len(res.Assignment))
+	for qi, level := range res.Assignment {
+		if level > 0 {
+			sels = append(sels, Selection{Index: qi, Level: level})
+		}
+	}
+	sort.Slice(sels, func(a, b int) bool {
+		ua := queue[sels[a].Index].Rich.Utility(sels[a].Level)
+		ub := queue[sels[b].Index].Rich.Utility(sels[b].Level)
+		return ua > ub
+	})
+	return sels
+}
+
+// ErrFixedLevel is returned by baseline constructors for bad levels.
+var ErrFixedLevel = errors.New("sched: fixed level must be >= 1")
+
+// FIFO is the arrival-order baseline with a fixed presentation level.
+type FIFO struct {
+	level int
+}
+
+var _ Strategy = (*FIFO)(nil)
+
+// NewFIFO returns a FIFO baseline delivering at the given level.
+func NewFIFO(level int) (*FIFO, error) {
+	if level < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrFixedLevel, level)
+	}
+	return &FIFO{level: level}, nil
+}
+
+// Name implements Strategy.
+func (f *FIFO) Name() string { return fmt.Sprintf("fifo-L%d", f.level) }
+
+// Plan implements Strategy: items in arrival order, fixed level, as many
+// as fit the budget. Items whose ladder is shorter than the fixed level
+// are delivered at their richest level (the paper's baselines always have
+// the full six-level ladder).
+func (f *FIFO) Plan(queue []Queued, ctx *PlanContext) []Selection {
+	return planFixed(queue, ctx, f.level, false)
+}
+
+// Util is the utility-descending baseline with a fixed presentation level.
+type Util struct {
+	level int
+}
+
+var _ Strategy = (*Util)(nil)
+
+// NewUtil returns a UTIL baseline delivering at the given level.
+func NewUtil(level int) (*Util, error) {
+	if level < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrFixedLevel, level)
+	}
+	return &Util{level: level}, nil
+}
+
+// Name implements Strategy.
+func (u *Util) Name() string { return fmt.Sprintf("util-L%d", u.level) }
+
+// Plan implements Strategy: highest combined utility first, fixed level.
+func (u *Util) Plan(queue []Queued, ctx *PlanContext) []Selection {
+	return planFixed(queue, ctx, u.level, true)
+}
+
+// planFixed shares the baseline logic: walk the queue (optionally utility-
+// sorted), take items at the fixed level while the budget lasts.
+func planFixed(queue []Queued, ctx *PlanContext, level int, byUtility bool) []Selection {
+	if len(queue) == 0 || ctx.BudgetBytes <= 0 {
+		return nil
+	}
+	order := make([]int, len(queue))
+	for i := range order {
+		order[i] = i
+	}
+	if byUtility {
+		sort.SliceStable(order, func(a, b int) bool {
+			la := clampLevel(&queue[order[a]].Rich, level)
+			lb := clampLevel(&queue[order[b]].Rich, level)
+			return queue[order[a]].Rich.Utility(la) > queue[order[b]].Rich.Utility(lb)
+		})
+	}
+	remaining := ctx.BudgetBytes
+	var sels []Selection
+	for _, qi := range order {
+		lvl := clampLevel(&queue[qi].Rich, level)
+		size := float64(queue[qi].Rich.At(lvl).Size)
+		if size > remaining {
+			// Fixed-presentation baselines cannot downgrade; they simply
+			// cannot afford this item. FIFO stops (head-of-line blocking);
+			// UTIL skips to cheaper items of equal level.
+			if !byUtility {
+				break
+			}
+			continue
+		}
+		remaining -= size
+		sels = append(sels, Selection{Index: qi, Level: lvl})
+	}
+	return sels
+}
+
+// clampLevel bounds the fixed level by the item's ladder height.
+func clampLevel(r *notif.RichItem, level int) int {
+	return int(math.Min(float64(level), float64(r.Levels())))
+}

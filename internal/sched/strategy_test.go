@@ -1,0 +1,300 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"github.com/richnote/richnote/internal/lyapunov"
+	"github.com/richnote/richnote/internal/media"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/survey"
+)
+
+// makeRich builds a six-level audio rich item with the paper's ladder.
+func makeRich(t testing.TB, id notif.ItemID, uc float64) notif.RichItem {
+	t.Helper()
+	gen, err := media.NewAudioGenerator(media.AudioConfig{Utility: survey.Equation8})
+	if err != nil {
+		t.Fatalf("NewAudioGenerator: %v", err)
+	}
+	item := notif.Item{ID: id, Kind: notif.KindAudio}
+	ps, err := gen.Generate(item)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return notif.RichItem{Item: item, ContentUtility: uc, Presentations: ps}
+}
+
+func makeQueue(t testing.TB, utilities ...float64) []Queued {
+	t.Helper()
+	q := make([]Queued, len(utilities))
+	for i, u := range utilities {
+		q[i] = Queued{Rich: makeRich(t, notif.ItemID(i+1), u)}
+	}
+	return q
+}
+
+func newController(t testing.TB) *lyapunov.Controller {
+	t.Helper()
+	c, err := lyapunov.New(lyapunov.Config{V: 1000, Kappa: 30})
+	if err != nil {
+		t.Fatalf("lyapunov.New: %v", err)
+	}
+	return c
+}
+
+func cellEnergy(size int64) float64 { return float64(size) / 1000 * 0.025 }
+
+func TestRichNotePlanRequiresController(t *testing.T) {
+	s := &RichNote{}
+	q := makeQueue(t, 0.5)
+	if got := s.Plan(q, &PlanContext{BudgetBytes: 1e9}); got != nil {
+		t.Fatalf("plan without controller returned %v", got)
+	}
+}
+
+func TestRichNoteAdaptsLevelToBudget(t *testing.T) {
+	s := &RichNote{}
+	// Single item: tiny budget forces metadata-only, huge budget the
+	// richest level. The controller's energy queue is held at its target κ
+	// so the data budget is the only binding constraint.
+	for _, tc := range []struct {
+		budget    float64
+		wantLevel int
+	}{
+		{300, 1},        // only metadata fits
+		{150_000, 2},    // meta+5s (100,200 B)
+		{10_000_000, 6}, // everything fits
+	} {
+		ctl := newController(t)
+		if _, err := ctl.Replenish(ctl.Config().Kappa); err != nil {
+			t.Fatalf("Replenish: %v", err)
+		}
+		q := makeQueue(t, 0.9)
+		got := s.Plan(q, &PlanContext{
+			BudgetBytes: tc.budget,
+			Controller:  ctl,
+			EnergyJ:     cellEnergy,
+		})
+		if len(got) != 1 {
+			t.Fatalf("budget %.0f: %d selections, want 1", tc.budget, len(got))
+		}
+		if got[0].Level != tc.wantLevel {
+			t.Fatalf("budget %.0f: level %d, want %d", tc.budget, got[0].Level, tc.wantLevel)
+		}
+	}
+}
+
+func TestRichNoteDeliversEveryoneAtLowBudgetViaDowngrade(t *testing.T) {
+	s := &RichNote{}
+	q := makeQueue(t, 0.9, 0.8, 0.7, 0.6, 0.5)
+	// Budget fits all five at metadata (5 x 200 B) but only one at 5 s.
+	got := s.Plan(q, &PlanContext{
+		BudgetBytes: 105_000,
+		Controller:  newController(t),
+		EnergyJ:     cellEnergy,
+	})
+	if len(got) != 5 {
+		t.Fatalf("%d selections, want all 5 (adaptive downgrade)", len(got))
+	}
+	// The upgrade goes to the highest-content-utility item first.
+	byIndex := map[int]int{}
+	for _, sel := range got {
+		byIndex[sel.Index] = sel.Level
+	}
+	if byIndex[0] < byIndex[4] {
+		t.Fatalf("higher-utility item got level %d < lower-utility item's %d", byIndex[0], byIndex[4])
+	}
+}
+
+func TestRichNoteOrdersDeliveriesByUtility(t *testing.T) {
+	s := &RichNote{}
+	q := makeQueue(t, 0.2, 0.9, 0.5)
+	got := s.Plan(q, &PlanContext{
+		BudgetBytes: 10_000_000,
+		Controller:  newController(t),
+		EnergyJ:     cellEnergy,
+	})
+	if len(got) != 3 {
+		t.Fatalf("%d selections, want 3", len(got))
+	}
+	prev := math.Inf(1)
+	for _, sel := range got {
+		u := q[sel.Index].Rich.Utility(sel.Level)
+		if u > prev {
+			t.Fatalf("selections not in descending utility order")
+		}
+		prev = u
+	}
+	if got[0].Index != 1 {
+		t.Fatalf("first delivery is item %d, want highest-utility item 1", got[0].Index)
+	}
+}
+
+func TestRichNoteEnergyPressureLowersLevels(t *testing.T) {
+	s := &RichNote{}
+	budget := 2_000_000.0
+
+	// Controller with energy queue at target: no pressure.
+	relaxed := newController(t)
+	for i := 0; i < 10; i++ {
+		if _, err := relaxed.Replenish(30); err != nil {
+			t.Fatalf("Replenish: %v", err)
+		}
+	}
+	qRelaxed := makeQueue(t, 0.9)
+	selRelaxed := s.Plan(qRelaxed, &PlanContext{BudgetBytes: budget, Controller: relaxed, EnergyJ: cellEnergy})
+
+	// Controller with empty energy queue: strong penalty on energy-hungry
+	// levels. Use a high-cost energy function to make the pressure bite.
+	pressured := newController(t)
+	costly := func(size int64) float64 { return float64(size) / 1000 * 0.4 }
+	qPressured := makeQueue(t, 0.9)
+	selPressured := s.Plan(qPressured, &PlanContext{BudgetBytes: budget, Controller: pressured, EnergyJ: costly})
+
+	if len(selRelaxed) != 1 || len(selPressured) != 1 {
+		t.Fatalf("selections %d/%d, want 1/1", len(selRelaxed), len(selPressured))
+	}
+	if selPressured[0].Level >= selRelaxed[0].Level {
+		t.Fatalf("energy pressure did not lower level: %d >= %d",
+			selPressured[0].Level, selRelaxed[0].Level)
+	}
+}
+
+func TestRichNoteBacklogFavorsDraining(t *testing.T) {
+	s := &RichNote{}
+	// With a large backlog Q, the Q·s(i) term dominates and pushes the
+	// scheduler to select as many items as possible (drain the queue)
+	// rather than upgrading a single item.
+	ctl := newController(t)
+	if err := ctl.OnArrive(500); err != nil { // 500 MB backlog
+		t.Fatalf("OnArrive: %v", err)
+	}
+	q := makeQueue(t, 0.9, 0.1, 0.1, 0.1)
+	got := s.Plan(q, &PlanContext{BudgetBytes: 250_000, Controller: ctl, EnergyJ: cellEnergy})
+	if len(got) != 4 {
+		t.Fatalf("backlogged plan selected %d items, want all 4", len(got))
+	}
+}
+
+func TestFIFOPlanArrivalOrder(t *testing.T) {
+	f, err := NewFIFO(2)
+	if err != nil {
+		t.Fatalf("NewFIFO: %v", err)
+	}
+	q := makeQueue(t, 0.1, 0.9, 0.5)
+	// Budget fits exactly two level-2 presentations (100,200 B each).
+	got := f.Plan(q, &PlanContext{BudgetBytes: 201_000})
+	if len(got) != 2 {
+		t.Fatalf("%d selections, want 2", len(got))
+	}
+	if got[0].Index != 0 || got[1].Index != 1 {
+		t.Fatalf("FIFO order %v, want arrival order [0 1]", got)
+	}
+	for _, sel := range got {
+		if sel.Level != 2 {
+			t.Fatalf("level %d, want fixed 2", sel.Level)
+		}
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	f, err := NewFIFO(6)
+	if err != nil {
+		t.Fatalf("NewFIFO: %v", err)
+	}
+	q := makeQueue(t, 0.5, 0.5)
+	// Budget below one level-6 presentation: FIFO delivers nothing, even
+	// though nothing else would fit either; with a budget fitting one, it
+	// delivers only the head.
+	got := f.Plan(q, &PlanContext{BudgetBytes: 100_000})
+	if len(got) != 0 {
+		t.Fatalf("FIFO delivered %d items under budget starvation, want 0", len(got))
+	}
+	got = f.Plan(q, &PlanContext{BudgetBytes: 850_000})
+	if len(got) != 1 || got[0].Index != 0 {
+		t.Fatalf("FIFO selections %v, want head only", got)
+	}
+}
+
+func TestUtilPlanUtilityOrder(t *testing.T) {
+	u, err := NewUtil(3)
+	if err != nil {
+		t.Fatalf("NewUtil: %v", err)
+	}
+	q := makeQueue(t, 0.1, 0.9, 0.5)
+	got := u.Plan(q, &PlanContext{BudgetBytes: 10_000_000})
+	if len(got) != 3 {
+		t.Fatalf("%d selections, want 3", len(got))
+	}
+	if got[0].Index != 1 || got[1].Index != 2 || got[2].Index != 0 {
+		t.Fatalf("UTIL order %v, want descending utility [1 2 0]", got)
+	}
+}
+
+func TestUtilSkipsUnaffordableAndContinues(t *testing.T) {
+	u, err := NewUtil(6)
+	if err != nil {
+		t.Fatalf("NewUtil: %v", err)
+	}
+	q := makeQueue(t, 0.9, 0.8)
+	// Budget fits one level-6 presentation; UTIL takes the best one and
+	// skips the second instead of blocking.
+	got := u.Plan(q, &PlanContext{BudgetBytes: 850_000})
+	if len(got) != 1 || got[0].Index != 0 {
+		t.Fatalf("UTIL selections %v, want best item only", got)
+	}
+}
+
+func TestBaselineConstructorsValidateLevel(t *testing.T) {
+	if _, err := NewFIFO(0); err == nil {
+		t.Error("FIFO level 0 accepted")
+	}
+	if _, err := NewUtil(-1); err == nil {
+		t.Error("UTIL level -1 accepted")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	s := &RichNote{}
+	if s.Name() != "richnote" {
+		t.Fatalf("name %q", s.Name())
+	}
+	f, err := NewFIFO(2)
+	if err != nil {
+		t.Fatalf("NewFIFO: %v", err)
+	}
+	if f.Name() != "fifo-L2" {
+		t.Fatalf("name %q", f.Name())
+	}
+	u, err := NewUtil(3)
+	if err != nil {
+		t.Fatalf("NewUtil: %v", err)
+	}
+	if u.Name() != "util-L3" {
+		t.Fatalf("name %q", u.Name())
+	}
+}
+
+func TestPlansRespectEmptyQueueAndZeroBudget(t *testing.T) {
+	ctl := newController(t)
+	strategies := []Strategy{&RichNote{}}
+	f, err := NewFIFO(2)
+	if err != nil {
+		t.Fatalf("NewFIFO: %v", err)
+	}
+	u, err := NewUtil(2)
+	if err != nil {
+		t.Fatalf("NewUtil: %v", err)
+	}
+	strategies = append(strategies, f, u)
+	q := makeQueue(t, 0.5)
+	for _, s := range strategies {
+		if got := s.Plan(nil, &PlanContext{BudgetBytes: 1e9, Controller: ctl}); len(got) != 0 {
+			t.Errorf("%s planned %d on empty queue", s.Name(), len(got))
+		}
+		if got := s.Plan(q, &PlanContext{BudgetBytes: 0, Controller: ctl}); len(got) != 0 {
+			t.Errorf("%s planned %d with zero budget", s.Name(), len(got))
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package sim implements the discrete-event simulation kernel that drives
+// trace replay: a virtual clock, a time-ordered event heap, and a
+// round-based driver. It replaces the custom Java event-based simulator the
+// paper uses for its evaluation (Section V-C).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Handler is an event callback. It runs at its scheduled virtual time and
+// may schedule further events.
+type Handler func(k *Kernel)
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  Handler
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		return // heap.Push is only called by this package with event values
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Kernel is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewKernel.
+type Kernel struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	// Epoch is the real-world time that virtual time zero maps to. It is
+	// used to render virtual instants as time.Time for traces and metrics.
+	epoch time.Time
+
+	processed uint64
+	stopped   bool
+}
+
+// NewKernel returns a kernel whose virtual clock starts at zero, anchored
+// at the given epoch.
+func NewKernel(epoch time.Time) *Kernel {
+	return &Kernel{epoch: epoch}
+}
+
+// Now returns the current virtual time as an offset from the epoch.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// NowWall returns the current virtual time as a wall-clock instant.
+func (k *Kernel) NowWall() time.Time { return k.epoch.Add(k.now) }
+
+// Epoch returns the wall-clock anchor of virtual time zero.
+func (k *Kernel) Epoch() time.Time { return k.epoch }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events not yet executed.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at virtual time t. Scheduling at the current time
+// is allowed; scheduling in the past is an error.
+func (k *Kernel) At(t time.Duration, fn Handler) error {
+	if t < k.now {
+		return fmt.Errorf("%w: at %s, now %s", ErrPastEvent, t, k.now)
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays are clamped to zero.
+func (k *Kernel) After(d time.Duration, fn Handler) {
+	if d < 0 {
+		d = 0
+	}
+	// Scheduling at now+d with d >= 0 can never be in the past.
+	_ = k.At(k.now+d, fn)
+}
+
+// Every schedules fn at start and then every period thereafter, until the
+// kernel stops or the optional until bound (exclusive) is reached. A
+// non-positive period is an error.
+func (k *Kernel) Every(start, period time.Duration, until time.Duration, fn Handler) error {
+	if period <= 0 {
+		return fmt.Errorf("sim: non-positive period %s", period)
+	}
+	var tick Handler
+	next := start
+	tick = func(kk *Kernel) {
+		fn(kk)
+		next += period
+		if until > 0 && next >= until {
+			return
+		}
+		_ = kk.At(next, tick)
+	}
+	return k.At(start, tick)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the event heap is empty or Stop
+// is called.
+func (k *Kernel) Run() {
+	k.RunUntil(-1)
+}
+
+// RunUntil executes events whose time is <= horizon. A negative horizon
+// means "run to exhaustion". The clock is left at the time of the last
+// executed event (or at the horizon if it is beyond the last event).
+func (k *Kernel) RunUntil(horizon time.Duration) {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		if horizon >= 0 && k.events[0].at > horizon {
+			k.now = horizon
+			return
+		}
+		popped := heap.Pop(&k.events)
+		ev, ok := popped.(event)
+		if !ok {
+			return
+		}
+		k.now = ev.at
+		k.processed++
+		ev.fn(k)
+	}
+	if horizon >= 0 && k.now < horizon {
+		k.now = horizon
+	}
+}

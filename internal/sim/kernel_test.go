@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	var got []time.Duration
+	times := []time.Duration{5 * time.Second, time.Second, 3 * time.Second, 2 * time.Second}
+	for _, at := range times {
+		at := at
+		if err := k.At(at, func(*Kernel) { got = append(got, at) }); err != nil {
+			t.Fatalf("At(%s): %v", at, err)
+		}
+	}
+	k.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("processed %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestKernelSimultaneousEventsAreFIFO(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := k.At(time.Second, func(*Kernel) { got = append(got, i) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestKernelRejectsPastEvents(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	if err := k.At(2*time.Second, func(kk *Kernel) {
+		if err := kk.At(time.Second, func(*Kernel) {}); err == nil {
+			t.Error("scheduling in the past succeeded, want error")
+		}
+	}); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	k.Run()
+}
+
+func TestKernelAfterClampsNegativeDelay(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	fired := false
+	k.After(-time.Second, func(*Kernel) { fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock advanced to %s, want 0", k.Now())
+	}
+}
+
+func TestKernelRunUntilHorizon(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	var fired []time.Duration
+	for _, at := range []time.Duration{1, 2, 3, 4, 5} {
+		at := at * time.Second
+		if err := k.At(at, func(*Kernel) { fired = append(fired, at) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	k.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before horizon, want 3", len(fired))
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock at %s, want 3s", k.Now())
+	}
+	k.RunUntil(10 * time.Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+	if k.Now() != 10*time.Second {
+		t.Fatalf("clock at %s, want horizon 10s", k.Now())
+	}
+}
+
+func TestKernelEvery(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	var ticks []time.Duration
+	err := k.Every(0, time.Hour, 5*time.Hour, func(kk *Kernel) {
+		ticks = append(ticks, kk.Now())
+	})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	k.Run()
+	want := []time.Duration{0, time.Hour, 2 * time.Hour, 3 * time.Hour, 4 * time.Hour}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks (%v), want %d", len(ticks), ticks, len(want))
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %s, want %s", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestKernelEveryRejectsNonPositivePeriod(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	if err := k.Every(0, 0, time.Hour, func(*Kernel) {}); err == nil {
+		t.Fatal("Every with zero period succeeded, want error")
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel(time.Unix(0, 0))
+	count := 0
+	if err := k.Every(0, time.Second, 0, func(kk *Kernel) {
+		count++
+		if count == 3 {
+			kk.Stop()
+		}
+	}); err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("ran %d ticks after Stop, want 3", count)
+	}
+}
+
+func TestKernelNowWall(t *testing.T) {
+	epoch := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	k := NewKernel(epoch)
+	var wall time.Time
+	if err := k.At(90*time.Minute, func(kk *Kernel) { wall = kk.NowWall() }); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	k.Run()
+	want := epoch.Add(90 * time.Minute)
+	if !wall.Equal(want) {
+		t.Fatalf("NowWall = %s, want %s", wall, want)
+	}
+}
+
+// Property: for any batch of event offsets, the kernel executes exactly one
+// event per scheduled offset and in non-decreasing time order.
+func TestKernelOrderProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		k := NewKernel(time.Unix(0, 0))
+		var got []time.Duration
+		for _, r := range raw {
+			at := time.Duration(r) * time.Millisecond
+			if err := k.At(at, func(*Kernel) { got = append(got, at) }); err != nil {
+				return false
+			}
+		}
+		k.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamSeedsAreDistinctAndDeterministic(t *testing.T) {
+	seen := map[int64]int{}
+	for stream := StreamCatalog; stream <= StreamWorkload; stream++ {
+		s1 := StreamSeed(42, stream)
+		s2 := StreamSeed(42, stream)
+		if s1 != s2 {
+			t.Fatalf("stream %d seed not deterministic: %d vs %d", stream, s1, s2)
+		}
+		if prev, dup := seen[s1]; dup {
+			t.Fatalf("streams %d and %d collide on seed %d", prev, stream, s1)
+		}
+		seen[s1] = stream
+	}
+}
+
+func TestStreamSeedDiffersAcrossMasters(t *testing.T) {
+	if StreamSeed(1, StreamTrace) == StreamSeed(2, StreamTrace) {
+		t.Fatal("different master seeds produced identical stream seeds")
+	}
+}
+
+func TestNewRNGReproducible(t *testing.T) {
+	a := NewRNG(7, StreamTrace)
+	b := NewRNG(7, StreamTrace)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same-seed RNG streams diverged")
+		}
+	}
+}
+
+func TestNewRNGStreamsIndependent(t *testing.T) {
+	a := NewRNG(7, StreamTrace)
+	b := NewRNG(7, StreamNetwork)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct streams produced %d identical draws", same)
+	}
+}
+
+func BenchmarkKernelScheduleAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	offsets := make([]time.Duration, 10_000)
+	for i := range offsets {
+		offsets[i] = time.Duration(rng.Intn(1_000_000)) * time.Microsecond
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		k := NewKernel(time.Unix(0, 0))
+		for _, at := range offsets {
+			_ = k.At(at, func(*Kernel) {})
+		}
+		k.Run()
+	}
+}

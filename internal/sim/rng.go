@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"math/rand"
+)
+
+// RNG stream identifiers. Each subsystem draws from its own deterministic
+// stream so that, for a fixed master seed, changing how one subsystem
+// consumes randomness does not perturb the others. This keeps experiment
+// sweeps comparable across configurations.
+const (
+	StreamCatalog = iota + 1
+	StreamSocialGraph
+	StreamTrace
+	StreamLabels
+	StreamNetwork
+	StreamEnergy
+	StreamSurvey
+	StreamForest
+	StreamShuffle
+	StreamWorkload
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output. It is
+// used to derive well-separated stream seeds from a single master seed.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StreamSeed derives a deterministic sub-seed for the given stream from a
+// master seed.
+func StreamSeed(master int64, stream int) int64 {
+	state := uint64(master) ^ 0x5851f42d4c957f2d
+	for i := 0; i <= stream; i++ {
+		splitMix64(&state)
+	}
+	out := splitMix64(&state)
+	return int64(out & 0x7fffffffffffffff) // math/rand seeds must be usable as-is
+}
+
+// NewRNG returns a rand.Rand seeded for the given (master seed, stream)
+// pair.
+func NewRNG(master int64, stream int) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(master, stream)))
+}

@@ -1,0 +1,270 @@
+// Package socialgraph generates synthetic social graphs standing in for
+// the de-identified Spotify social graph the paper uses to derive
+// social-tie features between notification senders and recipients.
+//
+// Two generators are provided:
+//
+//   - Barabási–Albert preferential attachment, producing the heavy-tailed
+//     degree distribution typical of social networks; and
+//   - Watts–Strogatz small-world rewiring, producing high clustering.
+//
+// Every undirected edge carries a tie strength in (0, 1], and per-user
+// followed-artist sets model the "favorite artist" relation the paper's
+// classifier features draw on.
+package socialgraph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// UserID aliases the graph's node identifier space (0-based dense IDs).
+type UserID int64
+
+// Edge is an undirected tie with strength in (0, 1].
+type Edge struct {
+	Peer     UserID
+	Strength float64
+}
+
+// Graph is an undirected social graph with tie strengths and per-user
+// followed artists.
+type Graph struct {
+	n        int
+	adj      [][]Edge
+	strength map[edgeKey]float64
+
+	// followedArtists[u] is the set of artist IDs user u follows.
+	followedArtists []map[int64]bool
+}
+
+type edgeKey struct{ a, b UserID }
+
+func normKey(a, b UserID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// Errors returned by generators and accessors.
+var (
+	ErrTooFewUsers = errors.New("socialgraph: too few users")
+	ErrBadDegree   = errors.New("socialgraph: invalid degree parameter")
+	ErrUnknownUser = errors.New("socialgraph: unknown user")
+)
+
+// NumUsers returns the number of nodes.
+func (g *Graph) NumUsers() int { return g.n }
+
+// Friends returns the adjacency list of u. The returned slice is owned by
+// the graph; callers must not mutate it.
+func (g *Graph) Friends(u UserID) ([]Edge, error) {
+	if int(u) < 0 || int(u) >= g.n {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, u)
+	}
+	return g.adj[u], nil
+}
+
+// TieStrength returns the tie strength between two users, or 0 when they
+// are not connected.
+func (g *Graph) TieStrength(a, b UserID) float64 {
+	return g.strength[normKey(a, b)]
+}
+
+// Degree returns the number of friends of u.
+func (g *Graph) Degree(u UserID) int {
+	if int(u) < 0 || int(u) >= g.n {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// FollowsArtist reports whether u follows the artist.
+func (g *Graph) FollowsArtist(u UserID, artist int64) bool {
+	if int(u) < 0 || int(u) >= g.n {
+		return false
+	}
+	return g.followedArtists[u][artist]
+}
+
+// FollowedArtists returns the artist IDs u follows.
+func (g *Graph) FollowedArtists(u UserID) []int64 {
+	if int(u) < 0 || int(u) >= g.n {
+		return nil
+	}
+	out := make([]int64, 0, len(g.followedArtists[u]))
+	for id := range g.followedArtists[u] {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (g *Graph) addEdge(a, b UserID, strength float64) {
+	if a == b {
+		return
+	}
+	key := normKey(a, b)
+	if _, dup := g.strength[key]; dup {
+		return
+	}
+	g.strength[key] = strength
+	g.adj[a] = append(g.adj[a], Edge{Peer: b, Strength: strength})
+	g.adj[b] = append(g.adj[b], Edge{Peer: a, Strength: strength})
+}
+
+func newGraph(n int) *Graph {
+	return &Graph{
+		n:               n,
+		adj:             make([][]Edge, n),
+		strength:        make(map[edgeKey]float64),
+		followedArtists: make([]map[int64]bool, n),
+	}
+}
+
+// tieStrengthSample draws a tie strength: most ties weak, few strong,
+// approximating real social-tie distributions with a squared uniform.
+func tieStrengthSample(rng *rand.Rand) float64 {
+	v := rng.Float64()
+	s := 0.05 + 0.95*v*v
+	return s
+}
+
+// GenerateBA builds a Barabási–Albert graph over n users where each new
+// node attaches to m existing nodes with probability proportional to
+// degree.
+func GenerateBA(n, m int, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooFewUsers, n)
+	}
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrBadDegree, m, n)
+	}
+	g := newGraph(n)
+	// Repeated-node list for preferential attachment: each node appears
+	// once per incident edge end.
+	targets := make([]UserID, 0, 2*m*n)
+
+	// Seed: a clique over the first m+1 nodes.
+	for a := 0; a <= m; a++ {
+		for b := a + 1; b <= m; b++ {
+			g.addEdge(UserID(a), UserID(b), tieStrengthSample(rng))
+			targets = append(targets, UserID(a), UserID(b))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[UserID]bool{}
+		for len(chosen) < m {
+			var peer UserID
+			if len(targets) == 0 || rng.Float64() < 0.05 {
+				peer = UserID(rng.Intn(v)) // small uniform mixing avoids isolation
+			} else {
+				peer = targets[rng.Intn(len(targets))]
+			}
+			if int(peer) >= v || chosen[peer] {
+				continue
+			}
+			chosen[peer] = true
+		}
+		// Sort the chosen peers so tie-strength draws are deterministic for
+		// a fixed seed (map iteration order is randomized).
+		peers := make([]UserID, 0, len(chosen))
+		for peer := range chosen {
+			peers = append(peers, peer)
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		for _, peer := range peers {
+			g.addEdge(UserID(v), peer, tieStrengthSample(rng))
+			targets = append(targets, UserID(v), peer)
+		}
+	}
+	return g, nil
+}
+
+// GenerateWS builds a Watts–Strogatz small-world graph: a ring lattice with
+// k neighbors per side, each edge rewired with probability beta.
+func GenerateWS(n, k int, beta float64, rng *rand.Rand) (*Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooFewUsers, n)
+	}
+	if k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadDegree, k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("socialgraph: beta %f outside [0,1]", beta)
+	}
+	g := newGraph(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			peer := (v + j) % n
+			if rng.Float64() < beta {
+				// Rewire to a uniform random non-self target.
+				for tries := 0; tries < 16; tries++ {
+					cand := rng.Intn(n)
+					if cand != v {
+						peer = cand
+						break
+					}
+				}
+			}
+			g.addEdge(UserID(v), UserID(peer), tieStrengthSample(rng))
+		}
+	}
+	return g, nil
+}
+
+// AssignFollowedArtists gives each user a followed-artist set sampled from
+// the given artist IDs, biased toward the front of the slice (which the
+// catalog orders by popularity). minFollow/maxFollow bound the set size.
+func (g *Graph) AssignFollowedArtists(artists []int64, minFollow, maxFollow int, rng *rand.Rand) error {
+	if len(artists) == 0 {
+		return errors.New("socialgraph: no artists to follow")
+	}
+	if minFollow < 0 || maxFollow < minFollow {
+		return fmt.Errorf("socialgraph: bad follow bounds [%d, %d]", minFollow, maxFollow)
+	}
+	for u := 0; u < g.n; u++ {
+		count := minFollow
+		if maxFollow > minFollow {
+			count += rng.Intn(maxFollow - minFollow + 1)
+		}
+		set := make(map[int64]bool, count)
+		for len(set) < count && len(set) < len(artists) {
+			// Squared-uniform index biases toward popular artists.
+			f := rng.Float64()
+			idx := int(f * f * float64(len(artists)))
+			if idx >= len(artists) {
+				idx = len(artists) - 1
+			}
+			set[artists[idx]] = true
+		}
+		g.followedArtists[u] = set
+	}
+	return nil
+}
+
+// DegreeHistogram returns counts of node degrees, used by tests to verify
+// the heavy tail of the BA generator.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < g.n; u++ {
+		h[len(g.adj[u])]++
+	}
+	return h
+}
+
+// MaxDegree returns the largest node degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.strength) }

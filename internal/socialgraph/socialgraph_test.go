@@ -1,0 +1,229 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBAValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateBA(1, 1, rng); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := GenerateBA(10, 0, rng); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := GenerateBA(10, 10, rng); err == nil {
+		t.Error("m=n accepted")
+	}
+}
+
+func TestGenerateBAStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := GenerateBA(500, 3, rng)
+	if err != nil {
+		t.Fatalf("GenerateBA: %v", err)
+	}
+	if g.NumUsers() != 500 {
+		t.Fatalf("NumUsers = %d, want 500", g.NumUsers())
+	}
+	// Every non-seed node attaches with m=3 edges, so min degree >= 3.
+	for u := 0; u < 500; u++ {
+		if g.Degree(UserID(u)) < 3 {
+			t.Fatalf("user %d has degree %d, want >= 3", u, g.Degree(UserID(u)))
+		}
+	}
+	// Preferential attachment yields hubs: max degree far above minimum.
+	if g.MaxDegree() < 15 {
+		t.Fatalf("max degree %d, want heavy-tailed (>= 15)", g.MaxDegree())
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := GenerateBA(200, 2, rng)
+	if err != nil {
+		t.Fatalf("GenerateBA: %v", err)
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		friends, err := g.Friends(UserID(u))
+		if err != nil {
+			t.Fatalf("Friends(%d): %v", u, err)
+		}
+		for _, e := range friends {
+			back, err := g.Friends(e.Peer)
+			if err != nil {
+				t.Fatalf("Friends(%d): %v", e.Peer, err)
+			}
+			found := false
+			for _, be := range back {
+				if be.Peer == UserID(u) {
+					found = true
+					if be.Strength != e.Strength {
+						t.Fatalf("asymmetric strength %f vs %f", be.Strength, e.Strength)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d has no reverse", u, e.Peer)
+			}
+		}
+	}
+}
+
+func TestTieStrengthRangeAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := GenerateBA(100, 2, rng)
+	if err != nil {
+		t.Fatalf("GenerateBA: %v", err)
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		friends, err := g.Friends(UserID(u))
+		if err != nil {
+			t.Fatalf("Friends: %v", err)
+		}
+		for _, e := range friends {
+			if e.Strength <= 0 || e.Strength > 1 {
+				t.Fatalf("tie strength %f out of (0,1]", e.Strength)
+			}
+			if g.TieStrength(UserID(u), e.Peer) != g.TieStrength(e.Peer, UserID(u)) {
+				t.Fatal("TieStrength not symmetric")
+			}
+		}
+	}
+	if g.TieStrength(0, 0) != 0 {
+		t.Fatal("self tie strength nonzero")
+	}
+}
+
+func TestTieStrengthZeroForStrangers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := GenerateBA(300, 2, rng)
+	if err != nil {
+		t.Fatalf("GenerateBA: %v", err)
+	}
+	zeros := 0
+	for trial := 0; trial < 100; trial++ {
+		a := UserID(rng.Intn(300))
+		b := UserID(rng.Intn(300))
+		if a == b {
+			continue
+		}
+		if g.TieStrength(a, b) == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("every random pair connected; graph should be sparse")
+	}
+}
+
+func TestGenerateWS(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := GenerateWS(200, 3, 0.1, rng)
+	if err != nil {
+		t.Fatalf("GenerateWS: %v", err)
+	}
+	if g.NumUsers() != 200 {
+		t.Fatalf("NumUsers = %d, want 200", g.NumUsers())
+	}
+	// A ring lattice with k=3 has ~3n edges (some lost to rewire dedup).
+	if g.NumEdges() < 500 {
+		t.Fatalf("NumEdges = %d, want ~600", g.NumEdges())
+	}
+	if _, err := GenerateWS(3, 1, 0.1, rng); err == nil {
+		t.Error("n=3 accepted")
+	}
+	if _, err := GenerateWS(100, 50, 0.1, rng); err == nil {
+		t.Error("2k >= n accepted")
+	}
+	if _, err := GenerateWS(100, 3, 1.5, rng); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+}
+
+func TestAssignFollowedArtists(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := GenerateBA(100, 2, rng)
+	if err != nil {
+		t.Fatalf("GenerateBA: %v", err)
+	}
+	artists := make([]int64, 50)
+	for i := range artists {
+		artists[i] = int64(i + 1)
+	}
+	if err := g.AssignFollowedArtists(artists, 2, 6, rng); err != nil {
+		t.Fatalf("AssignFollowedArtists: %v", err)
+	}
+	popularFollows, tailFollows := 0, 0
+	for u := 0; u < 100; u++ {
+		follows := g.FollowedArtists(UserID(u))
+		if len(follows) < 2 || len(follows) > 6 {
+			t.Fatalf("user %d follows %d artists, want [2,6]", u, len(follows))
+		}
+		for _, id := range follows {
+			if !g.FollowsArtist(UserID(u), id) {
+				t.Fatalf("FollowsArtist inconsistent for user %d artist %d", u, id)
+			}
+			if id <= 10 {
+				popularFollows++
+			}
+			if id > 40 {
+				tailFollows++
+			}
+		}
+	}
+	if popularFollows <= tailFollows {
+		t.Fatalf("follows not popularity-biased: %d popular vs %d tail", popularFollows, tailFollows)
+	}
+	if err := g.AssignFollowedArtists(nil, 1, 2, rng); err == nil {
+		t.Error("empty artist list accepted")
+	}
+	if err := g.AssignFollowedArtists(artists, 5, 2, rng); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestUnknownUserAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := GenerateBA(10, 2, rng)
+	if err != nil {
+		t.Fatalf("GenerateBA: %v", err)
+	}
+	if _, err := g.Friends(999); err == nil {
+		t.Error("Friends(999) accepted")
+	}
+	if g.Degree(999) != 0 {
+		t.Error("Degree(999) nonzero")
+	}
+	if g.FollowsArtist(999, 1) {
+		t.Error("FollowsArtist(999) true")
+	}
+	if g.FollowedArtists(999) != nil {
+		t.Error("FollowedArtists(999) non-nil")
+	}
+}
+
+// Property: degree histogram sums to n and edge count matches half the
+// degree sum (handshake lemma).
+func TestHandshakeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		g, err := GenerateBA(n, 2, rng)
+		if err != nil {
+			return false
+		}
+		hist := g.DegreeHistogram()
+		nodes, degSum := 0, 0
+		for d, c := range hist {
+			nodes += c
+			degSum += d * c
+		}
+		return nodes == n && degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

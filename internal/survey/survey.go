@@ -1,0 +1,242 @@
+// Package survey reproduces the two subjective user studies of Section V-B
+// with a synthetic respondent population:
+//
+//  1. A presentation-rating survey over a grid of (sampling rate, duration)
+//     audio presentations, rated 0..5. Pareto pruning of the resulting
+//     (size, utility) points yields the "useful presentations" of
+//     Figure 2(a) — the paper found 6 useful presentations out of 20 with
+//     scores ranging 0.3..3.3.
+//  2. A stop-duration study: respondents listen to tracks (average 276 s)
+//     and stop when the sample is "barely enough for a good notification".
+//     The CDF of stop durations is the utility curve util(d); fitting the
+//     logarithmic and polynomial families of Equations 8 and 9 and keeping
+//     the better R² reproduces Figure 2(b).
+//
+// The synthetic population is constructed so that its ground-truth taste
+// follows the paper's published fit (Equation 8) plus individual noise;
+// the package's job is to regenerate the paper's *pipeline*, demonstrating
+// that the fitted constants are recovered from raw survey responses.
+package survey
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/richnote/richnote/internal/media"
+	"github.com/richnote/richnote/internal/ml/regress"
+)
+
+// Equation8 is the paper's published logarithmic utility fit:
+// util(d) = −0.397 + 0.352·ln(1 + d).
+func Equation8(d float64) float64 { return -0.397 + 0.352*math.Log(1+d) }
+
+// Equation9 is the paper's published polynomial utility fit:
+// util(d) = 0.253·(1 − d/40)^2.087.
+func Equation9(d float64) float64 {
+	base := 1 - d/40
+	if base <= 0 {
+		return 0
+	}
+	return 0.253 * math.Pow(base, 2.087)
+}
+
+// RatingConfig configures the presentation-rating survey.
+type RatingConfig struct {
+	// SampleRatesKHz defaults to the paper's {8, 16, 32, 44}.
+	SampleRatesKHz []int
+	// DurationsSec defaults to the paper's {5, 10, 20, 30, 40}.
+	DurationsSec []float64
+	// Respondents defaults to 40.
+	Respondents int
+	// NoiseSD is the per-response rating noise; defaults to 0.35.
+	NoiseSD float64
+}
+
+func (c *RatingConfig) applyDefaults() {
+	if len(c.SampleRatesKHz) == 0 {
+		c.SampleRatesKHz = []int{8, 16, 32, 44}
+	}
+	if len(c.DurationsSec) == 0 {
+		c.DurationsSec = []float64{5, 10, 20, 30, 40}
+	}
+	if c.Respondents <= 0 {
+		c.Respondents = 40
+	}
+	if c.NoiseSD == 0 {
+		c.NoiseSD = 0.35
+	}
+}
+
+// RatedPresentation is one surveyed grid cell with its mean rating.
+type RatedPresentation struct {
+	SampleRateKHz int
+	DurationSec   float64
+	SizeBytes     int64
+	MeanScore     float64 // 0..5
+}
+
+// Name renders the grid cell label.
+func (r RatedPresentation) Name() string {
+	return fmt.Sprintf("%dkHz/%.0fs", r.SampleRateKHz, r.DurationSec)
+}
+
+// RatingResult is the outcome of the presentation-rating survey.
+type RatingResult struct {
+	Grid []RatedPresentation
+}
+
+// qualityFactor maps a sampling rate to perceived quality in (0, 1]. 44 kHz
+// is transparent; 8 kHz is phone quality.
+func qualityFactor(rateKHz int) float64 {
+	return math.Min(1, 0.35+0.65*math.Log1p(float64(rateKHz)-7)/math.Log1p(37))
+}
+
+// presentationSize models a d-second sample at the given rate: 16-bit mono
+// PCM (the paper's survey samples are uncompressed).
+func presentationSize(rateKHz int, durationSec float64) int64 {
+	return int64(durationSec * float64(rateKHz) * 1000 * 2)
+}
+
+// ErrNoRespondents is returned by surveys with an empty population.
+var ErrNoRespondents = errors.New("survey: no respondents")
+
+// RunRatingSurvey simulates the grid-rating study. Each respondent's latent
+// satisfaction with a presentation is duration utility (Equation 8) times
+// the rate's quality factor, scaled to the 0..5 scale, plus noise.
+func RunRatingSurvey(cfg RatingConfig, rng *rand.Rand) (*RatingResult, error) {
+	cfg.applyDefaults()
+	if rng == nil {
+		return nil, errors.New("survey: nil rng")
+	}
+	maxLatent := Equation8(cfg.DurationsSec[len(cfg.DurationsSec)-1])
+	res := &RatingResult{}
+	for _, rate := range cfg.SampleRatesKHz {
+		for _, d := range cfg.DurationsSec {
+			latent := 5 * (Equation8(d) / maxLatent) * qualityFactor(rate)
+			var sum float64
+			for r := 0; r < cfg.Respondents; r++ {
+				score := latent + rng.NormFloat64()*cfg.NoiseSD
+				sum += math.Max(0, math.Min(5, score))
+			}
+			res.Grid = append(res.Grid, RatedPresentation{
+				SampleRateKHz: rate,
+				DurationSec:   d,
+				SizeBytes:     presentationSize(rate, d),
+				MeanScore:     sum / float64(cfg.Respondents),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Points converts the grid to the size/utility trade-off space.
+func (r *RatingResult) Points() []media.Point {
+	pts := make([]media.Point, 0, len(r.Grid))
+	for _, g := range r.Grid {
+		pts = append(pts, media.Point{Name: g.Name(), Size: g.SizeBytes, Utility: g.MeanScore})
+	}
+	return pts
+}
+
+// UsefulPresentations Pareto-prunes the surveyed grid, reproducing
+// Figure 2(a)'s reduction from the full grid to the useful ladder.
+func (r *RatingResult) UsefulPresentations() []media.Point {
+	return media.ParetoPrune(r.Points())
+}
+
+// StopConfig configures the stop-duration study.
+type StopConfig struct {
+	// Respondents defaults to the paper's 80.
+	Respondents int
+	// TrackDurationSec defaults to the paper's average of 276 s.
+	TrackDurationSec float64
+	// NoiseSD jitters each respondent's stop point; defaults to 2 s.
+	NoiseSD float64
+}
+
+func (c *StopConfig) applyDefaults() {
+	if c.Respondents <= 0 {
+		c.Respondents = 80
+	}
+	if c.TrackDurationSec <= 0 {
+		c.TrackDurationSec = 276
+	}
+	if c.NoiseSD == 0 {
+		c.NoiseSD = 2
+	}
+}
+
+// StopResult holds the raw stop durations of the study.
+type StopResult struct {
+	// Durations are stop points in seconds, one per respondent, sorted
+	// ascending.
+	Durations []float64
+}
+
+// RunStopSurvey simulates the stop-duration study. Stop points are drawn by
+// inverting the paper's utility CDF (Equation 8): the fraction of users
+// preferring a notification no longer than d equals util(d), so sampling
+// u ~ U(util(0⁺), util(40)) and applying the inverse CDF reproduces the
+// population whose empirical CDF the paper fitted.
+func RunStopSurvey(cfg StopConfig, rng *rand.Rand) (*StopResult, error) {
+	cfg.applyDefaults()
+	if rng == nil {
+		return nil, errors.New("survey: nil rng")
+	}
+	lo, hi := Equation8(2), Equation8(40)
+	out := make([]float64, 0, cfg.Respondents)
+	for i := 0; i < cfg.Respondents; i++ {
+		u := lo + rng.Float64()*(hi-lo)
+		// Invert util(d) = A + B·ln(1+d):  d = exp((u−A)/B) − 1.
+		d := math.Exp((u+0.397)/0.352) - 1
+		d += rng.NormFloat64() * cfg.NoiseSD
+		d = math.Max(1, math.Min(cfg.TrackDurationSec, d))
+		out = append(out, d)
+	}
+	sort.Float64s(out)
+	return &StopResult{Durations: out}, nil
+}
+
+// CDF evaluates the empirical CDF at the given durations: the fraction of
+// respondents whose stop point is <= d. This is the paper's util(d).
+func (s *StopResult) CDF(durations []float64) []float64 {
+	out := make([]float64, len(durations))
+	for i, d := range durations {
+		idx := sort.SearchFloat64s(s.Durations, d+1e-12)
+		out[i] = float64(idx) / float64(len(s.Durations))
+	}
+	return out
+}
+
+// FitResult compares the two model families on the survey data.
+type FitResult struct {
+	Log   regress.LogModel
+	Power regress.PowerModel
+	// LogBetter is true when the logarithmic family has the higher R²,
+	// which is the paper's finding.
+	LogBetter bool
+}
+
+// Fit evaluates the empirical CDF on the sample grid (the paper's survey
+// durations by default) and fits both families.
+func (s *StopResult) Fit(gridDurations []float64, horizon float64) (FitResult, error) {
+	if len(s.Durations) == 0 {
+		return FitResult{}, ErrNoRespondents
+	}
+	if len(gridDurations) == 0 {
+		gridDurations = []float64{5, 10, 20, 30, 40}
+	}
+	utils := s.CDF(gridDurations)
+	lm, err := regress.FitLog(gridDurations, utils)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("survey: log fit: %w", err)
+	}
+	pm, err := regress.FitPower(gridDurations, utils, horizon)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("survey: power fit: %w", err)
+	}
+	return FitResult{Log: lm, Power: pm, LogBetter: lm.R2 > pm.R2}, nil
+}

@@ -1,0 +1,207 @@
+package survey
+
+import (
+	"math"
+	"testing"
+
+	"github.com/richnote/richnote/internal/sim"
+)
+
+func TestEquation8Values(t *testing.T) {
+	// util(40) = −0.397 + 0.352·ln(41) ≈ 0.910.
+	if got := Equation8(40); math.Abs(got-0.9102) > 0.001 {
+		t.Fatalf("Equation8(40) = %f, want ~0.910", got)
+	}
+	// Monotone increasing.
+	prev := Equation8(1)
+	for d := 2.0; d <= 40; d++ {
+		cur := Equation8(d)
+		if cur <= prev {
+			t.Fatalf("Equation8 not increasing at d=%f", d)
+		}
+		prev = cur
+	}
+}
+
+func TestEquation9Values(t *testing.T) {
+	if got := Equation9(0); math.Abs(got-0.253) > 1e-9 {
+		t.Fatalf("Equation9(0) = %f, want 0.253", got)
+	}
+	if got := Equation9(40); got != 0 {
+		t.Fatalf("Equation9(40) = %f, want 0", got)
+	}
+	if got := Equation9(45); got != 0 {
+		t.Fatalf("Equation9(>40) = %f, want 0", got)
+	}
+	// Monotone decreasing on [0, 40].
+	prev := Equation9(0)
+	for d := 1.0; d <= 40; d++ {
+		cur := Equation9(d)
+		if cur > prev {
+			t.Fatalf("Equation9 not decreasing at d=%f", d)
+		}
+		prev = cur
+	}
+}
+
+func TestRunRatingSurveyGrid(t *testing.T) {
+	rng := sim.NewRNG(1, sim.StreamSurvey)
+	res, err := RunRatingSurvey(RatingConfig{}, rng)
+	if err != nil {
+		t.Fatalf("RunRatingSurvey: %v", err)
+	}
+	if len(res.Grid) != 20 {
+		t.Fatalf("grid size %d, want 20 (4 rates x 5 durations)", len(res.Grid))
+	}
+	for _, g := range res.Grid {
+		if g.MeanScore < 0 || g.MeanScore > 5 {
+			t.Fatalf("mean score %f outside [0,5] for %s", g.MeanScore, g.Name())
+		}
+		if g.SizeBytes <= 0 {
+			t.Fatalf("non-positive size for %s", g.Name())
+		}
+	}
+}
+
+func TestRatingSurveyScoreRangeMatchesPaper(t *testing.T) {
+	rng := sim.NewRNG(2, sim.StreamSurvey)
+	res, err := RunRatingSurvey(RatingConfig{}, rng)
+	if err != nil {
+		t.Fatalf("RunRatingSurvey: %v", err)
+	}
+	min, max := 5.0, 0.0
+	for _, g := range res.Grid {
+		if g.MeanScore < min {
+			min = g.MeanScore
+		}
+		if g.MeanScore > max {
+			max = g.MeanScore
+		}
+	}
+	// Paper: scores varied from 0.3 to 3.3. Accept a generous band around
+	// that shape: low scores near or below ~1.5, top scores between 2.5
+	// and 5.
+	if min > 1.6 {
+		t.Fatalf("lowest mean score %f, want <= 1.6", min)
+	}
+	if max < 2.5 {
+		t.Fatalf("highest mean score %f, want >= 2.5", max)
+	}
+}
+
+func TestUsefulPresentationsPrunedLikePaper(t *testing.T) {
+	rng := sim.NewRNG(3, sim.StreamSurvey)
+	res, err := RunRatingSurvey(RatingConfig{}, rng)
+	if err != nil {
+		t.Fatalf("RunRatingSurvey: %v", err)
+	}
+	useful := res.UsefulPresentations()
+	// Paper: 20 presentations reduce to 6 useful ones. The synthetic
+	// population should land nearby; require a substantial reduction and a
+	// valid ladder.
+	if len(useful) < 3 || len(useful) > 10 {
+		t.Fatalf("%d useful presentations, want roughly 6 (3..10)", len(useful))
+	}
+	for i := 1; i < len(useful); i++ {
+		if useful[i].Size <= useful[i-1].Size || useful[i].Utility <= useful[i-1].Utility {
+			t.Fatalf("useful ladder not monotone at %d: %+v", i, useful)
+		}
+	}
+}
+
+func TestRunStopSurveyPopulation(t *testing.T) {
+	rng := sim.NewRNG(4, sim.StreamSurvey)
+	res, err := RunStopSurvey(StopConfig{}, rng)
+	if err != nil {
+		t.Fatalf("RunStopSurvey: %v", err)
+	}
+	if len(res.Durations) != 80 {
+		t.Fatalf("%d respondents, want 80", len(res.Durations))
+	}
+	for i, d := range res.Durations {
+		if d < 1 || d > 276 {
+			t.Fatalf("stop duration %f outside [1, 276]", d)
+		}
+		if i > 0 && d < res.Durations[i-1] {
+			t.Fatal("durations not sorted")
+		}
+	}
+}
+
+func TestStopSurveyCDFMonotone(t *testing.T) {
+	rng := sim.NewRNG(5, sim.StreamSurvey)
+	res, err := RunStopSurvey(StopConfig{Respondents: 500}, rng)
+	if err != nil {
+		t.Fatalf("RunStopSurvey: %v", err)
+	}
+	grid := []float64{5, 10, 20, 30, 40}
+	cdf := res.CDF(grid)
+	for i := range cdf {
+		if cdf[i] < 0 || cdf[i] > 1 {
+			t.Fatalf("CDF value %f outside [0,1]", cdf[i])
+		}
+		if i > 0 && cdf[i] < cdf[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+// The headline reproduction: fitting the synthetic survey recovers
+// constants near the paper's Equation 8 and the log family fits better
+// than the power family.
+func TestFitRecoversPaperConstants(t *testing.T) {
+	rng := sim.NewRNG(6, sim.StreamSurvey)
+	res, err := RunStopSurvey(StopConfig{Respondents: 2000, NoiseSD: 1}, rng)
+	if err != nil {
+		t.Fatalf("RunStopSurvey: %v", err)
+	}
+	fit, err := res.Fit([]float64{5, 10, 15, 20, 25, 30, 35, 40}, 45)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if math.Abs(fit.Log.A+0.397) > 0.12 {
+		t.Errorf("fitted A = %f, want ~-0.397", fit.Log.A)
+	}
+	if math.Abs(fit.Log.B-0.352) > 0.08 {
+		t.Errorf("fitted B = %f, want ~0.352", fit.Log.B)
+	}
+	if !fit.LogBetter {
+		t.Errorf("power fit (R²=%f) beat log fit (R²=%f); paper found log better",
+			fit.Power.R2, fit.Log.R2)
+	}
+	if fit.Log.R2 < 0.95 {
+		t.Errorf("log fit R² = %f, want >= 0.95 on clean synthetic data", fit.Log.R2)
+	}
+}
+
+func TestFitEmptySurvey(t *testing.T) {
+	s := &StopResult{}
+	if _, err := s.Fit(nil, 45); err == nil {
+		t.Fatal("empty survey accepted")
+	}
+}
+
+func TestSurveyNilRNG(t *testing.T) {
+	if _, err := RunRatingSurvey(RatingConfig{}, nil); err == nil {
+		t.Error("rating survey accepted nil rng")
+	}
+	if _, err := RunStopSurvey(StopConfig{}, nil); err == nil {
+		t.Error("stop survey accepted nil rng")
+	}
+}
+
+func TestSurveyDeterminism(t *testing.T) {
+	r1, err := RunStopSurvey(StopConfig{}, sim.NewRNG(7, sim.StreamSurvey))
+	if err != nil {
+		t.Fatalf("RunStopSurvey: %v", err)
+	}
+	r2, err := RunStopSurvey(StopConfig{}, sim.NewRNG(7, sim.StreamSurvey))
+	if err != nil {
+		t.Fatalf("RunStopSurvey: %v", err)
+	}
+	for i := range r1.Durations {
+		if r1.Durations[i] != r2.Durations[i] {
+			t.Fatal("same-seed surveys differ")
+		}
+	}
+}

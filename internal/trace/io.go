@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// fileHeader is the first JSONL record of a serialized trace.
+type fileHeader struct {
+	Version    int           `json:"version"`
+	Epoch      time.Time     `json:"epoch"`
+	Rounds     int           `json:"rounds"`
+	RoundLen   time.Duration `json:"round_len"`
+	UserCount  int           `json:"user_count"`
+	MasterSeed int64         `json:"master_seed"`
+}
+
+const fileVersion = 1
+
+// ErrBadTraceFile is returned when a trace file is malformed.
+var ErrBadTraceFile = errors.New("trace: malformed trace file")
+
+// Write serializes the trace as JSON lines: a header record followed by
+// one UserTrace record per user. The format is line-oriented so very large
+// traces can be streamed.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := fileHeader{
+		Version:    fileVersion,
+		Epoch:      tr.Epoch,
+		Rounds:     tr.Rounds,
+		RoundLen:   tr.RoundLen,
+		UserCount:  len(tr.Users),
+		MasterSeed: tr.MasterSeed,
+	}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i := range tr.Users {
+		if err := enc.Encode(&tr.Users[i]); err != nil {
+			return fmt.Errorf("trace: write user %d: %w", tr.Users[i].User, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace serialized by Write.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header fileHeader
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadTraceFile, err)
+	}
+	if header.Version != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTraceFile, header.Version)
+	}
+	tr := &Trace{
+		Epoch:      header.Epoch,
+		Rounds:     header.Rounds,
+		RoundLen:   header.RoundLen,
+		MasterSeed: header.MasterSeed,
+		Users:      make([]UserTrace, 0, header.UserCount),
+	}
+	for {
+		var ut UserTrace
+		if err := dec.Decode(&ut); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%w: user record: %v", ErrBadTraceFile, err)
+		}
+		tr.Users = append(tr.Users, ut)
+	}
+	if len(tr.Users) != header.UserCount {
+		return nil, fmt.Errorf("%w: header says %d users, file has %d",
+			ErrBadTraceFile, header.UserCount, len(tr.Users))
+	}
+	return tr, nil
+}
+
+// WriteFile serializes the trace to a file path.
+func WriteFile(path string, tr *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	return Write(f, tr)
+}
+
+// ReadFile parses a trace from a file path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer func() {
+		_ = f.Close() // read-only descriptor; close error carries no data loss
+	}()
+	return Read(f)
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBadSplitRound is returned when a split point is outside the trace.
+var ErrBadSplitRound = errors.New("trace: split round outside trace")
+
+// SplitByRound partitions a trace at the given round boundary: the first
+// trace holds notifications with Round < splitRound, the second holds the
+// rest with rounds re-based to start at zero (click rounds shifted
+// accordingly and clamped to the arrival round).
+//
+// The paper trains its utility model on the same week it replays; this
+// split enables the stricter out-of-sample protocol — train the classifier
+// on the head, schedule the tail — used by the E2 extension experiment.
+func SplitByRound(tr *Trace, splitRound int) (head, tail *Trace, err error) {
+	if splitRound <= 0 || splitRound >= tr.Rounds {
+		return nil, nil, fmt.Errorf("%w: %d of %d", ErrBadSplitRound, splitRound, tr.Rounds)
+	}
+	head = &Trace{
+		Epoch:      tr.Epoch,
+		Rounds:     splitRound,
+		RoundLen:   tr.RoundLen,
+		MasterSeed: tr.MasterSeed,
+		Users:      make([]UserTrace, len(tr.Users)),
+	}
+	tail = &Trace{
+		Epoch:      tr.Epoch.Add(time.Duration(splitRound) * tr.RoundLen),
+		Rounds:     tr.Rounds - splitRound,
+		RoundLen:   tr.RoundLen,
+		MasterSeed: tr.MasterSeed,
+		Users:      make([]UserTrace, len(tr.Users)),
+	}
+	for ui := range tr.Users {
+		head.Users[ui].User = tr.Users[ui].User
+		tail.Users[ui].User = tr.Users[ui].User
+		for _, n := range tr.Users[ui].Notifications {
+			if n.Round < splitRound {
+				head.Users[ui].Notifications = append(head.Users[ui].Notifications, n)
+				continue
+			}
+			moved := n
+			moved.Round -= splitRound
+			if moved.Clicked {
+				moved.ClickRound -= splitRound
+				if moved.ClickRound < moved.Round {
+					moved.ClickRound = moved.Round
+				}
+			}
+			tail.Users[ui].Notifications = append(tail.Users[ui].Notifications, moved)
+		}
+	}
+	return head, tail, nil
+}

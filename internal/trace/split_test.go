@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSplitByRoundValidation(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	if _, _, err := SplitByRound(tr, 0); err == nil {
+		t.Error("split at 0 accepted")
+	}
+	if _, _, err := SplitByRound(tr, tr.Rounds); err == nil {
+		t.Error("split at end accepted")
+	}
+	if _, _, err := SplitByRound(tr, -3); err == nil {
+		t.Error("negative split accepted")
+	}
+}
+
+func TestSplitByRoundPartitions(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	split := tr.Rounds / 2
+	head, tail, err := SplitByRound(tr, split)
+	if err != nil {
+		t.Fatalf("SplitByRound: %v", err)
+	}
+	if head.Rounds != split || tail.Rounds != tr.Rounds-split {
+		t.Fatalf("round counts %d/%d, want %d/%d", head.Rounds, tail.Rounds, split, tr.Rounds-split)
+	}
+	if head.TotalNotifications()+tail.TotalNotifications() != tr.TotalNotifications() {
+		t.Fatalf("records lost: %d + %d != %d",
+			head.TotalNotifications(), tail.TotalNotifications(), tr.TotalNotifications())
+	}
+	for _, ut := range head.Users {
+		for _, n := range ut.Notifications {
+			if n.Round >= split {
+				t.Fatalf("head contains round %d >= split %d", n.Round, split)
+			}
+		}
+	}
+	for _, ut := range tail.Users {
+		for _, n := range ut.Notifications {
+			if n.Round < 0 || n.Round >= tail.Rounds {
+				t.Fatalf("tail round %d outside [0, %d)", n.Round, tail.Rounds)
+			}
+			if n.Clicked && n.ClickRound < n.Round {
+				t.Fatalf("tail click round %d before arrival %d", n.ClickRound, n.Round)
+			}
+		}
+	}
+	// Tail epoch advanced by the head duration.
+	wantEpoch := tr.Epoch.Add(time.Duration(split) * tr.RoundLen)
+	if !tail.Epoch.Equal(wantEpoch) {
+		t.Fatalf("tail epoch %s, want %s", tail.Epoch, wantEpoch)
+	}
+	// User alignment preserved.
+	for ui := range tr.Users {
+		if head.Users[ui].User != tr.Users[ui].User || tail.Users[ui].User != tr.Users[ui].User {
+			t.Fatal("user identity lost across split")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"sort"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// Stats summarizes a trace for inspection tools and sanity tests.
+type Stats struct {
+	Users     int
+	Rounds    int
+	Records   int
+	Clicked   int
+	ClickRate float64
+	PerTopic  map[notif.TopicKind]int
+	// Volume distribution across users (records per user).
+	VolumeMin, VolumeMax int
+	VolumeMean           float64
+	VolumeP50, VolumeP95 int
+	// MeanLatentP is the mean ground-truth interest probability.
+	MeanLatentP float64
+	// MeanClickDelayRounds is the mean rounds between arrival and the
+	// recorded click, over clicked records.
+	MeanClickDelayRounds float64
+	// ArrivalsPerRound is the mean records per user per round.
+	ArrivalsPerRound float64
+	// BurstP95 is the 95th percentile of per-user-per-round batch sizes
+	// over non-empty rounds, capturing session burstiness.
+	BurstP95 int
+}
+
+// ComputeStats scans the trace once.
+func ComputeStats(tr *Trace) Stats {
+	st := Stats{
+		Users:    len(tr.Users),
+		Rounds:   tr.Rounds,
+		PerTopic: make(map[notif.TopicKind]int),
+	}
+	if len(tr.Users) == 0 {
+		return st
+	}
+	volumes := make([]int, 0, len(tr.Users))
+	var bursts []int
+	var latentSum, clickDelaySum float64
+	st.VolumeMin = int(^uint(0) >> 1)
+	for _, ut := range tr.Users {
+		n := len(ut.Notifications)
+		volumes = append(volumes, n)
+		if n < st.VolumeMin {
+			st.VolumeMin = n
+		}
+		if n > st.VolumeMax {
+			st.VolumeMax = n
+		}
+		st.Records += n
+		burst := 0
+		lastRound := -1
+		for _, rec := range ut.Notifications {
+			st.PerTopic[rec.Item.Topic]++
+			latentSum += rec.LatentP
+			if rec.Clicked {
+				st.Clicked++
+				clickDelaySum += float64(rec.ClickRound - rec.Round)
+			}
+			if rec.Round == lastRound {
+				burst++
+			} else {
+				if burst > 0 {
+					bursts = append(bursts, burst)
+				}
+				burst = 1
+				lastRound = rec.Round
+			}
+		}
+		if burst > 0 {
+			bursts = append(bursts, burst)
+		}
+	}
+	st.VolumeMean = float64(st.Records) / float64(st.Users)
+	sort.Ints(volumes)
+	st.VolumeP50 = volumes[len(volumes)/2]
+	st.VolumeP95 = volumes[(len(volumes)*95)/100]
+	if st.Records > 0 {
+		st.ClickRate = float64(st.Clicked) / float64(st.Records)
+		st.MeanLatentP = latentSum / float64(st.Records)
+	}
+	if st.Clicked > 0 {
+		st.MeanClickDelayRounds = clickDelaySum / float64(st.Clicked)
+	}
+	if tr.Rounds > 0 {
+		st.ArrivalsPerRound = st.VolumeMean / float64(tr.Rounds)
+	}
+	if len(bursts) > 0 {
+		sort.Ints(bursts)
+		st.BurstP95 = bursts[(len(bursts)*95)/100]
+	}
+	return st
+}

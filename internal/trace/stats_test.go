@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(&Trace{})
+	if st.Users != 0 || st.Records != 0 || st.ClickRate != 0 {
+		t.Fatalf("empty trace stats not zero: %+v", st)
+	}
+}
+
+func TestComputeStatsHandBuilt(t *testing.T) {
+	tr := &Trace{
+		Rounds: 10,
+		Users: []UserTrace{
+			{User: 0, Notifications: []Notification{
+				{Item: notif.Item{Topic: notif.TopicFriendFeed}, Round: 1, Clicked: true, ClickRound: 3, LatentP: 0.8},
+				{Item: notif.Item{Topic: notif.TopicFriendFeed}, Round: 1, LatentP: 0.2},
+				{Item: notif.Item{Topic: notif.TopicArtistPage}, Round: 5, LatentP: 0.4},
+			}},
+			{User: 1, Notifications: []Notification{
+				{Item: notif.Item{Topic: notif.TopicPlaylist}, Round: 2, Clicked: true, ClickRound: 4, LatentP: 0.6},
+			}},
+		},
+	}
+	st := ComputeStats(tr)
+	if st.Users != 2 || st.Records != 4 || st.Clicked != 2 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.ClickRate != 0.5 {
+		t.Fatalf("click rate %f, want 0.5", st.ClickRate)
+	}
+	if st.PerTopic[notif.TopicFriendFeed] != 2 || st.PerTopic[notif.TopicArtistPage] != 1 || st.PerTopic[notif.TopicPlaylist] != 1 {
+		t.Fatalf("per-topic wrong: %v", st.PerTopic)
+	}
+	if st.VolumeMin != 1 || st.VolumeMax != 3 || st.VolumeMean != 2 {
+		t.Fatalf("volume stats wrong: %+v", st)
+	}
+	if st.MeanClickDelayRounds != 2 {
+		t.Fatalf("mean click delay %f, want 2", st.MeanClickDelayRounds)
+	}
+	if st.MeanLatentP != 0.5 {
+		t.Fatalf("mean latent %f, want 0.5", st.MeanLatentP)
+	}
+	// User 0 has a burst of 2 at round 1.
+	if st.BurstP95 < 2 {
+		t.Fatalf("burst p95 %d, want >= 2", st.BurstP95)
+	}
+}
+
+func TestComputeStatsOnGeneratedTrace(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	st := ComputeStats(tr)
+	if st.Records != tr.TotalNotifications() {
+		t.Fatalf("records %d != %d", st.Records, tr.TotalNotifications())
+	}
+	if st.ClickRate != tr.ClickRate() {
+		t.Fatalf("click rate mismatch: %f vs %f", st.ClickRate, tr.ClickRate())
+	}
+	if st.VolumeMin > st.VolumeP50 || st.VolumeP50 > st.VolumeP95 || st.VolumeP95 > st.VolumeMax {
+		t.Fatalf("volume percentiles out of order: %+v", st)
+	}
+	total := 0
+	for _, n := range st.PerTopic {
+		total += n
+	}
+	if total != st.Records {
+		t.Fatalf("per-topic sum %d != records %d", total, st.Records)
+	}
+	// Friend-feed sessions make bursts of at least the minimum session.
+	if st.BurstP95 < 2 {
+		t.Fatalf("burst p95 %d; generated traces should be bursty", st.BurstP95)
+	}
+	if st.MeanClickDelayRounds <= 0 {
+		t.Fatal("clicked records must have positive mean click delay")
+	}
+	if st.ArrivalsPerRound <= 0 {
+		t.Fatal("zero arrivals per round")
+	}
+}

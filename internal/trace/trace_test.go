@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func smallConfig() Config {
+	return Config{Users: 60, Rounds: 72, Seed: 11}
+}
+
+func genTrace(t *testing.T, cfg Config) (*Generator, *Trace) {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	tr, err := g.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return g, tr
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	if len(tr.Users) != 60 {
+		t.Fatalf("%d users, want 60", len(tr.Users))
+	}
+	if tr.Rounds != 72 {
+		t.Fatalf("rounds %d, want 72", tr.Rounds)
+	}
+	if tr.TotalNotifications() == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, ut := range tr.Users {
+		lastRound := -1
+		for _, n := range ut.Notifications {
+			if n.Round < 0 || n.Round >= tr.Rounds {
+				t.Fatalf("round %d outside [0, %d)", n.Round, tr.Rounds)
+			}
+			if n.Round < lastRound {
+				t.Fatal("notifications not round-ordered")
+			}
+			lastRound = n.Round
+			if n.Item.Recipient != ut.User {
+				t.Fatalf("item recipient %d in trace of user %d", n.Item.Recipient, ut.User)
+			}
+			if n.Item.Kind != notif.KindAudio {
+				t.Fatalf("unexpected kind %s", n.Item.Kind)
+			}
+			if n.LatentP <= 0 || n.LatentP >= 1 {
+				t.Fatalf("latent probability %f outside (0,1)", n.LatentP)
+			}
+			if n.Clicked && n.ClickRound < n.Round {
+				t.Fatalf("click round %d before arrival %d", n.ClickRound, n.Round)
+			}
+			if !n.Clicked && n.ClickRound != 0 {
+				t.Fatal("hover record has a click round")
+			}
+		}
+	}
+}
+
+func TestItemIDsUnique(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	seen := map[notif.ItemID]bool{}
+	for _, ut := range tr.Users {
+		for _, n := range ut.Notifications {
+			if seen[n.Item.ID] {
+				t.Fatalf("duplicate item id %d", n.Item.ID)
+			}
+			seen[n.Item.ID] = true
+		}
+	}
+}
+
+func TestClickRateInLearnableBand(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 150
+	_, tr := genTrace(t, cfg)
+	rate := tr.ClickRate()
+	// The latent model targets roughly a third positives; a degenerate
+	// rate would make the classifier task trivial or impossible.
+	if rate < 0.15 || rate > 0.6 {
+		t.Fatalf("click rate %.3f outside learnable band [0.15, 0.6]", rate)
+	}
+}
+
+func TestLatentModelOrdersLabels(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	// Mean latent probability of clicked records must exceed hovered ones:
+	// the labels are informative about the latent interest.
+	var sumC, sumH float64
+	var nC, nH int
+	for _, ut := range tr.Users {
+		for _, n := range ut.Notifications {
+			if n.Clicked {
+				sumC += n.LatentP
+				nC++
+			} else {
+				sumH += n.LatentP
+				nH++
+			}
+		}
+	}
+	if nC == 0 || nH == 0 {
+		t.Fatal("degenerate labels")
+	}
+	if sumC/float64(nC) <= sumH/float64(nH) {
+		t.Fatalf("clicked mean latent %.3f not above hovered %.3f",
+			sumC/float64(nC), sumH/float64(nH))
+	}
+}
+
+func TestActivitySpreadAcrossUsers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 200
+	_, tr := genTrace(t, cfg)
+	min, max := math.MaxInt32, 0
+	for _, ut := range tr.Users {
+		n := len(ut.Notifications)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	// Fig. 5(d) needs meaningful user-volume categories: the heaviest user
+	// must receive several times the lightest.
+	if max < 3*min+10 {
+		t.Fatalf("activity spread too flat: min %d, max %d", min, max)
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	n := &tr.Users[0].Notifications[0]
+	f := Features(n)
+	if len(f) != len(FeatureNames()) {
+		t.Fatalf("feature length %d != names %d", len(f), len(FeatureNames()))
+	}
+	for i, v := range f {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("feature %s = %f outside [0,1]", FeatureNames()[i], v)
+		}
+	}
+}
+
+func TestDatasetFlattening(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	x, y := Dataset(tr)
+	if len(x) != tr.TotalNotifications() || len(y) != len(x) {
+		t.Fatalf("dataset %d/%d rows, want %d", len(x), len(y), tr.TotalNotifications())
+	}
+	for _, label := range y {
+		if label != 0 && label != 1 {
+			t.Fatalf("label %d not binary", label)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	_, tr1 := genTrace(t, smallConfig())
+	_, tr2 := genTrace(t, smallConfig())
+	if tr1.TotalNotifications() != tr2.TotalNotifications() {
+		t.Fatal("same-seed traces differ in size")
+	}
+	for ui := range tr1.Users {
+		for ni := range tr1.Users[ui].Notifications {
+			a := tr1.Users[ui].Notifications[ni]
+			b := tr2.Users[ui].Notifications[ni]
+			if a.Item.ID != b.Item.ID || a.Clicked != b.Clicked || a.LatentP != b.LatentP {
+				t.Fatalf("record %d/%d differs across same-seed runs", ui, ni)
+			}
+		}
+	}
+	cfg := smallConfig()
+	cfg.Seed = 12
+	_, tr3 := genTrace(t, cfg)
+	if tr3.TotalNotifications() == tr1.TotalNotifications() && tr3.ClickRate() == tr1.ClickRate() {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Users: 1, Rounds: 5}); err == nil {
+		t.Fatal("single-user config accepted")
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Rounds != tr.Rounds || !got.Epoch.Equal(tr.Epoch) || got.MasterSeed != tr.MasterSeed {
+		t.Fatal("header mismatch after round trip")
+	}
+	if got.TotalNotifications() != tr.TotalNotifications() {
+		t.Fatal("record count mismatch after round trip")
+	}
+	a := tr.Users[3].Notifications[0]
+	b := got.Users[3].Notifications[0]
+	if a.Item.ID != b.Item.ID || a.Clicked != b.Clicked || a.Item.Meta != b.Item.Meta {
+		t.Fatalf("record mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	_, tr := genTrace(t, smallConfig())
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.TotalNotifications() != tr.TotalNotifications() {
+		t.Fatal("file round trip lost records")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid header claiming more users than present.
+	var buf bytes.Buffer
+	_, tr := genTrace(t, smallConfig())
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	truncated := buf.String()
+	truncated = truncated[:len(truncated)/2]
+	if _, err := Read(bytes.NewBufferString(truncated)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestGenreAffinityAccessor(t *testing.T) {
+	g, _ := genTrace(t, smallConfig())
+	if got := g.GenreAffinity(0, 0); got < 0 || got > 1 {
+		t.Fatalf("affinity %f outside [0,1]", got)
+	}
+	if g.GenreAffinity(-1, 0) != 0 || g.GenreAffinity(0, 999) != 0 {
+		t.Fatal("out-of-range affinity lookups must return 0")
+	}
+}
+
+func TestRoundLenDefaultsToHour(t *testing.T) {
+	g, err := NewGenerator(Config{Users: 5, Rounds: 3})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if g.Config().RoundLen != time.Hour {
+		t.Fatalf("round length %s, want 1h", g.Config().RoundLen)
+	}
+}

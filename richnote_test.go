@@ -1,0 +1,114 @@
+package richnote_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/richnote/richnote"
+)
+
+// TestPublicPipelineAPI drives the batch-evaluation entry point exactly as
+// the package documentation advertises.
+func TestPublicPipelineAPI(t *testing.T) {
+	p, err := richnote.BuildPipeline(richnote.PipelineConfig{
+		Trace:  richnote.TraceConfig{Users: 20, Rounds: 48, Seed: 9},
+		Scorer: richnote.ScorerOracle,
+	})
+	if err != nil {
+		t.Fatalf("BuildPipeline: %v", err)
+	}
+	res, err := p.Run(richnote.RunConfig{
+		Strategy:          richnote.StrategyRichNote,
+		WeeklyBudgetBytes: 20 << 20,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Report.DeliveryRatio() < 0.9 {
+		t.Fatalf("delivery ratio %.3f, want >= 0.9", res.Report.DeliveryRatio())
+	}
+	if res.Report.Recall() < 0.9 {
+		t.Fatalf("recall %.3f, want >= 0.9", res.Report.Recall())
+	}
+}
+
+// TestPublicLiveAPI drives the streaming entry point end to end.
+func TestPublicLiveAPI(t *testing.T) {
+	live, err := richnote.NewLive(richnote.LiveConfig{Seed: 4})
+	if err != nil {
+		t.Fatalf("NewLive: %v", err)
+	}
+	m := richnote.AlwaysCellMatrix()
+	if err := live.AddUser(richnote.LiveUserConfig{
+		User:              1,
+		WeeklyBudgetBytes: 10 << 20,
+		NetworkMatrix:     &m,
+	}); err != nil {
+		t.Fatalf("AddUser: %v", err)
+	}
+	topic := richnote.Topic(richnote.TopicFriendFeed, 42)
+	if err := live.Subscribe(1, topic); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		live.Publish(topic, richnote.Item{
+			ID:        richnote.ItemID(i + 1),
+			Kind:      richnote.KindAudio,
+			Topic:     richnote.TopicFriendFeed,
+			CreatedAt: time.Date(2015, 1, 1, 9, 0, 0, 0, time.UTC),
+			Meta:      richnote.Metadata{TrackID: int64(i + 1), TrackPopularity: 40},
+		})
+	}
+	if err := live.RunRounds(6); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	rep := live.Collector().Aggregate()
+	if rep.Delivered != 3 {
+		t.Fatalf("delivered %d, want 3", rep.Delivered)
+	}
+}
+
+// TestUtilityCurves checks the re-exported fitted models.
+func TestUtilityCurves(t *testing.T) {
+	if got := richnote.Equation8(40); math.Abs(got-0.910) > 0.001 {
+		t.Fatalf("Equation8(40) = %f, want ~0.910", got)
+	}
+	if got := richnote.Equation9(0); math.Abs(got-0.253) > 1e-9 {
+		t.Fatalf("Equation9(0) = %f, want 0.253", got)
+	}
+}
+
+// TestGenerators checks the re-exported presentation generators.
+func TestGenerators(t *testing.T) {
+	g, err := richnote.NewAudioGenerator(richnote.AudioConfig{Utility: richnote.Equation8})
+	if err != nil {
+		t.Fatalf("NewAudioGenerator: %v", err)
+	}
+	ps, err := g.Generate(richnote.Item{Kind: richnote.KindAudio})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(ps) != 6 {
+		t.Fatalf("%d levels, want 6", len(ps))
+	}
+	if richnote.NewImageGenerator() == nil || richnote.NewVideoGenerator() == nil {
+		t.Fatal("nil generators")
+	}
+}
+
+// TestNetworkMatrices checks the re-exported connectivity models.
+func TestNetworkMatrices(t *testing.T) {
+	for _, m := range []richnote.NetworkMatrix{
+		richnote.AlwaysCellMatrix(),
+		richnote.CellOnlyMatrix(),
+		richnote.PaperNetworkMatrix(),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("exported matrix invalid: %v", err)
+		}
+	}
+	if richnote.StateWifi.String() != "WIFI" || !richnote.StateCell.Online() {
+		t.Fatal("state re-exports wrong")
+	}
+}
