@@ -11,10 +11,14 @@ package richnote
 // full-scale CSVs.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"github.com/richnote/richnote/internal/core"
 	"github.com/richnote/richnote/internal/experiments"
+	"github.com/richnote/richnote/internal/trace"
 )
 
 var (
@@ -59,6 +63,42 @@ func benchExperiment(b *testing.B, run func() (experiments.Result, error), repor
 	}
 	if report != nil {
 		report(b, last)
+	}
+}
+
+// BenchmarkBuildPipeline measures the full build phase (trace synthesis,
+// forest training, ladder enrichment) at the quick scale across worker
+// counts. The forest and the enriched arrivals are identical for every
+// worker count (see TestBuildPipelineWorkerCountInvariant), so the
+// sub-benchmarks differ only in wall clock.
+func BenchmarkBuildPipeline(b *testing.B) {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n >= 4 {
+		counts = append(counts, 4)
+		if n > 4 {
+			counts = append(counts, n)
+		}
+	}
+	scale := experiments.QuickScale()
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := core.BuildPipeline(core.PipelineConfig{
+					Trace: trace.Config{
+						Users:  scale.Users,
+						Rounds: scale.Rounds,
+						Seed:   scale.Seed,
+					},
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Trace.TotalNotifications() == 0 {
+					b.Fatal("empty trace")
+				}
+			}
+		})
 	}
 }
 

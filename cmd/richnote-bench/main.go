@@ -5,6 +5,7 @@
 // Usage:
 //
 //	richnote-bench [-users N] [-rounds N] [-seed N] [-out DIR] [-only IDs] [-quick]
+//	               [-workers N] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"github.com/richnote/richnote/internal/experiments"
+	"github.com/richnote/richnote/internal/obs"
 )
 
 func main() {
@@ -27,14 +29,30 @@ func main() {
 
 func run() error {
 	var (
-		users  = flag.Int("users", 0, "simulated users (0 = profile default)")
-		rounds = flag.Int("rounds", 0, "rounds (0 = profile default)")
-		seed   = flag.Int64("seed", 0, "master seed (0 = profile default)")
-		outDir = flag.String("out", "bench_results", "output directory for CSVs")
-		only   = flag.String("only", "", "comma-separated experiment IDs (e.g. F3a,F4a); empty = all")
-		quick  = flag.Bool("quick", false, "use the reduced quick profile")
+		users   = flag.Int("users", 0, "simulated users (0 = profile default)")
+		rounds  = flag.Int("rounds", 0, "rounds (0 = profile default)")
+		seed    = flag.Int64("seed", 0, "master seed (0 = profile default)")
+		outDir  = flag.String("out", "bench_results", "output directory for CSVs")
+		only    = flag.String("only", "", "comma-separated experiment IDs (e.g. F3a,F4a); empty = all")
+		quick   = flag.Bool("quick", false, "use the reduced quick profile")
+		workers = flag.Int("workers", 0, "build/run worker goroutines (0 = all CPUs)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "richnote-bench:", err)
+		}
+		if err := obs.WriteHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "richnote-bench:", err)
+		}
+	}()
 
 	scale := experiments.DefaultScale()
 	if *quick {
@@ -49,6 +67,9 @@ func run() error {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
+	scale.Workers = *workers
+	rec := obs.NewRecorder()
+	scale.Recorder = rec
 
 	fmt.Printf("building workload: %d users x %d rounds (seed %d)...\n",
 		scale.Users, scale.Rounds, scale.Seed)
@@ -57,10 +78,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload ready in %s: %d notifications, click rate %.3f\n\n",
+	fmt.Printf("workload ready in %s: %d notifications, click rate %.3f\n",
 		time.Since(start).Round(time.Millisecond),
 		suite.Pipeline().Trace.TotalNotifications(),
 		suite.Pipeline().Trace.ClickRate())
+	fmt.Printf("build phases:\n%s\n", rec)
 
 	var ids []string
 	if *only != "" {

@@ -7,6 +7,7 @@
 //	richnote-sim [-strategy richnote|fifo|util] [-level N] [-budget MB]
 //	             [-users N] [-rounds N] [-seed N] [-network cell|cellonly|wifi]
 //	             [-V f] [-kappa f] [-scorer forest|oracle|constant]
+//	             [-workers N] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"github.com/richnote/richnote/internal/core"
 	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/obs"
 	"github.com/richnote/richnote/internal/trace"
 )
 
@@ -43,8 +45,24 @@ func run() error {
 		dominance       = flag.Bool("dominance", false, "use the Sinha-Zoltners LP-dominance MCKP variant")
 		queuedBaselines = flag.Bool("queued-baselines", false, "give fifo/util a persistent re-ranked queue instead of the digest discipline")
 		perRound        = flag.Bool("per-round-budget", false, "disable data-budget rollover")
+		workers         = flag.Int("workers", 0, "build/run worker goroutines (0 = all CPUs)")
+		cpuProf         = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf         = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "richnote-sim:", err)
+		}
+		if err := obs.WriteHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "richnote-sim:", err)
+		}
+	}()
 
 	var scorerKind core.ScorerKind
 	switch *scorer {
@@ -84,9 +102,12 @@ func run() error {
 
 	fmt.Printf("building pipeline (%d users, %d rounds, scorer %s)...\n", *users, *rounds, *scorer)
 	start := time.Now()
+	rec := obs.NewRecorder()
 	pipeline, err := core.BuildPipeline(core.PipelineConfig{
-		Trace:  trace.Config{Users: *users, Rounds: *rounds, Seed: *seed},
-		Scorer: scorerKind,
+		Trace:    trace.Config{Users: *users, Rounds: *rounds, Seed: *seed},
+		Scorer:   scorerKind,
+		Workers:  *workers,
+		Recorder: rec,
 	})
 	if err != nil {
 		return err
@@ -94,6 +115,7 @@ func run() error {
 	fmt.Printf("trace: %d notifications, click rate %.3f (built in %s)\n",
 		pipeline.Trace.TotalNotifications(), pipeline.Trace.ClickRate(),
 		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("build phases:\n%s", rec)
 
 	res, err := pipeline.Run(core.RunConfig{
 		Strategy:          strategyKind,
@@ -105,6 +127,7 @@ func run() error {
 		UseDominance:      *dominance,
 		QueuedBaselines:   *queuedBaselines,
 		PerRoundBudget:    *perRound,
+		Workers:           *workers,
 	})
 	if err != nil {
 		return err

@@ -29,6 +29,7 @@ import (
 	"github.com/richnote/richnote/internal/ml/forest"
 	"github.com/richnote/richnote/internal/network"
 	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/obs"
 	"github.com/richnote/richnote/internal/sched"
 	"github.com/richnote/richnote/internal/sim"
 	"github.com/richnote/richnote/internal/survey"
@@ -67,6 +68,15 @@ type PipelineConfig struct {
 	// AudioUtility is the duration-to-utility curve for presentation
 	// generation; defaults to the paper's Equation 8.
 	AudioUtility media.UtilityFn
+	// Workers bounds build-phase parallelism: forest training fans out
+	// over per-tree-seeded workers and enrichment shards users, both
+	// producing results identical to a serial build. 0 selects
+	// runtime.NumCPU(). Forest.Workers, when set, overrides this for the
+	// training phase only.
+	Workers int
+	// Recorder, when non-nil, receives build-phase wall-clock timings
+	// (phases "trace", "train", "enrich").
+	Recorder *obs.Recorder
 }
 
 // Pipeline is a prepared workload: trace, trained scorer and pre-enriched
@@ -85,13 +95,18 @@ type Pipeline struct {
 }
 
 // BuildPipeline generates the trace, trains the content-utility model and
-// pre-enriches every notification.
+// pre-enriches every notification. Training and enrichment run on up to
+// cfg.Workers goroutines; the built pipeline is identical for any worker
+// count.
 func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.Scorer == 0 {
 		cfg.Scorer = ScorerForest
 	}
 	if cfg.AudioUtility == nil {
 		cfg.AudioUtility = survey.Equation8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
 	}
 	var gen *trace.Generator
 	var tr *trace.Trace
@@ -100,6 +115,7 @@ func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		tr = cfg.ExternalTrace
 		seed = tr.MasterSeed
 	} else {
+		stopTrace := cfg.Recorder.Time("trace")
 		g, err := trace.NewGenerator(cfg.Trace)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
@@ -110,8 +126,10 @@ func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		}
 		gen, tr = g, generated
 		seed = g.Config().Seed
+		stopTrace()
 	}
 
+	stopTrain := cfg.Recorder.Time("train")
 	var scorer utility.ContentScorer
 	if cfg.ExternalScorer != nil {
 		scorer = cfg.ExternalScorer
@@ -128,6 +146,9 @@ func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		if fcfg.Seed == 0 {
 			fcfg.Seed = seed + 1
 		}
+		if fcfg.Workers == 0 {
+			fcfg.Workers = cfg.Workers
+		}
 		s, err := utility.TrainForestScorer(tr, fcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
@@ -140,47 +161,87 @@ func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown scorer kind %d", cfg.Scorer)
 	}
+	stopTrain()
 
 	audioGen, err := media.NewAudioGenerator(media.AudioConfig{Utility: cfg.AudioUtility})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	enricher, err := utility.NewEnricher(scorer, audioGen)
+	// Every audio notification shares one of at most two ladders, so
+	// enrichment becomes a score plus a map lookup instead of
+	// regenerating six presentations per notification.
+	enricher, err := utility.NewEnricher(scorer, media.NewCachedGenerator(audioGen))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	p := &Pipeline{cfg: cfg, Trace: tr, Gen: gen, Scorer: scorer, enricher: enricher, seed: seed}
-	if err := p.enrichAll(); err != nil {
+	stopEnrich := cfg.Recorder.Time("enrich")
+	if err := p.enrichAll(cfg.Workers); err != nil {
 		return nil, err
 	}
+	stopEnrich()
 	return p, nil
 }
 
 // enrichAll precomputes the per-round arrival lists once; Run
-// configurations share them read-only.
-func (p *Pipeline) enrichAll() error {
-	p.arrivals = make([][][]sched.Queued, len(p.Trace.Users))
-	for ui := range p.Trace.Users {
-		perRound := make([][]sched.Queued, p.Trace.Rounds)
-		for ni := range p.Trace.Users[ui].Notifications {
-			n := &p.Trace.Users[ui].Notifications[ni]
-			rich, err := p.enricher.Enrich(n)
-			if err != nil {
-				return fmt.Errorf("core: enrich: %w", err)
-			}
-			if n.Round < 0 || n.Round >= p.Trace.Rounds {
-				return fmt.Errorf("core: notification round %d outside trace", n.Round)
-			}
-			perRound[n.Round] = append(perRound[n.Round], sched.Queued{
-				Rich:       rich,
-				Clicked:    n.Clicked,
-				ClickRound: n.ClickRound,
-				TrueUc:     n.LatentP,
-			})
-		}
-		p.arrivals[ui] = perRound
+// configurations share them read-only. Users shard across workers the
+// same way Run shards them; each user's arrivals depend only on that
+// user's notifications and the (read-only) scorer, so the result is
+// identical to a serial pass.
+func (p *Pipeline) enrichAll(workers int) error {
+	users := len(p.Trace.Users)
+	p.arrivals = make([][][]sched.Queued, users)
+	if workers > users {
+		workers = users
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ui := w; ui < users; ui += workers {
+				if err := p.enrichUser(ui); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enrichUser fills p.arrivals[ui] from that user's raw notifications.
+func (p *Pipeline) enrichUser(ui int) error {
+	perRound := make([][]sched.Queued, p.Trace.Rounds)
+	for ni := range p.Trace.Users[ui].Notifications {
+		n := &p.Trace.Users[ui].Notifications[ni]
+		rich, err := p.enricher.Enrich(n)
+		if err != nil {
+			return fmt.Errorf("core: enrich: %w", err)
+		}
+		if n.Round < 0 || n.Round >= p.Trace.Rounds {
+			return fmt.Errorf("core: notification round %d outside trace", n.Round)
+		}
+		perRound[n.Round] = append(perRound[n.Round], sched.Queued{
+			Rich:       rich,
+			Clicked:    n.Clicked,
+			ClickRound: n.ClickRound,
+			TrueUc:     n.LatentP,
+		})
+	}
+	p.arrivals[ui] = perRound
 	return nil
 }
 
@@ -237,14 +298,17 @@ type RunConfig struct {
 	KappaJ float64
 	// NetworkMatrix defaults to network.AlwaysCellMatrix().
 	NetworkMatrix *network.Matrix
-	// StartState defaults to network.StateCell.
+	// StartState defaults to network.StateCell. Zero is a sentinel, not a
+	// state: an explicit StartState of 0 (network.StateOff is 1) cannot be
+	// expressed and always resolves to StateCell.
 	StartState network.State
 	// Capacity defaults to network.DefaultCapacity().
 	Capacity *network.Capacity
 	// Transfer defaults to energy.DefaultTransferModel().
 	Transfer *energy.TransferModel
 	// Seed perturbs the per-run randomness (network, battery); defaults to
-	// the trace seed.
+	// the trace seed. Zero is a sentinel: an explicit Seed of 0 silently
+	// becomes the trace seed, so runs that must differ need nonzero seeds.
 	Seed int64
 	// Workers bounds parallelism across users; 0 selects NumCPU.
 	Workers int

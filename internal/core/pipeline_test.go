@@ -1,9 +1,11 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/obs"
 	"github.com/richnote/richnote/internal/trace"
 )
 
@@ -44,6 +46,58 @@ func TestBuildPipelineUnknownScorer(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("unknown scorer accepted")
+	}
+}
+
+// TestBuildPipelineWorkerCountInvariant pins the parallel-build contract:
+// any Workers value trains the same forest and enriches the same arrivals
+// as a serial build.
+func TestBuildPipelineWorkerCountInvariant(t *testing.T) {
+	build := func(workers int) *Pipeline {
+		t.Helper()
+		p, err := BuildPipeline(PipelineConfig{
+			Trace:   trace.Config{Users: 30, Rounds: 48, Seed: 5},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("BuildPipeline(workers=%d): %v", workers, err)
+		}
+		return p
+	}
+	serial := build(1)
+	for _, workers := range []int{2, 8} {
+		par := build(workers)
+		if !reflect.DeepEqual(par.Arrivals(), serial.Arrivals()) {
+			t.Fatalf("workers=%d produced different enriched arrivals than serial build", workers)
+		}
+		for ui := range serial.Trace.Users {
+			for ni := range serial.Trace.Users[ui].Notifications {
+				n := &serial.Trace.Users[ui].Notifications[ni]
+				if serial.Scorer.Score(n) != par.Scorer.Score(n) {
+					t.Fatalf("workers=%d trained a different forest (score mismatch user %d)", workers, ui)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPipelineRecordsPhases(t *testing.T) {
+	rec := obs.NewRecorder()
+	if _, err := BuildPipeline(PipelineConfig{
+		Trace:    trace.Config{Users: 10, Rounds: 24, Seed: 3},
+		Scorer:   ScorerOracle,
+		Recorder: rec,
+	}); err != nil {
+		t.Fatalf("BuildPipeline: %v", err)
+	}
+	got := map[string]bool{}
+	for _, s := range rec.Spans() {
+		got[s.Name] = true
+	}
+	for _, phase := range []string{"trace", "train", "enrich"} {
+		if !got[phase] {
+			t.Fatalf("recorder missing phase %q (got %v)", phase, rec.Spans())
+		}
 	}
 }
 
@@ -164,6 +218,52 @@ func TestRunWifiRicherThanCellular(t *testing.T) {
 	if richShare(wifiRes) <= richShare(cell) {
 		t.Fatalf("wifi rich-level share %.3f not above cellular %.3f (Fig 5c)",
 			richShare(wifiRes), richShare(cell))
+	}
+}
+
+// TestRunConfigZeroValueSentinels pins the documented defaults: Seed: 0
+// resolves to the trace seed (an explicit zero seed cannot be expressed)
+// and StartState: 0 resolves to network.StateCell.
+func TestRunConfigZeroValueSentinels(t *testing.T) {
+	const traceSeed = int64(1234)
+
+	cfg := RunConfig{WeeklyBudgetBytes: 1}
+	if err := cfg.applyDefaults(traceSeed); err != nil {
+		t.Fatalf("applyDefaults: %v", err)
+	}
+	if cfg.Seed != traceSeed {
+		t.Fatalf("Seed 0 resolved to %d, want trace seed %d", cfg.Seed, traceSeed)
+	}
+	if cfg.StartState != network.StateCell {
+		t.Fatalf("StartState 0 resolved to %v, want StateCell", cfg.StartState)
+	}
+	if cfg.Strategy != StrategyRichNote || cfg.FixedLevel != 3 {
+		t.Fatalf("strategy/level defaults %v/%d, want richnote/3", cfg.Strategy, cfg.FixedLevel)
+	}
+	if cfg.V != DefaultV || cfg.KappaJ != DefaultKappaJ {
+		t.Fatalf("V/kappa defaults %f/%f, want %f/%f", cfg.V, cfg.KappaJ, DefaultV, DefaultKappaJ)
+	}
+	if cfg.Workers < 1 {
+		t.Fatalf("Workers default %d, want >= 1", cfg.Workers)
+	}
+
+	// An explicit Seed: 0 is indistinguishable from unset: both runs are
+	// seeded with the trace seed and must produce identical results.
+	explicit := RunConfig{WeeklyBudgetBytes: 1, Seed: 0, StartState: 0}
+	if err := explicit.applyDefaults(traceSeed); err != nil {
+		t.Fatalf("applyDefaults: %v", err)
+	}
+	if explicit.Seed != cfg.Seed || explicit.StartState != cfg.StartState {
+		t.Fatalf("explicit zero sentinels resolved differently: %+v vs %+v", explicit, cfg)
+	}
+
+	// Nonzero values pass through untouched.
+	set := RunConfig{WeeklyBudgetBytes: 1, Seed: 77, StartState: network.StateWifi}
+	if err := set.applyDefaults(traceSeed); err != nil {
+		t.Fatalf("applyDefaults: %v", err)
+	}
+	if set.Seed != 77 || set.StartState != network.StateWifi {
+		t.Fatalf("explicit values overridden: seed %d state %v", set.Seed, set.StartState)
 	}
 }
 

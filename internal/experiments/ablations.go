@@ -165,7 +165,8 @@ func (s *Suite) scorerPipeline(kind core.ScorerKind) (*core.Pipeline, error) {
 			Rounds: s.scale.Rounds,
 			Seed:   s.scale.Seed,
 		},
-		Scorer: kind,
+		Scorer:  kind,
+		Workers: s.scale.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scorer pipeline %d: %w", kind, err)

@@ -17,6 +17,7 @@ import (
 	"github.com/richnote/richnote/internal/core"
 	"github.com/richnote/richnote/internal/metrics"
 	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/obs"
 	"github.com/richnote/richnote/internal/trace"
 )
 
@@ -53,6 +54,9 @@ type Scale struct {
 	Seed    int64
 	Budgets []int64 // sweep points in bytes
 	Workers int
+	// Recorder, when non-nil, receives the build-phase timings of the
+	// suite's pipeline (see obs.Recorder). Purely observational.
+	Recorder *obs.Recorder
 }
 
 // DefaultScale is the full-figure profile.
@@ -95,6 +99,8 @@ func NewSuite(scale Scale) (*Suite, error) {
 			Rounds: scale.Rounds,
 			Seed:   scale.Seed,
 		},
+		Workers:  scale.Workers,
+		Recorder: scale.Recorder,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)

@@ -63,6 +63,7 @@ func (s *Suite) E2() (Result, error) {
 		pipeline, err := core.BuildPipeline(core.PipelineConfig{
 			ExternalTrace:  tail,
 			ExternalScorer: vr.scorer,
+			Workers:        s.scale.Workers,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("experiments: E2 %s: %w", vr.name, err)

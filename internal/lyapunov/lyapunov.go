@@ -3,10 +3,12 @@
 //
 // Two queues are tracked per user:
 //
-//   - Q(t): the scheduling-queue backlog in bytes. Every presentation of a
-//     queued item counts toward the backlog; delivering an item at any
-//     level removes all of its presentations, so a delivery of item i
-//     relieves Q by s(i) = sum_j s(i, j).
+//   - Q(t): the scheduling-queue backlog in MB (DESIGN.md §6.3: backlogs
+//     are measured in MB and energy in J, which keeps the Q² and (P−κ)²
+//     terms of the Lyapunov function on comparable scales). Every
+//     presentation of a queued item counts toward the backlog; delivering
+//     an item at any level removes all of its presentations, so a delivery
+//     of item i relieves Q by s(i) = sum_j s(i, j).
 //   - P(t): a virtual queue tracking the energy budget. The paper moves the
 //     energy constraint (2c) into the objective by keeping P close to a
 //     target κ: replenishment e(t) is added only while P <= κ, and each
@@ -46,7 +48,7 @@ func (c Config) Validate() error {
 }
 
 // ErrNegativeAmount is returned when a queue mutation receives a negative
-// byte or joule amount.
+// MB or joule amount.
 var ErrNegativeAmount = errors.New("lyapunov: negative amount")
 
 // Controller tracks the per-user queue states and computes adjusted
@@ -55,7 +57,7 @@ var ErrNegativeAmount = errors.New("lyapunov: negative amount")
 type Controller struct {
 	cfg Config
 
-	q float64 // scheduling-queue backlog, bytes
+	q float64 // scheduling-queue backlog, MB
 	p float64 // virtual energy queue, joules
 
 	// Telemetry.
@@ -75,7 +77,7 @@ func New(cfg Config) (*Controller, error) {
 	return &Controller{cfg: cfg}, nil
 }
 
-// Q returns the current scheduling-queue backlog in bytes.
+// Q returns the current scheduling-queue backlog in MB.
 func (c *Controller) Q() float64 { return c.q }
 
 // P returns the current virtual energy queue in joules.
@@ -91,7 +93,7 @@ func (c *Controller) Lyapunov() float64 {
 }
 
 // Adjusted returns Ua(i, j) for an item with total presentation size s(i)
-// (bytes across all levels), per-level energy cost ρ(i, j) (joules) and
+// (MB across all levels), per-level energy cost ρ(i, j) (joules) and
 // combined utility U(i, j).
 //
 // The Q·s(i) term rewards relieving the backlog (it is identical across a
@@ -102,12 +104,12 @@ func (c *Controller) Adjusted(itemTotalSize, energy, utility float64) float64 {
 	return c.q*itemTotalSize + (c.p-c.cfg.Kappa)*energy + c.cfg.V*utility
 }
 
-// OnArrive adds ν(t) bytes of new presentations to the scheduling queue.
-func (c *Controller) OnArrive(bytes float64) error {
-	if bytes < 0 {
-		return fmt.Errorf("%w: arrive %f bytes", ErrNegativeAmount, bytes)
+// OnArrive adds ν(t) MB of new presentations to the scheduling queue.
+func (c *Controller) OnArrive(mb float64) error {
+	if mb < 0 {
+		return fmt.Errorf("%w: arrive %f MB", ErrNegativeAmount, mb)
 	}
-	c.q += bytes
+	c.q += mb
 	return nil
 }
 
@@ -163,8 +165,8 @@ func (c *Controller) EndRound() {
 // Stats is a snapshot of controller telemetry.
 type Stats struct {
 	Rounds    int
-	AvgQ      float64 // average backlog in bytes over rounds
-	MaxQ      float64
+	AvgQ      float64 // average backlog in MB over rounds
+	MaxQ      float64 // peak backlog in MB
 	AvgDrift  float64 // average empirical one-round Lyapunov drift
 	FinalQ    float64
 	FinalP    float64

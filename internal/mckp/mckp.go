@@ -13,9 +13,10 @@
 //     and repeatedly apply the upgrade with the largest utility-size
 //     gradient until the budget is exhausted. O(n + U log n) with a binary
 //     max-heap, where U is the number of upgrades performed.
-//   - FractionalValue: the LP relaxation value reached by allowing the
-//     final upgrade to be taken fractionally; the paper's optimality
-//     argument bounds the greedy integral solution against it.
+//   - FractionalValue: the Dantzig bound of the LP relaxation — upgrades
+//     taken in gradient order with the first misfit taken fractionally;
+//     the paper's optimality argument bounds the greedy integral solution
+//     against it, and it upper-bounds the exact integral optimum.
 //   - SelectExact: exact dynamic program over integer weights, used by
 //     tests and the A1 ablation bench to measure the greedy gap.
 package mckp
@@ -25,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Choice is one selectable presentation of a group.
@@ -83,9 +85,10 @@ type Result struct {
 	Weight float64
 	// Upgrades is the number of level upgrades applied.
 	Upgrades int
-	// FractionalValue is the LP-relaxation value: Value plus the fractional
-	// share of the first upgrade that did not fit. It upper-bounds the
-	// optimum of the "monotone upgrade" relaxation the paper analyzes.
+	// FractionalValue is the Dantzig bound of the LP relaxation: upgrades
+	// taken in gradient order over the convexified groups, with the first
+	// upgrade that does not fit taken fractionally. It upper-bounds both
+	// the integral Value and the exact integral optimum (SelectExact).
 	FractionalValue float64
 }
 
@@ -150,8 +153,14 @@ func SelectGreedy(groups []Group, budget float64, opts Options) Result {
 	}
 	heap.Init(&h)
 
+	// For concave groups the loop below visits upgrades in gradient order,
+	// so the LP bound is pinned at the first misfit for free; otherwise it
+	// needs the convex-hull pass of fractionalBound after the loop.
+	concave := groupsConcave(groups)
+	lpPinned := false
+	lpBound := 0.0
+
 	remaining := budget
-	fractional := 0.0
 	for h.Len() > 0 {
 		top := h[0]
 		if !opts.AllowNegative && top.gradient <= 0 {
@@ -169,10 +178,12 @@ func SelectGreedy(groups []Group, budget float64, opts Options) Result {
 		valueGain := next.Value - curValue
 
 		if weightGain > remaining {
-			// The fractional relaxation takes the share of this upgrade
-			// that fits; record it once for the bound.
-			if fractional == 0 && valueGain > 0 {
-				fractional = valueGain * (remaining / weightGain)
+			// First misfit in gradient order: for concave groups the
+			// upgrades applied so far plus the fractional share of this one
+			// is exactly the LP-relaxation optimum.
+			if concave && !lpPinned {
+				lpBound = res.Value + valueGain*(remaining/weightGain)
+				lpPinned = true
 			}
 			if opts.StopAtFirstMisfit {
 				break
@@ -194,8 +205,84 @@ func SelectGreedy(groups []Group, budget float64, opts Options) Result {
 			heap.Pop(&h)
 		}
 	}
-	res.FractionalValue = res.Value + fractional
+	switch {
+	case concave && !lpPinned:
+		// The budget never bound: the greedy took every worthwhile upgrade,
+		// so the LP relaxation has nothing more to add.
+		lpBound = res.Value
+	case !concave:
+		lpBound = fractionalBound(groups, budget)
+	}
+	if lpBound < res.Value {
+		lpBound = res.Value
+	}
+	res.FractionalValue = lpBound
 	return res
+}
+
+// groupsConcave reports whether every group has strictly increasing values
+// and non-increasing upgrade gradients (the paper's survey-derived ladder
+// shape, which dominance pruning also produces).
+func groupsConcave(groups []Group) bool {
+	for _, g := range groups {
+		prevV, prevW := 0.0, 0.0
+		prevGrad := math.Inf(1)
+		for _, c := range g.Choices {
+			dv := c.Value - prevV
+			if dv <= 0 {
+				return false
+			}
+			grad := dv / (c.Weight - prevW)
+			if grad > prevGrad {
+				return false
+			}
+			prevV, prevW, prevGrad = c.Value, c.Weight, grad
+		}
+	}
+	return true
+}
+
+// fractionalBound computes the Dantzig bound for arbitrary groups: each
+// group is reduced to its upper convex hull (pruneGroup) and the hull
+// increments are taken in global gradient order, the first that does not
+// fit fractionally. The convexified LP's feasible region contains every
+// integral assignment, so the returned value upper-bounds SelectExact.
+// A gradient-ordered walk over non-concave groups cannot produce this
+// bound on its own: a high-gradient level hidden behind a misfitting
+// lower level never surfaces in the upgrade heap.
+func fractionalBound(groups []Group, budget float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	type increment struct {
+		gradient, weight float64
+	}
+	incs := make([]increment, 0, len(groups))
+	for _, g := range groups {
+		prevV, prevW := 0.0, 0.0
+		for _, ci := range pruneGroup(g) {
+			c := g.Choices[ci]
+			dv, dw := c.Value-prevV, c.Weight-prevW
+			incs = append(incs, increment{gradient: dv / dw, weight: dw})
+			prevV, prevW = c.Value, c.Weight
+		}
+	}
+	// Hull gradients strictly decrease within a group, so a stable global
+	// sort preserves each group's level order (the prefix constraint).
+	sort.SliceStable(incs, func(i, j int) bool { return incs[i].gradient > incs[j].gradient })
+	value, remaining := 0.0, budget
+	for _, inc := range incs {
+		if inc.gradient <= 0 {
+			break
+		}
+		if inc.weight > remaining {
+			value += inc.gradient * remaining
+			break
+		}
+		value += inc.gradient * inc.weight
+		remaining -= inc.weight
+	}
+	return value
 }
 
 // Value returns the total value and weight of an assignment over groups.

@@ -141,6 +141,47 @@ func TestSelectGreedyStopAtFirstMisfit(t *testing.T) {
 	}
 }
 
+// TestFractionalValueBoundsExact pins the LP-bound contract on randomized
+// non-concave instances with the default skip-misfit behaviour: the
+// fractional value must upper-bound both the integral greedy value and the
+// exact optimum. Weights are integers (bytes in practice), so SelectExact's
+// quantization is lossless and the comparison is exact.
+func TestFractionalValueBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g := monoGroups(rng, 1+rng.Intn(10), 5)
+		budget := 10 + rng.Intn(150)
+		res := SelectGreedy(g, float64(budget), Options{})
+		if res.FractionalValue < res.Value-1e-9 {
+			t.Fatalf("trial %d: fractional %f below integral %f", trial, res.FractionalValue, res.Value)
+		}
+		_, exact := SelectExact(g, budget)
+		if res.FractionalValue < exact-1e-9 {
+			t.Fatalf("trial %d: fractional %f below exact optimum %f", trial, res.FractionalValue, exact)
+		}
+	}
+}
+
+// TestFractionalValueHiddenLevel pins the counterexample that broke the
+// old frozen-at-first-misfit bound: group 1's high-gradient level 2 hides
+// behind a level 1 that no longer fits once group 0 is taken, so no upgrade
+// walk ever sees it. Only the convex-hull bound covers the exact optimum
+// (take group 1 level 2 alone: value 100).
+func TestFractionalValueHiddenLevel(t *testing.T) {
+	g := []Group{
+		{Choices: []Choice{{Value: 5, Weight: 9.8}}},
+		{Choices: []Choice{{Value: 0.5, Weight: 1}, {Value: 100, Weight: 10}}},
+	}
+	res := SelectGreedy(g, 10, Options{})
+	_, exact := SelectExact(g, 10)
+	if exact != 100 {
+		t.Fatalf("exact optimum %f, want 100", exact)
+	}
+	if res.FractionalValue < exact {
+		t.Fatalf("fractional bound %f below exact optimum %f", res.FractionalValue, exact)
+	}
+}
+
 func TestFractionalValueBoundsGreedy(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 100; trial++ {

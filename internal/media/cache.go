@@ -1,0 +1,94 @@
+package media
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// CacheKeyer is implemented by generators whose ladder depends on the
+// item only through a small derived key. Two items with equal keys must
+// receive identical presentation ladders. ok=false opts the item out of
+// caching (the ladder is generated fresh).
+type CacheKeyer interface {
+	LadderKey(item notif.Item) (key any, ok bool)
+}
+
+// LadderKey implements CacheKeyer. An AudioGenerator's ladder is fully
+// determined by its configuration plus whether the item carries a track
+// to cap previews against, so at most two distinct ladders exist per
+// generator and every enrichment past the first is a map lookup.
+func (g *AudioGenerator) LadderKey(item notif.Item) (any, bool) {
+	if item.Kind != notif.KindAudio {
+		return nil, false // let Generate report the kind mismatch
+	}
+	type audioKey struct{ trackCapped bool }
+	return audioKey{trackCapped: item.Meta.TrackID != 0}, true
+}
+
+// CachedGenerator wraps a Generator and memoizes its ladders by the
+// inner generator's CacheKeyer key. Safe for concurrent use; the build
+// pipeline shares one instance across all enrichment workers. Wrapping a
+// generator that does not implement CacheKeyer is valid and simply
+// passes every call through.
+type CachedGenerator struct {
+	inner Generator
+	keyer CacheKeyer
+
+	mu      sync.RWMutex
+	ladders map[any][]notif.Presentation
+
+	hits, misses atomic.Int64
+}
+
+var _ Generator = (*CachedGenerator)(nil)
+
+// NewCachedGenerator wraps inner with ladder memoization.
+func NewCachedGenerator(inner Generator) *CachedGenerator {
+	c := &CachedGenerator{inner: inner, ladders: make(map[any][]notif.Presentation)}
+	if k, ok := inner.(CacheKeyer); ok {
+		c.keyer = k
+	}
+	return c
+}
+
+// Generate implements Generator. Cached ladders are returned as fresh
+// copies, preserving the contract that the caller owns the slice.
+func (c *CachedGenerator) Generate(item notif.Item) ([]notif.Presentation, error) {
+	if c.keyer == nil {
+		return c.inner.Generate(item)
+	}
+	key, ok := c.keyer.LadderKey(item)
+	if !ok {
+		return c.inner.Generate(item)
+	}
+
+	c.mu.RLock()
+	cached, found := c.ladders[key]
+	c.mu.RUnlock()
+	if found {
+		c.hits.Add(1)
+		out := make([]notif.Presentation, len(cached))
+		copy(out, cached)
+		return out, nil
+	}
+
+	ladder, err := c.inner.Generate(item)
+	if err != nil {
+		return nil, err
+	}
+	c.misses.Add(1)
+	stored := make([]notif.Presentation, len(ladder))
+	copy(stored, ladder)
+	c.mu.Lock()
+	c.ladders[key] = stored
+	c.mu.Unlock()
+	return ladder, nil
+}
+
+// Stats returns how many Generate calls were served from the cache and
+// how many populated it.
+func (c *CachedGenerator) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

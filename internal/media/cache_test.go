@@ -1,0 +1,120 @@
+package media
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+func testAudioGen(t *testing.T) *AudioGenerator {
+	t.Helper()
+	g, err := NewAudioGenerator(AudioConfig{Utility: func(d float64) float64 { return d }})
+	if err != nil {
+		t.Fatalf("NewAudioGenerator: %v", err)
+	}
+	return g
+}
+
+func cachedAudioItem(id notif.ItemID, track int64) notif.Item {
+	return notif.Item{ID: id, Kind: notif.KindAudio, Meta: notif.Metadata{TrackID: track}}
+}
+
+func TestCachedGeneratorMatchesInner(t *testing.T) {
+	inner := testAudioGen(t)
+	cached := NewCachedGenerator(testAudioGen(t))
+	for _, item := range []notif.Item{cachedAudioItem(1, 0), cachedAudioItem(2, 77), cachedAudioItem(3, 77), cachedAudioItem(4, 0)} {
+		want, err := inner.Generate(item)
+		if err != nil {
+			t.Fatalf("inner.Generate: %v", err)
+		}
+		got, err := cached.Generate(item)
+		if err != nil {
+			t.Fatalf("cached.Generate: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("item %d: cached ladder %v != direct ladder %v", item.ID, got, want)
+		}
+	}
+	hits, misses := cached.Stats()
+	if misses != 2 || hits != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2 (two distinct keys)", hits, misses)
+	}
+}
+
+func TestCachedGeneratorReturnsPrivateCopies(t *testing.T) {
+	cached := NewCachedGenerator(testAudioGen(t))
+	first, err := cached.Generate(cachedAudioItem(1, 0))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	first[0].Utility = -99 // caller owns its slice; the cache must not see this
+	second, err := cached.Generate(cachedAudioItem(2, 0))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if second[0].Utility == -99 {
+		t.Fatal("cache returned a slice aliasing a previous caller's copy")
+	}
+}
+
+func TestCachedGeneratorPropagatesErrors(t *testing.T) {
+	cached := NewCachedGenerator(testAudioGen(t))
+	if _, err := cached.Generate(notif.Item{ID: 1, Kind: notif.KindImage}); err == nil {
+		t.Fatal("kind mismatch not reported through cache")
+	}
+}
+
+func TestCachedGeneratorPassThroughWithoutKeyer(t *testing.T) {
+	cached := NewCachedGenerator(NewImageGenerator())
+	item := notif.Item{ID: 1, Kind: notif.KindImage}
+	got, err := cached.Generate(item)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	want, err := NewImageGenerator().Generate(item)
+	if err != nil {
+		t.Fatalf("direct Generate: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pass-through generator altered the ladder")
+	}
+	if hits, misses := cached.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("pass-through counted cache traffic: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCachedGeneratorConcurrent(t *testing.T) {
+	cached := NewCachedGenerator(testAudioGen(t))
+	want, err := testAudioGen(t).Generate(cachedAudioItem(1, 0))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := cached.Generate(cachedAudioItem(notif.ItemID(i), 0))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Generate: %v", err)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Config controls forest training.
@@ -19,8 +21,13 @@ type Config struct {
 	// FeaturesPerNode is the number of features examined per split;
 	// 0 selects ceil(sqrt(d)) as Breiman recommends.
 	FeaturesPerNode int
-	// Seed makes training deterministic.
+	// Seed makes training deterministic. Tree ti draws its bootstrap and
+	// split randomness from a private RNG seeded with Seed+ti, so the
+	// trained forest does not depend on Workers.
 	Seed int64
+	// Workers bounds how many trees train concurrently; 0 selects
+	// runtime.NumCPU(). The trained forest is identical for any value.
+	Workers int
 }
 
 func (c *Config) applyDefaults(nFeatures int) {
@@ -35,6 +42,9 @@ func (c *Config) applyDefaults(nFeatures int) {
 	}
 	if c.FeaturesPerNode <= 0 {
 		c.FeaturesPerNode = int(math.Ceil(math.Sqrt(float64(nFeatures))))
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
 	}
 }
 
@@ -56,6 +66,8 @@ type Forest struct {
 }
 
 // Train fits a random forest on the feature matrix and binary labels.
+// Trees train concurrently on up to cfg.Workers goroutines; the result is
+// deterministic in cfg.Seed and independent of the worker count.
 func Train(features [][]float64, labels []int, cfg Config) (*Forest, error) {
 	n := len(features)
 	if n == 0 {
@@ -77,7 +89,6 @@ func Train(features [][]float64, labels []int, cfg Config) (*Forest, error) {
 	}
 	cfg.applyDefaults(d)
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	params := treeParams{
 		maxDepth:        cfg.MaxDepth,
 		minLeafSamples:  cfg.MinLeafSamples,
@@ -90,28 +101,44 @@ func Train(features [][]float64, labels []int, cfg Config) (*Forest, error) {
 		importance: make([]float64, d),
 	}
 
+	// Trees train independently: each derives a private RNG from
+	// Seed + tree index, so any worker count — including 1 — grows the
+	// exact same ensemble. Per-tree importance and out-of-bag votes are
+	// kept aside and merged in tree order below, keeping the
+	// floating-point accumulation order (and hence the serialized model)
+	// byte-identical regardless of scheduling.
+	perTree := make([]treeFit, cfg.Trees)
+	workers := cfg.Workers
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows := make([]int, n)
+			inBag := make([]bool, n)
+			for ti := w; ti < cfg.Trees; ti += workers {
+				perTree[ti] = fitOneTree(features, labels, params, cfg.Seed+int64(ti), rows, inBag)
+			}
+		}()
+	}
+	wg.Wait()
+
 	// Out-of-bag vote accumulators.
 	oobSum := make([]float64, n)
 	oobCount := make([]int, n)
-
-	rows := make([]int, n)
-	inBag := make([]bool, n)
-	for ti := 0; ti < cfg.Trees; ti++ {
-		for i := range inBag {
-			inBag[i] = false
+	for ti := range perTree {
+		fit := &perTree[ti]
+		f.trees[ti] = fit.tree
+		for fi, v := range fit.importance {
+			f.importance[fi] += v
 		}
-		for i := range rows {
-			r := rng.Intn(n)
-			rows[i] = r
-			inBag[r] = true
-		}
-		tree := buildTree(features, labels, rows, params, rng, f.importance)
-		f.trees[ti] = tree
-		for i := 0; i < n; i++ {
-			if !inBag[i] {
-				oobSum[i] += tree.PredictProba(features[i])
-				oobCount[i]++
-			}
+		for oi, row := range fit.oobRows {
+			oobSum[row] += fit.oobProba[oi]
+			oobCount[row]++
 		}
 	}
 
@@ -146,6 +173,43 @@ func Train(features [][]float64, labels []int, cfg Config) (*Forest, error) {
 		f.oobError = float64(wrong) / float64(scored)
 	}
 	return f, nil
+}
+
+// treeFit is the output of one independent tree-training task: the tree
+// plus its contributions to feature importance and the out-of-bag votes,
+// merged into the forest in tree order after all workers finish.
+type treeFit struct {
+	tree       *Tree
+	importance []float64
+	// oobRows lists the training rows this tree did not bootstrap-sample;
+	// oobProba holds the tree's prediction for each, index-aligned.
+	oobRows  []int32
+	oobProba []float64
+}
+
+// fitOneTree bootstraps, grows and OOB-scores tree number ti using only
+// the RNG derived from its seed. rows and inBag are caller-owned scratch
+// (one pair per worker) of length n.
+func fitOneTree(features [][]float64, labels []int, params treeParams, seed int64, rows []int, inBag []bool) treeFit {
+	n := len(features)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range inBag {
+		inBag[i] = false
+	}
+	for i := range rows {
+		r := rng.Intn(n)
+		rows[i] = r
+		inBag[r] = true
+	}
+	fit := treeFit{importance: make([]float64, len(features[0]))}
+	fit.tree = buildTree(features, labels, rows, params, rng, fit.importance)
+	for i := 0; i < n; i++ {
+		if !inBag[i] {
+			fit.oobRows = append(fit.oobRows, int32(i))
+			fit.oobProba = append(fit.oobProba, fit.tree.PredictProba(features[i]))
+		}
+	}
+	return fit
 }
 
 // PredictProba returns the fraction of trees whose leaf majority is the

@@ -1,6 +1,7 @@
 package forest
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -84,6 +85,31 @@ func TestForestDeterministicWithSeed(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical forests")
+	}
+}
+
+// TestForestWorkerCountInvariant pins the parallel-training contract: any
+// worker count grows a byte-identical forest (trees, importance, OOB
+// accounting — everything Save serializes).
+func TestForestWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := xorDataset(rng, 300)
+	serialize := func(workers int) string {
+		f, err := Train(x, y, Config{Trees: 24, Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatalf("Train(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := f.Save(&buf); err != nil {
+			t.Fatalf("Save(workers=%d): %v", workers, err)
+		}
+		return buf.String()
+	}
+	serial := serialize(1)
+	for _, workers := range []int{2, 4, 7, 32} {
+		if got := serialize(workers); got != serial {
+			t.Fatalf("forest trained with %d workers differs from serial build", workers)
+		}
 	}
 }
 

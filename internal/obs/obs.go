@@ -1,0 +1,157 @@
+// Package obs provides lightweight observability for the batch pipeline:
+// named phase timers for the build and run stages, and optional pprof
+// profiling wired into the cmd binaries. It exists so the "is the
+// parallel build actually faster, and where does the time go" question
+// has a first-class answer instead of ad-hoc time.Since prints.
+//
+// A nil *Recorder is valid and records nothing, so instrumented code
+// paths never need to branch on whether observability is enabled.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one recorded phase: a name and its wall-clock duration.
+// Repeated observations under the same name accumulate.
+type Span struct {
+	Name     string
+	Duration time.Duration
+	// Count is how many observations were folded into Duration.
+	Count int
+}
+
+// Recorder accumulates named phase timings. Safe for concurrent use; the
+// zero value is ready, and a nil receiver is a no-op on every method.
+type Recorder struct {
+	mu    sync.Mutex
+	spans map[string]*Span
+	order []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Observe adds one measurement under name.
+func (r *Recorder) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans == nil {
+		r.spans = make(map[string]*Span)
+	}
+	s, ok := r.spans[name]
+	if !ok {
+		s = &Span{Name: name}
+		r.spans[name] = s
+		r.order = append(r.order, name)
+	}
+	s.Duration += d
+	s.Count++
+}
+
+// Time starts a phase timer; calling the returned stop function records
+// the elapsed wall-clock time under name. Typical use:
+//
+//	defer rec.Time("train")()
+func (r *Recorder) Time(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.Observe(name, time.Since(start)) }
+}
+
+// Spans returns the recorded phases in first-observation order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, *r.spans[name])
+	}
+	return out
+}
+
+// Total returns the sum of all recorded durations.
+func (r *Recorder) Total() time.Duration {
+	var total time.Duration
+	for _, s := range r.Spans() {
+		total += s.Duration
+	}
+	return total
+}
+
+// String renders an aligned phase table, longest phase first.
+func (r *Recorder) String() string {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Duration > spans[j].Duration })
+	total := r.Total()
+	var b strings.Builder
+	for _, s := range spans {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Duration) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-12s %10s  %5.1f%%", s.Name, s.Duration.Round(time.Microsecond), share)
+		if s.Count > 1 {
+			fmt.Fprintf(&b, "  (%d calls)", s.Count)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file. With an empty path
+// it is a no-op.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile captures a heap profile to path after forcing a GC so
+// the numbers reflect live memory. With an empty path it is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write heap profile: %w", err)
+	}
+	return f.Close()
+}

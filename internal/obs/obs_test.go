@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("train", 2*time.Second)
+	r.Observe("enrich", time.Second)
+	r.Observe("train", time.Second)
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans %v, want 2 entries", spans)
+	}
+	if spans[0].Name != "train" || spans[0].Duration != 3*time.Second || spans[0].Count != 2 {
+		t.Fatalf("train span %+v, want 3s over 2 calls", spans[0])
+	}
+	if r.Total() != 4*time.Second {
+		t.Fatalf("total %s, want 4s", r.Total())
+	}
+	out := r.String()
+	if !strings.Contains(out, "train") || !strings.Contains(out, "enrich") {
+		t.Fatalf("rendered table missing phases:\n%s", out)
+	}
+}
+
+func TestRecorderTime(t *testing.T) {
+	r := NewRecorder()
+	stop := r.Time("phase")
+	time.Sleep(time.Millisecond)
+	stop()
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Duration <= 0 {
+		t.Fatalf("Time recorded %v", spans)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Observe("x", time.Second)
+	r.Time("y")()
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil recorder returned spans %v", got)
+	}
+	if r.Total() != 0 || r.String() != "" {
+		t.Fatal("nil recorder reported data")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Observe("shared", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Count != 800 {
+		t.Fatalf("concurrent observations lost: %+v", spans)
+	}
+}
+
+func TestProfilesWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if _, err := os.Stat(cpu); err != nil {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatalf("WriteHeapProfile: %v", err)
+	}
+	if st, err := os.Stat(heap); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+func TestProfilesEmptyPathNoop(t *testing.T) {
+	stop, err := StartCPUProfile("")
+	if err != nil || stop() != nil {
+		t.Fatal("empty cpu profile path should be a no-op")
+	}
+	if err := WriteHeapProfile(""); err != nil {
+		t.Fatal("empty heap profile path should be a no-op")
+	}
+}

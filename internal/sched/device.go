@@ -238,11 +238,12 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		return nil
 	}
 
-	// Pay the radio batch overhead once per active round.
+	// The radio batch overhead is paid once per round, but only when the
+	// first affordable selection is confirmed: a round whose selections all
+	// misfit the link or data budget never powers the radio, and a depleted
+	// battery must not pay a partial ramp for downloads it cannot run.
 	overhead := d.cfg.Transfer.BatchOverheadJ(state)
-	d.cfg.Battery.Spend(overhead)
-	d.cfg.Collector.OnEnergy(d.cfg.User, overhead)
-	res.EnergyJ += overhead
+	overheadPaid := false
 
 	remainingLink := linkCap.Bytes
 	delivered := make(map[int]bool, len(sels))
@@ -265,8 +266,18 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		if err != nil {
 			return fmt.Errorf("sched: %w", err)
 		}
-		if spent := d.cfg.Battery.Spend(transferJ); spent < transferJ {
+		need := transferJ
+		if !overheadPaid {
+			need += overhead
+		}
+		if need > d.cfg.Battery.Level()*d.cfg.Battery.CapacityJ() {
 			break // battery depleted: no further downloads this round
+		}
+		d.cfg.Battery.Spend(need)
+		if !overheadPaid {
+			overheadPaid = true
+			d.cfg.Collector.OnEnergy(d.cfg.User, overhead)
+			res.EnergyJ += overhead
 		}
 
 		remainingLink -= p.Size

@@ -27,6 +27,9 @@ import (
 )
 
 // ContentScorer predicts Uc(i) in [0, 1] for a trace notification.
+// Implementations must be safe for concurrent Score calls: the pipeline's
+// enrichment phase shards users across worker goroutines that share one
+// scorer.
 type ContentScorer interface {
 	Score(n *trace.Notification) float64
 }
@@ -78,7 +81,9 @@ var _ ContentScorer = ConstantScorer{}
 func (s ConstantScorer) Score(*trace.Notification) float64 { return s.Value }
 
 // Enricher turns trace notifications into rich items: it scores content
-// utility and generates the presentation ladder.
+// utility and generates the presentation ladder. An Enricher is safe for
+// concurrent Enrich calls as long as its scorer and generator are; the
+// scorers in this package and the generators in internal/media all are.
 type Enricher struct {
 	scorer    ContentScorer
 	generator media.Generator
