@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/richnote/richnote/internal/core"
 	"github.com/richnote/richnote/internal/experiments"
 	"github.com/richnote/richnote/internal/obs"
 )
@@ -38,6 +39,7 @@ func run() error {
 		workers = flag.Int("workers", 0, "build/run worker goroutines (0 = all CPUs)")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		prom    = flag.Bool("prom", false, "also print the Prometheus exposition of one paper-default RichNote run")
 	)
 	flag.Parse()
 
@@ -83,6 +85,17 @@ func run() error {
 		suite.Pipeline().Trace.TotalNotifications(),
 		suite.Pipeline().Trace.ClickRate())
 	fmt.Printf("build phases:\n%s\n", rec)
+
+	if *prom {
+		run, err := suite.Pipeline().Run(core.RunConfig{
+			Strategy:          core.StrategyRichNote,
+			WeeklyBudgetBytes: 20 << 20, // the paper's 20 MB/week plan
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Prometheus exposition (%s, paper defaults)\n%s\n", run.Name, run.Collector.Exposition())
+	}
 
 	var ids []string
 	if *only != "" {

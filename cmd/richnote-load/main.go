@@ -1,0 +1,62 @@
+// Command richnote-load drives a richnote-serve instance with a closed
+// loop of synthetic publications and reports achieved throughput and
+// publish-latency percentiles. Workers honor 429 Retry-After, so the
+// reported rates reflect what the server actually sustains under
+// backpressure.
+//
+// Usage:
+//
+//	richnote-load [-url http://127.0.0.1:8080] [-events N] [-concurrency N]
+//	              [-users N] [-topics N] [-friend-share f] [-seed N]
+//	              [-tick-every N] [-timeout 60s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/richnote/richnote/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "richnote-serve base URL")
+		events      = flag.Int("events", 1000, "publications to deliver")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
+		users       = flag.Int("users", 50, "recipient population (IDs 1..N)")
+		topics      = flag.Int("topics", 10, "distinct topic entities per kind")
+		friendShare = flag.Float64("friend-share", 0.7, "fraction of events on friend feeds")
+		seed        = flag.Int64("seed", 42, "event-mix seed")
+		tickEvery   = flag.Int("tick-every", 0, "POST /v1/tick after every N accepted events (for -round 0 servers)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "overall run deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := server.RunLoad(ctx, server.LoadConfig{
+		BaseURL:     *url,
+		Events:      *events,
+		Concurrency: *concurrency,
+		Users:       *users,
+		Topics:      *topics,
+		FriendShare: *friendShare,
+		Seed:        *seed,
+		TickEvery:   *tickEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}

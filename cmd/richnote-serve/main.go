@@ -1,0 +1,140 @@
+// Command richnote-serve runs the sharded online delivery service: HTTP
+// ingest, per-user Lyapunov scheduling on wall-clock rounds, Prometheus
+// metrics and graceful shutdown.
+//
+// Usage:
+//
+//	richnote-serve [-addr :8080] [-shards N] [-round 1s] [-virtual-round 1h]
+//	               [-strategy richnote|fifo|util] [-level N] [-budget MB]
+//	               [-network wifi|cell|cellonly] [-buffer N] [-highwater N]
+//	               [-recent N] [-seed N] [-V f] [-kappa f]
+//
+// The server answers:
+//
+//	POST /v1/publish                  ingest a publication (429 on backpressure)
+//	GET  /v1/users/{id}/deliveries    recent deliveries for one user
+//	POST /v1/tick                     force one synchronized round
+//	GET  /healthz                     liveness + per-shard round progress
+//	GET  /metrics                     Prometheus text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		shards       = flag.Int("shards", 4, "independent scheduler shards")
+		round        = flag.Duration("round", time.Second, "wall-clock round interval (0 = rounds only via /v1/tick)")
+		virtualRound = flag.Duration("virtual-round", time.Hour, "virtual time advanced per round (budget/battery accounting)")
+		strategy     = flag.String("strategy", "richnote", "scheduling strategy: richnote, fifo or util")
+		level        = flag.Int("level", 3, "fixed presentation level for fifo/util")
+		budgetMB     = flag.Int64("budget", 100, "weekly data budget in MB per user")
+		netName      = flag.String("network", "wifi", "network model: wifi, cell or cellonly")
+		buffer       = flag.Int("buffer", 1024, "per-shard ingest buffer")
+		highWater    = flag.Int("highwater", 0, "ingest depth triggering 429 (0 = 3/4 of buffer)")
+		recent       = flag.Int("recent", 32, "recent deliveries kept per user")
+		seed         = flag.Int64("seed", 42, "master seed for per-user randomness")
+		v            = flag.Float64("V", 0, "Lyapunov V (0 = default)")
+		kappa        = flag.Float64("kappa", 0, "Lyapunov kappa in J/round (0 = default)")
+	)
+	flag.Parse()
+
+	var strategyKind core.StrategyKind
+	switch *strategy {
+	case "richnote":
+		strategyKind = core.StrategyRichNote
+	case "fifo":
+		strategyKind = core.StrategyFIFO
+	case "util":
+		strategyKind = core.StrategyUtil
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	var matrix network.Matrix
+	switch *netName {
+	case "wifi":
+		matrix = network.PaperMatrix()
+	case "cell":
+		matrix = network.AlwaysCellMatrix()
+	case "cellonly":
+		matrix = network.CellOnlyMatrix()
+	default:
+		return fmt.Errorf("unknown network model %q", *netName)
+	}
+
+	s, err := server.New(server.Config{
+		Shards:           *shards,
+		RoundEvery:       *round,
+		VirtualRound:     *virtualRound,
+		IngestBuffer:     *buffer,
+		HighWater:        *highWater,
+		RecentDeliveries: *recent,
+		Seed:             *seed,
+		Default: server.UserConfig{
+			Strategy:          strategyKind,
+			FixedLevel:        *level,
+			WeeklyBudgetBytes: *budgetMB << 20,
+			V:                 *v,
+			KappaJ:            *kappa,
+			NetworkMatrix:     &matrix,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Printf("richnote-serve: %d shards, round every %s (virtual %s), strategy %s, listening on %s\n",
+		*shards, *round, *virtualRound, strategyKind, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("richnote-serve: %s, draining...\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-serve: http shutdown:", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Println("richnote-serve: drained cleanly")
+	return nil
+}

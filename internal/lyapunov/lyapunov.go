@@ -173,6 +173,26 @@ type Stats struct {
 	FinalLyap float64
 }
 
+// Add folds another controller's snapshot into s, aggregating across
+// users: queue totals (AvgQ, AvgDrift, FinalQ, FinalP, FinalLyap) sum,
+// peaks (MaxQ) take the max, and Rounds takes the max (a shard steps its
+// users in lockstep). The live server folds every device's snapshot into
+// one Stats per shard to expose aggregate Q(t)/P(t) gauges; after adding
+// n users, AvgQ reads as the shard's total average backlog in MB.
+func (s *Stats) Add(o Stats) {
+	if o.Rounds > s.Rounds {
+		s.Rounds = o.Rounds
+	}
+	if o.MaxQ > s.MaxQ {
+		s.MaxQ = o.MaxQ
+	}
+	s.AvgQ += o.AvgQ
+	s.AvgDrift += o.AvgDrift
+	s.FinalQ += o.FinalQ
+	s.FinalP += o.FinalP
+	s.FinalLyap += o.FinalLyap
+}
+
 // Stats returns accumulated telemetry.
 func (c *Controller) Stats() Stats {
 	s := Stats{

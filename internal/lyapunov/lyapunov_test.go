@@ -273,3 +273,18 @@ func TestVMonotonicityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatsAdd(t *testing.T) {
+	var agg Stats
+	agg.Add(Stats{Rounds: 5, AvgQ: 2, MaxQ: 4, AvgDrift: 0.5, FinalQ: 3, FinalP: 10, FinalLyap: 50})
+	agg.Add(Stats{Rounds: 7, AvgQ: 1, MaxQ: 9, AvgDrift: -0.25, FinalQ: 2, FinalP: 5, FinalLyap: 20})
+	if agg.Rounds != 7 {
+		t.Fatalf("Rounds = %d, want max 7", agg.Rounds)
+	}
+	if agg.MaxQ != 9 {
+		t.Fatalf("MaxQ = %f, want max 9", agg.MaxQ)
+	}
+	if agg.AvgQ != 3 || agg.AvgDrift != 0.25 || agg.FinalQ != 5 || agg.FinalP != 15 || agg.FinalLyap != 70 {
+		t.Fatalf("sums wrong: %+v", agg)
+	}
+}

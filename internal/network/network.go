@@ -106,6 +106,12 @@ func AlwaysCellMatrix() Matrix {
 }
 
 // Model is a per-user Markov connectivity process.
+//
+// A Model is NOT safe for concurrent use: it owns a bare *rand.Rand and
+// mutates its state on every Step. Each device must own its model
+// exclusively — the simulator gives every user a model on its worker
+// goroutine, and each server shard constructs an independent seeded model
+// per device with NewModelSeeded so shards never share RNG state.
 type Model struct {
 	matrix Matrix
 	state  State
@@ -124,6 +130,16 @@ func NewModel(m Matrix, start State, rng *rand.Rand) (*Model, error) {
 		return nil, errors.New("network: nil rng")
 	}
 	return &Model{matrix: m, state: start, rng: rng}, nil
+}
+
+// NewModelSeeded builds a model with its own deterministic RNG derived
+// from seed. It exists for callers outside the simulator's RNG-stream
+// discipline (the live server shards): two models with the same seed walk
+// identical state sequences, and models with different seeds are
+// independent, so per-device seeding keeps a sharded service deterministic
+// without sharing a Rand across goroutines.
+func NewModelSeeded(m Matrix, start State, seed int64) (*Model, error) {
+	return NewModel(m, start, rand.New(rand.NewSource(seed)))
 }
 
 // State returns the current connectivity state.

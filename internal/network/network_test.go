@@ -141,3 +141,43 @@ func TestCapacity(t *testing.T) {
 		t.Fatalf("offline capacity %+v, want zero", off)
 	}
 }
+
+func TestNewModelSeededDeterministic(t *testing.T) {
+	a, err := NewModelSeeded(PaperMatrix(), StateCell, 7)
+	if err != nil {
+		t.Fatalf("NewModelSeeded: %v", err)
+	}
+	b, err := NewModelSeeded(PaperMatrix(), StateCell, 7)
+	if err != nil {
+		t.Fatalf("NewModelSeeded: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if sa, sb := a.Step(), b.Step(); sa != sb {
+			t.Fatalf("step %d: same seed diverged: %s vs %s", i, sa, sb)
+		}
+	}
+}
+
+func TestNewModelSeededIndependent(t *testing.T) {
+	a, err := NewModelSeeded(PaperMatrix(), StateCell, 1)
+	if err != nil {
+		t.Fatalf("NewModelSeeded: %v", err)
+	}
+	b, err := NewModelSeeded(PaperMatrix(), StateCell, 2)
+	if err != nil {
+		t.Fatalf("NewModelSeeded: %v", err)
+	}
+	same := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if a.Step() == b.Step() {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical walks")
+	}
+	if err := func() error { _, err := NewModelSeeded(Matrix{}, StateCell, 1); return err }(); err == nil {
+		t.Fatal("invalid matrix must be rejected")
+	}
+}

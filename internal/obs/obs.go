@@ -71,6 +71,22 @@ func (r *Recorder) Time(name string) func() {
 	return func() { r.Observe(name, time.Since(start)) }
 }
 
+// Span returns the accumulated observation for one phase, if recorded.
+// The live server reads the "round" span this way to expose per-shard
+// round-latency gauges without materializing the full span list.
+func (r *Recorder) Span(name string) (Span, bool) {
+	if r == nil {
+		return Span{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[name]
+	if !ok {
+		return Span{}, false
+	}
+	return *s, true
+}
+
 // Spans returns the recorded phases in first-observation order.
 func (r *Recorder) Spans() []Span {
 	if r == nil {

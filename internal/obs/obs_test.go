@@ -105,3 +105,23 @@ func TestProfilesEmptyPathNoop(t *testing.T) {
 		t.Fatal("empty heap profile path should be a no-op")
 	}
 }
+
+func TestSpanLookup(t *testing.T) {
+	r := NewRecorder()
+	if _, ok := r.Span("round"); ok {
+		t.Fatal("empty recorder must not report spans")
+	}
+	r.Observe("round", 10*time.Millisecond)
+	r.Observe("round", 30*time.Millisecond)
+	s, ok := r.Span("round")
+	if !ok {
+		t.Fatal("span not found after Observe")
+	}
+	if s.Count != 2 || s.Duration != 40*time.Millisecond {
+		t.Fatalf("span %+v, want count 2 duration 40ms", s)
+	}
+	var nilRec *Recorder
+	if _, ok := nilRec.Span("round"); ok {
+		t.Fatal("nil recorder must report no spans")
+	}
+}

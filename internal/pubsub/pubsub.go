@@ -221,11 +221,37 @@ type Stats struct {
 	Published uint64
 	Delivered uint64
 	Topics    int
+	// Pending counts publications buffered in batch- and round-mode
+	// subscriptions, awaiting a flush. The live server exposes it as a
+	// queue-depth gauge and consults it for backpressure.
+	Pending int
 }
 
 // Stats returns a snapshot of broker counters.
 func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return Stats{Published: b.published, Delivered: b.delivered, Topics: len(b.topics)}
+	pending := 0
+	for _, subs := range b.topics {
+		for _, sub := range subs {
+			pending += len(sub.pending)
+		}
+	}
+	return Stats{Published: b.published, Delivered: b.delivered, Topics: len(b.topics), Pending: pending}
+}
+
+// PendingRound counts publications buffered in round-mode subscriptions
+// only — the backlog the next EndRound drain will hand to handlers.
+func (b *Broker) PendingRound() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pending := 0
+	for _, subs := range b.topics {
+		for _, sub := range subs {
+			if sub.mode == ModeRound {
+				pending += len(sub.pending)
+			}
+		}
+	}
+	return pending
 }

@@ -1,0 +1,104 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// TestConcurrentPublishDrain guards the live server's drain path: a
+// round-mode subscription is drained repeatedly while concurrent
+// publishers are active. Every publication must reach the handler exactly
+// once — none lost, none duplicated — and the run must be clean under the
+// race detector.
+func TestConcurrentPublishDrain(t *testing.T) {
+	const (
+		publishers   = 8
+		perPublisher = 500
+		drains       = 200
+	)
+	b := NewBroker()
+	topic := TopicID{Kind: notif.TopicFriendFeed, Entity: 1}
+
+	var mu sync.Mutex
+	seen := make(map[notif.ItemID]int)
+	err := b.Subscribe(77, topic, ModeRound, func(items []notif.Item) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, it := range items {
+			seen[it.ID]++
+		}
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				id := notif.ItemID(p*perPublisher + i + 1)
+				b.Publish(topic, notif.Item{ID: id, Kind: notif.KindAudio, Topic: notif.TopicFriendFeed})
+			}
+		}(p)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for round := 0; round < drains; round++ {
+			b.EndRoundIndex(round)
+		}
+	}()
+
+	wg.Wait()
+	<-drained
+	// Publishers and the drain loop have stopped; one final drain flushes
+	// whatever the concurrent drains did not catch.
+	b.EndRound()
+
+	mu.Lock()
+	defer mu.Unlock()
+	const total = publishers * perPublisher
+	if len(seen) != total {
+		t.Fatalf("handler saw %d distinct publications, want %d", len(seen), total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d delivered %d times, want exactly once", id, n)
+		}
+	}
+	stats := b.Stats()
+	if stats.Published != total || stats.Delivered != total {
+		t.Fatalf("stats %+v, want published=delivered=%d", stats, total)
+	}
+	if stats.Pending != 0 || b.PendingRound() != 0 {
+		t.Fatalf("pending %d / %d after final drain, want 0", stats.Pending, b.PendingRound())
+	}
+}
+
+func TestPendingRound(t *testing.T) {
+	b := NewBroker()
+	topic := TopicID{Kind: notif.TopicArtistPage, Entity: 9}
+	if err := b.Subscribe(1, topic, ModeRound, func([]notif.Item) {}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := b.Subscribe(2, topic, ModeBatch, func([]notif.Item) {}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Publish(topic, notif.Item{ID: 1})
+	b.Publish(topic, notif.Item{ID: 2})
+	if got := b.PendingRound(); got != 2 {
+		t.Fatalf("PendingRound = %d, want 2 (batch backlog excluded)", got)
+	}
+	if got := b.Stats().Pending; got != 4 {
+		t.Fatalf("Stats.Pending = %d, want 4 (round + batch)", got)
+	}
+	b.EndRound()
+	if got := b.PendingRound(); got != 0 {
+		t.Fatalf("PendingRound after drain = %d, want 0", got)
+	}
+}

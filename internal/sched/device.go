@@ -40,6 +40,11 @@ type DeviceConfig struct {
 	// Collector receives metric events; required.
 	Collector *metrics.Collector
 
+	// OnDelivery, when set, observes every confirmed delivery after the
+	// collector records it. The live server uses it to maintain per-user
+	// recent-delivery feeds; it runs on the goroutine driving RunRound.
+	OnDelivery func(notif.Delivery)
+
 	// MaxDeliveriesPerRound caps how many notifications the device accepts
 	// per round — the delivery queue drains at the pace of the user's
 	// attention, not instantaneously (pushing dozens of notifications per
@@ -132,6 +137,16 @@ func (d *Device) QueueLen() int { return len(d.queue) }
 
 // Budget returns the accumulated cellular data budget in bytes.
 func (d *Device) Budget() float64 { return d.budget }
+
+// ControllerStats snapshots the device's Lyapunov telemetry; ok is false
+// for baseline strategies without a controller. Must be called from the
+// goroutine that drives RunRound (the controller is not lock-protected).
+func (d *Device) ControllerStats() (lyapunov.Stats, bool) {
+	if d.cfg.Controller == nil {
+		return lyapunov.Stats{}, false
+	}
+	return d.cfg.Controller.Stats(), true
+}
 
 // SetNetwork replaces the device's connectivity process mid-run, e.g. when
 // a user moves from cellular to home WiFi. The scheduling queue, budgets
@@ -305,6 +320,9 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 			Clicked:     entry.Clicked,
 			BeforeClick: entry.Clicked && round <= entry.ClickRound,
 		})
+		if d.cfg.OnDelivery != nil {
+			d.cfg.OnDelivery(delivery)
+		}
 		delivered[sel.Index] = true
 		res.Delivered++
 		res.Bytes += p.Size

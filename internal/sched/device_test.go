@@ -408,3 +408,55 @@ func offlineModel(t *testing.T) *network.Model {
 	}
 	return model
 }
+
+func TestOnDeliveryHook(t *testing.T) {
+	var observed []notif.Delivery
+	fx := newFixture(t, &RichNote{}, func(c *DeviceConfig) {
+		c.OnDelivery = func(d notif.Delivery) { observed = append(observed, d) }
+	})
+	if _, err := fx.device.cfg.Controller.Replenish(30); err != nil {
+		t.Fatalf("Replenish: %v", err)
+	}
+	if err := fx.device.Enqueue(makeQueue(t, 0.9)); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	res, err := fx.device.RunRound(0)
+	if err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("expected a delivery with ample budget")
+	}
+	if len(observed) != res.Delivered {
+		t.Fatalf("hook observed %d deliveries, round delivered %d", len(observed), res.Delivered)
+	}
+	if observed[0].Recipient != fx.device.User() || observed[0].Level < 1 {
+		t.Fatalf("hook delivery %+v malformed", observed[0])
+	}
+	rep := fx.collector.Aggregate()
+	if rep.Delivered != len(observed) {
+		t.Fatalf("collector recorded %d, hook %d — hook must mirror the collector", rep.Delivered, len(observed))
+	}
+}
+
+func TestControllerStats(t *testing.T) {
+	fx := newFixture(t, &RichNote{})
+	if _, ok := fx.device.ControllerStats(); !ok {
+		t.Fatal("RichNote device must expose controller stats")
+	}
+	if _, err := fx.device.RunRound(0); err != nil {
+		t.Fatalf("RunRound: %v", err)
+	}
+	st, _ := fx.device.ControllerStats()
+	if st.Rounds != 1 {
+		t.Fatalf("controller rounds = %d, want 1", st.Rounds)
+	}
+	fifo, err := NewFIFO(2)
+	if err != nil {
+		t.Fatalf("NewFIFO: %v", err)
+	}
+	base := newFixture(t, fifo)
+	if _, ok := base.device.ControllerStats(); ok {
+		t.Fatal("baseline device must not expose controller stats")
+	}
+}

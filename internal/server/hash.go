@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// ring is a consistent-hash ring over shard indices. Every shard owns
+// replicas points on a 64-bit circle; a user maps to the first point at or
+// after the hash of its ID. Consistent hashing (rather than a plain
+// modulus) keeps most user→shard assignments stable when the shard count
+// changes between deployments, so recent-delivery feeds and queue state
+// survive a resharding restart for the majority of users.
+type ring struct {
+	points []ringPoint // sorted by hash, ascending
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// defaultReplicas balances lookup cost against assignment smoothness; 128
+// virtual nodes per shard keeps the max/min shard load ratio within a few
+// percent for realistic user counts.
+const defaultReplicas = 128
+
+// newRing builds a ring over shards 0..shards-1.
+func newRing(shards, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard:%d:%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hashes (vanishingly rare) tie-break by shard so the
+		// ring order is deterministic.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// shardFor maps a user to its owning shard.
+func (r *ring) shardFor(u notif.UserID) int {
+	h := hash64(fmt.Sprintf("user:%d", u))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/notif"
+)
+
+// LoadConfig drives RunLoad, the closed-loop generator behind
+// richnote-load: Concurrency workers each publish, wait for the response,
+// honor Retry-After on 429, and repeat until Events requests have been
+// accepted or the context expires.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Events is the number of publications to deliver; required.
+	Events int
+	// Concurrency is the closed-loop worker count; defaults to 8.
+	Concurrency int
+	// Users is the recipient population; defaults to 50. Recipients are
+	// drawn uniformly from 1..Users.
+	Users int
+	// Topics is the number of distinct topic entities per kind; defaults
+	// to 10.
+	Topics int
+	// FriendShare is the fraction of events published on friend feeds
+	// (the rest split between artist pages and playlists); defaults to
+	// 0.7, matching the paper's feed-frequency skew.
+	FriendShare float64
+	// Seed makes the synthetic event mix reproducible.
+	Seed int64
+	// TickEvery forces a POST /v1/tick after every n accepted events, so
+	// a manual-mode server advances rounds under load; 0 never ticks.
+	TickEvery int
+	// MaxRetries bounds per-event 429 retries; defaults to 10.
+	MaxRetries int
+	// Client defaults to a client with a 10 s timeout.
+	Client *http.Client
+}
+
+func (c *LoadConfig) applyDefaults() error {
+	if c.BaseURL == "" {
+		return errors.New("server: load needs a base URL")
+	}
+	if c.Events <= 0 {
+		return errors.New("server: load needs a positive event count")
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Users <= 0 {
+		c.Users = 50
+	}
+	if c.Topics <= 0 {
+		c.Topics = 10
+	}
+	if c.FriendShare <= 0 || c.FriendShare > 1 {
+		c.FriendShare = 0.7
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return nil
+}
+
+// LoadResult reports what the closed loop achieved.
+type LoadResult struct {
+	// Sent counts HTTP publish requests issued (including retries);
+	// Accepted counts 202 responses, Backpressured counts 429s, Failed
+	// counts events abandoned after MaxRetries or transport errors.
+	Sent          int
+	Accepted      int
+	Backpressured int
+	Failed        int
+	Ticks         int
+	Elapsed       time.Duration
+	// Throughput is accepted events per second of wall-clock time.
+	Throughput float64
+	// LatencyMs summarizes per-request publish latency in milliseconds
+	// (accepted requests only).
+	LatencyMs LatencySummary
+}
+
+// LatencySummary is the percentile digest of the publish path.
+type LatencySummary struct {
+	Count int
+	Mean  float64
+	P50   float64
+	P95   float64
+	P99   float64
+	Max   float64
+}
+
+// String renders the result for CLI output.
+func (r LoadResult) String() string {
+	return fmt.Sprintf(
+		"sent=%d accepted=%d backpressured=%d failed=%d ticks=%d in %s (%.1f events/s)\n"+
+			"publish latency: mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		r.Sent, r.Accepted, r.Backpressured, r.Failed, r.Ticks,
+		r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.LatencyMs.Mean, r.LatencyMs.P50, r.LatencyMs.P95, r.LatencyMs.P99, r.LatencyMs.Max)
+}
+
+// RunLoad executes the closed loop and reports achieved throughput and
+// latency percentiles.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return LoadResult{}, err
+	}
+	var (
+		next     atomic.Int64 // next event index to claim
+		sent     atomic.Int64
+		accepted atomic.Int64
+		rejected atomic.Int64
+		failed   atomic.Int64
+		ticks    atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	hists := make([]*metrics.Histogram, cfg.Concurrency)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		hists[w] = &metrics.Histogram{}
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*1_000_003))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Events || ctx.Err() != nil {
+					return
+				}
+				ok := publishOne(ctx, &cfg, rng, i, &sent, &rejected, hists[w])
+				if !ok {
+					failed.Add(1)
+					continue
+				}
+				n := accepted.Add(1)
+				if cfg.TickEvery > 0 && n%int64(cfg.TickEvery) == 0 {
+					if tick(ctx, &cfg) {
+						ticks.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat metrics.Histogram
+	for _, h := range hists {
+		lat.Merge(h)
+	}
+	res := LoadResult{
+		Sent:          int(sent.Load()),
+		Accepted:      int(accepted.Load()),
+		Backpressured: int(rejected.Load()),
+		Failed:        int(failed.Load()),
+		Ticks:         int(ticks.Load()),
+		Elapsed:       elapsed,
+		LatencyMs: LatencySummary{
+			Count: lat.Count(),
+			Mean:  lat.Mean(),
+			P50:   lat.Percentile(50),
+			P95:   lat.Percentile(95),
+			P99:   lat.Percentile(99),
+			Max:   lat.Max(),
+		},
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Accepted) / elapsed.Seconds()
+	}
+	return res, ctx.Err()
+}
+
+// event synthesizes publication i of the mix: recipient and topic entity
+// uniform, topic kind split by FriendShare, audio items with plausible
+// popularity scores.
+func event(cfg *LoadConfig, rng *rand.Rand, i int) PublishRequest {
+	var req PublishRequest
+	switch u := rng.Float64(); {
+	case u < cfg.FriendShare:
+		req.Topic.Kind = "friend-feed"
+	case u < cfg.FriendShare+(1-cfg.FriendShare)/2:
+		req.Topic.Kind = "artist-page"
+	default:
+		req.Topic.Kind = "playlist"
+	}
+	req.Topic.Entity = int64(rng.Intn(cfg.Topics) + 1)
+	req.Recipients = []notif.UserID{notif.UserID(rng.Intn(cfg.Users) + 1)}
+	req.Item = notif.Item{
+		ID:     notif.ItemID(i + 1),
+		Kind:   notif.KindAudio,
+		Sender: notif.UserID(rng.Intn(cfg.Users) + 1),
+		Meta: notif.Metadata{
+			TrackID:          int64(i + 1),
+			TrackPopularity:  1 + rng.Float64()*99,
+			ArtistPopularity: 1 + rng.Float64()*99,
+		},
+		TieStrength: rng.Float64(),
+	}
+	return req
+}
+
+// publishOne posts one event, retrying on backpressure. It records the
+// latency of the accepted request and returns false when the event had to
+// be abandoned.
+func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
+	sent, rejected *atomic.Int64, lat *metrics.Histogram) bool {
+	body, err := json.Marshal(event(cfg, rng, i))
+	if err != nil {
+		return false
+	}
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		if ctx.Err() != nil {
+			return false
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/publish", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		t0 := time.Now()
+		resp, err := cfg.Client.Do(req)
+		sent.Add(1)
+		if err != nil {
+			return false
+		}
+		status := resp.StatusCode
+		retryAfter := resp.Header.Get("Retry-After")
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch status {
+		case http.StatusAccepted, http.StatusOK:
+			lat.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+			return true
+		case http.StatusTooManyRequests:
+			rejected.Add(1)
+			wait := time.Second
+			if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// tick posts /v1/tick, returning whether the server advanced.
+func tick(ctx context.Context, cfg *LoadConfig) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/tick", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,350 @@
+// Package server implements richnote-serve: an online delivery-service
+// runtime that runs the paper's Algorithm 2 control loop against wall-clock
+// rounds and concurrent HTTP ingest instead of replayed traces.
+//
+// Users are partitioned across N independent scheduler shards by
+// consistent hashing on notif.UserID. Each shard owns its users' pub/sub
+// buffers, scheduling queues Q(t), virtual energy queues P(t) and
+// device/network state, and runs the round loop — drain round-mode broker
+// buffers, build the adjusted-utility MCKP instance, select greedily,
+// charge device budgets, record outcomes — on a configurable wall-clock
+// tick. Shard state is goroutine-confined: the HTTP layer talks to a shard
+// only through its bounded ingest channel (backpressure: 429 once the
+// buffer crosses a high-water mark) and reads only atomically published
+// snapshots, so no scheduling structure is ever locked on the hot path.
+//
+// Wall-clock ticks pace the loop; budget and battery accounting advance in
+// virtual time (one VirtualRound, an hour by default, per tick), so a
+// server ticking every second compresses a paper round per second rather
+// than starving every device of budget.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/media"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/pubsub"
+	"github.com/richnote/richnote/internal/survey"
+	"github.com/richnote/richnote/internal/utility"
+)
+
+// UserConfig describes one registered device; Config.Default is the
+// template applied to users auto-registered on first publish.
+type UserConfig struct {
+	User notif.UserID
+	// Strategy defaults to RichNote.
+	Strategy core.StrategyKind
+	// FixedLevel is the FIFO/UTIL presentation level; defaults to 3.
+	FixedLevel int
+	// WeeklyBudgetBytes defaults to 100 MB/week.
+	WeeklyBudgetBytes int64
+	// V and KappaJ tune the Lyapunov controller; zero selects the paper
+	// defaults.
+	V      float64
+	KappaJ float64
+	// NetworkMatrix defaults to the paper's WIFI/CELL/OFF model;
+	// StartState defaults to CELL.
+	NetworkMatrix *network.Matrix
+	StartState    network.State
+	// MaxDeliveriesPerRound caps per-round pushes; 0 means unlimited.
+	MaxDeliveriesPerRound int
+}
+
+func (c *UserConfig) applyDefaults() {
+	if c.Strategy == 0 {
+		c.Strategy = core.StrategyRichNote
+	}
+	if c.FixedLevel == 0 {
+		c.FixedLevel = 3
+	}
+	if c.WeeklyBudgetBytes <= 0 {
+		c.WeeklyBudgetBytes = 100 << 20
+	}
+	if c.V == 0 {
+		c.V = core.DefaultV
+	}
+	if c.KappaJ == 0 {
+		c.KappaJ = core.DefaultKappaJ
+	}
+	if c.NetworkMatrix == nil {
+		m := network.PaperMatrix()
+		c.NetworkMatrix = &m
+	}
+	if c.StartState == 0 {
+		c.StartState = network.StateCell
+	}
+}
+
+// Config configures the service.
+type Config struct {
+	// Shards is the number of independent scheduler shards; defaults to 4.
+	Shards int
+	// RoundEvery is the wall-clock tick driving each shard's round loop.
+	// Zero disables self-ticking: rounds advance only through Tick (manual
+	// mode, used by tests and drained on shutdown either way).
+	RoundEvery time.Duration
+	// VirtualRound is the round length in virtual time, used for data
+	// budget accrual, battery diurnal cycles and delivery timestamps;
+	// defaults to one hour (the paper's round). Decoupling it from
+	// RoundEvery lets a wall-clock server tick fast without shrinking
+	// per-round budgets to nothing.
+	VirtualRound time.Duration
+	// Epoch anchors virtual time; defaults to 2015-01-01 UTC.
+	Epoch time.Time
+	// IngestBuffer is the per-shard publication buffer; defaults to 1024.
+	IngestBuffer int
+	// HighWater is the ingest depth at which the shard starts rejecting
+	// publishes with 429; defaults to 3/4 of IngestBuffer.
+	HighWater int
+	// RecentDeliveries bounds the per-user delivery feed; defaults to 32.
+	RecentDeliveries int
+	// Scorer provides content utility Uc for incoming items; defaults to a
+	// neutral constant scorer. Must be safe for concurrent use (shards
+	// share it).
+	Scorer utility.ContentScorer
+	// Generator builds presentation ladders; defaults to the paper's
+	// six-level audio generator. Must be safe for concurrent use.
+	Generator media.Generator
+	// Seed drives per-user randomness (network walks, battery jitter).
+	Seed int64
+	// Default is the template for users auto-registered on first publish.
+	Default UserConfig
+	// DisableAutoRegister drops publications for unknown users instead of
+	// registering them with the Default template.
+	DisableAutoRegister bool
+	// Users are registered at construction time.
+	Users []UserConfig
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("server: shards must be >= 1, got %d", c.Shards)
+	}
+	if c.RoundEvery < 0 {
+		return fmt.Errorf("server: negative round interval %s", c.RoundEvery)
+	}
+	if c.VirtualRound <= 0 {
+		c.VirtualRound = time.Hour
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.IngestBuffer <= 0 {
+		c.IngestBuffer = 1024
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = c.IngestBuffer * 3 / 4
+	}
+	if c.HighWater > c.IngestBuffer {
+		c.HighWater = c.IngestBuffer
+	}
+	if c.RecentDeliveries <= 0 {
+		c.RecentDeliveries = 32
+	}
+	if c.Scorer == nil {
+		c.Scorer = utility.ConstantScorer{Value: 0.5}
+	}
+	if c.Generator == nil {
+		g, err := media.NewAudioGenerator(media.AudioConfig{Utility: survey.Equation8})
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		c.Generator = g
+	}
+	return nil
+}
+
+// Server lifecycle states.
+const (
+	stateNew = iota
+	stateStarted
+	stateStopping
+)
+
+// Server is the sharded delivery service.
+type Server struct {
+	cfg           Config
+	ring          *ring
+	shards        []*shard
+	roundsPerWeek int
+
+	state    atomic.Int32
+	stopOnce sync.Once
+}
+
+// New validates the configuration, builds the shards and registers any
+// configured users. Call Start to begin serving rounds.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	enricher, err := utility.NewEnricher(cfg.Scorer, cfg.Generator)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:           cfg,
+		ring:          newRing(cfg.Shards, 0),
+		roundsPerWeek: int(7 * 24 * time.Hour / cfg.VirtualRound),
+	}
+	if s.roundsPerWeek < 1 {
+		s.roundsPerWeek = 1
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(i, s, enricher))
+	}
+	// Pre-registered users go straight onto their shard; the shard
+	// goroutines have not started, so direct mutation is safe here.
+	for _, uc := range cfg.Users {
+		sh := s.shards[s.ring.shardFor(uc.User)]
+		if err := sh.addUser(uc); err != nil {
+			return nil, err
+		}
+		sh.publishSnapshot(0)
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Start launches the shard goroutines. It is an error to start twice.
+func (s *Server) Start() error {
+	if !s.state.CompareAndSwap(stateNew, stateStarted) {
+		return errors.New("server: already started")
+	}
+	for _, sh := range s.shards {
+		go sh.run(s.cfg.RoundEvery)
+	}
+	return nil
+}
+
+// Tick forces one synchronized round on every shard and waits for all of
+// them to finish, returning the first round error. It works in both manual
+// and wall-clock modes.
+func (s *Server) Tick(ctx context.Context) error {
+	if s.state.Load() != stateStarted {
+		return errors.New("server: not running")
+	}
+	replies := make([]chan error, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan error, 1)
+		select {
+		case sh.ticks <- tickReq{reply: replies[i]}:
+		case <-sh.done:
+			return errors.New("server: not running")
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	var firstErr error
+	for _, reply := range replies {
+		select {
+		case err := <-reply:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return firstErr
+}
+
+// Shutdown gracefully stops the shards: each drains its buffered ingest,
+// runs a final round so accepted publications get their delivery
+// opportunity, and exits. It returns once every shard has finished or the
+// context expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.state.Load() == stateNew {
+		return nil
+	}
+	s.state.Store(stateStopping)
+	s.stopOnce.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.stop)
+		}
+	})
+	for _, sh := range s.shards {
+		select {
+		case <-sh.done:
+		case <-ctx.Done():
+			return fmt.Errorf("server: shutdown: shard %d still draining: %w", sh.id, ctx.Err())
+		}
+	}
+	return nil
+}
+
+// Publish routes one publication to its recipient's shard. It returns
+// ErrBackpressure when the shard's ingest buffer is over the high-water
+// mark (the HTTP layer maps this to 429 + Retry-After).
+func (s *Server) Publish(topic pubsub.TopicID, recipient notif.UserID, item notif.Item) error {
+	if recipient == 0 {
+		return errors.New("server: publication has no recipient")
+	}
+	sh := s.shards[s.ring.shardFor(recipient)]
+	if len(sh.ingest) >= s.cfg.HighWater {
+		sh.rejected.Add(1)
+		return ErrBackpressure
+	}
+	select {
+	case sh.ingest <- envelope{topic: topic, user: recipient, item: item}:
+		return nil
+	default:
+		sh.rejected.Add(1)
+		return ErrBackpressure
+	}
+}
+
+// ErrBackpressure signals that a shard's ingest buffer is saturated.
+var ErrBackpressure = errors.New("server: shard ingest over high-water mark")
+
+// Deliveries returns a user's recent deliveries, newest last.
+func (s *Server) Deliveries(user notif.UserID) []notif.Delivery {
+	return s.shards[s.ring.shardFor(user)].Deliveries(user)
+}
+
+// Snapshots returns the latest per-shard views, in shard order.
+func (s *Server) Snapshots() []ShardSnapshot {
+	out := make([]ShardSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = *sh.snapshot()
+	}
+	return out
+}
+
+// Rejected sums backpressure rejections across shards.
+func (s *Server) Rejected() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.rejected.Load()
+	}
+	return total
+}
+
+// RetryAfter suggests how long a backpressured client should wait: one
+// wall-clock round when self-ticking, else one second.
+func (s *Server) RetryAfter() time.Duration {
+	if s.cfg.RoundEvery > 0 {
+		return s.cfg.RoundEvery
+	}
+	return time.Second
+}
+
+// newSeededRand mirrors the simulator's deterministic seeding for
+// components (battery jitter) that take a bare *rand.Rand.
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/energy"
+	"github.com/richnote/richnote/internal/lyapunov"
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/obs"
+	"github.com/richnote/richnote/internal/pubsub"
+	"github.com/richnote/richnote/internal/sched"
+	"github.com/richnote/richnote/internal/trace"
+	"github.com/richnote/richnote/internal/utility"
+)
+
+// envelope is one routed publication: a topic plus the item, addressed to
+// a single recipient on this shard.
+type envelope struct {
+	topic pubsub.TopicID
+	user  notif.UserID
+	item  notif.Item
+}
+
+// tickReq is a synchronous round request: the shard runs one round and
+// replies with its error.
+type tickReq struct {
+	reply chan error
+}
+
+// shard owns a disjoint subset of users: their pub/sub buffers, scheduling
+// queues Q(t), virtual energy queues P(t), device/network/battery state and
+// the per-round control loop. All of that state is confined to the shard
+// goroutine started by run; the HTTP layer communicates through the ingest
+// channel and reads only the atomically published ShardSnapshot and the
+// mutex-guarded recent-delivery feeds.
+type shard struct {
+	id  int
+	srv *Server
+
+	broker   *pubsub.Broker
+	enricher *utility.Enricher
+	col      *metrics.Collector
+	rec      *obs.Recorder
+
+	// Goroutine-confined scheduling state.
+	devices map[notif.UserID]*sched.Device
+	inbox   map[notif.UserID][]sched.Queued
+	subs    map[notif.UserID]map[pubsub.TopicID]bool
+	round   int
+	lastErr error
+
+	ingest chan envelope
+	ticks  chan tickReq
+	stop   chan struct{}
+	done   chan struct{}
+
+	// rejected counts publications turned away by backpressure (HTTP 429)
+	// or dropped for unknown users with auto-registration disabled.
+	rejected atomic.Uint64
+
+	snap atomic.Pointer[ShardSnapshot]
+
+	feedMu sync.Mutex
+	feeds  map[notif.UserID][]notif.Delivery // newest last, capped
+}
+
+// ShardSnapshot is the read side of a shard, published atomically at
+// startup and after every round so HTTP handlers never touch live
+// scheduling state.
+type ShardSnapshot struct {
+	Shard int
+	// Round is the number of completed rounds.
+	Round int
+	Users int
+	// QueueDepth sums the scheduling-queue lengths across the shard's
+	// devices; BrokerPending counts publications still buffered in
+	// round-mode subscriptions.
+	QueueDepth    int
+	BrokerPending int
+	// Report aggregates the shard's delivery metrics; DelayBuckets holds
+	// the queuing-delay histogram at metrics.DefaultDelayBucketBounds.
+	Report       metrics.Report
+	DelayBuckets []metrics.Bucket
+	// Lyapunov sums controller telemetry across the shard's RichNote
+	// devices (see lyapunov.Stats.Add).
+	Lyapunov lyapunov.Stats
+	// LastRound and AvgRound are round-loop wall-clock latencies.
+	LastRound time.Duration
+	AvgRound  time.Duration
+	// Err carries the most recent round error, if any.
+	Err string
+}
+
+func newShard(id int, srv *Server, enricher *utility.Enricher) *shard {
+	sh := &shard{
+		id:       id,
+		srv:      srv,
+		broker:   pubsub.NewBroker(),
+		enricher: enricher,
+		col:      metrics.NewCollector(),
+		rec:      obs.NewRecorder(),
+		devices:  make(map[notif.UserID]*sched.Device),
+		inbox:    make(map[notif.UserID][]sched.Queued),
+		subs:     make(map[notif.UserID]map[pubsub.TopicID]bool),
+		ingest:   make(chan envelope, srv.cfg.IngestBuffer),
+		ticks:    make(chan tickReq),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		feeds:    make(map[notif.UserID][]notif.Delivery),
+	}
+	sh.publishSnapshot(0)
+	return sh
+}
+
+// run is the shard goroutine: it owns every scheduling mutation. When
+// every is positive the shard self-ticks on a wall clock; ticks requests
+// force a synchronous round either way. On stop the shard drains whatever
+// ingest has buffered and runs one final round so accepted publications
+// are not stranded.
+func (sh *shard) run(every time.Duration) {
+	defer close(sh.done)
+	var tickC <-chan time.Time
+	if every > 0 {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	for {
+		select {
+		case env := <-sh.ingest:
+			sh.accept(env)
+		case <-tickC:
+			sh.runRound()
+		case req := <-sh.ticks:
+			req.reply <- sh.runRound()
+		case <-sh.stop:
+			sh.drainAndFinish()
+			return
+		}
+	}
+}
+
+// drainAndFinish runs one last round (which drains the ingest buffer
+// first) so every accepted publication gets a delivery opportunity before
+// shutdown.
+func (sh *shard) drainAndFinish() {
+	sh.runRound()
+}
+
+// drainIngest empties whatever the ingest buffer holds right now, so a
+// round boundary always schedules every publication accepted before it.
+func (sh *shard) drainIngest() {
+	for {
+		select {
+		case env := <-sh.ingest:
+			sh.accept(env)
+		default:
+			return
+		}
+	}
+}
+
+// accept registers the recipient if needed, subscribes it to the topic and
+// publishes the item into the shard broker, where it buffers until the
+// next round drain.
+func (sh *shard) accept(env envelope) {
+	if _, ok := sh.devices[env.user]; !ok {
+		if sh.srv.cfg.DisableAutoRegister {
+			sh.rejected.Add(1)
+			return
+		}
+		tmpl := sh.srv.cfg.Default
+		tmpl.User = env.user
+		if err := sh.addUser(tmpl); err != nil {
+			sh.lastErr = err
+			sh.rejected.Add(1)
+			return
+		}
+	}
+	if err := sh.subscribe(env.user, env.topic); err != nil {
+		sh.lastErr = err
+		sh.rejected.Add(1)
+		return
+	}
+	item := env.item
+	item.Recipient = env.user
+	sh.broker.Publish(env.topic, item)
+}
+
+// kindCadence implements the paper's Section II round tuning: frequent
+// friend feeds drain every round, artist pages every other round, playlist
+// updates every fourth.
+func kindCadence(k notif.TopicKind) int {
+	switch k {
+	case notif.TopicArtistPage:
+		return 2
+	case notif.TopicPlaylist:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// subscribe idempotently connects a user to a topic in round mode; the
+// handler enriches publications and stages them in the user's inbox, to be
+// enqueued at the round boundary that drains them.
+func (sh *shard) subscribe(user notif.UserID, topic pubsub.TopicID) error {
+	if sh.subs[user][topic] {
+		return nil
+	}
+	err := sh.broker.SubscribeCadence(user, topic, pubsub.ModeRound, kindCadence(topic.Kind), func(items []notif.Item) {
+		for _, item := range items {
+			// The broker fans a topic publication out to every subscriber,
+			// but server envelopes are addressed: accept stamps the
+			// recipient, and each subscription keeps only its own items.
+			if item.Recipient != user {
+				continue
+			}
+			n := &trace.Notification{Item: item, Round: sh.round}
+			rich, err := sh.enricher.Enrich(n)
+			if err != nil {
+				continue // malformed publications are dropped, not fatal
+			}
+			sh.inbox[user] = append(sh.inbox[user], sched.Queued{Rich: rich})
+		}
+	})
+	if err != nil {
+		return err
+	}
+	set := sh.subs[user]
+	if set == nil {
+		set = make(map[pubsub.TopicID]bool)
+		sh.subs[user] = set
+	}
+	set[topic] = true
+	return nil
+}
+
+// addUser builds the device stack for one user: seeded network model,
+// battery, strategy and (for RichNote) Lyapunov controller.
+func (sh *shard) addUser(cfg UserConfig) error {
+	if _, dup := sh.devices[cfg.User]; dup {
+		return fmt.Errorf("server: user %d already registered", cfg.User)
+	}
+	cfg.applyDefaults()
+
+	userSeed := sh.srv.cfg.Seed ^ (int64(cfg.User+1) * 0x9e3779b9)
+	netModel, err := network.NewModelSeeded(*cfg.NetworkMatrix, cfg.StartState, userSeed)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	battery, err := energy.NewBattery(energy.BatteryConfig{}, newSeededRand(userSeed+1))
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+
+	var strategy sched.Strategy
+	var ctl *lyapunov.Controller
+	switch cfg.Strategy {
+	case core.StrategyRichNote:
+		ctl, err = lyapunov.New(lyapunov.Config{V: cfg.V, Kappa: cfg.KappaJ})
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		strategy = &sched.RichNote{}
+	case core.StrategyFIFO:
+		strategy, err = sched.NewFIFO(cfg.FixedLevel)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	case core.StrategyUtil:
+		strategy, err = sched.NewUtil(cfg.FixedLevel)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	default:
+		return fmt.Errorf("server: unknown strategy %d", cfg.Strategy)
+	}
+
+	user := cfg.User
+	device, err := sched.NewDevice(sched.DeviceConfig{
+		User:                  user,
+		Strategy:              strategy,
+		WeeklyBudgetBytes:     cfg.WeeklyBudgetBytes,
+		RoundsPerWeek:         sh.srv.roundsPerWeek,
+		Epoch:                 sh.srv.cfg.Epoch,
+		RoundLen:              sh.srv.cfg.VirtualRound,
+		Network:               netModel,
+		Capacity:              network.DefaultCapacity(),
+		Battery:               battery,
+		Transfer:              energy.DefaultTransferModel(),
+		Controller:            ctl,
+		Collector:             sh.col,
+		MaxDeliveriesPerRound: cfg.MaxDeliveriesPerRound,
+		OnDelivery:            func(d notif.Delivery) { sh.recordDelivery(user, d) },
+	})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	sh.devices[user] = device
+	return nil
+}
+
+// runRound executes one scheduling round: drain the broker's round-mode
+// buffers, flush inboxes into scheduling queues and run Algorithm 2 on
+// every device, in ascending user order for determinism.
+func (sh *shard) runRound() error {
+	start := time.Now()
+	sh.drainIngest()
+	sh.broker.EndRoundIndex(sh.round)
+
+	users := make([]notif.UserID, 0, len(sh.devices))
+	for u := range sh.devices {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	var firstErr error
+	for _, u := range users {
+		device := sh.devices[u]
+		if batch := sh.inbox[u]; len(batch) > 0 {
+			if err := device.Enqueue(batch); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			sh.inbox[u] = nil
+		}
+		if _, err := device.RunRound(sh.round); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	sh.round++
+	if firstErr != nil {
+		sh.lastErr = firstErr
+	}
+	elapsed := time.Since(start)
+	sh.rec.Observe("round", elapsed)
+	sh.publishSnapshot(elapsed)
+	return firstErr
+}
+
+// recordDelivery appends to the user's recent-delivery feed, keeping the
+// newest RecentDeliveries entries.
+func (sh *shard) recordDelivery(user notif.UserID, d notif.Delivery) {
+	sh.feedMu.Lock()
+	defer sh.feedMu.Unlock()
+	feed := append(sh.feeds[user], d)
+	if limit := sh.srv.cfg.RecentDeliveries; len(feed) > limit {
+		feed = append(feed[:0], feed[len(feed)-limit:]...)
+	}
+	sh.feeds[user] = feed
+}
+
+// Deliveries returns the user's recent deliveries, newest last.
+func (sh *shard) Deliveries(user notif.UserID) []notif.Delivery {
+	sh.feedMu.Lock()
+	defer sh.feedMu.Unlock()
+	return append([]notif.Delivery(nil), sh.feeds[user]...)
+}
+
+// publishSnapshot recomputes the shard's read-side view. Called on the
+// shard goroutine only.
+func (sh *shard) publishSnapshot(lastRound time.Duration) {
+	snap := &ShardSnapshot{
+		Shard:         sh.id,
+		Round:         sh.round,
+		Users:         len(sh.devices),
+		BrokerPending: sh.broker.PendingRound(),
+		Report:        sh.col.Aggregate(),
+		DelayBuckets:  sh.col.DelayHistogram().CumulativeBuckets(metrics.DefaultDelayBucketBounds),
+		LastRound:     lastRound,
+	}
+	for u, dev := range sh.devices {
+		snap.QueueDepth += dev.QueueLen() + len(sh.inbox[u])
+		if st, ok := dev.ControllerStats(); ok {
+			snap.Lyapunov.Add(st)
+		}
+	}
+	if span, ok := sh.rec.Span("round"); ok && span.Count > 0 {
+		snap.AvgRound = span.Duration / time.Duration(span.Count)
+	}
+	if sh.lastErr != nil {
+		snap.Err = sh.lastErr.Error()
+	}
+	sh.snap.Store(snap)
+}
+
+// snapshot returns the most recently published view.
+func (sh *shard) snapshot() *ShardSnapshot { return sh.snap.Load() }
