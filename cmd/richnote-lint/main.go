@@ -1,0 +1,56 @@
+// Command richnote-lint runs the repo's invariant analyzers
+// (internal/lint) over the given package patterns and exits nonzero if
+// any finding survives //lint:allow suppression.
+//
+// Usage:
+//
+//	go run ./cmd/richnote-lint ./...
+//	go run ./cmd/richnote-lint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/richnote/richnote/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: richnote-lint [-dir d] [-list] [packages]\n\n"+
+				"Machine-checks the repo's determinism, confinement and\n"+
+				"budget-accounting invariants. Defaults to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "richnote-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("richnote-lint: ok (%d analyzers)\n", len(analyzers))
+}

@@ -142,8 +142,8 @@ func TestBatteryLevelBoundedProperty(t *testing.T) {
 		for i, op := range ops {
 			if op%2 == 0 {
 				b.Tick(int(op) % 24)
-			} else {
-				b.Spend(float64(op))
+			} else if spent := b.Spend(float64(op)); spent < 0 || spent > float64(op) {
+				return false
 			}
 			if b.Level() < 0 || b.Level() > 1 {
 				return false

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// Confined enforces the shard single-goroutine discipline through two
+// field markers:
+//
+//	devices map[...]*sched.Device // richnote:confined(shard)
+//	snap    atomic.Pointer[...]   // richnote:atomic
+//
+// A richnote:confined field may only be touched from methods declared
+// on the struct that owns it — the type whose methods all run on the
+// owning goroutine (the optional parenthesized label names that
+// goroutine for humans). A richnote:atomic field may be touched from
+// anywhere, but only through a method call on the field (the
+// sync/atomic value types) or by passing its address to a sync/atomic
+// function; a bare read or write tears.
+//
+// The check is syntactic: a selector whose field name matches an
+// annotated field is assumed to be that field. Unexported field names
+// cannot leak across packages, and within a package the shard's field
+// names are unambiguous; a colliding name on an unrelated type would
+// need a rename or a //lint:allow.
+//
+// Test files are exempt: in-package tests poke shard state from the
+// test goroutine before the shard loop starts, which is safe and
+// routine.
+var Confined = &Analyzer{
+	Name: "confined",
+	Doc: "fields marked richnote:confined(<label>) may only be accessed from " +
+		"methods of the owning struct; fields marked richnote:atomic only " +
+		"through sync/atomic value methods or helpers",
+	IncludeTests: false,
+	Run:          runConfined,
+}
+
+// markerRE matches the field annotations inside a comment.
+var markerRE = regexp.MustCompile(`richnote:(confined|atomic)(?:\(([^)]*)\))?`)
+
+type confinedMark struct {
+	owner string // struct type name declaring the field
+	kind  string // "confined" or "atomic"
+	label string // optional goroutine label
+}
+
+func runConfined(p *Pass) {
+	marks := collectMarks(p.Files)
+	if len(marks) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		file := f
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			ms := marks[sel.Sel.Name]
+			if len(ms) == 0 {
+				return
+			}
+			var parent ast.Node
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			// A call f.x(...) selects a method named like the field,
+			// not the field itself.
+			if call, ok := parent.(*ast.CallExpr); ok && call.Fun == n {
+				return
+			}
+			for _, m := range ms {
+				switch m.kind {
+				case "confined":
+					if enclosingReceiver(stack) == m.owner {
+						return
+					}
+				case "atomic":
+					if atomicUse(file, n, stack) {
+						return
+					}
+				}
+			}
+			// Report against the first mark (multiple owners for one
+			// field name would each have allowed the access above).
+			m := ms[0]
+			switch m.kind {
+			case "confined":
+				where := m.owner
+				if m.label != "" {
+					where = m.label
+				}
+				p.Reportf(sel.Sel.Pos(),
+					"field %s is confined to the %s goroutine (richnote:confined); access it only from %s methods",
+					sel.Sel.Name, where, m.owner)
+			case "atomic":
+				p.Reportf(sel.Sel.Pos(),
+					"field %s is marked richnote:atomic; access it only through sync/atomic value methods or by address in a sync/atomic call",
+					sel.Sel.Name)
+			}
+		})
+	}
+}
+
+// collectMarks scans struct declarations for annotated fields.
+func collectMarks(files []*ast.File) map[string][]confinedMark {
+	marks := make(map[string][]confinedMark)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				m, ok := fieldMark(field)
+				if !ok {
+					continue
+				}
+				m.owner = ts.Name.Name
+				for _, name := range field.Names {
+					marks[name.Name] = append(marks[name.Name], m)
+				}
+			}
+			return true
+		})
+	}
+	return marks
+}
+
+// fieldMark extracts a richnote marker from the field's doc or trailing
+// comment.
+func fieldMark(field *ast.Field) (confinedMark, bool) {
+	var text strings.Builder
+	if field.Doc != nil {
+		text.WriteString(field.Doc.Text())
+	}
+	if field.Comment != nil {
+		text.WriteString(field.Comment.Text())
+	}
+	sub := markerRE.FindStringSubmatch(text.String())
+	if sub == nil {
+		return confinedMark{}, false
+	}
+	return confinedMark{kind: sub[1], label: strings.TrimSpace(sub[2])}, true
+}
+
+// atomicUse reports whether the selector is used safely for a
+// richnote:atomic field: as the receiver of a method call
+// (s.hits.Add(1) on an atomic value type), or as &s.field passed to a
+// sync/atomic function.
+func atomicUse(f *ast.File, sel ast.Node, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	// s.field.Method(...)
+	if outer, ok := parent.(*ast.SelectorExpr); ok && outer.X == sel && len(stack) >= 2 {
+		if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == parent {
+			return true
+		}
+	}
+	// atomic.AddUint64(&s.field, 1)
+	if unary, ok := parent.(*ast.UnaryExpr); ok && unary.X == sel {
+		for i := len(stack) - 2; i >= 0; i-- {
+			call, ok := stack[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if _, ok := pkgFuncCall(f, call, "sync/atomic"); ok {
+				return true
+			}
+			break
+		}
+	}
+	return false
+}

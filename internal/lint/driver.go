@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// parsedFile pairs a syntax tree with whether it came from a _test.go
+// file, which some analyzers exempt.
+type parsedFile struct {
+	ast  *ast.File
+	test bool
+}
+
+// allowDirective is one parsed //lint:allow <analyzer> <reason>
+// suppression.
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Run loads the packages matched by patterns (relative to dir), applies
+// the analyzers and returns the surviving findings sorted by position.
+// A finding is suppressed by a well-formed //lint:allow directive for
+// its analyzer (or "*") on the same line or the line directly above;
+// malformed directives are themselves reported under the pseudo-analyzer
+// "lint".
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var findings []Finding
+	var allows []allowDirective
+	for _, pkg := range pkgs {
+		files, err := parsePackage(fset, pkg)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		for _, pf := range files {
+			a, bad := scanAllows(fset, pf.ast)
+			allows = append(allows, a...)
+			findings = append(findings, bad...)
+		}
+		for _, a := range analyzers {
+			if !scopeMatches(a, pkg.ImportPath) {
+				continue
+			}
+			var in []*ast.File
+			for _, pf := range files {
+				if pf.test && !a.IncludeTests {
+					continue
+				}
+				in = append(in, pf.ast)
+			}
+			if len(in) == 0 {
+				continue
+			}
+			findings = append(findings, RunAnalyzer(a, fset, pkg.ImportPath, in)...)
+		}
+	}
+	findings = suppress(findings, allows)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// goList shells out to the go tool for package discovery — the
+// stdlib-only stand-in for go/packages.Load.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var pkg listPackage
+		if err := dec.Decode(&pkg); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parsePackage parses the package's compiled and test files with
+// comments (the confined markers and allow directives live there).
+func parsePackage(fset *token.FileSet, pkg listPackage) ([]parsedFile, error) {
+	var out []parsedFile
+	add := func(names []string, test bool) error {
+		for _, name := range names {
+			path := filepath.Join(pkg.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("lint: %w", err)
+			}
+			out = append(out, parsedFile{ast: f, test: test})
+		}
+		return nil
+	}
+	if err := add(pkg.GoFiles, false); err != nil {
+		return nil, err
+	}
+	if err := add(pkg.CgoFiles, false); err != nil {
+		return nil, err
+	}
+	if err := add(pkg.TestGoFiles, true); err != nil {
+		return nil, err
+	}
+	if err := add(pkg.XTestGoFiles, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scopeMatches reports whether the analyzer applies to the package: nil
+// scope means everywhere, otherwise one of the scope entries must
+// appear as a path element of the import path.
+func scopeMatches(a *Analyzer, importPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, el := range strings.Split(importPath, "/") {
+		for _, s := range a.Scope {
+			if el == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanAllows extracts //lint:allow directives from one file. Malformed
+// directives (missing analyzer or reason) are returned as findings so
+// a typo cannot silently suppress nothing.
+func scanAllows(fset *token.FileSet, f *ast.File) ([]allowDirective, []Finding) {
+	var allows []allowDirective
+	var bad []Finding
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				bad = append(bad, Finding{
+					Analyzer: "lint",
+					Pos:      pos,
+					Message:  "malformed //lint:allow directive: need `//lint:allow <analyzer> <reason>`",
+				})
+				continue
+			}
+			allows = append(allows, allowDirective{
+				file:     pos.Filename,
+				line:     pos.Line,
+				analyzer: fields[0],
+			})
+		}
+	}
+	return allows, bad
+}
+
+// suppress drops findings covered by an allow directive on the same
+// line or the line directly above.
+func suppress(findings []Finding, allows []allowDirective) []Finding {
+	if len(allows) == 0 {
+		return findings
+	}
+	type key struct {
+		file string
+		line int
+	}
+	byLine := make(map[key][]string)
+	for _, a := range allows {
+		k := key{a.file, a.line}
+		byLine[k] = append(byLine[k], a.analyzer)
+	}
+	covered := func(f Finding, line int) bool {
+		for _, name := range byLine[key{f.Pos.Filename, line}] {
+			if name == f.Analyzer || name == "*" {
+				return true
+			}
+		}
+		return false
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if f.Analyzer != "lint" && (covered(f, f.Pos.Line) || covered(f, f.Pos.Line-1)) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

@@ -1,0 +1,219 @@
+// Package lint implements richnote-lint, the repo's in-house static
+// analyzers. They machine-check the invariants that keep the system
+// deterministic, goroutine-confined and budget-correct — properties
+// that previously lived only in doc comments (network.Model is not
+// concurrency-safe; RNGs are injected and seeded; radio overhead is
+// charged only after an affordable selection is confirmed).
+//
+// The Analyzer/Pass shapes deliberately mirror
+// golang.org/x/tools/go/analysis so each analyzer can be ported to a
+// real multichecker unchanged if that dependency is ever vendored; the
+// build here is stdlib-only, so the driver loads packages with
+// `go list -json` and go/parser instead of go/packages.
+//
+// Analyses are syntactic (no go/types): package references are resolved
+// through each file's import table, which is exact for this codebase.
+// The one theoretical gap — shadowing an imported package name with a
+// local variable — is not an idiom this repo uses.
+//
+// Intentional violations are suppressed with a directive on the same
+// line or the line directly above:
+//
+//	start := time.Now() //lint:allow wallclock round latency is telemetry
+//
+// The analyzer name and a non-empty reason are both required; the
+// driver reports malformed directives as findings of their own.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named invariant check. The shape mirrors
+// x/tools/go/analysis.Analyzer minus requires/facts, which these
+// checks do not need.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //lint:allow
+	// directives.
+	Name string
+	// Doc is a one-paragraph description shown by richnote-lint -list.
+	Doc string
+	// Scope lists import-path elements the analyzer is restricted to
+	// (e.g. "sim" matches .../internal/sim and any package under it).
+	// Nil means every package.
+	Scope []string
+	// IncludeTests controls whether _test.go files are analyzed.
+	IncludeTests bool
+	// Run reports findings on the pass.
+	Run func(*Pass)
+}
+
+// Pass hands one analyzer one package worth of parsed files.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package import path (fixture directory name under
+	// linttest).
+	Path  string
+	Files []*ast.File
+
+	report func(Finding)
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzer applies a single analyzer to already-parsed files,
+// without scope gating or //lint:allow filtering (the driver layers
+// those on). The linttest fixture runner calls this directly.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, pkgPath string, files []*ast.File) []Finding {
+	var out []Finding
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Path:     pkgPath,
+		Files:    files,
+		report:   func(f Finding) { out = append(out, f) },
+	}
+	a.Run(pass)
+	return out
+}
+
+// All returns the full richnote-lint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{SeedRand, WallClock, SpendCheck, Confined, UnitCheck}
+}
+
+// importedAs returns the local name under which f imports importPath,
+// or "" if the file does not import it. Blank and dot imports return ""
+// (neither can appear as a selector qualifier).
+func importedAs(f *ast.File, importPath string) string {
+	for _, spec := range f.Imports {
+		p, err := strconv.Unquote(spec.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if spec.Name != nil {
+			if n := spec.Name.Name; n != "_" && n != "." {
+				return n
+			}
+			continue
+		}
+		return defaultImportName(p)
+	}
+	return ""
+}
+
+// defaultImportName guesses the package name of an unaliased import:
+// the last path element, skipping a major-version suffix such as /v2.
+func defaultImportName(importPath string) string {
+	base := path.Base(importPath)
+	if len(base) > 1 && base[0] == 'v' && strings.TrimLeft(base[1:], "0123456789") == "" {
+		base = path.Base(path.Dir(importPath))
+	}
+	return base
+}
+
+// pkgRef reports whether id is a reference to one of the given import
+// paths in f, returning the matched path.
+func pkgRef(f *ast.File, id *ast.Ident, importPaths ...string) (string, bool) {
+	for _, p := range importPaths {
+		if name := importedAs(f, p); name != "" && name == id.Name {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// pkgFuncCall matches call against qualified calls pkg.Fn for any of
+// the given import paths and returns the function name.
+func pkgFuncCall(f *ast.File, call *ast.CallExpr, importPaths ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := pkgRef(f, id, importPaths...); !ok {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// walkStack visits every node under root with its ancestor stack
+// (outermost first, excluding the node itself).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingReceiver returns the base type name of the method receiver
+// the stack is inside, or "" when the innermost declared function is
+// not a method. Function literals inherit the enclosing method: a
+// closure written inside a shard method still runs as shard code.
+func enclosingReceiver(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		decl, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if decl.Recv == nil || len(decl.Recv.List) == 0 {
+			return ""
+		}
+		return baseTypeName(decl.Recv.List[0].Type)
+	}
+	return ""
+}
+
+// baseTypeName unwraps pointers and type parameters to the receiver's
+// defined type name.
+func baseTypeName(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}

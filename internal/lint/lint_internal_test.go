@@ -1,0 +1,70 @@
+package lint
+
+import "testing"
+
+func TestUnitSuffix(t *testing.T) {
+	cases := map[string]string{
+		"WeeklyBudgetBytes": "bytes",
+		"sizeBytes":         "bytes",
+		"bytesPerMB":        "MB",
+		"quotaMB":           "MB",
+		"CellPerKB":         "KB",
+		"transferJ":         "J",
+		"EnergyJ":           "J",
+		"CellRampJ":         "J",
+		"totalJoules":       "J",
+		"kb":                "KB",
+		"mb":                "MB",
+		"bytes":             "bytes",
+		"J":                 "J",
+		"MB":                "MB",
+		// Camel-case boundaries that must NOT read as units.
+		"RGB":       "",
+		"FOOJ":      "",
+		"thumb":     "",
+		"need":      "",
+		"Size":      "",
+		"Buckets":   "",
+		"remaining": "",
+	}
+	for name, want := range cases {
+		if got := unitSuffix(name); got != want {
+			t.Errorf("unitSuffix(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestScopeMatches(t *testing.T) {
+	cases := []struct {
+		scope []string
+		path  string
+		want  bool
+	}{
+		{nil, "github.com/richnote/richnote/internal/energy", true},
+		{[]string{"sim"}, "github.com/richnote/richnote/internal/sim", true},
+		{[]string{"ml"}, "github.com/richnote/richnote/internal/ml/eval", true},
+		{[]string{"sim"}, "github.com/richnote/richnote/cmd/richnote-sim", false},
+		{[]string{"server"}, "github.com/richnote/richnote/internal/server", true},
+		{[]string{"trace"}, "github.com/richnote/richnote", false},
+	}
+	for _, c := range cases {
+		a := &Analyzer{Scope: c.scope}
+		if got := scopeMatches(a, c.path); got != c.want {
+			t.Errorf("scopeMatches(%v, %q) = %v, want %v", c.scope, c.path, got, c.want)
+		}
+	}
+}
+
+func TestDefaultImportName(t *testing.T) {
+	cases := map[string]string{
+		"math/rand":    "rand",
+		"math/rand/v2": "rand",
+		"sync/atomic":  "atomic",
+		"time":         "time",
+	}
+	for path, want := range cases {
+		if got := defaultImportName(path); got != want {
+			t.Errorf("defaultImportName(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

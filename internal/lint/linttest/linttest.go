@@ -1,0 +1,142 @@
+// Package linttest runs a lint.Analyzer over a fixture directory and
+// checks its findings against `// want` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line expecting a finding carries a comment with one or more
+// backquoted (or double-quoted) regular expressions:
+//
+//	rand.Seed(42) // want `rand\.Seed`
+//
+// Every want must be matched by a distinct finding on its line and
+// every finding must be covered by a want; anything else fails the
+// test. Fixtures are parsed, not compiled, so they may reference
+// nothing outside the standard library.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/richnote/richnote/internal/lint"
+)
+
+// wantRE pulls the expectation list out of a comment; quotedRE then
+// extracts each pattern.
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to every .go file in dir and diffs the
+// findings against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+	wants, err := collectWants(t, fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := lint.RunAnalyzer(a, fset, filepath.Base(dir), files)
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("linttest: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					text := q[1]
+					if text == "" {
+						text = q[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %w", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claim marks the first unmatched want covering the finding.
+func claim(wants []*expectation, f lint.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/richnote/richnote/internal/lint"
+)
+
+// TestRepoIsClean is the smoke test behind the CI step: the full
+// richnote-lint suite over the whole repository must come back empty.
+// Every intentional wall-clock or confinement exception in the tree
+// carries a //lint:allow directive; anything this test prints is a
+// regression against an enforced invariant (DESIGN.md §9).
+func TestRepoIsClean(t *testing.T) {
+	root := repoRoot(t)
+	findings, err := lint.Run(root, []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// repoRoot walks up from the test's working directory to the module
+// root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,57 @@
+package lint
+
+import "go/ast"
+
+// spendMethods are the budget/battery mutators whose return value is
+// the accounting truth: what was *actually* spent, charged or
+// replenished, which may be less than what was requested.
+var spendMethods = map[string]string{
+	"Spend":     "the joules actually drawn, bounded by remaining charge",
+	"Charge":    "the amount actually credited",
+	"Replenish": "the post-replenishment virtual queue value",
+	"Debit":     "the amount actually debited",
+	"Credit":    "the amount actually credited",
+}
+
+// SpendCheck flags call statements that discard the result of a budget
+// mutator — the exact bug class PR 1 fixed by hand (radio overhead
+// charged without checking Battery.Spend). Every spend must be
+// reconciled against what the battery or budget could actually afford.
+var SpendCheck = &Analyzer{
+	Name: "spendcheck",
+	Doc: "flag discarded return values of budget/battery mutators " +
+		"(Spend, Charge, Replenish, Debit, Credit); the amount actually " +
+		"moved is the accounting truth and must be checked",
+	IncludeTests: true,
+	Run:          runSpendCheck,
+}
+
+func runSpendCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			why, ok := spendMethods[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"result of %s is discarded; it reports %s and must be checked", sel.Sel.Name, why)
+			return true
+		})
+	}
+}

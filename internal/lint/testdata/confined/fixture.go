@@ -1,0 +1,29 @@
+// Package confined exercises the confined analyzer: richnote:confined
+// fields stay inside the owning type's methods; richnote:atomic fields
+// are only touched through sync/atomic values or helpers.
+package confined
+
+import "sync/atomic"
+
+type shard struct {
+	devices map[int]int   // richnote:confined(shard)
+	round   int           // richnote:confined(shard)
+	hits    atomic.Uint64 // richnote:atomic
+	legacy  uint64        // richnote:atomic
+}
+
+func (s *shard) runRound() int {
+	s.round++
+	s.devices[s.round] = s.round
+	s.hits.Add(1)
+	return len(s.devices)
+}
+
+func poke(s *shard) uint64 {
+	s.round++                      // want `confined to the shard goroutine`
+	delete(s.devices, 1)           // want `confined to the shard goroutine`
+	s.hits.Add(1)                  // ok: method call on an atomic value
+	atomic.AddUint64(&s.legacy, 1) // ok: address passed to sync/atomic
+	s.legacy++                     // want `marked richnote:atomic`
+	return s.hits.Load()
+}

@@ -1,0 +1,25 @@
+// Package seedrand exercises the seedrand analyzer: ambient randomness
+// is forbidden; injected seed-derived *rand.Rand values are fine.
+package seedrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	rand.Seed(42)                                       // want `rand\.Seed mutates the process-wide source`
+	_ = rand.Intn(10)                                   // want `global math/rand\.Intn`
+	_ = rand.Float64()                                  // want `global math/rand\.Float64`
+	rand.Shuffle(3, func(i, j int) {})                  // want `global math/rand\.Shuffle`
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `time\.Now is irreproducible`
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	if rng.Intn(2) == 0 {
+		return rng.Float64()
+	}
+	perm := rng.Perm(4)
+	return float64(perm[0])
+}

@@ -1,0 +1,33 @@
+// Package spendcheck exercises the spendcheck analyzer: the return
+// value of a budget mutator is the accounting truth and must be
+// checked.
+package spendcheck
+
+type battery struct{ level float64 }
+
+func (b *battery) Spend(j float64) float64 {
+	if j > b.level {
+		j = b.level
+	}
+	b.level -= j
+	return j
+}
+
+func (b *battery) Replenish(j float64) float64 {
+	b.level += j
+	return b.level
+}
+
+func bad(b *battery) {
+	b.Spend(3)           // want `result of Spend is discarded`
+	defer b.Replenish(1) // want `result of Replenish is discarded`
+	go b.Spend(2)        // want `result of Spend is discarded`
+}
+
+func good(b *battery) float64 {
+	spent := b.Spend(3)
+	if spent < 3 {
+		return spent
+	}
+	return b.Replenish(spent)
+}

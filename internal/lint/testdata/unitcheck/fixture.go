@@ -1,0 +1,24 @@
+// Package unitcheck exercises the unitcheck analyzer: additive
+// arithmetic and assignments must not mix unit-suffixed names.
+package unitcheck
+
+const bytesPerMB = 1 << 20
+
+func bad(sizeBytes int64, quotaMB float64, transferJ float64) float64 {
+	total := float64(sizeBytes) + quotaMB // want `mixes bytes and MB`
+	if float64(sizeBytes) > quotaMB {     // want `mixes bytes and MB`
+		total -= transferJ // no finding: total carries no unit suffix
+	}
+	var budgetMB float64
+	budgetMB = float64(sizeBytes) // want `mixes MB and bytes`
+	budgetMB -= quotaMB
+	return total + budgetMB
+}
+
+func good(sizeBytes int64, quotaMB float64) float64 {
+	sizeMB := float64(sizeBytes) / bytesPerMB
+	if sizeMB > quotaMB {
+		return quotaMB * bytesPerMB
+	}
+	return sizeMB + quotaMB
+}

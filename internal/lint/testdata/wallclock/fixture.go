@@ -1,0 +1,21 @@
+// Package wallclock exercises the wallclock analyzer: virtual-time
+// code must take round/tick time as a parameter, never sample the
+// clock.
+package wallclock
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()            // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+	return time.Since(start)       // want `time\.Since reads the wall clock`
+}
+
+func good(now time.Time, roundLen time.Duration, round int) time.Time {
+	deadline := now.Add(time.Duration(round) * roundLen)
+	if roundLen > time.Hour {
+		return deadline.Truncate(time.Minute)
+	}
+	return deadline
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnitCheck flags additive arithmetic, comparisons and assignments that
+// mix identifiers carrying different unit suffixes — the Lyapunov
+// MB-vs-bytes documentation bug PR 1 fixed, now enforced. The repo's
+// naming convention encodes units in the trailing token of a name
+// (WeeklyBudgetBytes, bytesPerMB, CellPerKB, transferJ, EnergyJ); when
+// two different units meet in a +, -, comparison or assignment, the
+// code must go through a named conversion (x / bytesPerMB), whose
+// result no longer carries a raw suffix.
+//
+// Multiplication and division are exempt: they are how units are
+// legitimately combined and converted.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc: "flag +, -, comparisons and assignments mixing identifiers with " +
+		"different unit suffixes (MB/KB/GB/Bytes/J/Joules) without a named " +
+		"conversion helper",
+	IncludeTests: true,
+	Run:          runUnitCheck,
+}
+
+func runUnitCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				switch v.Op {
+				case token.ADD, token.SUB,
+					token.LSS, token.GTR, token.LEQ, token.GEQ,
+					token.EQL, token.NEQ:
+					ua, ub := unitOf(v.X), unitOf(v.Y)
+					if ua != "" && ub != "" && ua != ub {
+						p.Reportf(v.OpPos,
+							"arithmetic mixes %s and %s; convert through a named helper so the units agree", ua, ub)
+					}
+				}
+			case *ast.AssignStmt:
+				switch v.Tok {
+				case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+					if len(v.Lhs) != len(v.Rhs) {
+						return true
+					}
+					for i := range v.Lhs {
+						ua, ub := unitOf(v.Lhs[i]), unitOf(v.Rhs[i])
+						if ua != "" && ub != "" && ua != ub {
+							p.Reportf(v.TokPos,
+								"assignment mixes %s and %s; convert through a named helper so the units agree", ua, ub)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// numericConvs are builtin conversions that preserve the unit of their
+// single operand (float64(sizeBytes) is still bytes).
+var numericConvs = map[string]bool{
+	"float64": true, "float32": true,
+	"int": true, "int32": true, "int64": true,
+	"uint": true, "uint32": true, "uint64": true,
+}
+
+// unitOf extracts the unit a value carries from the trailing token of
+// its identifier, field or called-function name; "" means unknown.
+func unitOf(e ast.Expr) string {
+	for {
+		if pe, ok := e.(*ast.ParenExpr); ok {
+			e = pe.X
+			continue
+		}
+		break
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		return unitSuffix(v.Name)
+	case *ast.SelectorExpr:
+		return unitSuffix(v.Sel.Name)
+	case *ast.CallExpr:
+		switch fn := v.Fun.(type) {
+		case *ast.Ident:
+			if numericConvs[fn.Name] && len(v.Args) == 1 {
+				return unitOf(v.Args[0])
+			}
+			return unitSuffix(fn.Name)
+		case *ast.SelectorExpr:
+			return unitSuffix(fn.Sel.Name)
+		}
+	}
+	return ""
+}
+
+// unitSuffix maps a name's trailing token to a canonical unit. The
+// character before the suffix must be a lower-case letter or digit (a
+// camel-case boundary), so RGB does not read as gigabytes.
+func unitSuffix(name string) string {
+	for _, u := range []struct{ suffix, unit string }{
+		{"Bytes", "bytes"}, {"Joules", "J"},
+		{"MB", "MB"}, {"KB", "KB"}, {"GB", "GB"}, {"J", "J"},
+	} {
+		if !strings.HasSuffix(name, u.suffix) {
+			continue
+		}
+		rest := name[:len(name)-len(u.suffix)]
+		if rest == "" {
+			return u.unit
+		}
+		if c := rest[len(rest)-1]; c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			return u.unit
+		}
+	}
+	switch name {
+	case "bytes", "mb", "kb", "gb", "joules":
+		u := strings.ToUpper(name)
+		if name == "bytes" {
+			return "bytes"
+		}
+		if name == "joules" {
+			return "J"
+		}
+		return u
+	}
+	return ""
+}

@@ -288,7 +288,12 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		if need > d.cfg.Battery.Level()*d.cfg.Battery.CapacityJ() {
 			break // battery depleted: no further downloads this round
 		}
-		d.cfg.Battery.Spend(need)
+		if spent := d.cfg.Battery.Spend(need); spent < need {
+			// The affordability guard above makes a partial draw
+			// unreachable; stop the round rather than account a
+			// download the battery did not pay for.
+			break
+		}
 		if !overheadPaid {
 			overheadPaid = true
 			d.cfg.Collector.OnEnergy(d.cfg.User, overhead)

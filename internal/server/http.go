@@ -113,7 +113,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		req.Item.Topic = kind
 	}
 	if req.Item.CreatedAt.IsZero() {
-		req.Item.CreatedAt = time.Now().UTC()
+		req.Item.CreatedAt = time.Now().UTC() //lint:allow wallclock ingest timestamps are real arrival times
 	}
 	topic := pubsub.TopicID{Kind: kind, Entity: req.Topic.Entity}
 	var resp PublishResponse

@@ -130,7 +130,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		failed   atomic.Int64
 		ticks    atomic.Int64
 	)
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock load-generator throughput is measured against the real clock
 	var wg sync.WaitGroup
 	hists := make([]*metrics.Histogram, cfg.Concurrency)
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -159,7 +159,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow wallclock load-generator throughput is measured against the real clock
 
 	var lat metrics.Histogram
 	for _, h := range hists {
@@ -234,7 +234,7 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 			return false
 		}
 		req.Header.Set("Content-Type", "application/json")
-		t0 := time.Now()
+		t0 := time.Now() //lint:allow wallclock publish latency is real end-to-end time, not virtual time
 		resp, err := cfg.Client.Do(req)
 		sent.Add(1)
 		if err != nil {
@@ -246,6 +246,7 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 		resp.Body.Close()
 		switch status {
 		case http.StatusAccepted, http.StatusOK:
+			//lint:allow wallclock publish latency is real end-to-end time, not virtual time
 			lat.Add(float64(time.Since(t0)) / float64(time.Millisecond))
 			return true
 		case http.StatusTooManyRequests:
@@ -255,6 +256,7 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 				wait = time.Duration(secs) * time.Second
 			}
 			select {
+			//lint:allow wallclock Retry-After backoff really waits on the wall clock
 			case <-time.After(wait):
 			case <-ctx.Done():
 				return false
