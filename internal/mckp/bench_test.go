@@ -1,0 +1,51 @@
+package mckp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchGroups builds a 1k-group, 6-level concave instance sized like one
+// busy round across a shard's queues.
+func benchGroups() []Group {
+	rng := rand.New(rand.NewSource(5))
+	groups := make([]Group, 1000)
+	for gi := range groups {
+		choices := make([]Choice, 6)
+		w, v, grad := 0.0, 0.0, 4+rng.Float64()*4
+		for ci := range choices {
+			dw := 1 + rng.Float64()*50
+			w += dw
+			grad *= 0.4 + rng.Float64()*0.55
+			v += grad * dw
+			choices[ci] = Choice{Value: v, Weight: w}
+		}
+		groups[gi] = Group{Choices: choices}
+	}
+	return groups
+}
+
+// BenchmarkSelectGreedy is the steady-state hot path: one Solver reused
+// across rounds. Must report 0 allocs/op.
+func BenchmarkSelectGreedy(b *testing.B) {
+	groups := benchGroups()
+	var s Solver
+	s.Solve(groups, 5000, Options{}) // warm scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Solve(groups, 5000, Options{})
+	}
+}
+
+// BenchmarkSelectGreedyFresh is the pre-refactor behaviour — a fresh
+// solver (heap, assignment) per call — kept as the before-side of the
+// allocation comparison in bench_results/P1.csv.
+func BenchmarkSelectGreedyFresh(b *testing.B) {
+	groups := benchGroups()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		SelectGreedy(groups, 5000, Options{})
+	}
+}

@@ -21,13 +21,23 @@ package mckp
 // mix of its neighbors would beat taking the choice itself, so the greedy
 // should jump over it.
 func pruneGroup(g Group) []int {
+	idx, _, _ := pruneGroupInto(g, nil, nil)
+	return idx
+}
+
+// pruneGroupInto is pruneGroup with caller-provided scratch: kept and
+// hull are reused (and returned grown) so a per-round caller amortizes
+// them to zero allocations. The returned index slice aliases one of the
+// scratch buffers and is valid until the next call with the same
+// buffers.
+func pruneGroupInto(g Group, keptBuf, hullBuf []int) (idx, keptOut, hullOut []int) {
 	n := len(g.Choices)
 	if n == 0 {
-		return nil
+		return nil, keptBuf, hullBuf
 	}
 	// Plain dominance first: choices are weight-sorted by construction, so
 	// keep only strictly increasing values.
-	kept := make([]int, 0, n)
+	kept := keptBuf[:0]
 	bestValue := 0.0 // the implicit level 0 has value 0
 	for i := 0; i < n; i++ {
 		if g.Choices[i].Value > bestValue {
@@ -36,13 +46,13 @@ func pruneGroup(g Group) []int {
 		}
 	}
 	if len(kept) <= 1 {
-		return kept
+		return kept, kept, hullBuf
 	}
 	// Upper convex hull over (weight, value), anchored at (0, 0):
 	// monotone-chain scan removing points with non-increasing marginal
 	// gradients.
-	hull := make([]int, 0, len(kept))
-	for _, idx := range kept {
+	hull := hullBuf[:0]
+	for _, ci := range kept {
 		for len(hull) >= 1 {
 			var prevW, prevV float64
 			if len(hull) >= 2 {
@@ -50,7 +60,7 @@ func pruneGroup(g Group) []int {
 				prevW, prevV = prev.Weight, prev.Value
 			}
 			last := g.Choices[hull[len(hull)-1]]
-			cur := g.Choices[idx]
+			cur := g.Choices[ci]
 			// Gradient into the last hull point vs gradient from it to the
 			// candidate: pop the last point when it is under the chord.
 			gIn := (last.Value - prevV) / (last.Weight - prevW)
@@ -61,9 +71,9 @@ func pruneGroup(g Group) []int {
 			}
 			break
 		}
-		hull = append(hull, idx)
+		hull = append(hull, ci)
 	}
-	return hull
+	return hull, kept, hull
 }
 
 // SelectGreedyDominance runs the Sinha-Zoltners greedy: LP-dominance

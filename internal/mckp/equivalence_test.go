@@ -1,0 +1,230 @@
+package mckp
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// This file pins the reusable Solver to the pre-refactor greedy: the
+// reference implementation below is a verbatim copy of the original
+// SelectGreedy (container/heap, per-call allocation) and its
+// fractionalBound. Solver.Solve must match it bit for bit on every
+// instance — same assignment, same float accumulation order, same LP
+// bound — because callers treat the refactor as a pure perf change.
+
+type refHeap []upgradeCand
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].gradient > h[j].gradient }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { c, _ := x.(upgradeCand); *h = append(*h, c) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+func referenceSelectGreedy(groups []Group, budget float64, opts Options) Result {
+	res := Result{Assignment: make(Assignment, len(groups))}
+	if budget <= 0 || len(groups) == 0 {
+		return res
+	}
+	h := make(refHeap, 0, len(groups))
+	for gi, g := range groups {
+		if len(g.Choices) == 0 {
+			continue
+		}
+		h = append(h, upgradeCand{group: gi, gradient: gradient(g, 0)})
+	}
+	heap.Init(&h)
+
+	concave := groupsConcave(groups)
+	lpPinned := false
+	lpBound := 0.0
+
+	remaining := budget
+	for h.Len() > 0 {
+		top := h[0]
+		if !opts.AllowNegative && top.gradient <= 0 {
+			break
+		}
+		g := groups[top.group]
+		level := res.Assignment[top.group]
+		next := g.Choices[level]
+		var curValue, curWeight float64
+		if level > 0 {
+			curValue = g.Choices[level-1].Value
+			curWeight = g.Choices[level-1].Weight
+		}
+		weightGain := next.Weight - curWeight
+		valueGain := next.Value - curValue
+
+		if weightGain > remaining {
+			if concave && !lpPinned {
+				lpBound = res.Value + valueGain*(remaining/weightGain)
+				lpPinned = true
+			}
+			if opts.StopAtFirstMisfit {
+				break
+			}
+			heap.Pop(&h)
+			continue
+		}
+
+		res.Assignment[top.group] = level + 1
+		res.Value += valueGain
+		res.Weight += weightGain
+		res.Upgrades++
+		remaining -= weightGain
+
+		if level+1 < len(g.Choices) {
+			h[0].gradient = gradient(g, level+1)
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	switch {
+	case concave && !lpPinned:
+		lpBound = res.Value
+	case !concave:
+		lpBound = referenceFractionalBound(groups, budget)
+	}
+	if lpBound < res.Value {
+		lpBound = res.Value
+	}
+	res.FractionalValue = lpBound
+	return res
+}
+
+func referenceFractionalBound(groups []Group, budget float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	type refIncrement struct {
+		gradient, weight float64
+	}
+	incs := make([]refIncrement, 0, len(groups))
+	for _, g := range groups {
+		prevV, prevW := 0.0, 0.0
+		for _, ci := range pruneGroup(g) {
+			c := g.Choices[ci]
+			dv, dw := c.Value-prevV, c.Weight-prevW
+			incs = append(incs, refIncrement{gradient: dv / dw, weight: dw})
+			prevV, prevW = c.Value, c.Weight
+		}
+	}
+	sort.SliceStable(incs, func(i, j int) bool { return incs[i].gradient > incs[j].gradient })
+	value, remaining := 0.0, budget
+	for _, inc := range incs {
+		if inc.gradient <= 0 {
+			break
+		}
+		if inc.weight > remaining {
+			value += inc.gradient * remaining
+			break
+		}
+		value += inc.gradient * inc.weight
+		remaining -= inc.weight
+	}
+	return value
+}
+
+// randomInstance builds a random MCKP instance. Roughly half the draws use
+// concave ladders (increasing value, decreasing gradient) and half use
+// arbitrary value sequences, exercising both the pinned-LP fast path and
+// the hull-pruning fallback.
+func randomInstance(rng *rand.Rand) ([]Group, float64) {
+	n := 1 + rng.Intn(12)
+	groups := make([]Group, n)
+	concave := rng.Intn(2) == 0
+	for gi := range groups {
+		k := 1 + rng.Intn(6)
+		choices := make([]Choice, k)
+		w := 0.0
+		if concave {
+			v, grad := 0.0, 4+rng.Float64()*4
+			for ci := range choices {
+				dw := 1 + rng.Float64()*50
+				w += dw
+				grad *= 0.4 + rng.Float64()*0.55 // strictly shrinking gradient
+				v += grad * dw
+				choices[ci] = Choice{Value: v, Weight: w}
+			}
+		} else {
+			for ci := range choices {
+				w += 1 + rng.Float64()*50
+				choices[ci] = Choice{Value: rng.Float64()*10 - 2, Weight: w}
+			}
+		}
+		groups[gi] = Group{Choices: choices}
+	}
+	budget := rng.Float64() * 400
+	return groups, budget
+}
+
+func assertSameResult(t *testing.T, trial int, want, got Result) {
+	t.Helper()
+	if got.Value != want.Value || got.Weight != want.Weight ||
+		got.Upgrades != want.Upgrades || got.FractionalValue != want.FractionalValue {
+		t.Fatalf("trial %d: result mismatch:\n got  %+v\n want %+v", trial, got, want)
+	}
+	if len(got.Assignment) != len(want.Assignment) {
+		t.Fatalf("trial %d: assignment length %d, want %d", trial, len(got.Assignment), len(want.Assignment))
+	}
+	for gi := range want.Assignment {
+		if got.Assignment[gi] != want.Assignment[gi] {
+			t.Fatalf("trial %d group %d: level %d, want %d", trial, gi, got.Assignment[gi], want.Assignment[gi])
+		}
+	}
+}
+
+// TestSolverMatchesReference checks a fresh Solver against the reference
+// implementation on randomized instances across all option combinations.
+func TestSolverMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	optsList := []Options{
+		{},
+		{AllowNegative: true},
+		{StopAtFirstMisfit: true},
+		{AllowNegative: true, StopAtFirstMisfit: true},
+	}
+	for trial := 0; trial < 400; trial++ {
+		groups, budget := randomInstance(rng)
+		if err := ValidateGroups(groups); err != nil {
+			t.Fatalf("trial %d: bad instance: %v", trial, err)
+		}
+		opts := optsList[trial%len(optsList)]
+		want := referenceSelectGreedy(groups, budget, opts)
+		got := SelectGreedy(groups, budget, opts)
+		assertSameResult(t, trial, want, got)
+	}
+}
+
+// TestSolverReuseMatchesFresh drives ONE Solver through many instances and
+// checks each solve against a fresh reference run: stale scratch from a
+// previous (larger or smaller) instance must never leak into a result.
+func TestSolverReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Solver
+	for trial := 0; trial < 400; trial++ {
+		groups, budget := randomInstance(rng)
+		opts := Options{AllowNegative: trial%2 == 0}
+		want := referenceSelectGreedy(groups, budget, opts)
+		got := s.Solve(groups, budget, opts)
+		assertSameResult(t, trial, want, got)
+	}
+}
+
+// TestSolveZeroAllocSteadyState pins the tentpole property: after warmup,
+// Solve allocates nothing.
+func TestSolveZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	groups, budget := randomInstance(rng)
+	var s Solver
+	s.Solve(groups, budget, Options{}) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Solve(groups, budget, Options{})
+	})
+	if allocs != 0 {
+		t.Fatalf("Solve allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+}

@@ -22,11 +22,9 @@
 package mckp
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Choice is one selectable presentation of a group.
@@ -105,20 +103,6 @@ func gradient(g Group, level int) float64 {
 	return (next.Value - curValue) / (next.Weight - curWeight)
 }
 
-// upgradeHeap is a max-heap of candidate upgrades keyed by gradient.
-type upgradeCand struct {
-	group    int
-	gradient float64
-}
-
-type upgradeHeap []upgradeCand
-
-func (h upgradeHeap) Len() int           { return len(h) }
-func (h upgradeHeap) Less(i, j int) bool { return h[i].gradient > h[j].gradient }
-func (h upgradeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *upgradeHeap) Push(x any)        { c, _ := x.(upgradeCand); *h = append(*h, c) }
-func (h *upgradeHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
-
 // Options tune the greedy solver.
 type Options struct {
 	// AllowNegative permits upgrades with negative gradient. The paper's
@@ -137,87 +121,13 @@ type Options struct {
 // budget and returns the chosen assignment. Groups must satisfy
 // ValidateGroups; callers constructing groups from notif.RichItem values
 // get this by construction.
+//
+// SelectGreedy is a thin wrapper over a fresh Solver, so the returned
+// Assignment is caller-owned. Round loops that solve per tick should hold
+// a Solver and call Solve to reuse its scratch instead.
 func SelectGreedy(groups []Group, budget float64, opts Options) Result {
-	res := Result{Assignment: make(Assignment, len(groups))}
-	if budget <= 0 || len(groups) == 0 {
-		return res
-	}
-
-	// Build the initial heap of level-0 -> level-1 upgrades in O(n).
-	h := make(upgradeHeap, 0, len(groups))
-	for gi, g := range groups {
-		if len(g.Choices) == 0 {
-			continue
-		}
-		h = append(h, upgradeCand{group: gi, gradient: gradient(g, 0)})
-	}
-	heap.Init(&h)
-
-	// For concave groups the loop below visits upgrades in gradient order,
-	// so the LP bound is pinned at the first misfit for free; otherwise it
-	// needs the convex-hull pass of fractionalBound after the loop.
-	concave := groupsConcave(groups)
-	lpPinned := false
-	lpBound := 0.0
-
-	remaining := budget
-	for h.Len() > 0 {
-		top := h[0]
-		if !opts.AllowNegative && top.gradient <= 0 {
-			break // all remaining upgrades lower the objective
-		}
-		g := groups[top.group]
-		level := res.Assignment[top.group]
-		next := g.Choices[level]
-		var curValue, curWeight float64
-		if level > 0 {
-			curValue = g.Choices[level-1].Value
-			curWeight = g.Choices[level-1].Weight
-		}
-		weightGain := next.Weight - curWeight
-		valueGain := next.Value - curValue
-
-		if weightGain > remaining {
-			// First misfit in gradient order: for concave groups the
-			// upgrades applied so far plus the fractional share of this one
-			// is exactly the LP-relaxation optimum.
-			if concave && !lpPinned {
-				lpBound = res.Value + valueGain*(remaining/weightGain)
-				lpPinned = true
-			}
-			if opts.StopAtFirstMisfit {
-				break
-			}
-			heap.Pop(&h) // this group cannot be upgraded further this round
-			continue
-		}
-
-		res.Assignment[top.group] = level + 1
-		res.Value += valueGain
-		res.Weight += weightGain
-		res.Upgrades++
-		remaining -= weightGain
-
-		if level+1 < len(g.Choices) {
-			h[0].gradient = gradient(g, level+1)
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
-		}
-	}
-	switch {
-	case concave && !lpPinned:
-		// The budget never bound: the greedy took every worthwhile upgrade,
-		// so the LP relaxation has nothing more to add.
-		lpBound = res.Value
-	case !concave:
-		lpBound = fractionalBound(groups, budget)
-	}
-	if lpBound < res.Value {
-		lpBound = res.Value
-	}
-	res.FractionalValue = lpBound
-	return res
+	var s Solver
+	return s.Solve(groups, budget, opts)
 }
 
 // groupsConcave reports whether every group has strictly increasing values
@@ -240,49 +150,6 @@ func groupsConcave(groups []Group) bool {
 		}
 	}
 	return true
-}
-
-// fractionalBound computes the Dantzig bound for arbitrary groups: each
-// group is reduced to its upper convex hull (pruneGroup) and the hull
-// increments are taken in global gradient order, the first that does not
-// fit fractionally. The convexified LP's feasible region contains every
-// integral assignment, so the returned value upper-bounds SelectExact.
-// A gradient-ordered walk over non-concave groups cannot produce this
-// bound on its own: a high-gradient level hidden behind a misfitting
-// lower level never surfaces in the upgrade heap.
-func fractionalBound(groups []Group, budget float64) float64 {
-	if budget <= 0 {
-		return 0
-	}
-	type increment struct {
-		gradient, weight float64
-	}
-	incs := make([]increment, 0, len(groups))
-	for _, g := range groups {
-		prevV, prevW := 0.0, 0.0
-		for _, ci := range pruneGroup(g) {
-			c := g.Choices[ci]
-			dv, dw := c.Value-prevV, c.Weight-prevW
-			incs = append(incs, increment{gradient: dv / dw, weight: dw})
-			prevV, prevW = c.Value, c.Weight
-		}
-	}
-	// Hull gradients strictly decrease within a group, so a stable global
-	// sort preserves each group's level order (the prefix constraint).
-	sort.SliceStable(incs, func(i, j int) bool { return incs[i].gradient > incs[j].gradient })
-	value, remaining := 0.0, budget
-	for _, inc := range incs {
-		if inc.gradient <= 0 {
-			break
-		}
-		if inc.weight > remaining {
-			value += inc.gradient * remaining
-			break
-		}
-		value += inc.gradient * inc.weight
-		remaining -= inc.weight
-	}
-	return value
 }
 
 // Value returns the total value and weight of an assignment over groups.

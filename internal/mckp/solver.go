@@ -1,0 +1,241 @@
+package mckp
+
+import "sort"
+
+// This file implements the reusable Algorithm 1 engine. The serving
+// runtime re-solves an MCKP instance for every device on every round;
+// a Solver keeps the upgrade heap, the assignment vector and the
+// convex-hull increment buffers alive across solves so the steady-state
+// round loop performs no heap allocation at all. SelectGreedy remains
+// the one-shot entry point and is a thin wrapper over a fresh Solver.
+//
+// The heap operations below mirror container/heap's sift algorithms on
+// the concrete candidate type: the standard library interface would box
+// every pushed and popped candidate into an interface value, which is
+// exactly the per-round garbage this engine exists to avoid. Because the
+// sift logic is identical, a Solver produces byte-identical Results to
+// the historical container/heap implementation (guarded by
+// TestSolverMatchesReferenceGreedy).
+
+// Solver is a reusable MCKP greedy engine. The zero value is ready to
+// use. A Solver retains internal scratch between Solve calls and is not
+// safe for concurrent use; the scheduler confines one solver per
+// device/shard goroutine.
+type Solver struct {
+	heap       upgradeHeap
+	assignment Assignment
+	incs       incSorter
+	kept, hull []int
+}
+
+// Solve runs Algorithm 1 of the paper on the given groups and weight
+// budget and returns the chosen assignment. Groups must satisfy
+// ValidateGroups; callers constructing groups from notif.RichItem values
+// get this by construction.
+//
+// The returned Result's Assignment aliases solver-owned scratch: it is
+// valid until the next Solve call on the same Solver. Callers that
+// retain it across solves must copy it first.
+func (s *Solver) Solve(groups []Group, budget float64, opts Options) Result {
+	n := len(groups)
+	if cap(s.assignment) < n {
+		s.assignment = make(Assignment, n)
+	} else {
+		s.assignment = s.assignment[:n]
+		for i := range s.assignment {
+			s.assignment[i] = 0
+		}
+	}
+	res := Result{Assignment: s.assignment}
+	if budget <= 0 || n == 0 {
+		return res
+	}
+
+	// Build the initial heap of level-0 -> level-1 upgrades in O(n).
+	s.heap = s.heap[:0]
+	for gi, g := range groups {
+		if len(g.Choices) == 0 {
+			continue
+		}
+		s.heap = append(s.heap, upgradeCand{group: gi, gradient: gradient(g, 0)})
+	}
+	s.heap.init()
+
+	// For concave groups the loop below visits upgrades in gradient order,
+	// so the LP bound is pinned at the first misfit for free; otherwise it
+	// needs the convex-hull pass of fractionalBound after the loop.
+	concave := groupsConcave(groups)
+	lpPinned := false
+	lpBound := 0.0
+
+	remaining := budget
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if !opts.AllowNegative && top.gradient <= 0 {
+			break // all remaining upgrades lower the objective
+		}
+		g := groups[top.group]
+		level := res.Assignment[top.group]
+		next := g.Choices[level]
+		var curValue, curWeight float64
+		if level > 0 {
+			curValue = g.Choices[level-1].Value
+			curWeight = g.Choices[level-1].Weight
+		}
+		weightGain := next.Weight - curWeight
+		valueGain := next.Value - curValue
+
+		if weightGain > remaining {
+			// First misfit in gradient order: for concave groups the
+			// upgrades applied so far plus the fractional share of this one
+			// is exactly the LP-relaxation optimum.
+			if concave && !lpPinned {
+				lpBound = res.Value + valueGain*(remaining/weightGain)
+				lpPinned = true
+			}
+			if opts.StopAtFirstMisfit {
+				break
+			}
+			s.heap.popTop() // this group cannot be upgraded further this round
+			continue
+		}
+
+		res.Assignment[top.group] = level + 1
+		res.Value += valueGain
+		res.Weight += weightGain
+		res.Upgrades++
+		remaining -= weightGain
+
+		if level+1 < len(g.Choices) {
+			s.heap[0].gradient = gradient(g, level+1)
+			s.heap.fixTop()
+		} else {
+			s.heap.popTop()
+		}
+	}
+	switch {
+	case concave && !lpPinned:
+		// The budget never bound: the greedy took every worthwhile upgrade,
+		// so the LP relaxation has nothing more to add.
+		lpBound = res.Value
+	case !concave:
+		lpBound = s.fractionalBound(groups, budget)
+	}
+	if lpBound < res.Value {
+		lpBound = res.Value
+	}
+	res.FractionalValue = lpBound
+	return res
+}
+
+// upgradeHeap is a max-heap of candidate upgrades keyed by gradient,
+// operated on directly (no container/heap boxing).
+type upgradeCand struct {
+	group    int
+	gradient float64
+}
+
+type upgradeHeap []upgradeCand
+
+// siftDown is container/heap's down on the concrete type: restore the
+// heap property for the subtree rooted at i0 within h[:n].
+func (h upgradeHeap) siftDown(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].gradient > h[j1].gradient {
+			j = j2
+		}
+		if h[j].gradient <= h[i].gradient {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// init establishes the heap property in O(n), as container/heap.Init.
+func (h upgradeHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i, n)
+	}
+}
+
+// fixTop re-establishes the ordering after h[0]'s gradient changed, as
+// container/heap.Fix(h, 0) (sifting up from the root is a no-op).
+func (h upgradeHeap) fixTop() {
+	h.siftDown(0, len(h))
+}
+
+// popTop removes the maximum candidate, as container/heap.Pop but
+// discarding the value.
+func (h *upgradeHeap) popTop() {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.siftDown(0, n)
+	*h = old[:n]
+}
+
+// increment is one convex-hull upgrade step of a group, used by the
+// Dantzig bound.
+type increment struct {
+	gradient, weight float64
+}
+
+// incSorter orders hull increments by descending gradient. Sorting goes
+// through sort.Stable on a *incSorter so the interface conversion stores
+// a pointer and the hot path stays allocation-free (sort.SliceStable
+// would allocate its closure and swapper every call).
+type incSorter []increment
+
+func (s incSorter) Len() int           { return len(s) }
+func (s incSorter) Less(i, j int) bool { return s[i].gradient > s[j].gradient }
+func (s incSorter) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// fractionalBound computes the Dantzig bound for arbitrary groups: each
+// group is reduced to its upper convex hull (pruneGroup) and the hull
+// increments are taken in global gradient order, the first that does not
+// fit fractionally. The convexified LP's feasible region contains every
+// integral assignment, so the returned value upper-bounds SelectExact.
+// A gradient-ordered walk over non-concave groups cannot produce this
+// bound on its own: a high-gradient level hidden behind a misfitting
+// lower level never surfaces in the upgrade heap.
+func (s *Solver) fractionalBound(groups []Group, budget float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	s.incs = s.incs[:0]
+	for _, g := range groups {
+		prevV, prevW := 0.0, 0.0
+		var idx []int
+		idx, s.kept, s.hull = pruneGroupInto(g, s.kept, s.hull)
+		for _, ci := range idx {
+			c := g.Choices[ci]
+			dv, dw := c.Value-prevV, c.Weight-prevW
+			s.incs = append(s.incs, increment{gradient: dv / dw, weight: dw})
+			prevV, prevW = c.Value, c.Weight
+		}
+	}
+	// Hull gradients strictly decrease within a group, so a stable global
+	// sort preserves each group's level order (the prefix constraint).
+	sort.Stable(&s.incs)
+	value, remaining := 0.0, budget
+	for _, inc := range s.incs {
+		if inc.gradient <= 0 {
+			break
+		}
+		if inc.weight > remaining {
+			value += inc.gradient * remaining
+			break
+		}
+		value += inc.gradient * inc.weight
+		remaining -= inc.weight
+	}
+	return value
+}

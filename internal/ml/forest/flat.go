@@ -1,0 +1,249 @@
+package forest
+
+// flatForest is the trained ensemble flattened into one contiguous
+// structure-of-arrays node arena. The per-tree representation walks a
+// []*Tree, pointer-chasing a separately allocated node slice per tree;
+// the arena keeps every node of every tree in four parallel slices, so
+// the per-round scoring loop touches one cache-friendly block of memory
+// and a whole-batch prediction streams tree-by-tree through it.
+//
+// Node i's children are stored arena-absolute at children[2i] (left)
+// and children[2i+1] (right); features[i] < 0 marks a leaf with
+// probability probs[i]. roots has one offset per tree plus a final
+// sentinel, so tree t occupies the node range [roots[t], roots[t+1]).
+//
+// The flat walk visits exactly the nodes the per-tree walk visits and
+// sums per-tree probabilities in the same order, so every prediction is
+// bit-identical to the []*Tree path (guarded by
+// TestFlatPredictionMatchesPerTree).
+type flatForest struct {
+	features   []int32
+	thresholds []float64
+	children   []int32
+	probs      []float64
+	roots      []int32
+}
+
+// ready reports whether the arena has been built.
+func (fl *flatForest) ready() bool { return len(fl.roots) > 0 }
+
+// trees returns the ensemble size.
+func (fl *flatForest) trees() int {
+	if len(fl.roots) == 0 {
+		return 0
+	}
+	return len(fl.roots) - 1
+}
+
+// buildFlat flattens f.trees into the arena. Called once at the end of
+// Train; Load fills the arena directly instead.
+func (f *Forest) buildFlat() {
+	total := 0
+	for _, t := range f.trees {
+		total += len(t.nodes)
+	}
+	fl := &f.flat
+	fl.features = make([]int32, total)
+	fl.thresholds = make([]float64, total)
+	fl.children = make([]int32, 2*total)
+	fl.probs = make([]float64, total)
+	fl.roots = make([]int32, len(f.trees)+1)
+	off := int32(0)
+	for ti, t := range f.trees {
+		fl.roots[ti] = off
+		for ni := range t.nodes {
+			n := &t.nodes[ni]
+			i := off + int32(ni)
+			fl.features[i] = int32(n.feature)
+			fl.thresholds[i] = n.threshold
+			fl.probs[i] = n.prob
+			if n.feature >= 0 {
+				fl.children[2*i] = off + n.left
+				fl.children[2*i+1] = off + n.right
+			}
+		}
+		off += int32(len(t.nodes))
+	}
+	fl.roots[len(f.trees)] = off
+}
+
+// treesFromFlat reconstructs the per-tree view from the arena. Each
+// tree's nodes are contiguous and tree-relative child indices are the
+// arena-absolute ones minus the root offset, so the reconstruction is
+// exact.
+func (f *Forest) treesFromFlat() {
+	fl := &f.flat
+	f.trees = make([]*Tree, fl.trees())
+	for ti := range f.trees {
+		lo, hi := fl.roots[ti], fl.roots[ti+1]
+		nodes := make([]treeNode, hi-lo)
+		for i := lo; i < hi; i++ {
+			n := treeNode{
+				feature:   int(fl.features[i]),
+				threshold: fl.thresholds[i],
+				prob:      fl.probs[i],
+			}
+			if n.feature >= 0 {
+				n.left = fl.children[2*i] - lo
+				n.right = fl.children[2*i+1] - lo
+			}
+			nodes[i-lo] = n
+		}
+		f.trees[ti] = &Tree{nodes: nodes}
+	}
+}
+
+// predictTree routes x through the tree rooted at the given arena offset
+// and returns the leaf probability, mirroring Tree.PredictProba
+// (including the defensive short-feature-vector stop).
+func (fl *flatForest) predictTree(root int32, x []float64) float64 {
+	i := root
+	for {
+		feat := fl.features[i]
+		if feat < 0 {
+			return fl.probs[i]
+		}
+		if int(feat) >= len(x) {
+			return fl.probs[i] // defensive: feature vector shorter than training
+		}
+		if x[feat] <= fl.thresholds[i] {
+			i = fl.children[2*i]
+		} else {
+			i = fl.children[2*i+1]
+		}
+	}
+}
+
+// PredictMeanProbaBatch scores every row and writes the mean leaf
+// probability (as PredictMeanProba) into out, which is grown as needed
+// and returned truncated to len(rows). Passing a reused out slice makes
+// the steady-state call allocation-free.
+//
+// The batch walks the arena tree-major — every row through tree 0, then
+// tree 1, ... — so each tree's contiguous node block is streamed through
+// the cache once per batch instead of once per row. For ensembles larger
+// than the cache (the deployed 100-tree model) that turns the per-row
+// walk's capacity misses into hits; per-row probabilities accumulate into
+// out in tree order and divide once at the end, which keeps every output
+// bit-identical to calling PredictMeanProba row by row.
+func (f *Forest) PredictMeanProbaBatch(rows [][]float64, out []float64) []float64 {
+	if cap(out) < len(rows) {
+		out = make([]float64, len(rows))
+	}
+	out = out[:len(rows)]
+	nTrees := f.flat.trees()
+	if nTrees == 0 {
+		// Unbuilt arena (possible only for hand-assembled forests) or an
+		// empty ensemble: fall back to the per-row path, which handles both.
+		for i := range out {
+			out[i] = f.PredictMeanProba(rows[i])
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	// Every split feature is < nFeatures, so when no row is shorter than
+	// that the defensive short-vector stop in predictTree can never fire
+	// and the walkers below drop its per-node length check. Rows from the
+	// enrichment pipeline are always full-width; the slow path only exists
+	// for hand-fed truncated vectors.
+	wide := true
+	for _, x := range rows {
+		if len(x) < f.nFeatures {
+			wide = false
+			break
+		}
+	}
+	fl := &f.flat
+	for t := 0; t < nTrees; t++ {
+		root := fl.roots[t]
+		ri := 0
+		if wide {
+			for ; ri+2 <= len(rows); ri += 2 {
+				p0, p1 := fl.predictTree2Wide(root, rows[ri], rows[ri+1])
+				out[ri] += p0
+				out[ri+1] += p1
+			}
+		} else {
+			for ; ri+2 <= len(rows); ri += 2 {
+				p0, p1 := fl.predictTree2(root, rows[ri], rows[ri+1])
+				out[ri] += p0
+				out[ri+1] += p1
+			}
+		}
+		if ri < len(rows) {
+			out[ri] += fl.predictTree(root, rows[ri])
+		}
+	}
+	div := float64(nTrees)
+	for i := range out {
+		out[i] /= div
+	}
+	return out
+}
+
+// predictTree2Wide is predictTree2 without the short-vector stop, valid
+// only when both rows have at least nFeatures entries (checked once per
+// batch): then int(feat) < len(x) always holds and the walk is identical.
+func (fl *flatForest) predictTree2Wide(root int32, x0, x1 []float64) (p0, p1 float64) {
+	features, thresholds, children := fl.features, fl.thresholds, fl.children
+	i0, i1 := root, root
+	for {
+		f0, f1 := features[i0], features[i1]
+		settled := true
+		if f0 >= 0 {
+			settled = false
+			if x0[f0] <= thresholds[i0] {
+				i0 = children[2*i0]
+			} else {
+				i0 = children[2*i0+1]
+			}
+		}
+		if f1 >= 0 {
+			settled = false
+			if x1[f1] <= thresholds[i1] {
+				i1 = children[2*i1]
+			} else {
+				i1 = children[2*i1+1]
+			}
+		}
+		if settled {
+			return fl.probs[i0], fl.probs[i1]
+		}
+	}
+}
+
+// predictTree2 routes two rows through the tree rooted at the given arena
+// offset with independent cursors advanced in the same loop. A single
+// walk is a chain of dependent loads — each child index waits on the
+// previous comparison — so pairing two walks lets their loads overlap.
+// Each cursor visits exactly the nodes predictTree visits, including the
+// defensive short-feature-vector stop; a cursor that reaches its leaf
+// parks there while the other finishes.
+func (fl *flatForest) predictTree2(root int32, x0, x1 []float64) (p0, p1 float64) {
+	i0, i1 := root, root
+	for {
+		f0, f1 := fl.features[i0], fl.features[i1]
+		settled := true
+		if f0 >= 0 && int(f0) < len(x0) {
+			settled = false
+			if x0[f0] <= fl.thresholds[i0] {
+				i0 = fl.children[2*i0]
+			} else {
+				i0 = fl.children[2*i0+1]
+			}
+		}
+		if f1 >= 0 && int(f1) < len(x1) {
+			settled = false
+			if x1[f1] <= fl.thresholds[i1] {
+				i1 = fl.children[2*i1]
+			} else {
+				i1 = fl.children[2*i1+1]
+			}
+		}
+		if settled {
+			return fl.probs[i0], fl.probs[i1]
+		}
+	}
+}

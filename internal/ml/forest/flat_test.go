@@ -1,0 +1,201 @@
+package forest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// trainFlatFixture trains one shared forest for the flat-layout tests.
+func trainFlatFixture(t testing.TB) (*Forest, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	x, y := xorDataset(rng, 800)
+	f, err := Train(x, y, Config{Trees: 50, MaxDepth: 8, Seed: 99})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	probes := make([][]float64, 200)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	return f, probes
+}
+
+// TestFlatMatchesPerTree pins the flat arena to the per-tree walk: both
+// predictors must be bit-identical to explicitly accumulating over
+// f.trees in tree order — the pre-refactor code path.
+func TestFlatMatchesPerTree(t *testing.T) {
+	f, probes := trainFlatFixture(t)
+	if f.flat.trees() != len(f.trees) {
+		t.Fatalf("flat arena holds %d trees, want %d", f.flat.trees(), len(f.trees))
+	}
+	for pi, x := range probes {
+		votes, sum := 0.0, 0.0
+		for _, tr := range f.trees {
+			p := tr.PredictProba(x)
+			if p >= 0.5 {
+				votes++
+			}
+			sum += p
+		}
+		wantVote := votes / float64(len(f.trees))
+		wantMean := sum / float64(len(f.trees))
+		if got := f.PredictProba(x); got != wantVote {
+			t.Fatalf("probe %d: PredictProba %v, per-tree %v", pi, got, wantVote)
+		}
+		if got := f.PredictMeanProba(x); got != wantMean {
+			t.Fatalf("probe %d: PredictMeanProba %v, per-tree %v", pi, got, wantMean)
+		}
+	}
+}
+
+// TestBatchMatchesPerRow pins PredictMeanProbaBatch to the per-row path,
+// bit for bit, including when the caller's out slice must grow and when
+// it is reused across calls.
+func TestBatchMatchesPerRow(t *testing.T) {
+	f, probes := trainFlatFixture(t)
+	got := f.PredictMeanProbaBatch(probes, nil)
+	if len(got) != len(probes) {
+		t.Fatalf("batch returned %d results for %d rows", len(got), len(probes))
+	}
+	for i, x := range probes {
+		if want := f.PredictMeanProba(x); got[i] != want {
+			t.Fatalf("row %d: batch %v, per-row %v", i, got[i], want)
+		}
+	}
+	// Reuse: a second call into the same out slice must overwrite in place.
+	again := f.PredictMeanProbaBatch(probes[:50], got)
+	if &again[0] != &got[0] {
+		t.Fatal("batch reallocated despite sufficient capacity")
+	}
+	for i := range again {
+		if want := f.PredictMeanProba(probes[i]); again[i] != want {
+			t.Fatalf("reused row %d: batch %v, per-row %v", i, again[i], want)
+		}
+	}
+}
+
+// TestBatchFallbackWithoutArena covers hand-assembled forests that never
+// built a flat arena: batch must fall back to the per-row predictor.
+func TestBatchFallbackWithoutArena(t *testing.T) {
+	f, probes := trainFlatFixture(t)
+	bare := &Forest{trees: f.trees, nFeatures: f.nFeatures}
+	got := bare.PredictMeanProbaBatch(probes, nil)
+	for i, x := range probes {
+		if want := f.PredictMeanProba(x); got[i] != want {
+			t.Fatalf("row %d: fallback batch %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestBatchZeroAllocSteadyState pins the hot-path property: with a
+// caller-provided out slice, batch prediction allocates nothing.
+func TestBatchZeroAllocSteadyState(t *testing.T) {
+	f, probes := trainFlatFixture(t)
+	out := make([]float64, len(probes))
+	allocs := testing.AllocsPerRun(50, func() {
+		f.PredictMeanProbaBatch(probes, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("batch allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestSerializeRoundTripsThroughFlat checks that a load rebuilds both the
+// arena and the per-tree view, and that predictions survive the trip.
+func TestSerializeRoundTripsThroughFlat(t *testing.T) {
+	f, probes := trainFlatFixture(t)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !g.flat.ready() || g.flat.trees() != f.flat.trees() {
+		t.Fatalf("loaded arena has %d trees, want %d", g.flat.trees(), f.flat.trees())
+	}
+	if len(g.trees) != len(f.trees) {
+		t.Fatalf("loaded %d per-tree views, want %d", len(g.trees), len(f.trees))
+	}
+	for i, x := range probes {
+		if a, b := f.PredictMeanProba(x), g.PredictMeanProba(x); a != b {
+			t.Fatalf("probe %d: prediction changed across round trip: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// benchForest caches a production-scale ensemble for the batch
+// benchmarks: 100 deep trees over 8 features, trained on enough rows
+// that the node arena is several megabytes — the regime the tree-major
+// batch walk is built for (the tiny test fixtures above fit in L1, where
+// traversal order cannot matter).
+var benchForest struct {
+	f      *Forest
+	probes [][]float64
+}
+
+func benchFixture(b *testing.B) (*Forest, [][]float64) {
+	b.Helper()
+	if benchForest.f != nil {
+		return benchForest.f, benchForest.probes
+	}
+	rng := rand.New(rand.NewSource(23))
+	const nRows, nFeat = 16000, 8
+	x := make([][]float64, nRows)
+	y := make([]int, nRows)
+	for i := range x {
+		row := make([]float64, nFeat)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		// Nonlinear label with noise, so trees grow to depth.
+		score := row[0]*row[1] + row[2] - row[3]*row[4] + 0.3*rng.NormFloat64()
+		if score > 0.5 {
+			y[i] = 1
+		}
+	}
+	f, err := Train(x, y, Config{Trees: 100, MaxDepth: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := make([][]float64, 256)
+	for i := range probes {
+		row := make([]float64, nFeat)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		probes[i] = row
+	}
+	benchForest.f, benchForest.probes = f, probes
+	return f, probes
+}
+
+// BenchmarkForestPredictBatch measures the arena batch predictor; compare
+// against BenchmarkForestPredictPerRow for the throughput ratio recorded
+// in bench_results/P1.csv.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	f, probes := benchFixture(b)
+	out := make([]float64, len(probes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		f.PredictMeanProbaBatch(probes, out)
+	}
+}
+
+// BenchmarkForestPredictPerRow is the per-row loop the batch call replaces.
+func BenchmarkForestPredictPerRow(b *testing.B) {
+	f, probes := benchFixture(b)
+	out := make([]float64, len(probes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i, x := range probes {
+			out[i] = f.PredictMeanProba(x)
+		}
+	}
+}

@@ -59,6 +59,7 @@ var (
 // Forest is a trained random-forest classifier.
 type Forest struct {
 	trees      []*Tree
+	flat       flatForest // SoA node arena; the prediction hot path
 	nFeatures  int
 	importance []float64
 	oobError   float64
@@ -172,6 +173,7 @@ func Train(features [][]float64, labels []int, cfg Config) (*Forest, error) {
 	if scored > 0 {
 		f.oobError = float64(wrong) / float64(scored)
 	}
+	f.buildFlat()
 	return f, nil
 }
 
@@ -214,8 +216,19 @@ func fitOneTree(features [][]float64, labels []int, params treeParams, seed int6
 
 // PredictProba returns the fraction of trees whose leaf majority is the
 // positive class — the confidence score Pr(x_i) the paper converts into
-// content utility.
+// content utility. The walk runs over the flat node arena; hand-built
+// forests without one fall back to the per-tree path, which votes in
+// the same tree order and is bit-identical.
 func (f *Forest) PredictProba(x []float64) float64 {
+	if n := f.flat.trees(); n > 0 {
+		votes := 0.0
+		for t := 0; t < n; t++ {
+			if f.flat.predictTree(f.flat.roots[t], x) >= 0.5 {
+				votes++
+			}
+		}
+		return votes / float64(n)
+	}
 	if len(f.trees) == 0 {
 		return 0.5
 	}
@@ -229,8 +242,17 @@ func (f *Forest) PredictProba(x []float64) float64 {
 }
 
 // PredictMeanProba averages the per-tree leaf probabilities; a smoother
-// alternative to the vote fraction.
+// alternative to the vote fraction. Like PredictProba it walks the flat
+// arena, accumulating per-tree probabilities in tree order so the result
+// is bit-identical to the per-tree path.
 func (f *Forest) PredictMeanProba(x []float64) float64 {
+	if n := f.flat.trees(); n > 0 {
+		sum := 0.0
+		for t := 0; t < n; t++ {
+			sum += f.flat.predictTree(f.flat.roots[t], x)
+		}
+		return sum / float64(n)
+	}
 	if len(f.trees) == 0 {
 		return 0.5
 	}

@@ -41,20 +41,33 @@ const modelVersion = 1
 // ErrBadModel is returned when a serialized model is malformed.
 var ErrBadModel = errors.New("forest: malformed model")
 
-// Save writes the trained forest as JSON.
+// Save writes the trained forest as JSON. The on-disk node records are
+// produced from the flat arena — tree t's node range with child indices
+// rebased to tree-relative — which yields the same bytes as walking the
+// per-tree view (leaves serialize with zero children either way).
 func (f *Forest) Save(w io.Writer) error {
+	if !f.flat.ready() {
+		f.buildFlat() // hand-assembled forests: flatten on first save
+	}
+	fl := &f.flat
 	mf := modelFile{
 		Version:    modelVersion,
 		NFeatures:  f.nFeatures,
 		Importance: f.importance,
 		OOBError:   f.oobError,
 		OOBScored:  f.oobScored,
-		Trees:      make([][]nodeFile, len(f.trees)),
+		Trees:      make([][]nodeFile, fl.trees()),
 	}
-	for ti, tree := range f.trees {
-		nodes := make([]nodeFile, len(tree.nodes))
-		for ni, n := range tree.nodes {
-			nodes[ni] = nodeFile{F: n.feature, T: n.threshold, L: n.left, R: n.right, P: n.prob}
+	for ti := range mf.Trees {
+		lo, hi := fl.roots[ti], fl.roots[ti+1]
+		nodes := make([]nodeFile, hi-lo)
+		for i := lo; i < hi; i++ {
+			nf := nodeFile{F: int(fl.features[i]), T: fl.thresholds[i], P: fl.probs[i]}
+			if nf.F >= 0 {
+				nf.L = fl.children[2*i] - lo
+				nf.R = fl.children[2*i+1] - lo
+			}
+			nodes[i-lo] = nf
 		}
 		mf.Trees[ti] = nodes
 	}
@@ -78,7 +91,6 @@ func Load(r io.Reader) (*Forest, error) {
 		return nil, fmt.Errorf("%w: empty model", ErrBadModel)
 	}
 	f := &Forest{
-		trees:      make([]*Tree, len(mf.Trees)),
 		nFeatures:  mf.NFeatures,
 		importance: mf.Importance,
 		oobError:   mf.OOBError,
@@ -87,25 +99,46 @@ func Load(r io.Reader) (*Forest, error) {
 	if f.importance == nil {
 		f.importance = make([]float64, mf.NFeatures)
 	}
+	// Fill the flat arena directly — the deserialized model round-trips
+	// through the same layout the predictors run on — then derive the
+	// per-tree view from it.
+	total := 0
+	for _, nodes := range mf.Trees {
+		total += len(nodes)
+	}
+	fl := &f.flat
+	fl.features = make([]int32, total)
+	fl.thresholds = make([]float64, total)
+	fl.children = make([]int32, 2*total)
+	fl.probs = make([]float64, total)
+	fl.roots = make([]int32, len(mf.Trees)+1)
+	off := int32(0)
 	for ti, nodes := range mf.Trees {
 		if len(nodes) == 0 {
 			return nil, fmt.Errorf("%w: empty tree %d", ErrBadModel, ti)
 		}
-		tree := &Tree{nodes: make([]treeNode, len(nodes))}
+		fl.roots[ti] = off
 		for ni, n := range nodes {
 			if n.F >= mf.NFeatures {
 				return nil, fmt.Errorf("%w: tree %d node %d references feature %d of %d",
 					ErrBadModel, ti, ni, n.F, mf.NFeatures)
 			}
+			i := off + int32(ni)
+			fl.features[i] = int32(n.F)
+			fl.thresholds[i] = n.T
+			fl.probs[i] = n.P
 			if n.F >= 0 {
 				if n.L < 0 || int(n.L) >= len(nodes) || n.R < 0 || int(n.R) >= len(nodes) {
 					return nil, fmt.Errorf("%w: tree %d node %d child out of range", ErrBadModel, ti, ni)
 				}
+				fl.children[2*i] = off + n.L
+				fl.children[2*i+1] = off + n.R
 			}
-			tree.nodes[ni] = treeNode{feature: n.F, threshold: n.T, left: n.L, right: n.R, prob: n.P}
 		}
-		f.trees[ti] = tree
+		off += int32(len(nodes))
 	}
+	fl.roots[len(mf.Trees)] = off
+	f.treesFromFlat()
 	return f, nil
 }
 

@@ -13,7 +13,6 @@ package forest
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 )
@@ -219,7 +218,10 @@ func (t *Tree) Depth() int {
 			return 0
 		}
 		l, r := walk(n.left), walk(n.right)
-		return 1 + int(math.Max(float64(l), float64(r)))
+		if l < r {
+			l = r
+		}
+		return 1 + l
 	}
 	if len(t.nodes) == 0 {
 		return 0

@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/richnote/richnote/internal/lyapunov"
+)
+
+// planEquivalent compares two Plan results element-wise.
+func planEquivalent(t *testing.T, round int, want, got []Selection) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("round %d: %d selections, want %d", round, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round %d selection %d: %+v, want %+v", round, i, got[i], want[i])
+		}
+	}
+}
+
+// driveControllers keeps two controllers in lockstep so the scratch and
+// no-scratch plans below see identical Lyapunov state every round.
+func driveControllers(t *testing.T, a, b *lyapunov.Controller, sels []Selection, queue []Queued) {
+	t.Helper()
+	for _, c := range []*lyapunov.Controller{a, b} {
+		if _, err := c.Replenish(c.Config().Kappa); err != nil {
+			t.Fatalf("Replenish: %v", err)
+		}
+	}
+	for _, sel := range sels {
+		size := float64(queue[sel.Index].Rich.At(sel.Level).Size)
+		for _, c := range []*lyapunov.Controller{a, b} {
+			if err := c.OnDeliver(size/bytesPerMB, cellEnergy(int64(size))); err != nil {
+				t.Fatalf("OnDeliver: %v", err)
+			}
+		}
+	}
+}
+
+// TestRichNotePlanScratchMatchesNilScratch runs the same multi-round
+// planning sequence twice — once threading a persistent PlanScratch,
+// once with the historical nil-scratch allocation — and requires
+// identical selections every round, across varying queue sizes and
+// budgets, so stale scratch can never leak between rounds.
+func TestRichNotePlanScratchMatchesNilScratch(t *testing.T) {
+	s := &RichNote{}
+	rng := rand.New(rand.NewSource(41))
+	ctlScratch := newController(t)
+	ctlFresh := newController(t)
+	scratch := &PlanScratch{}
+	for round := 0; round < 60; round++ {
+		n := 1 + rng.Intn(10)
+		utils := make([]float64, n)
+		for i := range utils {
+			utils[i] = rng.Float64()
+		}
+		queue := makeQueue(t, utils...)
+		budget := rng.Float64() * 2_000_000
+		withScratch := s.Plan(queue, &PlanContext{
+			Round: round, BudgetBytes: budget, Controller: ctlScratch,
+			EnergyJ: cellEnergy, Scratch: scratch,
+		})
+		without := s.Plan(queue, &PlanContext{
+			Round: round, BudgetBytes: budget, Controller: ctlFresh,
+			EnergyJ: cellEnergy,
+		})
+		planEquivalent(t, round, without, withScratch)
+		driveControllers(t, ctlScratch, ctlFresh, without, queue)
+	}
+}
+
+// TestBaselinePlanScratchMatchesNilScratch does the same for the two
+// fixed-level baselines, covering the shared planFixed path (queue
+// permutation, clamped levels, utility sort).
+func TestBaselinePlanScratchMatchesNilScratch(t *testing.T) {
+	fifo, err := NewFIFO(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, err := NewUtil(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	for _, strat := range []Strategy{fifo, util} {
+		scratch := &PlanScratch{}
+		for round := 0; round < 60; round++ {
+			n := 1 + rng.Intn(10)
+			utils := make([]float64, n)
+			for i := range utils {
+				utils[i] = rng.Float64()
+			}
+			queue := makeQueue(t, utils...)
+			budget := rng.Float64() * 2_000_000
+			withScratch := strat.Plan(queue, &PlanContext{
+				Round: round, BudgetBytes: budget, Scratch: scratch,
+			})
+			without := strat.Plan(queue, &PlanContext{
+				Round: round, BudgetBytes: budget,
+			})
+			planEquivalent(t, round, without, withScratch)
+		}
+	}
+}
+
+// TestRichNoteStableTieOrder pins the delivery-order tiebreak: equal
+// combined utilities keep ascending queue order (the stable sort's
+// guarantee), so replays are deterministic.
+func TestRichNoteStableTieOrder(t *testing.T) {
+	s := &RichNote{}
+	q := makeQueue(t, 0.7, 0.7, 0.7)
+	got := s.Plan(q, &PlanContext{
+		BudgetBytes: 10_000_000,
+		Controller:  newController(t),
+		EnergyJ:     cellEnergy,
+	})
+	if len(got) != 3 {
+		t.Fatalf("%d selections, want 3", len(got))
+	}
+	for i, sel := range got {
+		if sel.Index != i {
+			t.Fatalf("tied utilities reordered: position %d got index %d", i, sel.Index)
+		}
+	}
+}
+
+// TestPlanZeroAllocSteadyState pins the tentpole property end to end:
+// with a warmed scratch, a full RichNote plan allocates nothing.
+func TestPlanZeroAllocSteadyState(t *testing.T) {
+	s := &RichNote{}
+	queue := makeQueue(t, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2)
+	ctx := &PlanContext{
+		BudgetBytes: 500_000,
+		Controller:  newController(t),
+		EnergyJ:     cellEnergy,
+		Scratch:     &PlanScratch{},
+	}
+	s.Plan(queue, ctx) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Plan(queue, ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("RichNote.Plan allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestPlanFixedZeroAllocSteadyState pins the same property for the
+// baselines' shared planFixed path.
+func TestPlanFixedZeroAllocSteadyState(t *testing.T) {
+	util, err := NewUtil(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue := makeQueue(t, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2)
+	ctx := &PlanContext{BudgetBytes: 500_000, Scratch: &PlanScratch{}}
+	util.Plan(queue, ctx) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		util.Plan(queue, ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("Util.Plan allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// benchQueue builds a 64-item queue with distinct utilities — a busy
+// user's round.
+func benchQueue(b *testing.B) []Queued {
+	b.Helper()
+	utils := make([]float64, 64)
+	for i := range utils {
+		utils[i] = float64(i+1) / 65
+	}
+	return makeQueue(b, utils...)
+}
+
+// BenchmarkPlanRound is the scheduler's steady-state hot path: one
+// RichNote plan per round against a persistent scratch. Must report
+// 0 allocs/op.
+func BenchmarkPlanRound(b *testing.B) {
+	s := &RichNote{}
+	queue := benchQueue(b)
+	ctx := &PlanContext{
+		BudgetBytes: 2_000_000,
+		Controller:  newController(b),
+		EnergyJ:     cellEnergy,
+		Scratch:     &PlanScratch{},
+	}
+	s.Plan(queue, ctx) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Plan(queue, ctx)
+	}
+}
+
+// BenchmarkPlanRoundNoScratch is the pre-refactor behaviour — per-call
+// allocation of groups, choices, solver state and the sort closure —
+// kept as the before-side of the comparison in bench_results/P1.csv.
+func BenchmarkPlanRoundNoScratch(b *testing.B) {
+	s := &RichNote{}
+	queue := benchQueue(b)
+	ctx := &PlanContext{
+		BudgetBytes: 2_000_000,
+		Controller:  newController(b),
+		EnergyJ:     cellEnergy,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Plan(queue, ctx)
+	}
+}

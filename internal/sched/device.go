@@ -91,6 +91,19 @@ type Device struct {
 	// kappa mirrors the controller's per-round energy target for
 	// replenishment; zero for baselines.
 	kappa float64
+
+	// Hot-path scratch, reused every round so the steady-state loop
+	// allocates nothing (DESIGN.md §10). All of it is owned by the
+	// goroutine driving RunRound — the shard goroutine in the server, a
+	// worker goroutine in the pipeline.
+	scratch PlanScratch // richnote:confined(shard)
+	// planCtx is built once (its EnergyJ closure binds the device) and
+	// re-stamped with the round's budget and network state.
+	planCtx PlanContext // richnote:confined(shard)
+	// curState is the network state planCtx.EnergyJ prices against.
+	curState network.State // richnote:confined(shard)
+	// delivered flags queue indices delivered this round.
+	delivered []bool // richnote:confined(shard)
 }
 
 // NewDevice validates the configuration and returns a device.
@@ -126,7 +139,26 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	if cfg.Controller != nil {
 		d.kappa = cfg.Controller.Config().Kappa
 	}
+	d.bindPlanContext()
 	return d, nil
+}
+
+// bindPlanContext builds the reusable plan context once: its energy
+// closure prices against the device's current network state, so
+// deliverRound only re-stamps Round, BudgetBytes and curState each round
+// and planning allocates nothing in steady state.
+func (d *Device) bindPlanContext() {
+	d.planCtx = PlanContext{
+		Controller: d.cfg.Controller,
+		Scratch:    &d.scratch,
+		EnergyJ: func(size int64) float64 {
+			j, err := d.cfg.Transfer.TransferJ(size, d.curState)
+			if err != nil {
+				return 0 // offline states never reach here
+			}
+			return j
+		},
+	}
 }
 
 // User returns the device's owner.
@@ -235,19 +267,10 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 	if planBudget <= 0 {
 		return nil
 	}
-	ctx := &PlanContext{
-		Round:       round,
-		BudgetBytes: planBudget,
-		Controller:  d.cfg.Controller,
-		EnergyJ: func(size int64) float64 {
-			j, err := d.cfg.Transfer.TransferJ(size, state)
-			if err != nil {
-				return 0 // offline states never reach here
-			}
-			return j
-		},
-	}
-	sels := d.cfg.Strategy.Plan(d.queue, ctx)
+	d.curState = state
+	d.planCtx.Round = round
+	d.planCtx.BudgetBytes = planBudget
+	sels := d.cfg.Strategy.Plan(d.queue, &d.planCtx)
 	res.Planned = len(sels)
 	if len(sels) == 0 {
 		return nil
@@ -261,7 +284,13 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 	overheadPaid := false
 
 	remainingLink := linkCap.Bytes
-	delivered := make(map[int]bool, len(sels))
+	if cap(d.delivered) < len(d.queue) {
+		d.delivered = make([]bool, len(d.queue))
+	}
+	d.delivered = d.delivered[:len(d.queue)]
+	for i := range d.delivered {
+		d.delivered[i] = false
+	}
 	for _, sel := range sels {
 		if d.cfg.MaxDeliveriesPerRound > 0 && res.Delivered >= d.cfg.MaxDeliveriesPerRound {
 			break // delivery queue pace: the rest re-plan next round
@@ -328,7 +357,7 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		if d.cfg.OnDelivery != nil {
 			d.cfg.OnDelivery(delivery)
 		}
-		delivered[sel.Index] = true
+		d.delivered[sel.Index] = true
 		res.Delivered++
 		res.Bytes += p.Size
 		res.EnergyJ += transferJ
@@ -343,12 +372,12 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		d.queue = d.queue[:0]
 		return nil
 	}
-	if len(delivered) > 0 {
+	if res.Delivered > 0 {
 		// Drop all presentations of delivered items from the scheduling
 		// queue (Algorithm 2, step 3).
 		kept := d.queue[:0]
 		for qi := range d.queue {
-			if !delivered[qi] {
+			if !d.delivered[qi] {
 				kept = append(kept, d.queue[qi])
 			}
 		}

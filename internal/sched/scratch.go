@@ -1,0 +1,60 @@
+package sched
+
+import "github.com/richnote/richnote/internal/mckp"
+
+// PlanScratch holds the per-device buffers a Strategy reuses across
+// rounds: the MCKP groups and their shared choices backing array, the
+// reusable greedy solver, the selection/utility pair the delivery order
+// is sorted over, and the baselines' order/level buffers. A Device owns
+// one scratch and threads it through PlanContext, making the steady-
+// state plan phase allocation-free (see DESIGN.md §10).
+//
+// A PlanScratch is single-owner state: it must only be used by the
+// goroutine driving the owning device's rounds. Selections returned by
+// Plan alias the scratch and are valid until the next Plan call with
+// the same scratch.
+type PlanScratch struct {
+	// groups and choices back the per-round MCKP instance; every group's
+	// Choices is a three-index subslice of the shared choices array.
+	groups  []mckp.Group
+	choices []mckp.Choice
+	// solver keeps the upgrade heap, assignment and hull-increment
+	// buffers of Algorithm 1 alive across rounds.
+	solver mckp.Solver
+	// sorter holds the selections plus their precomputed utilities;
+	// sorting goes through sort.Stable on its pointer so ties keep queue
+	// order without a closure or reflection swapper.
+	sorter selSorter
+	// order, levels and orderUtils are the baselines' scratch: queue
+	// permutation, per-entry clamped levels and per-entry utilities.
+	order      []int
+	levels     []int
+	orderUtils []float64
+	orderSort  orderSorter
+}
+
+// selSorter stable-sorts selections by descending precomputed utility.
+// utils is index-aligned with sels and swapped alongside it, so the
+// comparator never re-derives a utility inside the sort.
+type selSorter struct {
+	sels  []Selection
+	utils []float64
+}
+
+func (s *selSorter) Len() int           { return len(s.sels) }
+func (s *selSorter) Less(i, j int) bool { return s.utils[i] > s.utils[j] }
+func (s *selSorter) Swap(i, j int) {
+	s.sels[i], s.sels[j] = s.sels[j], s.sels[i]
+	s.utils[i], s.utils[j] = s.utils[j], s.utils[i]
+}
+
+// orderSorter stable-sorts a queue permutation by descending utility,
+// with utils indexed by queue position (not permutation position).
+type orderSorter struct {
+	order []int
+	utils []float64
+}
+
+func (s *orderSorter) Len() int           { return len(s.order) }
+func (s *orderSorter) Less(i, j int) bool { return s.utils[s.order[i]] > s.utils[s.order[j]] }
+func (s *orderSorter) Swap(i, j int)      { s.order[i], s.order[j] = s.order[j], s.order[i] }

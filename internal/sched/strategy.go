@@ -19,7 +19,6 @@ package sched
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"github.com/richnote/richnote/internal/lyapunov"
@@ -65,6 +64,12 @@ type PlanContext struct {
 	// EnergyJ estimates the energy to download size bytes on the current
 	// network.
 	EnergyJ func(size int64) float64
+	// Scratch, when non-nil, provides reusable plan buffers owned by the
+	// calling device; strategies then allocate nothing in steady state.
+	// Selections returned against a scratch alias it and are valid until
+	// the next Plan call with the same scratch. A nil Scratch keeps the
+	// historical per-call allocation behaviour.
+	Scratch *PlanScratch
 }
 
 // Strategy plans which queued items to deliver this round, at which levels,
@@ -100,42 +105,67 @@ func (s *RichNote) Plan(queue []Queued, ctx *PlanContext) []Selection {
 	if ctx.Controller == nil || len(queue) == 0 || ctx.BudgetBytes <= 0 {
 		return nil
 	}
-	groups := make([]mckp.Group, len(queue))
+	scratch := ctx.Scratch
+	if scratch == nil {
+		scratch = &PlanScratch{}
+	}
+
+	// One MCKP group per queue entry, all groups' choices laid out in one
+	// shared backing array (capped subslices, so a later grow cannot
+	// scribble over an earlier group).
+	total := 0
+	for qi := range queue {
+		total += queue[qi].Rich.Levels()
+	}
+	if cap(scratch.choices) < total {
+		scratch.choices = make([]mckp.Choice, 0, total)
+	}
+	if cap(scratch.groups) < len(queue) {
+		scratch.groups = make([]mckp.Group, 0, len(queue))
+	}
+	choices := scratch.choices[:0]
+	groups := scratch.groups[:0]
 	for qi := range queue {
 		rich := &queue[qi].Rich
 		totalMB := float64(rich.TotalSize()) / bytesPerMB
-		choices := make([]mckp.Choice, rich.Levels())
+		base := len(choices)
 		for j := 1; j <= rich.Levels(); j++ {
 			p := rich.At(j)
 			var energy float64
 			if ctx.EnergyJ != nil {
 				energy = ctx.EnergyJ(p.Size)
 			}
-			choices[j-1] = mckp.Choice{
+			choices = append(choices, mckp.Choice{
 				Value:  ctx.Controller.Adjusted(totalMB, energy, rich.Utility(j)),
 				Weight: float64(p.Size),
-			}
+			})
 		}
-		groups[qi] = mckp.Group{Choices: choices}
+		groups = append(groups, mckp.Group{Choices: choices[base:len(choices):len(choices)]})
 	}
+	scratch.choices = choices
+	scratch.groups = groups
+
 	var res mckp.Result
 	if s.UseDominance {
 		res = mckp.SelectGreedyDominance(groups, ctx.BudgetBytes)
 	} else {
-		res = mckp.SelectGreedy(groups, ctx.BudgetBytes, s.Options)
+		res = scratch.solver.Solve(groups, ctx.BudgetBytes, s.Options)
 	}
-	sels := make([]Selection, 0, len(res.Assignment))
+
+	// Deliveries go out in descending combined utility (Algorithm 2,
+	// step 1). Utilities are precomputed once and the sort is stable, so
+	// equal-utility ties keep queue (arrival) order deterministically.
+	sels := scratch.sorter.sels[:0]
+	utils := scratch.sorter.utils[:0]
 	for qi, level := range res.Assignment {
 		if level > 0 {
 			sels = append(sels, Selection{Index: qi, Level: level})
+			utils = append(utils, queue[qi].Rich.Utility(level))
 		}
 	}
-	sort.Slice(sels, func(a, b int) bool {
-		ua := queue[sels[a].Index].Rich.Utility(sels[a].Level)
-		ub := queue[sels[b].Index].Rich.Utility(sels[b].Level)
-		return ua > ub
-	})
-	return sels
+	scratch.sorter.sels, scratch.sorter.utils = sels, utils
+	sort.Stable(&scratch.sorter)
+	return scratch.sorter.sels
 }
 
 // ErrFixedLevel is returned by baseline constructors for bad levels.
@@ -191,26 +221,38 @@ func (u *Util) Plan(queue []Queued, ctx *PlanContext) []Selection {
 }
 
 // planFixed shares the baseline logic: walk the queue (optionally utility-
-// sorted), take items at the fixed level while the budget lasts.
+// sorted), take items at the fixed level while the budget lasts. The
+// queue permutation, clamped levels and utilities come from the plan
+// scratch; levels and utilities are computed once up front instead of
+// inside the sort comparator.
 func planFixed(queue []Queued, ctx *PlanContext, level int, byUtility bool) []Selection {
 	if len(queue) == 0 || ctx.BudgetBytes <= 0 {
 		return nil
 	}
-	order := make([]int, len(queue))
-	for i := range order {
-		order[i] = i
+	scratch := ctx.Scratch
+	if scratch == nil {
+		scratch = &PlanScratch{}
 	}
+	order := scratch.order[:0]
+	levels := scratch.levels[:0]
+	for qi := range queue {
+		order = append(order, qi)
+		levels = append(levels, clampLevel(&queue[qi].Rich, level))
+	}
+	scratch.order, scratch.levels = order, levels
 	if byUtility {
-		sort.SliceStable(order, func(a, b int) bool {
-			la := clampLevel(&queue[order[a]].Rich, level)
-			lb := clampLevel(&queue[order[b]].Rich, level)
-			return queue[order[a]].Rich.Utility(la) > queue[order[b]].Rich.Utility(lb)
-		})
+		utils := scratch.orderUtils[:0]
+		for qi := range queue {
+			utils = append(utils, queue[qi].Rich.Utility(levels[qi]))
+		}
+		scratch.orderUtils = utils
+		scratch.orderSort = orderSorter{order: order, utils: utils}
+		sort.Stable(&scratch.orderSort)
 	}
 	remaining := ctx.BudgetBytes
-	var sels []Selection
+	sels := scratch.sorter.sels[:0]
 	for _, qi := range order {
-		lvl := clampLevel(&queue[qi].Rich, level)
+		lvl := levels[qi]
 		size := float64(queue[qi].Rich.At(lvl).Size)
 		if size > remaining {
 			// Fixed-presentation baselines cannot downgrade; they simply
@@ -224,10 +266,17 @@ func planFixed(queue []Queued, ctx *PlanContext, level int, byUtility bool) []Se
 		remaining -= size
 		sels = append(sels, Selection{Index: qi, Level: lvl})
 	}
+	scratch.sorter.sels = sels
+	if len(sels) == 0 {
+		return nil
+	}
 	return sels
 }
 
 // clampLevel bounds the fixed level by the item's ladder height.
 func clampLevel(r *notif.RichItem, level int) int {
-	return int(math.Min(float64(level), float64(r.Levels())))
+	if n := r.Levels(); level > n {
+		return n
+	}
+	return level
 }

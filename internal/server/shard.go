@@ -56,6 +56,10 @@ type shard struct {
 	subs    map[notif.UserID]map[pubsub.TopicID]bool // richnote:confined(shard)
 	round   int                                      // richnote:confined(shard)
 	lastErr error                                    // richnote:confined(shard)
+	// userOrder keeps the registered users sorted ascending; maintained
+	// incrementally by addUser so runRound iterates deterministically
+	// without rebuilding and re-sorting the key set every round.
+	userOrder []notif.UserID // richnote:confined(shard)
 
 	ingest chan envelope
 	ticks  chan tickReq
@@ -307,6 +311,11 @@ func (sh *shard) addUser(cfg UserConfig) error {
 		return fmt.Errorf("server: %w", err)
 	}
 	sh.devices[user] = device
+	// Keep userOrder sorted: binary-search the insertion point and shift.
+	at := sort.Search(len(sh.userOrder), func(i int) bool { return sh.userOrder[i] >= user })
+	sh.userOrder = append(sh.userOrder, 0)
+	copy(sh.userOrder[at+1:], sh.userOrder[at:])
+	sh.userOrder[at] = user
 	return nil
 }
 
@@ -318,14 +327,8 @@ func (sh *shard) runRound() error {
 	sh.drainIngest()
 	sh.broker.EndRoundIndex(sh.round)
 
-	users := make([]notif.UserID, 0, len(sh.devices))
-	for u := range sh.devices {
-		users = append(users, u)
-	}
-	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-
 	var firstErr error
-	for _, u := range users {
+	for _, u := range sh.userOrder {
 		device := sh.devices[u]
 		if batch := sh.inbox[u]; len(batch) > 0 {
 			if err := device.Enqueue(batch); err != nil {

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -21,33 +20,58 @@ type event struct {
 	fn  Handler
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The sift operations
+// are concrete-typed — container/heap would box every pushed and popped
+// event into an interface, allocating once per scheduled event on the
+// kernel's hottest path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq // FIFO among simultaneous events
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(event)
-	if !ok {
-		return // heap.Push is only called by this package with event values
-	}
+// push appends ev and restores the heap property by sifting it up.
+func (h *eventHeap) push(ev event) {
 	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift the relocated root down within the shrunk prefix [0, n).
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	ev := s[n]
+	s[n] = event{} // release the handler closure
+	*h = s[:n]
 	return ev
 }
 
@@ -98,7 +122,7 @@ func (k *Kernel) At(t time.Duration, fn Handler) error {
 		return fmt.Errorf("%w: at %s, now %s", ErrPastEvent, t, k.now)
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
 	return nil
 }
 
@@ -151,11 +175,7 @@ func (k *Kernel) RunUntil(horizon time.Duration) {
 			k.now = horizon
 			return
 		}
-		popped := heap.Pop(&k.events)
-		ev, ok := popped.(event)
-		if !ok {
-			return
-		}
+		ev := k.events.pop()
 		k.now = ev.at
 		k.processed++
 		ev.fn(k)
