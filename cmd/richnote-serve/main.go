@@ -8,6 +8,9 @@
 //	               [-strategy richnote|fifo|util] [-level N] [-budget MB]
 //	               [-network wifi|cell|cellonly] [-buffer N] [-highwater N]
 //	               [-recent N] [-seed N] [-V f] [-kappa f]
+//	               [-fault.cell-loss p] [-fault.wifi-loss p]
+//	               [-fault.cell-disconnect p] [-fault.wifi-disconnect p]
+//	               [-fault.max-attempts N] [-fault.degrade]
 //
 // The server answers:
 //
@@ -57,6 +60,13 @@ func run() error {
 		seed         = flag.Int64("seed", 42, "master seed for per-user randomness")
 		v            = flag.Float64("V", 0, "Lyapunov V (0 = default)")
 		kappa        = flag.Float64("kappa", 0, "Lyapunov kappa in J/round (0 = default)")
+
+		cellLoss       = flag.Float64("fault.cell-loss", 0, "probability a cellular transfer is lost outright")
+		wifiLoss       = flag.Float64("fault.wifi-loss", 0, "probability a WiFi transfer is lost outright")
+		cellDisconnect = flag.Float64("fault.cell-disconnect", 0, "probability a cellular transfer disconnects mid-stream")
+		wifiDisconnect = flag.Float64("fault.wifi-disconnect", 0, "probability a WiFi transfer disconnects mid-stream")
+		maxAttempts    = flag.Int("fault.max-attempts", 0, "drop an item after this many failed transfer attempts (0 = retry forever)")
+		degrade        = flag.Bool("fault.degrade", false, "degrade to the next-cheaper presentation level after a failed attempt")
 	)
 	flag.Parse()
 
@@ -84,6 +94,12 @@ func run() error {
 		return fmt.Errorf("unknown network model %q", *netName)
 	}
 
+	faults := network.FaultConfig{
+		CellLoss:       *cellLoss,
+		WifiLoss:       *wifiLoss,
+		CellDisconnect: *cellDisconnect,
+		WifiDisconnect: *wifiDisconnect,
+	}
 	s, err := server.New(server.Config{
 		Shards:           *shards,
 		RoundEvery:       *round,
@@ -92,6 +108,7 @@ func run() error {
 		HighWater:        *highWater,
 		RecentDeliveries: *recent,
 		Seed:             *seed,
+		Faults:           faults,
 		Default: server.UserConfig{
 			Strategy:          strategyKind,
 			FixedLevel:        *level,
@@ -99,6 +116,8 @@ func run() error {
 			V:                 *v,
 			KappaJ:            *kappa,
 			NetworkMatrix:     &matrix,
+			MaxAttempts:       *maxAttempts,
+			DegradeOnFailure:  *degrade,
 		},
 	})
 	if err != nil {
@@ -117,6 +136,10 @@ func run() error {
 	}()
 	fmt.Printf("richnote-serve: %d shards, round every %s (virtual %s), strategy %s, listening on %s\n",
 		*shards, *round, *virtualRound, strategyKind, *addr)
+	if faults.Enabled() {
+		fmt.Printf("richnote-serve: fault injection on (cell loss %.2f disconnect %.2f, wifi loss %.2f disconnect %.2f, max attempts %d, degrade %t)\n",
+			faults.CellLoss, faults.CellDisconnect, faults.WifiLoss, faults.WifiDisconnect, *maxAttempts, *degrade)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

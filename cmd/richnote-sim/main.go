@@ -7,6 +7,9 @@
 //	richnote-sim [-strategy richnote|fifo|util] [-level N] [-budget MB]
 //	             [-users N] [-rounds N] [-seed N] [-network cell|cellonly|wifi]
 //	             [-V f] [-kappa f] [-scorer forest|oracle|constant]
+//	             [-fault.cell-loss p] [-fault.wifi-loss p]
+//	             [-fault.cell-disconnect p] [-fault.wifi-disconnect p]
+//	             [-fault.max-attempts N] [-fault.degrade]
 //	             [-workers N] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -45,6 +48,12 @@ func run() error {
 		dominance       = flag.Bool("dominance", false, "use the Sinha-Zoltners LP-dominance MCKP variant")
 		queuedBaselines = flag.Bool("queued-baselines", false, "give fifo/util a persistent re-ranked queue instead of the digest discipline")
 		perRound        = flag.Bool("per-round-budget", false, "disable data-budget rollover")
+		cellLoss        = flag.Float64("fault.cell-loss", 0, "probability a cellular transfer is lost outright")
+		wifiLoss        = flag.Float64("fault.wifi-loss", 0, "probability a WiFi transfer is lost outright")
+		cellDisconnect  = flag.Float64("fault.cell-disconnect", 0, "probability a cellular transfer disconnects mid-stream")
+		wifiDisconnect  = flag.Float64("fault.wifi-disconnect", 0, "probability a WiFi transfer disconnects mid-stream")
+		maxAttempts     = flag.Int("fault.max-attempts", 0, "drop an item after this many failed transfer attempts (0 = retry forever)")
+		degrade         = flag.Bool("fault.degrade", false, "degrade to the next-cheaper presentation level after a failed attempt")
 		workers         = flag.Int("workers", 0, "build/run worker goroutines (0 = all CPUs)")
 		cpuProf         = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf         = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -117,6 +126,12 @@ func run() error {
 		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("build phases:\n%s", rec)
 
+	faults := network.FaultConfig{
+		CellLoss:       *cellLoss,
+		WifiLoss:       *wifiLoss,
+		CellDisconnect: *cellDisconnect,
+		WifiDisconnect: *wifiDisconnect,
+	}
 	res, err := pipeline.Run(core.RunConfig{
 		Strategy:          strategyKind,
 		FixedLevel:        *level,
@@ -127,6 +142,9 @@ func run() error {
 		UseDominance:      *dominance,
 		QueuedBaselines:   *queuedBaselines,
 		PerRoundBudget:    *perRound,
+		Faults:            faults,
+		MaxAttempts:       *maxAttempts,
+		DegradeOnFailure:  *degrade,
 		Workers:           *workers,
 	})
 	if err != nil {
@@ -144,6 +162,10 @@ func run() error {
 	fmt.Printf("download energy  %.0f J/user\n", r.EnergyJ/float64(r.Users))
 	fmt.Printf("queuing delay    %.2f rounds avg (p50 %.0f, p95 %.0f)\n",
 		r.AvgDelayRounds(), r.DelayP50Rounds, r.DelayP95Rounds)
+	if faults.Enabled() {
+		fmt.Printf("fault injection  %d failed transfers, %d retried deliveries, %d degraded, %d dropped, %.1f J wasted\n",
+			r.TransferFailures, r.RetriedDeliveries, r.DegradedDeliveries, r.Dropped, r.WastedEnergyJ)
+	}
 	if res.Lyapunov.Users > 0 {
 		fmt.Printf("lyapunov         avgQ %.2f MB, maxQ %.2f MB, drift %.2f\n",
 			res.Lyapunov.AvgQMB, res.Lyapunov.MaxQMB, res.Lyapunov.AvgDrift)

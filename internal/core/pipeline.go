@@ -328,6 +328,17 @@ type RunConfig struct {
 	// UseDominance makes RichNote's per-round MCKP use the Sinha-Zoltners
 	// LP-dominance greedy instead of the paper's level-by-level variant.
 	UseDominance bool
+	// Faults injects per-transfer failures into every device (per-user
+	// deterministic streams derived from the run seed). The zero value
+	// injects none and keeps run output bit-identical to a fault-free
+	// build.
+	Faults network.FaultConfig
+	// MaxAttempts bounds failed transfer attempts per item before the
+	// device drops it; 0 retries forever. Only meaningful with Faults.
+	MaxAttempts int
+	// DegradeOnFailure lowers a failed item's presentation cap one level
+	// per retry. Only meaningful with Faults.
+	DegradeOnFailure bool
 }
 
 func (c *RunConfig) applyDefaults(traceSeed int64) error {
@@ -366,6 +377,9 @@ func (c *RunConfig) applyDefaults(traceSeed int64) error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -483,6 +497,16 @@ func (p *Pipeline) runUser(ui int, cfg RunConfig, col *metrics.Collector) (*lyap
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// A nil fault model (faults disabled) keeps the delivery path on the
+	// historical success-only code; the dedicated StreamFaults RNG keeps
+	// fault draws from perturbing the network and battery streams.
+	var faults *network.FaultModel
+	if cfg.Faults.Enabled() {
+		faults, err = network.NewFaultModel(cfg.Faults, sim.NewRNG(userSeed, sim.StreamFaults))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 
 	var strategy sched.Strategy
 	var ctl *lyapunov.Controller
@@ -521,6 +545,9 @@ func (p *Pipeline) runUser(ui int, cfg RunConfig, col *metrics.Collector) (*lyap
 		Transfer:              *cfg.Transfer,
 		Controller:            ctl,
 		Collector:             col,
+		Faults:                faults,
+		MaxAttempts:           cfg.MaxAttempts,
+		DegradeOnFailure:      cfg.DegradeOnFailure,
 		MaxDeliveriesPerRound: cfg.MaxDeliveriesPerRound,
 		PerRoundBudget:        cfg.PerRoundBudget,
 		DropUndelivered:       cfg.Strategy != StrategyRichNote && !cfg.QueuedBaselines,

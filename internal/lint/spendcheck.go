@@ -11,6 +11,7 @@ var spendMethods = map[string]string{
 	"Replenish": "the post-replenishment virtual queue value",
 	"Debit":     "the amount actually debited",
 	"Credit":    "the amount actually credited",
+	"Refund":    "the amount actually refunded, capped at the outstanding debits",
 }
 
 // SpendCheck flags call statements that discard the result of a budget
@@ -20,8 +21,8 @@ var spendMethods = map[string]string{
 var SpendCheck = &Analyzer{
 	Name: "spendcheck",
 	Doc: "flag discarded return values of budget/battery mutators " +
-		"(Spend, Charge, Replenish, Debit, Credit); the amount actually " +
-		"moved is the accounting truth and must be checked",
+		"(Spend, Charge, Replenish, Debit, Credit, Refund); the amount " +
+		"actually moved is the accounting truth and must be checked",
 	IncludeTests: true,
 	Run:          runSpendCheck,
 }

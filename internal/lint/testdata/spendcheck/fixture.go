@@ -18,16 +18,37 @@ func (b *battery) Replenish(j float64) float64 {
 	return b.level
 }
 
-func bad(b *battery) {
+type ledger struct{ debited, refunded float64 }
+
+func (l *ledger) Debit(n float64) float64 {
+	l.debited += n
+	return n
+}
+
+func (l *ledger) Refund(n float64) float64 {
+	if room := l.debited - l.refunded; n > room {
+		n = room
+	}
+	l.refunded += n
+	return n
+}
+
+func bad(b *battery, l *ledger) {
 	b.Spend(3)           // want `result of Spend is discarded`
 	defer b.Replenish(1) // want `result of Replenish is discarded`
 	go b.Spend(2)        // want `result of Spend is discarded`
+	l.Debit(5)           // want `result of Debit is discarded`
+	l.Refund(5)          // want `result of Refund is discarded`
 }
 
-func good(b *battery) float64 {
+func good(b *battery, l *ledger) float64 {
 	spent := b.Spend(3)
 	if spent < 3 {
 		return spent
+	}
+	charged := l.Debit(spent)
+	if back := l.Refund(charged); back < charged {
+		return back
 	}
 	return b.Replenish(spent)
 }

@@ -131,6 +131,36 @@ func (c *Controller) OnDeliver(itemTotalSize, energy float64) error {
 	return nil
 }
 
+// OnTransferFailure applies a failed delivery attempt: the energy actually
+// burned (partial bytes plus radio ramp) leaves P, but Q is untouched — the
+// item is still queued, so its backlog contribution stands and the data-plan
+// deduction is refunded by the scheduler. P floors at zero like OnDeliver.
+func (c *Controller) OnTransferFailure(energy float64) error {
+	if energy < 0 {
+		return fmt.Errorf("%w: transfer failure energy %f", ErrNegativeAmount, energy)
+	}
+	c.p -= energy
+	if c.p < 0 {
+		c.p = 0
+	}
+	return nil
+}
+
+// OnDrop removes an abandoned item's total presentation size from Q without
+// touching P: giving up after MaxAttempts relieves the backlog exactly as a
+// delivery would, but no transfer happened so no energy is drained beyond
+// what the failed attempts already charged via OnTransferFailure.
+func (c *Controller) OnDrop(itemTotalSize float64) error {
+	if itemTotalSize < 0 {
+		return fmt.Errorf("%w: drop size %f", ErrNegativeAmount, itemTotalSize)
+	}
+	c.q -= itemTotalSize
+	if c.q < 0 {
+		c.q = 0
+	}
+	return nil
+}
+
 // Replenish adds e(t) joules to the virtual energy queue, but only while P
 // is at or below the target κ (Algorithm 2, step 2). It returns the amount
 // actually credited.

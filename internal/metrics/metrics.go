@@ -31,6 +31,13 @@ type userCounters struct {
 	energyJ              float64
 	delayRoundsSum       int
 	levelCounts          map[int]int
+
+	// Fault-injection tallies. All zero in a fault-free run.
+	transferFailures   int
+	retriedDeliveries  int
+	degradedDeliveries int
+	dropped            int
+	wastedEnergyJ      float64
 }
 
 // Collector accumulates simulation outcomes.
@@ -73,6 +80,21 @@ func (c *Collector) OnEnergy(u notif.UserID, joules float64) {
 	c.user(u).energyJ += joules
 }
 
+// OnTransferFailure records one failed transfer attempt and the energy the
+// radio burned on the partial transfer. The energy counts toward the user's
+// total energy tally and is additionally tracked as waste.
+func (c *Collector) OnTransferFailure(u notif.UserID, wastedJ float64) {
+	uc := c.user(u)
+	uc.transferFailures++
+	uc.energyJ += wastedJ
+	uc.wastedEnergyJ += wastedJ
+}
+
+// OnDrop records an item abandoned after exhausting its retry budget.
+func (c *Collector) OnDrop(u notif.UserID) {
+	c.user(u).dropped++
+}
+
 // DeliveryOutcome carries the ground truth needed to score one delivery.
 type DeliveryOutcome struct {
 	// Clicked is the trace's ground-truth label for the item.
@@ -93,6 +115,12 @@ func (c *Collector) OnDeliver(d notif.Delivery, out DeliveryOutcome) {
 	uc.delayRoundsSum += d.QueuingDelayRounds()
 	c.delays.Add(float64(d.QueuingDelayRounds()))
 	uc.levelCounts[d.Level]++
+	if d.Retries > 0 {
+		uc.retriedDeliveries++
+	}
+	if d.Degraded {
+		uc.degradedDeliveries++
+	}
 	if out.Clicked {
 		uc.clickedAndDelivered++
 		if out.BeforeClick {
@@ -119,6 +147,16 @@ type Report struct {
 	// LevelCounts maps presentation level to delivery count; level 1 is
 	// metadata-only.
 	LevelCounts map[int]int
+
+	// Fault-injection tallies: failed transfer attempts, deliveries that
+	// needed at least one retry, deliveries degraded below the scheduler's
+	// chosen level, items dropped after MaxAttempts, and the joules burned
+	// on transfers that did not complete. All zero in a fault-free run.
+	TransferFailures   int
+	RetriedDeliveries  int
+	DegradedDeliveries int
+	Dropped            int
+	WastedEnergyJ      float64
 
 	// DelayP50Rounds and DelayP95Rounds summarize the queuing-delay
 	// distribution across deliveries.
@@ -157,6 +195,11 @@ func (c *Collector) Merge(o *Collector) {
 		uc.deliveredBeforeClick += ouc.deliveredBeforeClick
 		uc.energyJ += ouc.energyJ
 		uc.delayRoundsSum += ouc.delayRoundsSum
+		uc.transferFailures += ouc.transferFailures
+		uc.retriedDeliveries += ouc.retriedDeliveries
+		uc.degradedDeliveries += ouc.degradedDeliveries
+		uc.dropped += ouc.dropped
+		uc.wastedEnergyJ += ouc.wastedEnergyJ
 		for lvl, n := range ouc.levelCounts {
 			uc.levelCounts[lvl] += n
 		}
@@ -181,6 +224,11 @@ func (c *Collector) Aggregate() Report {
 		r.DeliveredBeforeClick += uc.deliveredBeforeClick
 		r.EnergyJ += uc.energyJ
 		r.DelayRoundsSum += uc.delayRoundsSum
+		r.TransferFailures += uc.transferFailures
+		r.RetriedDeliveries += uc.retriedDeliveries
+		r.DegradedDeliveries += uc.degradedDeliveries
+		r.Dropped += uc.dropped
+		r.WastedEnergyJ += uc.wastedEnergyJ
 		for lvl, n := range uc.levelCounts {
 			r.LevelCounts[lvl] += n
 		}

@@ -87,6 +87,11 @@ func (r *Report) Merge(o Report) {
 	r.DeliveredBeforeClick += o.DeliveredBeforeClick
 	r.EnergyJ += o.EnergyJ
 	r.DelayRoundsSum += o.DelayRoundsSum
+	r.TransferFailures += o.TransferFailures
+	r.RetriedDeliveries += o.RetriedDeliveries
+	r.DegradedDeliveries += o.DegradedDeliveries
+	r.Dropped += o.Dropped
+	r.WastedEnergyJ += o.WastedEnergyJ
 	if r.LevelCounts == nil && len(o.LevelCounts) > 0 {
 		r.LevelCounts = make(map[int]int, len(o.LevelCounts))
 	}
@@ -144,6 +149,16 @@ func WriteExposition(w io.Writer, r Report, delay []Bucket) (int64, error) {
 		"Device energy spent on deliveries and radio overhead.", formatFloat(r.EnergyJ))
 	counter("richnote_utility_sum_total",
 		"Sum of combined utility U(i,j) over deliveries.", formatFloat(r.UtilitySum))
+	counter("richnote_transfer_failures_total",
+		"Transfer attempts that failed (outright loss or mid-transfer disconnect).", strconv.Itoa(r.TransferFailures))
+	counter("richnote_retried_deliveries_total",
+		"Deliveries that needed at least one retry.", strconv.Itoa(r.RetriedDeliveries))
+	counter("richnote_degraded_deliveries_total",
+		"Deliveries degraded below the scheduler's chosen presentation level.", strconv.Itoa(r.DegradedDeliveries))
+	counter("richnote_dropped_total",
+		"Items abandoned after exhausting their retry budget.", strconv.Itoa(r.Dropped))
+	counter("richnote_wasted_energy_joules_total",
+		"Energy burned on transfers that did not complete.", formatFloat(r.WastedEnergyJ))
 
 	// Per-level delivery mix as a labeled counter, levels ascending.
 	levels := make([]int, 0, len(r.LevelCounts))

@@ -200,14 +200,18 @@ func (r *RichItem) MaxLevelWithin(budget int64) int {
 var (
 	ErrNoPresentations   = errors.New("notif: rich item has no presentations")
 	ErrLevelOrder        = errors.New("notif: presentation levels are not 1..k in order")
+	ErrSizeNotPositive   = errors.New("notif: presentation size is not positive")
 	ErrSizeNotIncreasing = errors.New("notif: presentation sizes are not strictly increasing")
 	ErrUtilityNotMono    = errors.New("notif: presentation utilities are not monotonically non-decreasing")
 	ErrUtilityRange      = errors.New("notif: utility out of [0, 1]")
 )
 
 // Validate checks the structural invariants the paper assumes of a rich
-// item: levels numbered 1..k, sizes strictly increasing, presentation
-// utilities monotone non-decreasing, and all utilities within [0, 1].
+// item: levels numbered 1..k, sizes positive and strictly increasing,
+// presentation utilities monotone non-decreasing, and all utilities within
+// [0, 1]. Positive sizes make the item's MB contribution to Q(t)
+// non-negative, which is what lets Enqueue validate up front and then
+// commit without a rollback path.
 func (r *RichItem) Validate() error {
 	if len(r.Presentations) == 0 {
 		return fmt.Errorf("item %d: %w", r.Item.ID, ErrNoPresentations)
@@ -218,6 +222,9 @@ func (r *RichItem) Validate() error {
 	for idx, p := range r.Presentations {
 		if p.Level != idx+1 {
 			return fmt.Errorf("item %d: level %d at index %d: %w", r.Item.ID, p.Level, idx, ErrLevelOrder)
+		}
+		if p.Size <= 0 {
+			return fmt.Errorf("item %d level %d: size %d: %w", r.Item.ID, p.Level, p.Size, ErrSizeNotPositive)
 		}
 		if p.Utility < 0 || p.Utility > 1 {
 			return fmt.Errorf("item %d level %d: utility %f: %w", r.Item.ID, p.Level, p.Utility, ErrUtilityRange)
@@ -253,6 +260,15 @@ type Delivery struct {
 	TrueUtility float64 `json:"true_utility,omitempty"`
 
 	EnergyJ float64 `json:"energy_j"`
+
+	// Retries counts the failed transfer attempts that preceded this
+	// delivery. Zero when the first attempt succeeded, which keeps the
+	// JSON encoding unchanged for fault-free runs.
+	Retries int `json:"retries,omitempty"`
+
+	// Degraded is true when the delivered level was capped below the
+	// scheduler's original choice by the retry degradation ladder.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// ArrivedRound and DeliveredRound bracket the item's time in the
 	// broker; their difference (in rounds) is the queuing delay.

@@ -34,6 +34,26 @@ type DeviceConfig struct {
 	Battery  *energy.Battery
 	Transfer energy.TransferModel
 
+	// Faults, when non-nil, injects per-transfer failures (outright loss
+	// and mid-transfer disconnect) into the delivery path. A nil model
+	// never faults and keeps the delivery path bit-identical to the
+	// pre-fault-injection scheduler.
+	Faults *network.FaultModel
+
+	// MaxAttempts bounds the failed transfer attempts per item before the
+	// item is dropped from the scheduling queue. Zero retries forever
+	// (RichNote's persistent queue discipline).
+	MaxAttempts int
+
+	// DegradeOnFailure, when true, caps a failed item's presentation
+	// ladder one level below the failed attempt on each retry: richer
+	// presentations transfer longer and are likelier to hit a disconnect,
+	// so backing down the ladder trades utility for delivery probability.
+	// The cap is monotone with the Eq. 8 utility curve — lower levels
+	// never have higher utility, so a degraded delivery is worth no more
+	// than the original plan.
+	DegradeOnFailure bool
+
 	// Controller is required when Strategy is *RichNote; ignored otherwise.
 	Controller *lyapunov.Controller
 
@@ -86,7 +106,7 @@ type Device struct {
 	theta float64 // per-round data-budget increment, bytes
 
 	queue  []Queued
-	budget float64 // accumulated cellular budget B(t), bytes
+	budget dataBudget // cellular data-plan ledger B(t), bytes
 
 	// kappa mirrors the controller's per-round energy target for
 	// replenishment; zero for baselines.
@@ -102,8 +122,9 @@ type Device struct {
 	planCtx PlanContext // richnote:confined(shard)
 	// curState is the network state planCtx.EnergyJ prices against.
 	curState network.State // richnote:confined(shard)
-	// delivered flags queue indices delivered this round.
-	delivered []bool // richnote:confined(shard)
+	// settled flags queue indices leaving the queue this round, whether
+	// delivered or dropped after exhausting their retry budget.
+	settled []bool // richnote:confined(shard)
 }
 
 // NewDevice validates the configuration and returns a device.
@@ -168,7 +189,14 @@ func (d *Device) User() notif.UserID { return d.cfg.User }
 func (d *Device) QueueLen() int { return len(d.queue) }
 
 // Budget returns the accumulated cellular data budget in bytes.
-func (d *Device) Budget() float64 { return d.budget }
+func (d *Device) Budget() float64 { return d.budget.Balance() }
+
+// BudgetLedger returns the cumulative data-plan debits and refunds in
+// bytes. Refunded never exceeds Debited (the ledger caps refunds at the
+// outstanding debit total).
+func (d *Device) BudgetLedger() (debited, refunded float64) {
+	return d.budget.Debited(), d.budget.Refunded()
+}
 
 // ControllerStats snapshots the device's Lyapunov telemetry; ok is false
 // for baseline strategies without a controller. Must be called from the
@@ -192,33 +220,59 @@ func (d *Device) SetNetwork(m *network.Model) error {
 }
 
 // Enqueue adds newly arrived items to the scheduling queue and notifies
-// the metrics collector and Lyapunov controller.
+// the metrics collector and Lyapunov controller. It is all-or-nothing: a
+// batch that fails validation (or, defensively, a controller charge)
+// leaves no partial queue, collector or controller state behind.
 func (d *Device) Enqueue(items []Queued) error {
+	// Phase 1: validate every item before touching any state. Validate
+	// guarantees positive presentation sizes, so every item's MB backlog
+	// contribution below is positive and OnArrive cannot reject it.
 	for i := range items {
 		if err := items[i].Rich.Validate(); err != nil {
 			return fmt.Errorf("sched: enqueue: %w", err)
 		}
 	}
-	for _, it := range items {
-		d.queue = append(d.queue, it)
-		d.cfg.Collector.OnArrive(d.cfg.User, it.Clicked)
-		if d.cfg.Controller != nil {
-			if err := d.cfg.Controller.OnArrive(float64(it.Rich.TotalSize()) / bytesPerMB); err != nil {
+	// Phase 2: charge the controller for the whole batch. The controller's
+	// error contract is wider than our invariant (it rejects negative MB),
+	// so on the unreachable failure we roll back the charges already made
+	// rather than leave Q(t) counting items that never entered the queue.
+	if d.cfg.Controller != nil {
+		for i := range items {
+			if err := d.cfg.Controller.OnArrive(float64(items[i].Rich.TotalSize()) / bytesPerMB); err != nil {
+				for j := i - 1; j >= 0; j-- {
+					// Rollback cannot itself fail: the amounts were accepted
+					// by OnArrive moments ago, so they are non-negative.
+					_ = d.cfg.Controller.OnDrop(float64(items[j].Rich.TotalSize()) / bytesPerMB)
+				}
 				return fmt.Errorf("sched: %w", err)
 			}
 		}
+	}
+	// Phase 3: commit. Nothing below can fail.
+	for _, it := range items {
+		d.queue = append(d.queue, it)
+		d.cfg.Collector.OnArrive(d.cfg.User, it.Clicked)
 	}
 	return nil
 }
 
 // RoundResult summarizes one executed round.
 type RoundResult struct {
-	Round      int
-	State      network.State
-	Planned    int
-	Delivered  int
-	Bytes      int64
-	EnergyJ    float64
+	Round     int
+	State     network.State
+	Planned   int
+	Delivered int
+	Bytes     int64
+	EnergyJ   float64
+
+	// Failed counts transfer attempts lost to injected faults this round;
+	// Dropped counts items abandoned after MaxAttempts failed attempts.
+	// RefundedBytes is the data-plan volume returned for failed cellular
+	// attempts. All zero without fault injection.
+	Failed        int
+	Dropped       int
+	RefundedBytes float64
+
 	QueueAfter int
 }
 
@@ -229,9 +283,9 @@ func (d *Device) RunRound(round int) (RoundResult, error) {
 
 	// Step 2 of Algorithm 2: data and energy budget update.
 	if d.cfg.PerRoundBudget {
-		d.budget = d.theta // industry variant: unused budget evaporates
+		d.budget.Reset(d.theta) // industry variant: unused budget evaporates
 	} else {
-		d.budget += d.theta
+		d.budget.Accrue(d.theta)
 	}
 	when := d.cfg.Epoch.Add(time.Duration(round) * d.cfg.RoundLen)
 	d.cfg.Battery.Tick(when.Hour())
@@ -262,7 +316,7 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 	linkCap := d.cfg.Capacity.For(state)
 	planBudget := float64(linkCap.Bytes)
 	if linkCap.BillsDataPlan {
-		planBudget = math.Min(planBudget, d.budget)
+		planBudget = math.Min(planBudget, d.budget.Balance())
 	}
 	if planBudget <= 0 {
 		return nil
@@ -284,12 +338,12 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 	overheadPaid := false
 
 	remainingLink := linkCap.Bytes
-	if cap(d.delivered) < len(d.queue) {
-		d.delivered = make([]bool, len(d.queue))
+	if cap(d.settled) < len(d.queue) {
+		d.settled = make([]bool, len(d.queue))
 	}
-	d.delivered = d.delivered[:len(d.queue)]
-	for i := range d.delivered {
-		d.delivered[i] = false
+	d.settled = d.settled[:len(d.queue)]
+	for i := range d.settled {
+		d.settled[i] = false
 	}
 	for _, sel := range sels {
 		if d.cfg.MaxDeliveriesPerRound > 0 && res.Delivered >= d.cfg.MaxDeliveriesPerRound {
@@ -303,7 +357,7 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		if p.Size > remainingLink {
 			continue
 		}
-		if linkCap.BillsDataPlan && float64(p.Size) > d.budget {
+		if linkCap.BillsDataPlan && float64(p.Size) > d.budget.Balance() {
 			continue
 		}
 		transferJ, err := d.cfg.Transfer.TransferJ(p.Size, state)
@@ -317,10 +371,35 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		if need > d.cfg.Battery.Level()*d.cfg.Battery.CapacityJ() {
 			break // battery depleted: no further downloads this round
 		}
+
+		// Step 3 of Algorithm 2 charges the plan at delivery time; with
+		// fault injection the charge moves to attempt time and a failed
+		// attempt refunds it in full below. The charge is the same single
+		// subtraction at the same value, so fault-free runs stay
+		// bit-identical.
+		var charged float64
+		if linkCap.BillsDataPlan {
+			charged = d.budget.Debit(float64(p.Size))
+		}
+		outcome := d.cfg.Faults.Attempt(p.Size, state)
+		if !outcome.Delivered {
+			if err := d.failTransfer(entry, sel, outcome, charged, overhead, overheadPaid, linkCap.BillsDataPlan, state, res); err != nil {
+				return err
+			}
+			// The failed attempt powered the radio: the batch overhead is
+			// paid (by failTransfer, if not earlier) and stays paid.
+			overheadPaid = true
+			remainingLink -= outcome.Bytes
+			continue
+		}
+
 		if spent := d.cfg.Battery.Spend(need); spent < need {
 			// The affordability guard above makes a partial draw
-			// unreachable; stop the round rather than account a
-			// download the battery did not pay for.
+			// unreachable; undo the attempt charge and stop the round
+			// rather than account a download the battery did not pay for.
+			if charged > 0 {
+				res.RefundedBytes += d.budget.Refund(charged)
+			}
 			break
 		}
 		if !overheadPaid {
@@ -330,9 +409,6 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		}
 
 		remainingLink -= p.Size
-		if linkCap.BillsDataPlan {
-			d.budget -= float64(p.Size) // step 3: budget deduction
-		}
 		if d.cfg.Controller != nil {
 			if err := d.cfg.Controller.OnDeliver(float64(entry.Rich.TotalSize())/bytesPerMB, transferJ); err != nil {
 				return fmt.Errorf("sched: %w", err)
@@ -346,6 +422,8 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 			Utility:        entry.Rich.Utility(p.Level),
 			TrueUtility:    entry.TrueUc * p.Utility,
 			EnergyJ:        transferJ,
+			Retries:        entry.Attempts,
+			Degraded:       entry.LevelCap > 0 && entry.LevelCap < entry.Rich.Levels(),
 			ArrivedRound:   entry.Rich.ArrivedRound,
 			DeliveredRound: round,
 			DeliveredAt:    when,
@@ -357,7 +435,7 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		if d.cfg.OnDelivery != nil {
 			d.cfg.OnDelivery(delivery)
 		}
-		d.delivered[sel.Index] = true
+		d.settled[sel.Index] = true
 		res.Delivered++
 		res.Bytes += p.Size
 		res.EnergyJ += transferJ
@@ -372,12 +450,12 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 		d.queue = d.queue[:0]
 		return nil
 	}
-	if res.Delivered > 0 {
-		// Drop all presentations of delivered items from the scheduling
-		// queue (Algorithm 2, step 3).
+	if res.Delivered > 0 || res.Dropped > 0 {
+		// Drop all presentations of delivered (or abandoned) items from the
+		// scheduling queue (Algorithm 2, step 3).
 		kept := d.queue[:0]
 		for qi := range d.queue {
-			if !d.delivered[qi] {
+			if !d.settled[qi] {
 				kept = append(kept, d.queue[qi])
 			}
 		}
@@ -386,6 +464,63 @@ func (d *Device) deliverRound(round int, when time.Time, state network.State, re
 			d.queue[i] = Queued{}
 		}
 		d.queue = kept
+	}
+	return nil
+}
+
+// failTransfer settles one failed transfer attempt: the battery pays only
+// the energy actually burned (the bytes that crossed the link plus the
+// batch overhead if this attempt powered the radio), the data-plan charge
+// is refunded in full, the controller drains P(t) by the wasted energy
+// while Q(t) keeps counting the still-queued item, and the entry's attempt
+// counter advances — capping its ladder one level down when degradation is
+// on, or leaving the queue entirely once MaxAttempts is exhausted.
+func (d *Device) failTransfer(entry *Queued, sel Selection, outcome network.TransferOutcome,
+	charged, overhead float64, overheadPaid, bills bool, state network.State, res *RoundResult) error {
+	partialJ, err := d.cfg.Transfer.TransferJ(outcome.Bytes, state)
+	if err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	burn := partialJ
+	if !overheadPaid {
+		burn += overhead
+	}
+	// burn <= the need the affordability guard just admitted (partial
+	// bytes cost no more than the full payload), so the draw is full.
+	if spent := d.cfg.Battery.Spend(burn); spent < burn {
+		return fmt.Errorf("sched: battery underpaid failed transfer: spent %f of %f", spent, burn)
+	}
+	if !overheadPaid {
+		d.cfg.Collector.OnEnergy(d.cfg.User, overhead)
+		res.EnergyJ += overhead
+	}
+	if bills {
+		res.RefundedBytes += d.budget.Refund(charged)
+	}
+	d.cfg.Collector.OnTransferFailure(d.cfg.User, partialJ)
+	res.EnergyJ += partialJ
+	res.Failed++
+	if d.cfg.Controller != nil {
+		if err := d.cfg.Controller.OnTransferFailure(partialJ); err != nil {
+			return fmt.Errorf("sched: %w", err)
+		}
+	}
+
+	entry.Attempts++
+	if d.cfg.DegradeOnFailure && sel.Level > 1 {
+		if lower := sel.Level - 1; entry.LevelCap == 0 || lower < entry.LevelCap {
+			entry.LevelCap = lower
+		}
+	}
+	if d.cfg.MaxAttempts > 0 && entry.Attempts >= d.cfg.MaxAttempts {
+		d.settled[sel.Index] = true
+		res.Dropped++
+		d.cfg.Collector.OnDrop(d.cfg.User)
+		if d.cfg.Controller != nil {
+			if err := d.cfg.Controller.OnDrop(float64(entry.Rich.TotalSize()) / bytesPerMB); err != nil {
+				return fmt.Errorf("sched: %w", err)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package sched
+
+// dataBudget is the cellular data-plan ledger B(t). Besides the running
+// balance it tracks cumulative debits and refunds, and Refund caps itself
+// at the outstanding debit total — so "refunds never exceed charges" holds
+// by construction, not by caller discipline. Debit and Refund return the
+// amount actually moved; the spendcheck analyzer (DESIGN.md §9) flags any
+// caller that discards those results.
+type dataBudget struct {
+	balance  float64 // current balance B(t), bytes
+	debited  float64 // cumulative bytes charged for transfer attempts
+	refunded float64 // cumulative bytes refunded for failed attempts
+}
+
+// Balance returns the current budget in bytes.
+func (b *dataBudget) Balance() float64 { return b.balance }
+
+// Debited returns the cumulative bytes charged.
+func (b *dataBudget) Debited() float64 { return b.debited }
+
+// Refunded returns the cumulative bytes refunded.
+func (b *dataBudget) Refunded() float64 { return b.refunded }
+
+// Accrue adds the per-round increment θ to the balance.
+func (b *dataBudget) Accrue(n float64) { b.balance += n }
+
+// Reset sets the balance to n, discarding any rollover (the PerRoundBudget
+// variant).
+func (b *dataBudget) Reset(n float64) { b.balance = n }
+
+// Debit charges n bytes against the plan and returns the amount charged.
+// Affordability is the caller's check (deliverRound skips selections larger
+// than the balance); Debit itself never blocks, matching Algorithm 2's
+// unconditional step-3 deduction.
+func (b *dataBudget) Debit(n float64) float64 {
+	b.balance -= n
+	b.debited += n
+	return n
+}
+
+// Refund returns up to n bytes to the balance, capped at the outstanding
+// debits (debited − refunded), and reports the amount actually returned.
+func (b *dataBudget) Refund(n float64) float64 {
+	if outstanding := b.debited - b.refunded; n > outstanding {
+		n = outstanding
+	}
+	if n < 0 {
+		n = 0
+	}
+	b.balance += n
+	b.refunded += n
+	return n
+}

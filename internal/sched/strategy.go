@@ -42,6 +42,25 @@ type Queued struct {
 	// probability) when the workload knows it; used only by metrics, never
 	// by strategies.
 	TrueUc float64
+
+	// Attempts counts failed transfer attempts for this entry; the device
+	// drops the entry once Attempts reaches its MaxAttempts.
+	Attempts int
+	// LevelCap, when positive, caps the presentation level strategies may
+	// plan for this entry — the retry degradation ladder lowers it one
+	// level per failed attempt. Zero leaves the full ladder available.
+	LevelCap int
+}
+
+// MaxLevel returns the highest presentation level a strategy may plan for
+// this entry: the ladder height, lowered to LevelCap when a degradation
+// cap is active. Never below 1 for a valid rich item.
+func (q *Queued) MaxLevel() int {
+	n := q.Rich.Levels()
+	if q.LevelCap > 0 && q.LevelCap < n {
+		return q.LevelCap
+	}
+	return n
 }
 
 // Selection chooses a presentation level for one queue entry.
@@ -115,7 +134,7 @@ func (s *RichNote) Plan(queue []Queued, ctx *PlanContext) []Selection {
 	// scribble over an earlier group).
 	total := 0
 	for qi := range queue {
-		total += queue[qi].Rich.Levels()
+		total += queue[qi].MaxLevel()
 	}
 	if cap(scratch.choices) < total {
 		scratch.choices = make([]mckp.Choice, 0, total)
@@ -129,7 +148,9 @@ func (s *RichNote) Plan(queue []Queued, ctx *PlanContext) []Selection {
 		rich := &queue[qi].Rich
 		totalMB := float64(rich.TotalSize()) / bytesPerMB
 		base := len(choices)
-		for j := 1; j <= rich.Levels(); j++ {
+		// MaxLevel honors the retry degradation cap: with no cap it is the
+		// full ladder, keeping fault-free plans identical.
+		for j := 1; j <= queue[qi].MaxLevel(); j++ {
 			p := rich.At(j)
 			var energy float64
 			if ctx.EnergyJ != nil {
@@ -237,7 +258,11 @@ func planFixed(queue []Queued, ctx *PlanContext, level int, byUtility bool) []Se
 	levels := scratch.levels[:0]
 	for qi := range queue {
 		order = append(order, qi)
-		levels = append(levels, clampLevel(&queue[qi].Rich, level))
+		lvl := clampLevel(&queue[qi].Rich, level)
+		if c := queue[qi].MaxLevel(); lvl > c {
+			lvl = c // retry degradation cap
+		}
+		levels = append(levels, lvl)
 	}
 	scratch.order, scratch.levels = order, levels
 	if byUtility {

@@ -252,8 +252,16 @@ func writeShardGauges(w http.ResponseWriter, snaps []ShardSnapshot, s *Server) {
 	for _, sn := range snaps {
 		printf("richnote_shard_rounds_total{shard=\"%d\"} %d\n", sn.Shard, sn.Round)
 	}
-	printf("# HELP richnote_shard_ingest_rejected_total Publications rejected by backpressure per shard.\n# TYPE richnote_shard_ingest_rejected_total counter\n")
-	for i, sn := range snaps {
-		printf("richnote_shard_ingest_rejected_total{shard=\"%d\"} %d\n", sn.Shard, s.shards[i].rejected.Load())
+	printf("# HELP richnote_shard_ingest_rejected_total Publications rejected for any reason (backpressure + in-shard drops) per shard.\n# TYPE richnote_shard_ingest_rejected_total counter\n")
+	for _, sn := range snaps {
+		printf("richnote_shard_ingest_rejected_total{shard=\"%d\"} %d\n", sn.Shard, sn.Backpressured+sn.Dropped)
+	}
+	printf("# HELP richnote_shard_ingest_backpressured_total Publications rejected with 429 because the ingest buffer crossed its high-water mark.\n# TYPE richnote_shard_ingest_backpressured_total counter\n")
+	for _, sn := range snaps {
+		printf("richnote_shard_ingest_backpressured_total{shard=\"%d\"} %d\n", sn.Shard, sn.Backpressured)
+	}
+	printf("# HELP richnote_shard_ingest_dropped_total Publications discarded in-shard: unknown user with auto-registration disabled, or registration/subscription failure.\n# TYPE richnote_shard_ingest_dropped_total counter\n")
+	for _, sn := range snaps {
+		printf("richnote_shard_ingest_dropped_total{shard=\"%d\"} %d\n", sn.Shard, sn.Dropped)
 	}
 }

@@ -80,9 +80,11 @@ func (c *LoadConfig) applyDefaults() error {
 
 // LoadResult reports what the closed loop achieved.
 type LoadResult struct {
-	// Sent counts HTTP publish requests issued (including retries);
-	// Accepted counts 202 responses, Backpressured counts 429s, Failed
-	// counts events abandoned after MaxRetries or transport errors.
+	// Sent counts HTTP publish requests that completed an exchange with
+	// the server (including backpressure retries, excluding transport
+	// errors, which never reached it); Accepted counts 202 responses,
+	// Backpressured counts 429s, Failed counts events abandoned after
+	// MaxRetries.
 	Sent          int
 	Accepted      int
 	Backpressured int
@@ -216,9 +218,45 @@ func event(cfg *LoadConfig, rng *rand.Rand, i int) PublishRequest {
 	return req
 }
 
-// publishOne posts one event, retrying on backpressure. It records the
-// latency of the accepted request and returns false when the event had to
-// be abandoned.
+// transportBackoff returns the capped exponential wait before retrying a
+// failed transport attempt: 100 ms doubling per attempt, capped at 2 s.
+func transportBackoff(attempt int) time.Duration {
+	wait := 100 * time.Millisecond << uint(attempt)
+	if wait > 2*time.Second || wait <= 0 {
+		wait = 2 * time.Second
+	}
+	return wait
+}
+
+// parseRetryAfter interprets a Retry-After header per RFC 9110 §10.2.3:
+// either non-negative delta-seconds or an HTTP-date, resolved against now.
+// It returns ok=false for absent or malformed values.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// publishOne posts one event, retrying on backpressure (honoring the
+// server's Retry-After) and on transport errors (capped exponential
+// backoff) within the shared MaxRetries budget. Only requests that actually
+// reached the server count toward sent, so the reported events/s rate is
+// honest under connection failures. It records the latency of the accepted
+// request and returns false when the event had to be abandoned.
 func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 	sent, rejected *atomic.Int64, lat *metrics.Histogram) bool {
 	body, err := json.Marshal(event(cfg, rng, i))
@@ -236,10 +274,19 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 		req.Header.Set("Content-Type", "application/json")
 		t0 := time.Now() //lint:allow wallclock publish latency is real end-to-end time, not virtual time
 		resp, err := cfg.Client.Do(req)
-		sent.Add(1)
 		if err != nil {
-			return false
+			// Transient transport error (connection reset, refused dial):
+			// back off and retry instead of losing the event. The request
+			// never completed, so it does not count as sent.
+			select {
+			//lint:allow wallclock transport-error backoff really waits on the wall clock
+			case <-time.After(transportBackoff(attempt)):
+			case <-ctx.Done():
+				return false
+			}
+			continue
 		}
+		sent.Add(1)
 		status := resp.StatusCode
 		retryAfter := resp.Header.Get("Retry-After")
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -252,8 +299,9 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 		case http.StatusTooManyRequests:
 			rejected.Add(1)
 			wait := time.Second
-			if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
-				wait = time.Duration(secs) * time.Second
+			//lint:allow wallclock RFC 9110 HTTP-date Retry-After is an absolute wall-clock instant
+			if d, ok := parseRetryAfter(retryAfter, time.Now()); ok && d > 0 {
+				wait = d
 			}
 			select {
 			//lint:allow wallclock Retry-After backoff really waits on the wall clock

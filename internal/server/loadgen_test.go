@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"empty", "", 0, false},
+		{"delta seconds", "7", 7 * time.Second, true},
+		{"zero delta", "0", 0, true},
+		{"negative delta", "-3", 0, false},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date past clamps to zero", now.Add(-time.Minute).Format(http.TimeFormat), 0, true},
+		{"malformed", "soon", 0, false},
+		{"fractional seconds rejected", "1.5", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseRetryAfter(tc.value, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)",
+					tc.value, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+func TestTransportBackoffCapped(t *testing.T) {
+	if d := transportBackoff(0); d != 100*time.Millisecond {
+		t.Errorf("attempt 0: %v, want 100ms", d)
+	}
+	if d := transportBackoff(1); d != 200*time.Millisecond {
+		t.Errorf("attempt 1: %v, want 200ms", d)
+	}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 100; attempt++ {
+		d := transportBackoff(attempt)
+		if d <= 0 || d > 2*time.Second {
+			t.Fatalf("attempt %d: backoff %v outside (0, 2s]", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("attempt %d: backoff %v shrank below %v", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+// flakyTransport fails every other request at the transport layer before it
+// reaches the server, simulating connection resets.
+type flakyTransport struct {
+	inner http.RoundTripper
+	calls atomic.Int64
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.calls.Add(1)%2 == 1 {
+		return nil, errors.New("simulated connection reset")
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// TestRunLoadRetriesTransportErrors drives the closed loop through a
+// transport that drops every other request: every event must still be
+// delivered (Failed == 0), and Sent must count only the exchanges that
+// actually reached the server, not the errored attempts.
+func TestRunLoadRetriesTransportErrors(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+
+	ft := &flakyTransport{inner: ts.Client().Transport}
+	res, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Events:      20,
+		Concurrency: 4,
+		Users:       5,
+		Seed:        1,
+		Client:      &http.Client{Transport: ft, Timeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Failed != 0 {
+		t.Errorf("Failed = %d, want 0: transport errors must be retried", res.Failed)
+	}
+	if res.Accepted != 20 {
+		t.Errorf("Accepted = %d, want 20", res.Accepted)
+	}
+	if got := served.Load(); int64(res.Sent) != got {
+		t.Errorf("Sent = %d but server handled %d requests: errored attempts must not count", res.Sent, got)
+	}
+	if calls := ft.calls.Load(); calls <= int64(res.Sent) {
+		t.Errorf("transport saw %d calls for %d sent: expected retried failures on top", calls, res.Sent)
+	}
+}
+
+// TestRunLoadGivesUpAfterMaxRetries pins the abandonment path: a transport
+// that always fails must exhaust MaxRetries and report the event failed,
+// with nothing counted as sent.
+func TestRunLoadGivesUpAfterMaxRetries(t *testing.T) {
+	dead := &http.Client{
+		Transport: roundTripFunc(func(*http.Request) (*http.Response, error) {
+			return nil, errors.New("simulated network partition")
+		}),
+		Timeout: time.Second,
+	}
+	res, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     "http://127.0.0.1:0",
+		Events:      2,
+		Concurrency: 2,
+		Users:       2,
+		Seed:        1,
+		MaxRetries:  2,
+		Client:      dead,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Failed != 2 {
+		t.Errorf("Failed = %d, want 2", res.Failed)
+	}
+	if res.Sent != 0 || res.Accepted != 0 {
+		t.Errorf("Sent = %d, Accepted = %d, want 0/0: no request ever completed", res.Sent, res.Accepted)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

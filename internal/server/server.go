@@ -57,6 +57,13 @@ type UserConfig struct {
 	StartState    network.State
 	// MaxDeliveriesPerRound caps per-round pushes; 0 means unlimited.
 	MaxDeliveriesPerRound int
+	// MaxAttempts bounds failed transfer attempts per item before the
+	// device drops it; 0 retries forever. Only meaningful when the server
+	// injects faults (Config.Faults).
+	MaxAttempts int
+	// DegradeOnFailure lowers a failed item's presentation-level cap one
+	// level per retry, trading richness for delivery probability.
+	DegradeOnFailure bool
 }
 
 func (c *UserConfig) applyDefaults() {
@@ -116,6 +123,11 @@ type Config struct {
 	Generator media.Generator
 	// Seed drives per-user randomness (network walks, battery jitter).
 	Seed int64
+	// Faults injects per-transfer failures into every device, with
+	// deterministic per-user outcome streams derived from Seed. The zero
+	// value injects none and keeps the delivery path identical to a
+	// fault-free build.
+	Faults network.FaultConfig
 	// Default is the template for users auto-registered on first publish.
 	Default UserConfig
 	// DisableAutoRegister drops publications for unknown users instead of
@@ -162,6 +174,9 @@ func (c *Config) applyDefaults() error {
 			return fmt.Errorf("server: %w", err)
 		}
 		c.Generator = g
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -296,14 +311,14 @@ func (s *Server) Publish(topic pubsub.TopicID, recipient notif.UserID, item noti
 	}
 	sh := s.shards[s.ring.shardFor(recipient)]
 	if len(sh.ingest) >= s.cfg.HighWater {
-		sh.rejected.Add(1)
+		sh.backpressured.Add(1)
 		return ErrBackpressure
 	}
 	select {
 	case sh.ingest <- envelope{topic: topic, user: recipient, item: item}:
 		return nil
 	default:
-		sh.rejected.Add(1)
+		sh.backpressured.Add(1)
 		return ErrBackpressure
 	}
 }
@@ -325,13 +340,32 @@ func (s *Server) Snapshots() []ShardSnapshot {
 	return out
 }
 
-// Rejected sums backpressure rejections across shards.
-func (s *Server) Rejected() uint64 {
+// Backpressured sums publishes turned away by ingest overload (HTTP 429)
+// across shards.
+func (s *Server) Backpressured() uint64 {
 	var total uint64
 	for _, sh := range s.shards {
-		total += sh.rejected.Load()
+		total += sh.backpressured.Load()
 	}
 	return total
+}
+
+// Dropped sums publications discarded inside the shards — unknown users
+// with auto-registration disabled, or registration/subscription failures —
+// across shards. Distinct from Backpressured: these were accepted over HTTP
+// but could not be routed to a device.
+func (s *Server) Dropped() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.droppedIngest.Load()
+	}
+	return total
+}
+
+// Rejected sums every publication turned away for any reason: backpressure
+// plus in-shard drops. Kept as the historical aggregate counter.
+func (s *Server) Rejected() uint64 {
+	return s.Backpressured() + s.Dropped()
 }
 
 // RetryAfter suggests how long a backpressured client should wait: one

@@ -66,9 +66,14 @@ type shard struct {
 	stop   chan struct{}
 	done   chan struct{}
 
-	// rejected counts publications turned away by backpressure (HTTP 429)
-	// or dropped for unknown users with auto-registration disabled.
-	rejected atomic.Uint64 // richnote:atomic
+	// backpressured counts publishes turned away with HTTP 429 because the
+	// ingest buffer crossed the high-water mark (overload); droppedIngest
+	// counts publications accepted into the shard but discarded there —
+	// unknown users with auto-registration disabled, or registration/
+	// subscription failures (misrouted traffic). Split so /metrics can
+	// distinguish "we are overloaded" from "someone is publishing garbage".
+	backpressured atomic.Uint64 // richnote:atomic
+	droppedIngest atomic.Uint64 // richnote:atomic
 
 	snap atomic.Pointer[ShardSnapshot] // richnote:atomic
 
@@ -89,6 +94,11 @@ type ShardSnapshot struct {
 	// round-mode subscriptions.
 	QueueDepth    int
 	BrokerPending int
+	// Backpressured counts publishes rejected for ingest overload (429);
+	// Dropped counts publications discarded in-shard (unknown user with
+	// auto-registration disabled, or registration/subscription failures).
+	Backpressured uint64
+	Dropped       uint64
 	// Report aggregates the shard's delivery metrics; DelayBuckets holds
 	// the queuing-delay histogram at metrics.DefaultDelayBucketBounds.
 	Report       metrics.Report
@@ -179,20 +189,20 @@ func (sh *shard) drainIngest() {
 func (sh *shard) accept(env envelope) {
 	if _, ok := sh.devices[env.user]; !ok {
 		if sh.srv.cfg.DisableAutoRegister {
-			sh.rejected.Add(1)
+			sh.droppedIngest.Add(1)
 			return
 		}
 		tmpl := sh.srv.cfg.Default
 		tmpl.User = env.user
 		if err := sh.addUser(tmpl); err != nil {
 			sh.lastErr = err
-			sh.rejected.Add(1)
+			sh.droppedIngest.Add(1)
 			return
 		}
 	}
 	if err := sh.subscribe(env.user, env.topic); err != nil {
 		sh.lastErr = err
-		sh.rejected.Add(1)
+		sh.droppedIngest.Add(1)
 		return
 	}
 	item := env.item
@@ -266,6 +276,16 @@ func (sh *shard) addUser(cfg UserConfig) error {
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	// Per-device fault model on its own seed offset, mirroring the
+	// simulator's dedicated fault stream: enabling faults must not perturb
+	// the network walk (userSeed) or battery jitter (userSeed+1).
+	var faults *network.FaultModel
+	if sh.srv.cfg.Faults.Enabled() {
+		faults, err = network.NewFaultModelSeeded(sh.srv.cfg.Faults, userSeed+2)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	}
 
 	var strategy sched.Strategy
 	var ctl *lyapunov.Controller
@@ -304,6 +324,9 @@ func (sh *shard) addUser(cfg UserConfig) error {
 		Transfer:              energy.DefaultTransferModel(),
 		Controller:            ctl,
 		Collector:             sh.col,
+		Faults:                faults,
+		MaxAttempts:           cfg.MaxAttempts,
+		DegradeOnFailure:      cfg.DegradeOnFailure,
 		MaxDeliveriesPerRound: cfg.MaxDeliveriesPerRound,
 		OnDelivery:            func(d notif.Delivery) { sh.recordDelivery(user, d) },
 	})
@@ -380,6 +403,8 @@ func (sh *shard) publishSnapshot(lastRound time.Duration) {
 		Round:         sh.round,
 		Users:         len(sh.devices),
 		BrokerPending: sh.broker.PendingRound(),
+		Backpressured: sh.backpressured.Load(),
+		Dropped:       sh.droppedIngest.Load(),
 		Report:        sh.col.Aggregate(),
 		DelayBuckets:  sh.col.DelayHistogram().CumulativeBuckets(metrics.DefaultDelayBucketBounds),
 		LastRound:     lastRound,

@@ -19,6 +19,11 @@ const (
 	StreamForest
 	StreamShuffle
 	StreamWorkload
+	// StreamFaults feeds per-user transfer fault models. It is appended
+	// after the original streams: stream identifiers are positional seeds,
+	// so inserting it earlier would shift every downstream stream's seed
+	// and silently change all existing experiment outputs.
+	StreamFaults
 )
 
 // splitMix64 advances a SplitMix64 state and returns the next output. It is
