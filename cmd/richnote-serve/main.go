@@ -11,6 +11,8 @@
 //	               [-fault.cell-loss p] [-fault.wifi-loss p]
 //	               [-fault.cell-disconnect p] [-fault.wifi-disconnect p]
 //	               [-fault.max-attempts N] [-fault.degrade]
+//	               [-wal.dir path] [-wal.fsync always|round|never]
+//	               [-snapshot.every N]
 //
 // The server answers:
 //
@@ -35,6 +37,7 @@ import (
 	"github.com/richnote/richnote/internal/core"
 	"github.com/richnote/richnote/internal/network"
 	"github.com/richnote/richnote/internal/server"
+	"github.com/richnote/richnote/internal/wal"
 )
 
 func main() {
@@ -67,8 +70,17 @@ func run() error {
 		wifiDisconnect = flag.Float64("fault.wifi-disconnect", 0, "probability a WiFi transfer disconnects mid-stream")
 		maxAttempts    = flag.Int("fault.max-attempts", 0, "drop an item after this many failed transfer attempts (0 = retry forever)")
 		degrade        = flag.Bool("fault.degrade", false, "degrade to the next-cheaper presentation level after a failed attempt")
+
+		walDir        = flag.String("wal.dir", "", "directory for per-shard WALs and snapshots (empty = durability off)")
+		walFsync      = flag.String("wal.fsync", "round", "WAL fsync policy: always, round or never")
+		snapshotEvery = flag.Int("snapshot.every", 0, "rounds between compacted snapshots (0 = default)")
 	)
 	flag.Parse()
+
+	fsyncPolicy, err := wal.ParseSyncPolicy(*walFsync)
+	if err != nil {
+		return err
+	}
 
 	var strategyKind core.StrategyKind
 	switch *strategy {
@@ -109,6 +121,9 @@ func run() error {
 		RecentDeliveries: *recent,
 		Seed:             *seed,
 		Faults:           faults,
+		WALDir:           *walDir,
+		WALFsync:         fsyncPolicy,
+		SnapshotEvery:    *snapshotEvery,
 		Default: server.UserConfig{
 			Strategy:          strategyKind,
 			FixedLevel:        *level,
@@ -139,6 +154,10 @@ func run() error {
 	if faults.Enabled() {
 		fmt.Printf("richnote-serve: fault injection on (cell loss %.2f disconnect %.2f, wifi loss %.2f disconnect %.2f, max attempts %d, degrade %t)\n",
 			faults.CellLoss, faults.CellDisconnect, faults.WifiLoss, faults.WifiDisconnect, *maxAttempts, *degrade)
+	}
+	if *walDir != "" {
+		fmt.Printf("richnote-serve: WAL in %s (fsync %s), snapshot every %d rounds\n",
+			*walDir, fsyncPolicy, s.SnapshotEvery())
 	}
 
 	sigc := make(chan os.Signal, 1)

@@ -93,7 +93,8 @@ type Battery struct {
 	rechargeEndHour   int
 	rechargePerHour   float64
 
-	rng *rand.Rand
+	rng   *rand.Rand
+	draws uint64 // Float64 draws consumed, for snapshot/restore
 }
 
 // BatteryConfig configures a Battery.
@@ -172,7 +173,30 @@ func (b *Battery) Tick(hourOfDay int) {
 	} else {
 		b.level -= b.drainPerHour * (0.5 + b.rng.Float64())
 	}
+	b.draws++
 	b.level = math.Max(0, math.Min(1, b.level))
+}
+
+// Draws returns how many RNG draws the battery has consumed. Together with
+// the seed it pins the jitter stream, for snapshot/restore.
+func (b *Battery) Draws() uint64 { return b.draws }
+
+// Restore sets the level and fast-forwards the RNG to the given draw count
+// on a freshly seeded battery, resuming the exact jitter sequence of the
+// snapshotted one.
+func (b *Battery) Restore(level float64, draws uint64) error {
+	if level < 0 || level > 1 {
+		return fmt.Errorf("energy: restore level %f outside [0,1]", level)
+	}
+	if draws < b.draws {
+		return fmt.Errorf("energy: restore draws %d behind current %d", draws, b.draws)
+	}
+	for b.draws < draws {
+		b.rng.Float64()
+		b.draws++
+	}
+	b.level = level
+	return nil
 }
 
 // Spend draws the given joules from the battery. It returns the amount

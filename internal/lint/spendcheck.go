@@ -4,7 +4,10 @@ import "go/ast"
 
 // spendMethods are the budget/battery mutators whose return value is
 // the accounting truth: what was *actually* spent, charged or
-// replenished, which may be less than what was requested.
+// replenished, which may be less than what was requested. The WAL
+// durability methods (Append, Sync, Commit) belong to the same class:
+// their error is the only evidence a record reached stable storage, and
+// discarding it silently converts "durable" into "probably durable".
 var spendMethods = map[string]string{
 	"Spend":     "the joules actually drawn, bounded by remaining charge",
 	"Charge":    "the amount actually credited",
@@ -12,6 +15,9 @@ var spendMethods = map[string]string{
 	"Debit":     "the amount actually debited",
 	"Credit":    "the amount actually credited",
 	"Refund":    "the amount actually refunded, capped at the outstanding debits",
+	"Append":    "the record's sequence number and whether the log accepted it",
+	"Sync":      "whether the flush and fsync reached stable storage",
+	"Commit":    "whether the round boundary reached stable storage",
 }
 
 // SpendCheck flags call statements that discard the result of a budget
@@ -21,8 +27,9 @@ var spendMethods = map[string]string{
 var SpendCheck = &Analyzer{
 	Name: "spendcheck",
 	Doc: "flag discarded return values of budget/battery mutators " +
-		"(Spend, Charge, Replenish, Debit, Credit, Refund); the amount " +
-		"actually moved is the accounting truth and must be checked",
+		"(Spend, Charge, Replenish, Debit, Credit, Refund) and WAL " +
+		"durability methods (Append, Sync, Commit); the amount actually " +
+		"moved — or the durability outcome — must be checked",
 	IncludeTests: true,
 	Run:          runSpendCheck,
 }

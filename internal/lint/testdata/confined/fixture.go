@@ -5,9 +5,16 @@ package confined
 
 import "sync/atomic"
 
+// walWriter mimics internal/wal.Writer, a single-owner durability
+// handle.
+type walWriter struct{ seq uint64 }
+
+func (w *walWriter) Append(b []byte) (uint64, error) { w.seq++; return w.seq, nil }
+
 type shard struct {
 	devices map[int]int   // richnote:confined(shard)
 	round   int           // richnote:confined(shard)
+	log     *walWriter    // richnote:confined(shard)
 	hits    atomic.Uint64 // richnote:atomic
 	legacy  uint64        // richnote:atomic
 }
@@ -15,6 +22,11 @@ type shard struct {
 func (s *shard) runRound() int {
 	s.round++
 	s.devices[s.round] = s.round
+	if s.log != nil {
+		if _, err := s.log.Append(nil); err != nil {
+			return 0
+		}
+	}
 	s.hits.Add(1)
 	return len(s.devices)
 }
@@ -26,4 +38,13 @@ func poke(s *shard) uint64 {
 	atomic.AddUint64(&s.legacy, 1) // ok: address passed to sync/atomic
 	s.legacy++                     // want `marked richnote:atomic`
 	return s.hits.Load()
+}
+
+// restore mimics a recovery path living outside the owning type: writes
+// to confined durability state must go through shard methods, never
+// directly.
+func restore(s *shard, w *walWriter) error {
+	s.log = w                   // want `confined to the shard goroutine`
+	_, err := s.log.Append(nil) // want `confined to the shard goroutine`
+	return err
 }

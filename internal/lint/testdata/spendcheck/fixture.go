@@ -52,3 +52,31 @@ func good(b *battery, l *ledger) float64 {
 	}
 	return b.Replenish(spent)
 }
+
+// walWriter mimics internal/wal.Writer: the error is the only evidence
+// a record reached stable storage.
+type walWriter struct{ seq uint64 }
+
+func (w *walWriter) Append(typ byte, payload []byte) (uint64, error) {
+	w.seq++
+	return w.seq, nil
+}
+
+func (w *walWriter) Sync() error   { return nil }
+func (w *walWriter) Commit() error { return nil }
+
+func badDurability(w *walWriter) {
+	w.Append(1, nil) // want `result of Append is discarded`
+	w.Sync()         // want `result of Sync is discarded`
+	defer w.Commit() // want `result of Commit is discarded`
+}
+
+func goodDurability(w *walWriter) error {
+	if _, err := w.Append(1, nil); err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return w.Commit()
+}

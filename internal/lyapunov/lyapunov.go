@@ -192,6 +192,55 @@ func (c *Controller) EndRound() {
 	}
 }
 
+// State is the complete mutable state of a Controller, exported for
+// snapshot/restore. Config is excluded: restore happens into a controller
+// rebuilt from the same configuration.
+type State struct {
+	Q           float64
+	P           float64
+	MaxQ        float64
+	SumQ        float64
+	Rounds      int
+	DriftSum    float64
+	LastL       float64
+	Initialized bool
+}
+
+// ExportState captures the controller's mutable state.
+func (c *Controller) ExportState() State {
+	return State{
+		Q:           c.q,
+		P:           c.p,
+		MaxQ:        c.maxQ,
+		SumQ:        c.sumQ,
+		Rounds:      c.rounds,
+		DriftSum:    c.driftSum,
+		LastL:       c.lastL,
+		Initialized: c.initialized,
+	}
+}
+
+// RestoreState overwrites the controller's mutable state with a previously
+// exported snapshot. The controller must have been built with the same
+// Config as the exporting one for the restored trajectory to match.
+func (c *Controller) RestoreState(s State) error {
+	if s.Q < 0 || s.P < 0 {
+		return fmt.Errorf("lyapunov: restore negative queues q=%f p=%f", s.Q, s.P)
+	}
+	if s.Rounds < 0 {
+		return fmt.Errorf("lyapunov: restore negative rounds %d", s.Rounds)
+	}
+	c.q = s.Q
+	c.p = s.P
+	c.maxQ = s.MaxQ
+	c.sumQ = s.SumQ
+	c.rounds = s.Rounds
+	c.driftSum = s.DriftSum
+	c.lastL = s.LastL
+	c.initialized = s.Initialized
+	return nil
+}
+
 // Stats is a snapshot of controller telemetry.
 type Stats struct {
 	Rounds    int

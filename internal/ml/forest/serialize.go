@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"github.com/richnote/richnote/internal/wal"
 )
 
 // Serialization lets a trained content-utility model be shipped separately
@@ -142,18 +144,15 @@ func Load(r io.Reader) (*Forest, error) {
 	return f, nil
 }
 
-// SaveFile writes the model to a path.
-func (f *Forest) SaveFile(path string) (err error) {
-	file, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("forest: create %s: %w", path, err)
+// SaveFile writes the model to a path atomically: the bytes land in a
+// temp file that is fsynced and renamed over the target, so a crash
+// mid-save leaves either the old model or the new one, never a torn
+// half-written file a later LoadFile would choke on.
+func (f *Forest) SaveFile(path string) error {
+	if err := wal.WriteFileAtomic(path, f.Save); err != nil {
+		return fmt.Errorf("forest: save %s: %w", path, err)
 	}
-	defer func() {
-		if cerr := file.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("forest: close %s: %w", path, cerr)
-		}
-	}()
-	return f.Save(file)
+	return nil
 }
 
 // LoadFile reads a model from a path.

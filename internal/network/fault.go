@@ -104,8 +104,9 @@ type TransferOutcome struct {
 // succeeds without drawing from the RNG, so enabling faults on CELL only
 // does not perturb the outcome sequence WiFi transfers would see.
 type FaultModel struct {
-	cfg FaultConfig
-	rng *rand.Rand
+	cfg   FaultConfig
+	rng   *rand.Rand
+	draws uint64 // Float64 draws consumed, for snapshot/restore
 }
 
 // NewFaultModel builds a fault model around an externally seeded RNG (the
@@ -138,6 +139,34 @@ func (f *FaultModel) Config() FaultConfig {
 // Enabled reports whether this model can ever fault. Nil models never do.
 func (f *FaultModel) Enabled() bool { return f != nil && f.cfg.Enabled() }
 
+// Draws returns how many RNG draws the model has consumed (0 for nil).
+func (f *FaultModel) Draws() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.draws
+}
+
+// Restore fast-forwards the RNG to the given draw count on a freshly
+// seeded model, resuming the exact random sequence of the snapshotted one.
+// A nil model only accepts zero draws.
+func (f *FaultModel) Restore(draws uint64) error {
+	if f == nil {
+		if draws != 0 {
+			return fmt.Errorf("network: restore %d fault draws into nil model", draws)
+		}
+		return nil
+	}
+	if draws < f.draws {
+		return fmt.Errorf("network: restore fault draws %d behind current %d", draws, f.draws)
+	}
+	for f.draws < draws {
+		f.rng.Float64()
+		f.draws++
+	}
+	return nil
+}
+
 // Attempt draws the outcome of transferring size bytes in the given state.
 // A nil model, a fault-free state, or a non-positive size always succeeds
 // without consuming randomness.
@@ -150,6 +179,7 @@ func (f *FaultModel) Attempt(size int64, s State) TransferOutcome {
 		return TransferOutcome{Delivered: true, Bytes: size}
 	}
 	u := f.rng.Float64()
+	f.draws++
 	switch {
 	case u < loss:
 		return TransferOutcome{Delivered: false, Bytes: 0}
@@ -157,6 +187,7 @@ func (f *FaultModel) Attempt(size int64, s State) TransferOutcome {
 		// A strict prefix crossed the link: frac in [0,1) keeps the
 		// completed byte count strictly below size.
 		frac := f.rng.Float64()
+		f.draws++
 		b := int64(frac * float64(size))
 		if b >= size {
 			b = size - 1

@@ -116,6 +116,7 @@ type Model struct {
 	matrix Matrix
 	state  State
 	rng    *rand.Rand
+	draws  uint64 // Float64 draws consumed; lets snapshot/restore replay the stream
 }
 
 // NewModel builds a model starting in the given state.
@@ -145,10 +146,35 @@ func NewModelSeeded(m Matrix, start State, seed int64) (*Model, error) {
 // State returns the current connectivity state.
 func (m *Model) State() State { return m.state }
 
+// Draws returns how many RNG draws the model has consumed. Together with
+// the seed it pins the model's exact position in its random stream, which
+// is what snapshot/restore needs for bit-identical recovery.
+func (m *Model) Draws() uint64 { return m.draws }
+
+// Restore sets the connectivity state and fast-forwards the RNG to the
+// given draw count. It must be called on a freshly constructed model whose
+// RNG was seeded identically to the snapshotted one; after Restore the
+// model continues the exact random sequence the original would have.
+func (m *Model) Restore(state State, draws uint64) error {
+	if state != StateOff && state != StateCell && state != StateWifi {
+		return fmt.Errorf("network: restore invalid state %d", int(state))
+	}
+	if draws < m.draws {
+		return fmt.Errorf("network: restore draws %d behind current %d", draws, m.draws)
+	}
+	for m.draws < draws {
+		m.rng.Float64()
+		m.draws++
+	}
+	m.state = state
+	return nil
+}
+
 // Step advances the chain one round and returns the new state.
 func (m *Model) Step() State {
 	row := m.matrix[index(m.state)]
 	u := m.rng.Float64()
+	m.draws++
 	acc := 0.0
 	for to, p := range row {
 		acc += p

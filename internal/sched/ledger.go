@@ -38,6 +38,14 @@ func (b *dataBudget) Debit(n float64) float64 {
 	return n
 }
 
+// restore overwrites the ledger with snapshotted values. Only the device's
+// RestoreState calls it; the caller validates refunded <= debited.
+func (b *dataBudget) restore(balance, debited, refunded float64) {
+	b.balance = balance
+	b.debited = debited
+	b.refunded = refunded
+}
+
 // Refund returns up to n bytes to the balance, capped at the outstanding
 // debits (debited − refunded), and reports the amount actually returned.
 func (b *dataBudget) Refund(n float64) float64 {

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/richnote/richnote/internal/lyapunov"
+	"github.com/richnote/richnote/internal/network"
+)
+
+// DeviceState is the complete mutable state of a Device, exported for
+// snapshot/restore (DESIGN.md §12). Configuration is excluded: restore
+// happens into a device rebuilt from the same DeviceConfig, so only the
+// state that accumulates across rounds is captured. RNG-backed components
+// (battery jitter, connectivity walk, fault draws) are captured as draw
+// counts: re-seeding identically and fast-forwarding by the count resumes
+// the exact random sequence, which is what makes recovery bit-identical.
+type DeviceState struct {
+	// Queue is the scheduling queue, in order.
+	Queue []Queued
+
+	// Cellular data-plan ledger B(t).
+	BudgetBalance  float64
+	BudgetDebited  float64
+	BudgetRefunded float64
+
+	// Battery level and jitter-stream position.
+	BatteryLevel float64
+	BatteryDraws uint64
+
+	// Connectivity state and walk position.
+	NetworkState network.State
+	NetworkDraws uint64
+
+	// Fault-stream position (0 when faults are disabled).
+	FaultDraws uint64
+
+	// Lyapunov controller state; HasController is false for baselines.
+	Controller    lyapunov.State
+	HasController bool
+}
+
+// ExportState captures the device's mutable state. The queue is deep-copied
+// at the slice level so later rounds do not mutate the export; the items
+// inside are treated as immutable once queued (the scheduler only rewrites
+// Attempts/LevelCap through the copy's own entries).
+func (d *Device) ExportState() DeviceState {
+	s := DeviceState{
+		Queue:          append([]Queued(nil), d.queue...),
+		BudgetBalance:  d.budget.Balance(),
+		BudgetDebited:  d.budget.Debited(),
+		BudgetRefunded: d.budget.Refunded(),
+		BatteryLevel:   d.cfg.Battery.Level(),
+		BatteryDraws:   d.cfg.Battery.Draws(),
+		NetworkState:   d.cfg.Network.State(),
+		NetworkDraws:   d.cfg.Network.Draws(),
+		FaultDraws:     d.cfg.Faults.Draws(),
+	}
+	if d.cfg.Controller != nil {
+		s.Controller = d.cfg.Controller.ExportState()
+		s.HasController = true
+	}
+	return s
+}
+
+// RestoreState overwrites the device's mutable state with a previously
+// exported snapshot. The device must be freshly constructed from the same
+// DeviceConfig (same strategy, budgets, seeds) as the exporting one;
+// restoring into a device that has already run rounds fails because the RNG
+// streams can only be fast-forwarded, never rewound.
+func (d *Device) RestoreState(s DeviceState) error {
+	if s.HasController != (d.cfg.Controller != nil) {
+		return fmt.Errorf("sched: restore controller presence mismatch: snapshot %t, device %t",
+			s.HasController, d.cfg.Controller != nil)
+	}
+	if s.BudgetRefunded > s.BudgetDebited {
+		return fmt.Errorf("sched: restore ledger refunded %f exceeds debited %f",
+			s.BudgetRefunded, s.BudgetDebited)
+	}
+	for i := range s.Queue {
+		if err := s.Queue[i].Rich.Validate(); err != nil {
+			return fmt.Errorf("sched: restore queue entry %d: %w", i, err)
+		}
+	}
+	if err := d.cfg.Battery.Restore(s.BatteryLevel, s.BatteryDraws); err != nil {
+		return fmt.Errorf("sched: restore: %w", err)
+	}
+	if err := d.cfg.Network.Restore(s.NetworkState, s.NetworkDraws); err != nil {
+		return fmt.Errorf("sched: restore: %w", err)
+	}
+	if err := d.cfg.Faults.Restore(s.FaultDraws); err != nil {
+		return fmt.Errorf("sched: restore: %w", err)
+	}
+	if d.cfg.Controller != nil {
+		if err := d.cfg.Controller.RestoreState(s.Controller); err != nil {
+			return fmt.Errorf("sched: restore: %w", err)
+		}
+	}
+	d.queue = append(d.queue[:0], s.Queue...)
+	d.budget.restore(s.BudgetBalance, s.BudgetDebited, s.BudgetRefunded)
+	return nil
+}

@@ -24,17 +24,20 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/richnote/richnote/internal/core"
 	"github.com/richnote/richnote/internal/media"
+	"github.com/richnote/richnote/internal/metrics"
 	"github.com/richnote/richnote/internal/network"
 	"github.com/richnote/richnote/internal/notif"
 	"github.com/richnote/richnote/internal/pubsub"
 	"github.com/richnote/richnote/internal/survey"
 	"github.com/richnote/richnote/internal/utility"
+	"github.com/richnote/richnote/internal/wal"
 )
 
 // UserConfig describes one registered device; Config.Default is the
@@ -135,6 +138,20 @@ type Config struct {
 	DisableAutoRegister bool
 	// Users are registered at construction time.
 	Users []UserConfig
+
+	// WALDir enables crash recovery (DESIGN.md §12): each shard keeps an
+	// append-only log of accepted publishes and round outcomes plus
+	// periodic compacted snapshots under this directory, and New restores
+	// from them when present. Empty disables durability entirely — the
+	// round loop then runs byte-identically to a build without WAL support.
+	WALDir string
+	// WALFsync selects when log records reach stable storage; defaults to
+	// wal.SyncRound (fsync once per round).
+	WALFsync wal.SyncPolicy
+	// SnapshotEvery compacts the log into a snapshot every N rounds;
+	// defaults to 64. Smaller values bound replay time, larger values
+	// reduce snapshot I/O.
+	SnapshotEvery int
 }
 
 func (c *Config) applyDefaults() error {
@@ -178,6 +195,18 @@ func (c *Config) applyDefaults() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
+	if c.WALFsync == 0 {
+		c.WALFsync = wal.SyncRound
+	}
+	if err := c.WALFsync.Validate(); err != nil {
+		return err
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("server: negative snapshot interval %d", c.SnapshotEvery)
+	}
 	return nil
 }
 
@@ -220,14 +249,50 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(i, s, enricher))
 	}
-	// Pre-registered users go straight onto their shard; the shard
+	// Restore before registration: a shard with a snapshot rebuilds every
+	// user it knew (including auto-registered ones) from its own stored
+	// configs, replays its log, and re-opens it for appending. The shard
 	// goroutines have not started, so direct mutation is safe here.
+	restored := make(map[notif.UserID]bool)
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: wal dir: %w", err)
+		}
+		for _, sh := range s.shards {
+			if err := sh.openWAL(); err != nil {
+				return nil, err
+			}
+			for _, u := range sh.users() {
+				restored[u] = true
+			}
+		}
+	}
+	// Pre-registered users go onto their shard unless a restore already
+	// rebuilt them — the snapshot's accumulated state is authoritative.
+	// Each config entry may claim the restore exemption once, so duplicate
+	// entries in cfg.Users still fail in addUser like they always did.
 	for _, uc := range cfg.Users {
 		sh := s.shards[s.ring.shardFor(uc.User)]
+		if restored[uc.User] {
+			delete(restored, uc.User)
+			continue
+		}
 		if err := sh.addUser(uc); err != nil {
 			return nil, err
 		}
 		sh.publishSnapshot(0)
+	}
+	// Compact once construction is complete: the fresh snapshot covers the
+	// replayed history and the just-registered users, so recovery never
+	// replays more than one interval and user registrations — which are
+	// snapshotted, never logged — survive a crash before the first
+	// scheduled compaction.
+	if cfg.WALDir != "" {
+		for _, sh := range s.shards {
+			if err := sh.writeSnapshot(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return s, nil
 }
@@ -302,6 +367,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
+// CrashStop kills the shard goroutines without draining: no final round,
+// no snapshot flush, buffered (un-synced) log records discarded — the
+// in-process emulation of kill -9. Crash-recovery tests use it to exercise
+// the restore path; production shutdown is Shutdown.
+func (s *Server) CrashStop() {
+	if s.state.Load() == stateNew {
+		return
+	}
+	s.state.Store(stateStopping)
+	s.stopOnce.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.crash)
+		}
+	})
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+}
+
 // Publish routes one publication to its recipient's shard. It returns
 // ErrBackpressure when the shard's ingest buffer is over the high-water
 // mark (the HTTP layer maps this to 429 + Retry-After).
@@ -331,11 +415,33 @@ func (s *Server) Deliveries(user notif.UserID) []notif.Delivery {
 	return s.shards[s.ring.shardFor(user)].Deliveries(user)
 }
 
-// Snapshots returns the latest per-shard views, in shard order.
+// SnapshotEvery reports the effective snapshot cadence (rounds between
+// compacted WAL snapshots) after defaulting.
+func (s *Server) SnapshotEvery() int { return s.cfg.SnapshotEvery }
+
+// Snapshots returns the latest per-shard views, in shard order. Each entry
+// is a deep copy: the published snapshot's reference fields (DelayBuckets,
+// Report.LevelCounts) are cloned so one reader mutating its result cannot
+// corrupt what other readers — or the next publish — observe.
 func (s *Server) Snapshots() []ShardSnapshot {
 	out := make([]ShardSnapshot, len(s.shards))
 	for i, sh := range s.shards {
-		out[i] = *sh.snapshot()
+		out[i] = sh.snapshot().clone()
+	}
+	return out
+}
+
+// clone deep-copies the snapshot's reference fields. Lyapunov and the
+// remaining Report fields are value types and copy with the struct.
+func (sn *ShardSnapshot) clone() ShardSnapshot {
+	out := *sn
+	out.DelayBuckets = append([]metrics.Bucket(nil), sn.DelayBuckets...)
+	if sn.Report.LevelCounts != nil {
+		lc := make(map[int]int, len(sn.Report.LevelCounts))
+		for k, v := range sn.Report.LevelCounts {
+			lc[k] = v
+		}
+		out.Report.LevelCounts = lc
 	}
 	return out
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/richnote/richnote/internal/sched"
 	"github.com/richnote/richnote/internal/trace"
 	"github.com/richnote/richnote/internal/utility"
+	"github.com/richnote/richnote/internal/wal"
 )
 
 // envelope is one routed publication: a topic plus the item, addressed to
@@ -61,9 +62,21 @@ type shard struct {
 	// without rebuilding and re-sorting the key set every round.
 	userOrder []notif.UserID // richnote:confined(shard)
 
+	// Durability state (walstate.go), active when Config.WALDir is set:
+	// the per-shard append-only log, reusable encode scratch for log
+	// records and snapshots, the per-user configs needed to rebuild
+	// devices at restore time, and the replay flag that keeps recovery
+	// from re-logging the records it is replaying.
+	log       *wal.Writer                 // richnote:confined(shard)
+	walEnc    wal.Encoder                 // richnote:confined(shard)
+	snapEnc   wal.Encoder                 // richnote:confined(shard)
+	userCfgs  map[notif.UserID]UserConfig // richnote:confined(shard)
+	replaying bool                        // richnote:confined(shard)
+
 	ingest chan envelope
 	ticks  chan tickReq
 	stop   chan struct{}
+	crash  chan struct{}
 	done   chan struct{}
 
 	// backpressured counts publishes turned away with HTTP 429 because the
@@ -124,9 +137,11 @@ func newShard(id int, srv *Server, enricher *utility.Enricher) *shard {
 		devices:  make(map[notif.UserID]*sched.Device),
 		inbox:    make(map[notif.UserID][]sched.Queued),
 		subs:     make(map[notif.UserID]map[pubsub.TopicID]bool),
+		userCfgs: make(map[notif.UserID]UserConfig),
 		ingest:   make(chan envelope, srv.cfg.IngestBuffer),
 		ticks:    make(chan tickReq),
 		stop:     make(chan struct{}),
+		crash:    make(chan struct{}),
 		done:     make(chan struct{}),
 		feeds:    make(map[notif.UserID][]notif.Delivery),
 	}
@@ -159,15 +174,22 @@ func (sh *shard) run(every time.Duration) {
 		case <-sh.stop:
 			sh.drainAndFinish()
 			return
+		case <-sh.crash:
+			// Crash emulation (Server.CrashStop): no drain, no final round,
+			// buffered log records discarded — the state a kill -9 leaves.
+			sh.crashAbort()
+			return
 		}
 	}
 }
 
 // drainAndFinish runs one last round (which drains the ingest buffer
 // first) so every accepted publication gets a delivery opportunity before
-// shutdown.
+// shutdown, then flushes a final snapshot and closes the log so a clean
+// restart never needs replay.
 func (sh *shard) drainAndFinish() {
 	sh.runRound()
+	sh.closeWAL()
 }
 
 // drainIngest empties whatever the ingest buffer holds right now, so a
@@ -187,6 +209,13 @@ func (sh *shard) drainIngest() {
 // publishes the item into the shard broker, where it buffers until the
 // next round drain.
 func (sh *shard) accept(env envelope) {
+	// Log-on-accept: the envelope is durable before any of its effects.
+	// Everything below is deterministic given shard state, so replaying the
+	// logged envelope reproduces registration, subscription and drop
+	// decisions exactly. Suppressed during replay — the record exists.
+	if sh.log != nil && !sh.replaying {
+		sh.logPublish(env)
+	}
 	if _, ok := sh.devices[env.user]; !ok {
 		if sh.srv.cfg.DisableAutoRegister {
 			sh.droppedIngest.Add(1)
@@ -257,6 +286,12 @@ func (sh *shard) subscribe(user notif.UserID, topic pubsub.TopicID) error {
 	}
 	set[topic] = true
 	return nil
+}
+
+// users returns the registered users in ascending order. Only safe
+// before the shard goroutine starts (New's registration/restore phase).
+func (sh *shard) users() []notif.UserID {
+	return append([]notif.UserID(nil), sh.userOrder...)
 }
 
 // addUser builds the device stack for one user: seeded network model,
@@ -334,6 +369,12 @@ func (sh *shard) addUser(cfg UserConfig) error {
 		return fmt.Errorf("server: %w", err)
 	}
 	sh.devices[user] = device
+	// Remember the applied config (defaults resolved, matrix copied so the
+	// caller's pointer cannot alias): snapshots store it to rebuild the
+	// device stack at restore time.
+	matrix := *cfg.NetworkMatrix
+	cfg.NetworkMatrix = &matrix
+	sh.userCfgs[user] = cfg
 	// Keep userOrder sorted: binary-search the insertion point and shift.
 	at := sort.Search(len(sh.userOrder), func(i int) bool { return sh.userOrder[i] >= user })
 	sh.userOrder = append(sh.userOrder, 0)
@@ -369,6 +410,9 @@ func (sh *shard) runRound() error {
 	sh.round++
 	if firstErr != nil {
 		sh.lastErr = firstErr
+	}
+	if sh.log != nil && !sh.replaying {
+		sh.logRound(sh.round - 1)
 	}
 	elapsed := time.Since(start) //lint:allow wallclock round-latency telemetry, not scheduling time
 	sh.rec.Observe("round", elapsed)

@@ -1,0 +1,791 @@
+package server
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/lyapunov"
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/pubsub"
+	"github.com/richnote/richnote/internal/sched"
+	"github.com/richnote/richnote/internal/wal"
+)
+
+// Per-shard durability (DESIGN.md §12). Two files per shard under
+// Config.WALDir:
+//
+//   - shard-<id>.wal — append-only log of accepted publishes (recPublish)
+//     and completed rounds (recRound), framed by internal/wal.
+//   - shard-<id>.snap — the latest compacted snapshot: a header binding it
+//     to this shard and configuration, the log sequence number it
+//     supersedes, the full canonical shard state, and a trailing CRC.
+//
+// Recovery loads the snapshot, replays log records with seq beyond the
+// snapshot's, truncates any torn tail, and rewrites a fresh snapshot so a
+// crash loop never re-replays unbounded history. Replay re-runs the exact
+// code paths of the original run (accept, runRound) on re-seeded RNG
+// streams fast-forwarded to their snapshotted draw counts, which is what
+// makes the recovered state bit-identical rather than merely equivalent.
+
+// WAL record types.
+const (
+	recPublish byte = 1
+	recRound   byte = 2
+)
+
+// Snapshot header framing.
+const (
+	snapMagic   = "RNSNAP"
+	snapVersion = 1
+)
+
+func (sh *shard) walPath() string {
+	return filepath.Join(sh.srv.cfg.WALDir, fmt.Sprintf("shard-%d.wal", sh.id))
+}
+
+func (sh *shard) snapPath() string {
+	return filepath.Join(sh.srv.cfg.WALDir, fmt.Sprintf("shard-%d.snap", sh.id))
+}
+
+// logPublish appends one accepted publication to the shard log. Called at
+// the top of accept outside replay; the encoder and the writer's own
+// scratch are reused, so the steady-state append allocates nothing.
+func (sh *shard) logPublish(env envelope) {
+	sh.walEnc.Reset()
+	e := &sh.walEnc
+	e.I64(int64(env.topic.Kind))
+	e.I64(env.topic.Entity)
+	e.I64(int64(env.user))
+	encodeItem(e, env.item)
+	if _, err := sh.log.Append(recPublish, e.Bytes()); err != nil {
+		sh.lastErr = fmt.Errorf("server: wal: %w", err)
+	}
+}
+
+// logRound appends the just-completed round index and either compacts into
+// a snapshot (every SnapshotEvery rounds) or commits the round boundary
+// per the fsync policy.
+func (sh *shard) logRound(completed int) {
+	sh.walEnc.Reset()
+	sh.walEnc.I64(int64(completed))
+	if _, err := sh.log.Append(recRound, sh.walEnc.Bytes()); err != nil {
+		sh.lastErr = fmt.Errorf("server: wal: %w", err)
+		return
+	}
+	if every := sh.srv.cfg.SnapshotEvery; every > 0 && sh.round%every == 0 {
+		if err := sh.writeSnapshot(); err != nil {
+			sh.lastErr = err
+			// Snapshot failed: fall back to syncing the log so this round
+			// is durable the replay way.
+			if serr := sh.log.Sync(); serr != nil {
+				sh.lastErr = fmt.Errorf("server: wal: %w", serr)
+			}
+		}
+		return
+	}
+	if err := sh.log.Commit(); err != nil {
+		sh.lastErr = fmt.Errorf("server: wal: %w", err)
+	}
+}
+
+// writeSnapshot atomically writes the shard's full state to the snapshot
+// file and compacts the log. The snapshot records the log's current
+// sequence number: a crash between the snapshot rename and the log
+// truncation leaves stale records in the log, and replay skips them by
+// sequence comparison.
+func (sh *shard) writeSnapshot() error {
+	sh.snapEnc.Reset()
+	e := &sh.snapEnc
+	e.Str(snapMagic)
+	e.U32(snapVersion)
+	e.U32(uint32(sh.id))
+	e.I64(sh.srv.cfg.Seed)
+	f := sh.srv.cfg.Faults
+	e.F64(f.CellLoss)
+	e.F64(f.WifiLoss)
+	e.F64(f.CellDisconnect)
+	e.F64(f.WifiDisconnect)
+	e.U64(sh.log.Seq())
+	sh.encodeState(e)
+	e.U32(crc32.ChecksumIEEE(e.Bytes()))
+	buf := e.Bytes()
+	if err := wal.WriteFileAtomic(sh.snapPath(), func(w io.Writer) error {
+		_, werr := w.Write(buf)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("server: snapshot shard %d: %w", sh.id, err)
+	}
+	if err := sh.log.Reset(); err != nil {
+		return fmt.Errorf("server: wal: %w", err)
+	}
+	return nil
+}
+
+// closeWAL flushes durability state on graceful shutdown: a final snapshot
+// (so a clean restart never replays) with a log-sync fallback, then closes
+// the log.
+func (sh *shard) closeWAL() {
+	if sh.log == nil {
+		return
+	}
+	if err := sh.writeSnapshot(); err != nil {
+		sh.lastErr = err
+		if serr := sh.log.Sync(); serr != nil {
+			sh.lastErr = fmt.Errorf("server: wal: %w", serr)
+		}
+	}
+	if err := sh.log.Close(); err != nil {
+		sh.lastErr = fmt.Errorf("server: wal: %w", err)
+	}
+	sh.log = nil
+}
+
+// crashAbort emulates the process dying without warning: the log file is
+// closed with its user-space buffer discarded, exactly what kill -9 leaves
+// on disk. Only reachable through Server.CrashStop (tests).
+func (sh *shard) crashAbort() {
+	if sh.log == nil {
+		return
+	}
+	if err := sh.log.Abort(); err != nil {
+		sh.lastErr = err
+	}
+	sh.log = nil
+}
+
+// openWAL restores the shard from its snapshot (if any), replays the log
+// on top, truncates any torn tail and leaves the shard with an open log
+// and a fresh snapshot. Called from New before the shard goroutine starts,
+// so direct state mutation is safe.
+func (sh *shard) openWAL() error {
+	snapSeq, err := sh.loadSnapshot()
+	if err != nil {
+		return err
+	}
+	maxSeq := snapSeq
+	sh.replaying = true
+	res, err := wal.ReplayFile(sh.walPath(), func(seq uint64, typ byte, payload []byte) error {
+		if seq <= snapSeq {
+			return nil // superseded: the snapshot already contains its effect
+		}
+		d := wal.NewDecoder(payload)
+		switch typ {
+		case recPublish:
+			env := decodeEnvelope(d)
+			if d.Err() != nil {
+				return fmt.Errorf("server: wal replay shard %d seq %d: %w", sh.id, seq, d.Err())
+			}
+			sh.accept(env)
+		case recRound:
+			want := int(d.I64())
+			if d.Err() != nil {
+				return fmt.Errorf("server: wal replay shard %d seq %d: %w", sh.id, seq, d.Err())
+			}
+			if sh.round != want {
+				return fmt.Errorf("server: wal replay shard %d: round record %d but shard at round %d (snapshot/log mismatch)",
+					sh.id, want, sh.round)
+			}
+			if err := sh.runRound(); err != nil {
+				return fmt.Errorf("server: wal replay shard %d round %d: %w", sh.id, want, err)
+			}
+		default:
+			return fmt.Errorf("server: wal replay shard %d seq %d: unknown record type %d", sh.id, seq, typ)
+		}
+		return nil
+	})
+	sh.replaying = false
+	if err != nil {
+		return err
+	}
+	if res.LastSeq > maxSeq {
+		maxSeq = res.LastSeq
+	}
+	w, err := wal.OpenWriter(sh.walPath(), res.GoodSize, maxSeq, sh.srv.cfg.WALFsync)
+	if err != nil {
+		return err
+	}
+	sh.log = w
+	// New re-compacts every shard (writeSnapshot) once registration is
+	// done: the replayed history AND the pre-registered users are folded
+	// into a fresh snapshot, so a crash loop never replays more than one
+	// interval and a crash before the first compaction cannot lose
+	// registrations (they are never logged, only snapshotted).
+	sh.publishSnapshot(0)
+	return nil
+}
+
+// loadSnapshot reads and verifies the snapshot file, restores the shard
+// state from it, and returns the log sequence number it supersedes. A
+// missing file is an empty (round-zero) shard.
+func (sh *shard) loadSnapshot() (uint64, error) {
+	path := sh.snapPath()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("server: read snapshot %s: %w", path, err)
+	}
+	if len(data) < 4 {
+		return 0, fmt.Errorf("server: snapshot %s: too short (%d bytes)", path, len(data))
+	}
+	body := data[:len(data)-4]
+	wantCRC := wal.NewDecoder(data[len(data)-4:]).U32()
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return 0, fmt.Errorf("server: snapshot %s: checksum mismatch", path)
+	}
+	d := wal.NewDecoder(body)
+	if magic := d.Str(); magic != snapMagic {
+		return 0, fmt.Errorf("server: snapshot %s: bad magic %q", path, magic)
+	}
+	if v := d.U32(); v != snapVersion {
+		return 0, fmt.Errorf("server: snapshot %s: unsupported version %d", path, v)
+	}
+	if id := d.U32(); id != uint32(sh.id) {
+		return 0, fmt.Errorf("server: snapshot %s: belongs to shard %d, not %d", path, id, sh.id)
+	}
+	if seed := d.I64(); seed != sh.srv.cfg.Seed {
+		return 0, fmt.Errorf("server: snapshot %s: seed %d does not match configured %d — restored RNG streams would diverge",
+			path, seed, sh.srv.cfg.Seed)
+	}
+	got := network.FaultConfig{
+		CellLoss:       d.F64(),
+		WifiLoss:       d.F64(),
+		CellDisconnect: d.F64(),
+		WifiDisconnect: d.F64(),
+	}
+	if got != sh.srv.cfg.Faults {
+		return 0, fmt.Errorf("server: snapshot %s: fault config %+v does not match configured %+v",
+			path, got, sh.srv.cfg.Faults)
+	}
+	lastSeq := d.U64()
+	if d.Err() != nil {
+		return 0, fmt.Errorf("server: snapshot %s: %w", path, d.Err())
+	}
+	if err := sh.restoreState(d); err != nil {
+		return 0, fmt.Errorf("server: snapshot %s: %w", path, err)
+	}
+	if d.Err() != nil {
+		return 0, fmt.Errorf("server: snapshot %s: %w", path, d.Err())
+	}
+	if d.Remaining() != 0 {
+		return 0, fmt.Errorf("server: snapshot %s: %d trailing bytes", path, d.Remaining())
+	}
+	return lastSeq, nil
+}
+
+// stateBytes returns the shard's canonical state encoding — the exact
+// payload a snapshot would store. Crash-recovery tests compare these byte
+// strings between a recovered shard and an uninterrupted reference.
+func (sh *shard) stateBytes() []byte {
+	var e wal.Encoder
+	sh.encodeState(&e)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// encodeState writes every piece of shard state that must survive a crash,
+// in canonical order (users ascending throughout; see each component's
+// ExportState for its own ordering guarantees). Excluded on purpose:
+// wall-clock telemetry (obs.Recorder spans, LastRound/AvgRound) and
+// lastErr, which describe the process, not the schedule.
+func (sh *shard) encodeState(e *wal.Encoder) {
+	e.I64(int64(sh.round))
+	e.U64(sh.backpressured.Load())
+	e.U64(sh.droppedIngest.Load())
+
+	e.U32(uint32(len(sh.userOrder)))
+	for _, u := range sh.userOrder {
+		encodeUserConfig(e, sh.userCfgs[u])
+		topics := sortedTopics(sh.subs[u])
+		e.U32(uint32(len(topics)))
+		for _, t := range topics {
+			e.I64(int64(t.Kind))
+			e.I64(t.Entity)
+		}
+		encodeDeviceState(e, sh.devices[u].ExportState())
+	}
+
+	inboxUsers := make([]notif.UserID, 0, len(sh.inbox))
+	for u := range sh.inbox {
+		if len(sh.inbox[u]) > 0 {
+			inboxUsers = append(inboxUsers, u)
+		}
+	}
+	sortUserIDs(inboxUsers)
+	e.U32(uint32(len(inboxUsers)))
+	for _, u := range inboxUsers {
+		e.I64(int64(u))
+		batch := sh.inbox[u]
+		e.U32(uint32(len(batch)))
+		for i := range batch {
+			encodeQueued(e, &batch[i])
+		}
+	}
+
+	bs := sh.broker.ExportState()
+	e.U64(bs.Published)
+	e.U64(bs.Delivered)
+	e.U32(uint32(len(bs.Pending)))
+	for _, p := range bs.Pending {
+		e.I64(int64(p.Topic.Kind))
+		e.I64(p.Topic.Entity)
+		e.I64(int64(p.User))
+		e.U32(uint32(len(p.Items)))
+		for _, it := range p.Items {
+			encodeItem(e, it)
+		}
+	}
+
+	cs := sh.col.ExportState()
+	e.U32(uint32(len(cs.Users)))
+	for i := range cs.Users {
+		encodeUserMetrics(e, &cs.Users[i])
+	}
+	e.U32(uint32(len(cs.DelaySamples)))
+	for _, v := range cs.DelaySamples {
+		e.F64(v)
+	}
+
+	sh.feedMu.Lock()
+	feedUsers := make([]notif.UserID, 0, len(sh.feeds))
+	for u := range sh.feeds {
+		if len(sh.feeds[u]) > 0 {
+			feedUsers = append(feedUsers, u)
+		}
+	}
+	sortUserIDs(feedUsers)
+	e.U32(uint32(len(feedUsers)))
+	for _, u := range feedUsers {
+		e.I64(int64(u))
+		feed := sh.feeds[u]
+		e.U32(uint32(len(feed)))
+		for i := range feed {
+			encodeDelivery(e, &feed[i])
+		}
+	}
+	sh.feedMu.Unlock()
+}
+
+// restoreState rebuilds the shard from an encoded snapshot: devices are
+// re-created from their stored configs (re-seeding their RNG streams),
+// subscriptions re-registered, and every component's state restored
+// through its own owner method. Must run on a freshly constructed shard.
+func (sh *shard) restoreState(d *wal.Decoder) error {
+	if len(sh.devices) != 0 {
+		return fmt.Errorf("server: restore into shard %d with %d users already registered", sh.id, len(sh.devices))
+	}
+	sh.round = int(d.I64())
+	sh.backpressured.Store(d.U64())
+	sh.droppedIngest.Store(d.U64())
+
+	nUsers := d.Count(8, "users")
+	for i := 0; i < nUsers; i++ {
+		cfg := decodeUserConfig(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if err := sh.addUser(cfg); err != nil {
+			return err
+		}
+		nTopics := d.Count(16, "topics")
+		for j := 0; j < nTopics; j++ {
+			topic := pubsub.TopicID{Kind: notif.TopicKind(d.I64()), Entity: d.I64()}
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if err := sh.subscribe(cfg.User, topic); err != nil {
+				return err
+			}
+		}
+		ds := decodeDeviceState(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if err := sh.devices[cfg.User].RestoreState(ds); err != nil {
+			return err
+		}
+	}
+
+	nInbox := d.Count(12, "inbox users")
+	for i := 0; i < nInbox; i++ {
+		u := notif.UserID(d.I64())
+		n := d.Count(8, "inbox items")
+		batch := make([]sched.Queued, 0, n)
+		for j := 0; j < n; j++ {
+			batch = append(batch, decodeQueued(d))
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		sh.inbox[u] = batch
+	}
+
+	var bs pubsub.BrokerState
+	bs.Published = d.U64()
+	bs.Delivered = d.U64()
+	nPending := d.Count(28, "pending buffers")
+	for i := 0; i < nPending; i++ {
+		p := pubsub.PendingState{
+			Topic: pubsub.TopicID{Kind: notif.TopicKind(d.I64()), Entity: d.I64()},
+			User:  notif.UserID(d.I64()),
+		}
+		n := d.Count(8, "pending items")
+		for j := 0; j < n; j++ {
+			p.Items = append(p.Items, decodeItem(d))
+		}
+		bs.Pending = append(bs.Pending, p)
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if err := sh.broker.RestoreState(bs); err != nil {
+		return err
+	}
+
+	var cs metrics.CollectorState
+	nMetrics := d.Count(16, "metric users")
+	for i := 0; i < nMetrics; i++ {
+		cs.Users = append(cs.Users, decodeUserMetrics(d))
+	}
+	nSamples := d.Count(8, "delay samples")
+	for i := 0; i < nSamples; i++ {
+		cs.DelaySamples = append(cs.DelaySamples, d.F64())
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if err := sh.col.RestoreState(cs); err != nil {
+		return err
+	}
+
+	nFeeds := d.Count(12, "feed users")
+	for i := 0; i < nFeeds; i++ {
+		u := notif.UserID(d.I64())
+		n := d.Count(16, "feed entries")
+		feed := make([]notif.Delivery, 0, n)
+		for j := 0; j < n; j++ {
+			feed = append(feed, decodeDelivery(d))
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		sh.setFeed(u, feed)
+	}
+	return d.Err()
+}
+
+// setFeed installs one restored recent-delivery feed.
+func (sh *shard) setFeed(u notif.UserID, feed []notif.Delivery) {
+	sh.feedMu.Lock()
+	sh.feeds[u] = feed
+	sh.feedMu.Unlock()
+}
+
+func sortUserIDs(ids []notif.UserID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func sortedTopics(set map[pubsub.TopicID]bool) []pubsub.TopicID {
+	topics := make([]pubsub.TopicID, 0, len(set))
+	for t := range set {
+		topics = append(topics, t)
+	}
+	for i := 1; i < len(topics); i++ {
+		for j := i; j > 0; j-- {
+			a, b := topics[j], topics[j-1]
+			if a.Kind > b.Kind || (a.Kind == b.Kind && a.Entity >= b.Entity) {
+				break
+			}
+			topics[j], topics[j-1] = b, a
+		}
+	}
+	return topics
+}
+
+// --- value codecs -----------------------------------------------------------
+
+func encodeItem(e *wal.Encoder, it notif.Item) {
+	e.I64(int64(it.ID))
+	e.I64(int64(it.Kind))
+	e.I64(int64(it.Topic))
+	e.I64(int64(it.Sender))
+	e.I64(int64(it.Recipient))
+	e.Time(it.CreatedAt)
+	e.I64(it.Meta.TrackID)
+	e.I64(it.Meta.AlbumID)
+	e.I64(it.Meta.ArtistID)
+	e.F64(it.Meta.TrackPopularity)
+	e.F64(it.Meta.AlbumPopularity)
+	e.F64(it.Meta.ArtistPopularity)
+	e.I64(int64(it.Meta.Genre))
+	e.Str(it.Meta.URL)
+	e.F64(it.TieStrength)
+}
+
+func decodeItem(d *wal.Decoder) notif.Item {
+	return notif.Item{
+		ID:        notif.ItemID(d.I64()),
+		Kind:      notif.ContentKind(d.I64()),
+		Topic:     notif.TopicKind(d.I64()),
+		Sender:    notif.UserID(d.I64()),
+		Recipient: notif.UserID(d.I64()),
+		CreatedAt: d.Time(),
+		Meta: notif.Metadata{
+			TrackID:          d.I64(),
+			AlbumID:          d.I64(),
+			ArtistID:         d.I64(),
+			TrackPopularity:  d.F64(),
+			AlbumPopularity:  d.F64(),
+			ArtistPopularity: d.F64(),
+			Genre:            int(d.I64()),
+			URL:              d.Str(),
+		},
+		TieStrength: d.F64(),
+	}
+}
+
+func decodeEnvelope(d *wal.Decoder) envelope {
+	return envelope{
+		topic: pubsub.TopicID{Kind: notif.TopicKind(d.I64()), Entity: d.I64()},
+		user:  notif.UserID(d.I64()),
+		item:  decodeItem(d),
+	}
+}
+
+func encodeQueued(e *wal.Encoder, q *sched.Queued) {
+	encodeItem(e, q.Rich.Item)
+	e.F64(q.Rich.ContentUtility)
+	e.U32(uint32(len(q.Rich.Presentations)))
+	for _, p := range q.Rich.Presentations {
+		e.I64(int64(p.Level))
+		e.I64(p.Size)
+		e.F64(p.Utility)
+		e.F64(p.DurationSec)
+		e.I64(int64(p.SampleRateHz))
+		e.I64(int64(p.BitrateKbps))
+		e.Str(p.Label)
+	}
+	e.I64(int64(q.Rich.ArrivedRound))
+	e.Bool(q.Clicked)
+	e.I64(int64(q.ClickRound))
+	e.F64(q.TrueUc)
+	e.I64(int64(q.Attempts))
+	e.I64(int64(q.LevelCap))
+}
+
+func decodeQueued(d *wal.Decoder) sched.Queued {
+	var q sched.Queued
+	q.Rich.Item = decodeItem(d)
+	q.Rich.ContentUtility = d.F64()
+	n := d.Count(44, "presentations")
+	q.Rich.Presentations = make([]notif.Presentation, 0, n)
+	for i := 0; i < n; i++ {
+		q.Rich.Presentations = append(q.Rich.Presentations, notif.Presentation{
+			Level:        int(d.I64()),
+			Size:         d.I64(),
+			Utility:      d.F64(),
+			DurationSec:  d.F64(),
+			SampleRateHz: int(d.I64()),
+			BitrateKbps:  int(d.I64()),
+			Label:        d.Str(),
+		})
+	}
+	q.Rich.ArrivedRound = int(d.I64())
+	q.Clicked = d.Bool()
+	q.ClickRound = int(d.I64())
+	q.TrueUc = d.F64()
+	q.Attempts = int(d.I64())
+	q.LevelCap = int(d.I64())
+	return q
+}
+
+func encodeDelivery(e *wal.Encoder, dl *notif.Delivery) {
+	e.I64(int64(dl.ItemID))
+	e.I64(int64(dl.Recipient))
+	e.I64(int64(dl.Level))
+	e.I64(dl.Size)
+	e.F64(dl.Utility)
+	e.F64(dl.TrueUtility)
+	e.F64(dl.EnergyJ)
+	e.I64(int64(dl.Retries))
+	e.Bool(dl.Degraded)
+	e.I64(int64(dl.ArrivedRound))
+	e.I64(int64(dl.DeliveredRound))
+	e.Time(dl.DeliveredAt)
+}
+
+func decodeDelivery(d *wal.Decoder) notif.Delivery {
+	return notif.Delivery{
+		ItemID:         notif.ItemID(d.I64()),
+		Recipient:      notif.UserID(d.I64()),
+		Level:          int(d.I64()),
+		Size:           d.I64(),
+		Utility:        d.F64(),
+		TrueUtility:    d.F64(),
+		EnergyJ:        d.F64(),
+		Retries:        int(d.I64()),
+		Degraded:       d.Bool(),
+		ArrivedRound:   int(d.I64()),
+		DeliveredRound: int(d.I64()),
+		DeliveredAt:    d.Time(),
+	}
+}
+
+func encodeUserConfig(e *wal.Encoder, cfg UserConfig) {
+	e.I64(int64(cfg.User))
+	e.I64(int64(cfg.Strategy))
+	e.I64(int64(cfg.FixedLevel))
+	e.I64(cfg.WeeklyBudgetBytes)
+	e.F64(cfg.V)
+	e.F64(cfg.KappaJ)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			e.F64(cfg.NetworkMatrix[r][c])
+		}
+	}
+	e.I64(int64(cfg.StartState))
+	e.I64(int64(cfg.MaxDeliveriesPerRound))
+	e.I64(int64(cfg.MaxAttempts))
+	e.Bool(cfg.DegradeOnFailure)
+}
+
+func decodeUserConfig(d *wal.Decoder) UserConfig {
+	cfg := UserConfig{
+		User:              notif.UserID(d.I64()),
+		Strategy:          core.StrategyKind(d.I64()),
+		FixedLevel:        int(d.I64()),
+		WeeklyBudgetBytes: d.I64(),
+		V:                 d.F64(),
+		KappaJ:            d.F64(),
+	}
+	var m network.Matrix
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			m[r][c] = d.F64()
+		}
+	}
+	cfg.NetworkMatrix = &m
+	cfg.StartState = network.State(d.I64())
+	cfg.MaxDeliveriesPerRound = int(d.I64())
+	cfg.MaxAttempts = int(d.I64())
+	cfg.DegradeOnFailure = d.Bool()
+	return cfg
+}
+
+func encodeDeviceState(e *wal.Encoder, s sched.DeviceState) {
+	e.U32(uint32(len(s.Queue)))
+	for i := range s.Queue {
+		encodeQueued(e, &s.Queue[i])
+	}
+	e.F64(s.BudgetBalance)
+	e.F64(s.BudgetDebited)
+	e.F64(s.BudgetRefunded)
+	e.F64(s.BatteryLevel)
+	e.U64(s.BatteryDraws)
+	e.I64(int64(s.NetworkState))
+	e.U64(s.NetworkDraws)
+	e.U64(s.FaultDraws)
+	e.Bool(s.HasController)
+	if s.HasController {
+		e.F64(s.Controller.Q)
+		e.F64(s.Controller.P)
+		e.F64(s.Controller.MaxQ)
+		e.F64(s.Controller.SumQ)
+		e.I64(int64(s.Controller.Rounds))
+		e.F64(s.Controller.DriftSum)
+		e.F64(s.Controller.LastL)
+		e.Bool(s.Controller.Initialized)
+	}
+}
+
+func decodeDeviceState(d *wal.Decoder) sched.DeviceState {
+	var s sched.DeviceState
+	n := d.Count(120, "device queue")
+	s.Queue = make([]sched.Queued, 0, n)
+	for i := 0; i < n; i++ {
+		s.Queue = append(s.Queue, decodeQueued(d))
+	}
+	s.BudgetBalance = d.F64()
+	s.BudgetDebited = d.F64()
+	s.BudgetRefunded = d.F64()
+	s.BatteryLevel = d.F64()
+	s.BatteryDraws = d.U64()
+	s.NetworkState = network.State(d.I64())
+	s.NetworkDraws = d.U64()
+	s.FaultDraws = d.U64()
+	s.HasController = d.Bool()
+	if s.HasController {
+		s.Controller = lyapunov.State{
+			Q:           d.F64(),
+			P:           d.F64(),
+			MaxQ:        d.F64(),
+			SumQ:        d.F64(),
+			Rounds:      int(d.I64()),
+			DriftSum:    d.F64(),
+			LastL:       d.F64(),
+			Initialized: d.Bool(),
+		}
+	}
+	return s
+}
+
+func encodeUserMetrics(e *wal.Encoder, u *metrics.UserState) {
+	e.I64(int64(u.User))
+	e.I64(int64(u.Arrived))
+	e.I64(int64(u.ClickedTotal))
+	e.I64(int64(u.Delivered))
+	e.I64(u.DeliveredBytes)
+	e.F64(u.UtilitySum)
+	e.F64(u.TrueUtilitySum)
+	e.I64(int64(u.ClickedAndDelivered))
+	e.I64(int64(u.DeliveredBeforeClick))
+	e.F64(u.EnergyJ)
+	e.I64(int64(u.DelayRoundsSum))
+	e.U32(uint32(len(u.LevelCounts)))
+	for _, lc := range u.LevelCounts {
+		e.I64(int64(lc.Level))
+		e.I64(int64(lc.Count))
+	}
+	e.I64(int64(u.TransferFailures))
+	e.I64(int64(u.RetriedDeliveries))
+	e.I64(int64(u.DegradedDeliveries))
+	e.I64(int64(u.Dropped))
+	e.F64(u.WastedEnergyJ)
+}
+
+func decodeUserMetrics(d *wal.Decoder) metrics.UserState {
+	u := metrics.UserState{
+		User:                 notif.UserID(d.I64()),
+		Arrived:              int(d.I64()),
+		ClickedTotal:         int(d.I64()),
+		Delivered:            int(d.I64()),
+		DeliveredBytes:       d.I64(),
+		UtilitySum:           d.F64(),
+		TrueUtilitySum:       d.F64(),
+		ClickedAndDelivered:  int(d.I64()),
+		DeliveredBeforeClick: int(d.I64()),
+		EnergyJ:              d.F64(),
+		DelayRoundsSum:       int(d.I64()),
+	}
+	n := d.Count(16, "level counts")
+	u.LevelCounts = make([]metrics.LevelCount, 0, n)
+	for i := 0; i < n; i++ {
+		u.LevelCounts = append(u.LevelCounts, metrics.LevelCount{Level: int(d.I64()), Count: int(d.I64())})
+	}
+	u.TransferFailures = int(d.I64())
+	u.RetriedDeliveries = int(d.I64())
+	u.DegradedDeliveries = int(d.I64())
+	u.Dropped = int(d.I64())
+	u.WastedEnergyJ = d.F64()
+	return u
+}

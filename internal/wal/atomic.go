@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so that a crash at any point leaves
+// either the old content or the new content at path, never a truncated
+// hybrid: the content is written to a temporary file in the same
+// directory, fsynced, closed, renamed over path, and the directory entry
+// is fsynced. It is the shared durability primitive for WAL snapshots and
+// trained-model files (forest.SaveFile).
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: create temp for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			_ = tmp.Close()           // best-effort cleanup on the failure path
+			_ = os.Remove(tmp.Name()) // best-effort cleanup on the failure path
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: rename %s to %s: %w", tmp.Name(), path, err)
+	}
+	// Persist the rename itself: without the directory fsync a crash can
+	// forget the new directory entry even though the data blocks are safe.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir %s: %w", dir, err)
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		// Some filesystems reject directory fsync; the rename is still
+		// atomic, so treat only real I/O errors as fatal. EINVAL means
+		// "not supported here".
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close dir %s: %w", dir, closeErr)
+	}
+	return nil
+}

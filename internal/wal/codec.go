@@ -1,0 +1,210 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// The codec is deliberately fixed-width little-endian: every value has
+// exactly one encoding, so two runs that reach the same logical state
+// produce byte-identical snapshots — the property the crash-recovery
+// equivalence tests compare on. Floats round-trip through IEEE-754 bits,
+// times through (IsZero, UnixNano) so the zero time survives exactly.
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b[0:4], uint32(v))
+	putU32(b[4:8], uint32(v>>32))
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b[0:4])) | uint64(getU32(b[4:8]))<<32
+}
+
+// Encoder appends fixed-width binary values to a reusable buffer. The
+// zero value is ready; Reset between uses keeps the capacity, so encoding
+// on the round hot path allocates nothing once warmed.
+type Encoder struct {
+	buf []byte
+}
+
+// Reset empties the buffer, keeping capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded buffer, valid until the next Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded length so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.U32(uint32(v))
+	e.U32(uint32(v >> 32))
+}
+
+// I64 appends an int64 as its two's-complement bits.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Time appends a time as (IsZero, UnixNano): the zero time decodes back
+// to exactly time.Time{}, every other time to its UTC instant.
+func (e *Encoder) Time(t time.Time) {
+	e.Bool(t.IsZero())
+	if t.IsZero() {
+		e.I64(0)
+	} else {
+		e.I64(t.UnixNano())
+	}
+}
+
+// ErrDecode is the base error for malformed codec input.
+var ErrDecode = errors.New("wal: decode")
+
+// Decoder reads values written by Encoder. The first failure latches into
+// Err; subsequent reads return zero values, so call sites can decode a
+// whole structure and check Err once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a buffer for decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: short buffer reading %s at offset %d", ErrDecode, what, d.off)
+	}
+}
+
+func (d *Decoder) take(n int, what string) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return getU32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return getU64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a bool.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.U32()
+	if d.err != nil {
+		return ""
+	}
+	if int64(n) > int64(d.Remaining()) {
+		d.fail("string")
+		return ""
+	}
+	b := d.take(int(n), "string")
+	return string(b)
+}
+
+// Time reads a time written by Encoder.Time.
+func (d *Decoder) Time() time.Time {
+	zero := d.Bool()
+	ns := d.I64()
+	if d.err != nil || zero {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// Count reads a u32 element count and validates it against the bytes that
+// remain, given a minimum encoded size per element — a corrupted count
+// then fails fast instead of provoking a huge allocation.
+func (d *Decoder) Count(minElemSize int, what string) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if minElemSize > 0 && int64(n)*int64(minElemSize) > int64(d.Remaining()) {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: %s count %d exceeds remaining %d bytes", ErrDecode, what, n, d.Remaining())
+		}
+		return 0
+	}
+	return int(n)
+}
