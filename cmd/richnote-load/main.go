@@ -1,14 +1,17 @@
-// Command richnote-load drives a richnote-serve instance with a closed
-// loop of synthetic publications and reports achieved throughput and
-// publish-latency percentiles. Workers honor 429 Retry-After, so the
-// reported rates reflect what the server actually sustains under
-// backpressure.
+// Command richnote-load drives a richnote-serve instance (or a cluster
+// router) with a closed loop of synthetic publications and reports achieved
+// throughput and publish-latency percentiles. Workers honor 429/503
+// Retry-After, so the reported rates reflect what the service actually
+// sustains under backpressure and mid-handoff unavailability.
 //
 // Usage:
 //
-//	richnote-load [-url http://127.0.0.1:8080] [-events N] [-concurrency N]
-//	              [-users N] [-topics N] [-friend-share f] [-seed N]
-//	              [-tick-every N] [-timeout 60s]
+//	richnote-load [-url http://127.0.0.1:8080] [-addr URL]... [-events N]
+//	              [-concurrency N] [-users N] [-topics N] [-friend-share f]
+//	              [-seed N] [-tick-every N] [-timeout 60s]
+//
+// Repeat -addr to round-robin across several fronts; a refused connection
+// rotates to the next one instead of abandoning the event.
 package main
 
 import (
@@ -21,6 +24,19 @@ import (
 	"github.com/richnote/richnote/internal/server"
 )
 
+// addrList collects repeated -addr flags.
+type addrList []string
+
+func (a *addrList) String() string { return fmt.Sprint([]string(*a)) }
+
+func (a *addrList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty address")
+	}
+	*a = append(*a, v)
+	return nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "richnote-load:", err)
@@ -29,8 +45,9 @@ func main() {
 }
 
 func run() error {
+	var addrs addrList
 	var (
-		url         = flag.String("url", "http://127.0.0.1:8080", "richnote-serve base URL")
+		url         = flag.String("url", "http://127.0.0.1:8080", "richnote-serve base URL (ignored when -addr is given)")
 		events      = flag.Int("events", 1000, "publications to deliver")
 		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
 		users       = flag.Int("users", 50, "recipient population (IDs 1..N)")
@@ -40,12 +57,18 @@ func run() error {
 		tickEvery   = flag.Int("tick-every", 0, "POST /v1/tick after every N accepted events (for -round 0 servers)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "overall run deadline")
 	)
+	flag.Var(&addrs, "addr", "front base URL; repeat to round-robin across several routers")
 	flag.Parse()
+
+	targets := []string(addrs)
+	if len(targets) == 0 {
+		targets = []string{*url}
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	res, err := server.RunLoad(ctx, server.LoadConfig{
-		BaseURL:     *url,
+		BaseURLs:    targets,
 		Events:      *events,
 		Concurrency: *concurrency,
 		Users:       *users,

@@ -13,6 +13,18 @@
 //	               [-fault.max-attempts N] [-fault.degrade]
 //	               [-wal.dir path] [-wal.fsync always|round|never]
 //	               [-snapshot.every N]
+//	               [-role standalone|node|router] [-node.name NAME]
+//	               [-cluster.listen :9090] [-peers a=host:port,b=host:port]
+//
+// Roles (DESIGN.md §13):
+//
+//	standalone  the default — one process owns every shard; behavior is
+//	            bit-identical to builds that predate clustering
+//	node        owns the shard subset the router assigns it; serves the
+//	            binary cluster transport on -cluster.listen (requires
+//	            -wal.dir and -node.name)
+//	router      stateless HTTP front + coordinator; forwards to the nodes
+//	            named by -peers and owns no shard state
 //
 // The server answers:
 //
@@ -31,9 +43,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/richnote/richnote/internal/cluster"
 	"github.com/richnote/richnote/internal/core"
 	"github.com/richnote/richnote/internal/network"
 	"github.com/richnote/richnote/internal/server"
@@ -74,8 +88,20 @@ func run() error {
 		walDir        = flag.String("wal.dir", "", "directory for per-shard WALs and snapshots (empty = durability off)")
 		walFsync      = flag.String("wal.fsync", "round", "WAL fsync policy: always, round or never")
 		snapshotEvery = flag.Int("snapshot.every", 0, "rounds between compacted snapshots (0 = default)")
+
+		role          = flag.String("role", "standalone", "process role: standalone, node or router")
+		nodeName      = flag.String("node.name", "", "cluster identity of this node (node role)")
+		clusterListen = flag.String("cluster.listen", ":9090", "cluster transport listen address (node role)")
+		peers         = flag.String("peers", "", "comma-separated name=host:port shard-owner nodes (router role)")
 	)
 	flag.Parse()
+
+	if *role == "router" {
+		return runRouter(*addr, *shards, *peers)
+	}
+	if *role != "standalone" && *role != "node" {
+		return fmt.Errorf("unknown role %q (want standalone, node or router)", *role)
+	}
 
 	fsyncPolicy, err := wal.ParseSyncPolicy(*walFsync)
 	if err != nil {
@@ -112,6 +138,19 @@ func run() error {
 		CellDisconnect: *cellDisconnect,
 		WifiDisconnect: *wifiDisconnect,
 	}
+	var ownedShards []int // nil = all (standalone)
+	if *role == "node" {
+		if *nodeName == "" {
+			return fmt.Errorf("node role requires -node.name")
+		}
+		if *walDir == "" {
+			return fmt.Errorf("node role requires -wal.dir (shard handoff restores from shared storage)")
+		}
+		// Nodes boot owning nothing; the router's coordinator assigns
+		// shards with adopt commands once the cluster forms.
+		ownedShards = []int{}
+	}
+
 	s, err := server.New(server.Config{
 		Shards:           *shards,
 		RoundEvery:       *round,
@@ -124,6 +163,7 @@ func run() error {
 		WALDir:           *walDir,
 		WALFsync:         fsyncPolicy,
 		SnapshotEvery:    *snapshotEvery,
+		OwnedShards:      ownedShards,
 		Default: server.UserConfig{
 			Strategy:          strategyKind,
 			FixedLevel:        *level,
@@ -140,6 +180,16 @@ func run() error {
 	}
 	if err := s.Start(); err != nil {
 		return err
+	}
+
+	var node *server.Node
+	if *role == "node" {
+		s.SetRole("node")
+		node = server.NewNode(*nodeName, s)
+		if err := node.Serve(*clusterListen); err != nil {
+			return err
+		}
+		fmt.Printf("richnote-serve: node %s serving cluster transport on %s\n", *nodeName, node.Addr())
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
@@ -174,9 +224,80 @@ func run() error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "richnote-serve: http shutdown:", err)
 	}
+	if node != nil {
+		if err := node.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "richnote-serve: transport shutdown:", err)
+		}
+	}
 	if err := s.Shutdown(ctx); err != nil {
 		return err
 	}
 	fmt.Println("richnote-serve: drained cleanly")
+	return nil
+}
+
+// parsePeers parses the -peers flag: comma-separated name=host:port.
+func parsePeers(s string) ([]cluster.Node, error) {
+	if s == "" {
+		return nil, fmt.Errorf("router role requires -peers (name=host:port,...)")
+	}
+	var nodes []cluster.Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad peer %q (want name=host:port)", part)
+		}
+		nodes = append(nodes, cluster.Node{Name: name, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("router role requires at least one peer")
+	}
+	return nodes, nil
+}
+
+// runRouter runs the stateless HTTP front + coordinator role.
+func runRouter(addr string, shards int, peersFlag string) error {
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		return err
+	}
+	r, err := server.NewRouter(server.RouterConfig{Shards: shards, Peers: peers})
+	if err != nil {
+		return err
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: r.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Printf("richnote-serve: router over %d nodes, %d shards, listening on %s (map v%d)\n",
+		len(peers), shards, addr, r.Map().Version)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("richnote-serve: %s, stopping router...\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "richnote-serve: http shutdown:", err)
+	}
+	r.Stop()
+	fmt.Println("richnote-serve: router stopped")
 	return nil
 }

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("node%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return nodes
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	nodes := mkNodes(4)
+	a, err := Compute(7, nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle the input order: the assignment must not care.
+	shuffled := []Node{nodes[2], nodes[0], nodes[3], nodes[1]}
+	b, err := Compute(7, shuffled, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 64; s++ {
+		if a.Owner(s) != b.Owner(s) {
+			t.Fatalf("shard %d owner differs across input orders: %v vs %v", s, a.Owner(s), b.Owner(s))
+		}
+	}
+	if a.Version != 7 {
+		t.Fatalf("version = %d", a.Version)
+	}
+}
+
+// TestRebalance pins the consistent-hashing contract: adding a node moves
+// ≈1/N of the shards and every moved shard lands on the new node;
+// removing a node moves only that node's shards; untouched shards never
+// change owner.
+func TestRebalance(t *testing.T) {
+	const shards = 256
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		n := n
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			nodes := mkNodes(n)
+			before, err := Compute(1, nodes, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Add one node.
+			added := Node{Name: fmt.Sprintf("node%d", n), Addr: "127.0.0.1:9999"}
+			after, err := Compute(2, append(append([]Node{}, nodes...), added), shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for s := 0; s < shards; s++ {
+				if before.Owner(s) != after.Owner(s) {
+					moved++
+					if after.Owner(s).Name != added.Name {
+						t.Errorf("shard %d moved from %s to %s, not to the added node",
+							s, before.Owner(s).Name, after.Owner(s).Name)
+					}
+				}
+			}
+			// Expectation is shards/(n+1); allow a generous 3x band in both
+			// directions — 128 virtual points keeps it far tighter in
+			// practice, but the test pins the property, not the variance.
+			want := shards / (n + 1)
+			if moved < want/3 || moved > want*3 {
+				t.Errorf("add: moved %d shards, want ≈%d", moved, want)
+			}
+			if moved == 0 {
+				t.Error("add: no shards moved to the new node")
+			}
+
+			// Remove one node (the last, so names stay contiguous).
+			removed := nodes[n-1]
+			smaller, err := Compute(3, nodes[:n-1], shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < shards; s++ {
+				if before.Owner(s).Name == removed.Name {
+					if smaller.Owner(s).Name == removed.Name {
+						t.Errorf("shard %d still assigned to removed node", s)
+					}
+					continue
+				}
+				if before.Owner(s) != smaller.Owner(s) {
+					t.Errorf("shard %d owned by untouched node %s was reassigned to %s",
+						s, before.Owner(s).Name, smaller.Owner(s).Name)
+				}
+			}
+		})
+	}
+}
+
+func TestOwnedByPartitions(t *testing.T) {
+	const shards = 64
+	m, err := Compute(1, mkNodes(3), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]string)
+	total := 0
+	for _, n := range m.Nodes {
+		owned := m.OwnedBy(n.Name)
+		total += len(owned)
+		for _, s := range owned {
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("shard %d owned by both %s and %s", s, prev, n.Name)
+			}
+			seen[s] = n.Name
+			if m.Owner(s).Name != n.Name {
+				t.Fatalf("OwnedBy/Owner disagree on shard %d", s)
+			}
+		}
+	}
+	if total != shards {
+		t.Fatalf("OwnedBy covers %d of %d shards", total, shards)
+	}
+	if got := m.OwnedBy("phantom"); len(got) != 0 {
+		t.Fatalf("unknown node owns %v", got)
+	}
+}
+
+func TestMapCodecRoundTrip(t *testing.T) {
+	m, err := Compute(42, mkNodes(3), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || got.Shards != m.Shards || !reflect.DeepEqual(got.Nodes, m.Nodes) {
+		t.Fatalf("decoded map differs: %+v vs %+v", got, m)
+	}
+	for s := 0; s < m.Shards; s++ {
+		if got.Owner(s) != m.Owner(s) {
+			t.Fatalf("shard %d owner differs after codec round trip", s)
+		}
+	}
+	if _, err := Decode([]byte{9, 9, 9}); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer decoded without error")
+	}
+}
+
+func TestComputeRejectsBadInput(t *testing.T) {
+	if _, err := Compute(1, nil, 4); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := Compute(1, mkNodes(2), 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	dup := []Node{{Name: "a", Addr: "x"}, {Name: "a", Addr: "y"}}
+	if _, err := Compute(1, dup, 4); err == nil {
+		t.Error("duplicate node name accepted")
+	}
+	if _, err := Compute(1, []Node{{Name: "", Addr: "x"}}, 4); err == nil {
+		t.Error("empty node name accepted")
+	}
+}
+
+func TestMembershipDeathAfterThreshold(t *testing.T) {
+	var mu sync.Mutex
+	down := map[string]bool{}
+	probe := func(addr string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if down[addr] {
+			return errors.New("unreachable")
+		}
+		return nil
+	}
+	peers := mkNodes(3)
+	m := NewMembership(peers, probe, MembershipConfig{Interval: time.Hour, Threshold: 2})
+
+	var fired [][]Node
+	m.OnChange(func(live []Node) { fired = append(fired, live) })
+
+	m.CheckNow()
+	if got := m.Live(); len(got) != 3 {
+		t.Fatalf("live = %d, want 3", len(got))
+	}
+
+	mu.Lock()
+	down[peers[1].Addr] = true
+	mu.Unlock()
+
+	m.CheckNow() // failure 1 of 2: still live
+	if got := m.Live(); len(got) != 3 {
+		t.Fatalf("after one failure live = %d, want 3 (threshold 2)", len(got))
+	}
+	if len(fired) != 0 {
+		t.Fatalf("OnChange fired below threshold: %v", fired)
+	}
+
+	m.CheckNow() // failure 2 of 2: dead
+	live := m.Live()
+	if len(live) != 2 || live[0].Name != "node0" || live[1].Name != "node2" {
+		t.Fatalf("after death live = %v", live)
+	}
+	if len(fired) != 1 || len(fired[0]) != 2 {
+		t.Fatalf("OnChange = %v", fired)
+	}
+
+	// Death is one-way: the node recovering does not resurrect it.
+	mu.Lock()
+	down[peers[1].Addr] = false
+	mu.Unlock()
+	m.CheckNow()
+	if got := m.Live(); len(got) != 2 {
+		t.Fatalf("dead node resurrected: live = %d", len(got))
+	}
+	if len(fired) != 1 {
+		t.Fatalf("OnChange re-fired without a change: %v", fired)
+	}
+}
+
+func TestMembershipStartStop(t *testing.T) {
+	seen := make(chan struct{}, 16)
+	m := NewMembership(mkNodes(1), func(addr string) error {
+		select {
+		case seen <- struct{}{}:
+		default:
+		}
+		return nil
+	}, MembershipConfig{Interval: 5 * time.Millisecond})
+	m.Start()
+	<-seen // at least one periodic pass ran
+	m.Stop()
+	m.Stop()  // idempotent
+	m.Start() // no-op after Stop
+}

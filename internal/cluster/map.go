@@ -1,0 +1,246 @@
+// Package cluster holds the multi-node control plane (DESIGN.md §13): the
+// versioned node→shard assignment map and the static-seed membership with
+// periodic health probes. The data plane — forwarding publishes, shipping
+// snapshots — lives in internal/transport and internal/server; this
+// package only decides who owns what, deterministically.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"github.com/richnote/richnote/internal/wal"
+)
+
+// Node identifies one shard-owner process: a stable name (the cluster-wide
+// identity, chosen by the operator) and the transport address it serves.
+type Node struct {
+	Name string
+	Addr string
+}
+
+// Map is a versioned assignment of every shard to exactly one node. The
+// assignment is a pure function of (sorted node set, shard count) via
+// consistent hashing, so every process that knows the same live node set
+// computes the same map — the version number exists to order successive
+// maps, not to carry information the node set does not.
+//
+// Consistent hashing gives the rebalance property the tests pin down:
+// adding a node moves ≈1/N of the shards (all of them *to* the new node),
+// removing a node moves only that node's shards, and untouched shards
+// never change owner.
+type Map struct {
+	Version uint64
+	Shards  int
+	Nodes   []Node // sorted by Name, unique
+
+	owner []int // shard → index into Nodes
+}
+
+// replicas is the virtual-point count per node, matching the user→shard
+// ring in internal/server for the same smoothness reasons.
+const replicas = 128
+
+type point struct {
+	hash uint64
+	node int
+}
+
+// Compute builds the map for a node set. Nodes are sorted by name; order
+// of the input does not matter. Empty or duplicate names are errors — a
+// cluster with ambiguous identity must not limp onward.
+func Compute(version uint64, nodes []Node, shards int) (*Map, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: cannot compute a map over zero nodes")
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("cluster: invalid shard count %d", shards)
+	}
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for i, n := range sorted {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node with empty name (addr %q)", n.Addr)
+		}
+		if i > 0 && sorted[i-1].Name == n.Name {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+	}
+
+	points := make([]point, 0, len(sorted)*replicas)
+	for i, n := range sorted {
+		for v := 0; v < replicas; v++ {
+			points = append(points, point{hash: hash64("cnode:" + n.Name + ":" + strconv.Itoa(v)), node: i})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node index — already
+		// deterministic because nodes are sorted by name.
+		return points[i].node < points[j].node
+	})
+
+	owner := make([]int, shards)
+	for s := range owner {
+		h := hash64("cshard:" + strconv.Itoa(s))
+		i := sort.Search(len(points), func(i int) bool { return points[i].hash >= h })
+		if i == len(points) {
+			i = 0 // wrap around the circle
+		}
+		owner[s] = points[i].node
+	}
+	return &Map{Version: version, Shards: shards, Nodes: sorted, owner: owner}, nil
+}
+
+// Owner returns the node owning a shard.
+func (m *Map) Owner(shard int) Node {
+	return m.Nodes[m.owner[shard]]
+}
+
+// OwnedBy returns the ascending shard list a node owns; empty (not nil)
+// for an unknown node name.
+func (m *Map) OwnedBy(name string) []int {
+	owned := []int{}
+	for s, ni := range m.owner {
+		if m.Nodes[ni].Name == name {
+			owned = append(owned, s)
+		}
+	}
+	return owned
+}
+
+// NodeAddr returns the transport address for a node name, or "" if the
+// node is not in the map.
+func (m *Map) NodeAddr(name string) string {
+	for _, n := range m.Nodes {
+		if n.Name == name {
+			return n.Addr
+		}
+	}
+	return ""
+}
+
+// Rebalance derives the successor map after the live node set shrank:
+// shards whose owner survived keep it (untouched shards never move, even
+// across planned reassignments), and shards orphaned by dead nodes are
+// reassigned by consistent hashing over the survivors.
+func (m *Map) Rebalance(version uint64, live []Node) (*Map, error) {
+	base, err := Compute(version, live, m.Shards)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]int, len(base.Nodes))
+	for i, n := range base.Nodes {
+		idx[n.Name] = i
+	}
+	owner := make([]int, m.Shards)
+	for s := range owner {
+		if i, ok := idx[m.Owner(s).Name]; ok {
+			owner[s] = i
+		} else {
+			owner[s] = base.owner[s]
+		}
+	}
+	return &Map{Version: version, Shards: m.Shards, Nodes: base.Nodes, owner: owner}, nil
+}
+
+// WithOwner returns a copy of the map with one shard explicitly assigned
+// (the planned-handoff path). The target must be a member.
+func (m *Map) WithOwner(version uint64, shard int, node string) (*Map, error) {
+	if shard < 0 || shard >= m.Shards {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, m.Shards)
+	}
+	target := -1
+	for i, n := range m.Nodes {
+		if n.Name == node {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return nil, fmt.Errorf("cluster: node %q is not a member", node)
+	}
+	owner := append([]int(nil), m.owner...)
+	owner[shard] = target
+	return &Map{Version: version, Shards: m.Shards, Nodes: m.Nodes, owner: owner}, nil
+}
+
+// Encode serializes the map with the WAL codec, shipping the full
+// assignment explicitly — planned handoffs can diverge from the pure
+// consistent-hash placement, so receivers must not recompute.
+func (m *Map) Encode() []byte {
+	var e wal.Encoder
+	e.U8(mapCodecVersion)
+	e.U64(m.Version)
+	e.U32(uint32(m.Shards))
+	e.U32(uint32(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		e.Str(n.Name)
+		e.Str(n.Addr)
+	}
+	for _, o := range m.owner {
+		e.U32(uint32(o))
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+const mapCodecVersion = 1
+
+// Decode parses a map written by Encode.
+func Decode(b []byte) (*Map, error) {
+	d := wal.NewDecoder(b)
+	if v := d.U8(); v != mapCodecVersion && d.Err() == nil {
+		return nil, fmt.Errorf("cluster: unsupported map codec version %d", v)
+	}
+	version := d.U64()
+	shards := int(d.U32())
+	n := d.Count(8, "nodes")
+	nodes := make([]Node, 0, n)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, Node{Name: d.Str(), Addr: d.Str()})
+	}
+	if shards < 0 || int64(shards)*4 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("cluster: decoding map: implausible shard count %d", shards)
+	}
+	owner := make([]int, 0, shards)
+	for s := 0; s < shards; s++ {
+		owner = append(owner, int(d.U32()))
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: decoding map: %w", err)
+	}
+	for _, o := range owner {
+		if o < 0 || o >= len(nodes) {
+			return nil, fmt.Errorf("cluster: decoding map: owner index %d out of range for %d nodes", o, len(nodes))
+		}
+	}
+	m := &Map{Version: version, Shards: shards, Nodes: nodes, owner: owner}
+	// Re-validate the node set through Compute's rules (sorted, unique,
+	// non-empty names) without discarding the explicit assignment.
+	if _, err := Compute(version, nodes, shards); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// hash64 is FNV-64a with a murmur-style finalizer. Raw FNV avalanches
+// poorly when keys differ only in their last few bytes — "cnode:a:0" …
+// "cnode:a:127" land in one narrow band and a single node can capture the
+// entire circle. The finalizer spreads those bands uniformly; the
+// user→shard ring in internal/server keeps plain FNV because changing it
+// would reassign users and orphan persisted shard state.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// ProbeFunc checks one peer's health; nil means alive. The transport
+// client's ping frame is the production implementation, but membership
+// only needs the judgment, so tests inject failures directly.
+type ProbeFunc func(addr string) error
+
+// MembershipConfig tunes probing; the zero value gets defaults suitable
+// for a localhost cluster.
+type MembershipConfig struct {
+	// Interval between probe passes; defaults to 500ms.
+	Interval time.Duration
+	// Threshold is the number of consecutive failed probes that declares a
+	// node dead; defaults to 2, so one dropped packet does not trigger a
+	// shard handoff.
+	Threshold int
+}
+
+// Membership watches a static seed set of nodes with periodic health
+// probes. Death is one-way: a node that misses Threshold consecutive
+// probes is removed from the live set permanently, and the OnChange
+// callback fires with the survivors so the coordinator can recompute the
+// cluster map and drive handoff. A dead node that comes back must rejoin
+// as a fresh process under a new cluster start — half-rejoined nodes with
+// stale shard state are a correctness hazard this PR refuses to have.
+type Membership struct {
+	probe     ProbeFunc
+	interval  time.Duration
+	threshold int
+
+	mu       sync.Mutex
+	peers    []Node // live peers, sorted by name (as given to New)
+	fails    map[string]int
+	onChange func(live []Node)
+	started  bool
+	stopped  bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMembership builds a membership over the seed peers. All peers start
+// presumed alive; probing begins at Start.
+func NewMembership(peers []Node, probe ProbeFunc, cfg MembershipConfig) *Membership {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2
+	}
+	live := append([]Node(nil), peers...)
+	return &Membership{
+		probe:     probe,
+		interval:  cfg.Interval,
+		threshold: cfg.Threshold,
+		peers:     live,
+		fails:     make(map[string]int, len(live)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// OnChange registers the callback invoked (from the probe goroutine, or
+// from CheckNow's caller) whenever the live set shrinks. Set it before
+// Start.
+func (m *Membership) OnChange(fn func(live []Node)) {
+	m.mu.Lock()
+	m.onChange = fn
+	m.mu.Unlock()
+}
+
+// Live returns a copy of the current live node set.
+func (m *Membership) Live() []Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Node(nil), m.peers...)
+}
+
+// Start launches the periodic probe loop. The loop samples the wall clock
+// by design: health probing is about real elapsed time, not virtual
+// rounds.
+func (m *Membership) Start() {
+	m.mu.Lock()
+	if m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go m.loop()
+}
+
+func (m *Membership) loop() {
+	defer close(m.done)
+	//lint:allow wallclock health probing measures real elapsed time between peers
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.CheckNow()
+		}
+	}
+}
+
+// CheckNow runs one synchronous probe pass over the live peers, applying
+// the failure threshold and firing OnChange if any node died. Exposed so
+// tests and startup readiness checks can probe without waiting a tick.
+func (m *Membership) CheckNow() {
+	m.mu.Lock()
+	peers := append([]Node(nil), m.peers...)
+	m.mu.Unlock()
+
+	// Probe outside the lock — a hung peer must not block Live().
+	failed := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if err := m.probe(p.Addr); err != nil {
+			failed[p.Name] = true
+		}
+	}
+
+	m.mu.Lock()
+	var live []Node
+	changed := false
+	for _, p := range m.peers {
+		if failed[p.Name] {
+			m.fails[p.Name]++
+		} else {
+			m.fails[p.Name] = 0
+		}
+		if m.fails[p.Name] >= m.threshold {
+			changed = true
+			continue // dead: drop from the live set, permanently
+		}
+		live = append(live, p)
+	}
+	var fire func(live []Node)
+	if changed {
+		m.peers = live
+		fire = m.onChange
+	}
+	m.mu.Unlock()
+
+	if fire != nil {
+		fire(append([]Node(nil), live...))
+	}
+}
+
+// Stop halts the probe loop and waits for it to exit. A stopped
+// membership stays stopped — Start after Stop is a no-op.
+func (m *Membership) Stop() {
+	m.mu.Lock()
+	if !m.started || m.stopped {
+		m.stopped = true
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+}

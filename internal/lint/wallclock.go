@@ -30,7 +30,7 @@ var WallClock = &Analyzer{
 	Name: "wallclock",
 	Doc: "forbid time.Now/Sleep/Since and timer constructors in virtual-time " +
 		"packages; round and tick time must be passed in as a parameter",
-	Scope:        []string{"sched", "lyapunov", "mckp", "sim", "energy", "server"},
+	Scope:        []string{"sched", "lyapunov", "mckp", "sim", "energy", "server", "cluster", "transport"},
 	IncludeTests: false,
 	Run:          runWallClock,
 }

@@ -1,0 +1,499 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/richnote/richnote/internal/cluster"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/wal"
+)
+
+// clusterNodeConfig is testConfig with durability on and no initial shard
+// ownership — the router's coordinator assigns shards after startup, the
+// way `richnote-serve -role=node` boots.
+func clusterNodeConfig(shards int, walDir string) Config {
+	cfg := testConfig(shards)
+	cfg.WALDir = walDir
+	cfg.WALFsync = wal.SyncAlways
+	cfg.OwnedShards = []int{}
+	return cfg
+}
+
+// testCluster is an in-process cluster: shard-owner nodes over real TCP
+// transports plus a router, sharing one WAL directory (the shared-storage
+// model crash takeover assumes).
+type testCluster struct {
+	router  *Router
+	servers map[string]*Server
+	nodes   map[string]*Node
+	front   *httptest.Server
+}
+
+// startCluster boots named nodes and a router over them. Probing is manual
+// (CheckNow) so tests control exactly when deaths are noticed.
+func startCluster(t *testing.T, shards int, walDir string, names ...string) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		servers: make(map[string]*Server, len(names)),
+		nodes:   make(map[string]*Node, len(names)),
+	}
+	var peers []cluster.Node
+	for _, name := range names {
+		s, err := New(clusterNodeConfig(shards, walDir))
+		if err != nil {
+			t.Fatalf("New node %s: %v", name, err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatalf("Start node %s: %v", name, err)
+		}
+		s.SetRole("node")
+		n := NewNode(name, s)
+		if err := n.Serve("127.0.0.1:0"); err != nil {
+			t.Fatalf("Serve node %s: %v", name, err)
+		}
+		tc.servers[name] = s
+		tc.nodes[name] = n
+		peers = append(peers, cluster.Node{Name: name, Addr: n.Addr()})
+	}
+	r, err := NewRouter(RouterConfig{
+		Shards:        shards,
+		Peers:         peers,
+		ProbeInterval: time.Hour, // tests drive probes via CheckNow
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatalf("router Start: %v", err)
+	}
+	tc.router = r
+	tc.front = httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		tc.front.Close()
+		r.Stop()
+		for _, n := range tc.nodes {
+			_ = n.Close()
+		}
+		for _, s := range tc.servers {
+			s.CrashStop()
+		}
+	})
+	return tc
+}
+
+// publishVia posts one publication through the router and returns the
+// response status code.
+func publishVia(t *testing.T, base string, user notif.UserID, id int) int {
+	t.Helper()
+	var req PublishRequest
+	req.Topic.Kind = "friend-feed"
+	req.Topic.Entity = 1
+	req.Recipients = []notif.UserID{user}
+	req.Item = audioItem(id, 99)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/publish", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("publish via router: %v", err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// userOnShard finds a user id the server's ring maps to the given shard.
+// The user ring is plain FNV, so small scans can miss a shard entirely.
+func userOnShard(t *testing.T, s *Server, shard int) notif.UserID {
+	t.Helper()
+	for u := 1; u <= 1_000_000; u++ {
+		if s.ShardFor(notif.UserID(u)) == shard {
+			return notif.UserID(u)
+		}
+	}
+	t.Fatalf("no user in 1..1e6 maps to shard %d", shard)
+	return 0
+}
+
+// drainCluster ticks through the router until every node's queues empty.
+func drainCluster(t *testing.T, tc *testCluster) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		httpTick(t, tc.front.URL)
+		depth := 0
+		for _, s := range tc.servers {
+			for _, snap := range s.Snapshots() {
+				depth += snap.QueueDepth + snap.BrokerPending
+			}
+		}
+		if depth == 0 {
+			return
+		}
+	}
+	t.Fatal("cluster queues never drained")
+}
+
+// TestClusterRouterEndToEnd drives the full multi-node data path: the
+// router assigns the shard space across two nodes, forwards a closed-loop
+// HTTP workload over the binary transport, aggregates health and metrics,
+// and the usual conservation invariant holds across node boundaries.
+func TestClusterRouterEndToEnd(t *testing.T) {
+	tc := startCluster(t, 4, t.TempDir(), "a", "b")
+
+	m := tc.router.Map()
+	if m == nil || m.Version != 1 {
+		t.Fatalf("router map version = %v, want 1", m)
+	}
+	if got := len(m.OwnedBy("a")) + len(m.OwnedBy("b")); got != 4 {
+		t.Fatalf("nodes own %d shards between them, want 4", got)
+	}
+	for name, s := range tc.servers {
+		if want := m.OwnedBy(name); len(s.OwnedShardIDs()) != len(want) {
+			t.Errorf("node %s owns %v, map says %v", name, s.OwnedShardIDs(), want)
+		}
+	}
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		BaseURLs:    []string{tc.front.URL},
+		Events:      120,
+		Concurrency: 4,
+		Users:       12,
+		Seed:        7,
+		TickEvery:   25,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Accepted != 120 {
+		t.Fatalf("accepted %d of 120 events: %s", res.Accepted, res)
+	}
+	drainCluster(t, tc)
+
+	// Conservation must hold over the union of both nodes' shards.
+	var arrived, delivered, dropped int
+	for _, s := range tc.servers {
+		for _, snap := range s.Snapshots() {
+			arrived += snap.Report.Arrived
+			delivered += snap.Report.Delivered
+			dropped += snap.Report.Dropped
+		}
+	}
+	if arrived == 0 || arrived != delivered+dropped {
+		t.Errorf("conservation violated across nodes: arrived %d != delivered %d + dropped %d",
+			arrived, delivered, dropped)
+	}
+
+	// Deliveries are reachable for every user through the router.
+	total := 0
+	for u := 1; u <= 12; u++ {
+		var dr DeliveriesResponse
+		if err := json.Unmarshal([]byte(httpGet(t, tc.front.URL+"/v1/users/"+strconv.Itoa(u)+"/deliveries")), &dr); err != nil {
+			t.Fatalf("deliveries user %d: %v", u, err)
+		}
+		total += len(dr.Deliveries)
+	}
+	if total == 0 {
+		t.Error("no deliveries visible through the router")
+	}
+
+	// Aggregated health: router role, both nodes up, full shard coverage.
+	var hr RouterHealthResponse
+	if err := json.Unmarshal([]byte(httpGet(t, tc.front.URL+"/healthz")), &hr); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if hr.Role != "router" || hr.Status != "ok" {
+		t.Errorf("healthz role/status = %s/%s, want router/ok", hr.Role, hr.Status)
+	}
+	covered := 0
+	for _, nh := range hr.Nodes {
+		if !nh.Up {
+			t.Errorf("node %s reported down", nh.Name)
+		}
+		covered += len(nh.OwnedShards)
+	}
+	if covered != 4 {
+		t.Errorf("healthz covers %d shards, want 4", covered)
+	}
+
+	// Aggregated metrics carry both the merged simulation report and the
+	// router-tier series.
+	body := httpGet(t, tc.front.URL+"/metrics")
+	for _, metric := range []string{
+		"richnote_notifications_arrived_total",
+		"richnote_delivery_delay_rounds_bucket",
+		"richnote_router_forwarded_publishes_total",
+		"richnote_router_transport_errors_total",
+		"richnote_router_reconnects_total",
+		"richnote_router_node_up",
+		"richnote_cluster_map_version 1",
+		"richnote_router_forward_latency_seconds_bucket",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("router metrics missing %s", metric)
+		}
+	}
+}
+
+// TestClusterPlannedHandoffBitIdentical exercises the freeze → ship bytes →
+// restore path: after real load, a shard moves between live nodes and the
+// restored state must be byte-identical to the frozen one (MoveShard
+// verifies this internally and fails otherwise); ownership, the map
+// version, and the publish path all follow the move.
+func TestClusterPlannedHandoffBitIdentical(t *testing.T) {
+	tc := startCluster(t, 4, t.TempDir(), "a", "b")
+
+	for i := 0; i < 60; i++ {
+		if code := publishVia(t, tc.front.URL, notif.UserID(i%12+1), i+1); code != http.StatusAccepted {
+			t.Fatalf("publish %d: status %d", i, code)
+		}
+		if i%20 == 19 {
+			httpTick(t, tc.front.URL)
+		}
+	}
+
+	m := tc.router.Map()
+	owned := m.OwnedBy("a")
+	if len(owned) == 0 {
+		t.Fatal("node a owns nothing; cannot test handoff")
+	}
+	shard := owned[0]
+
+	if err := tc.router.MoveShard(shard, "b"); err != nil {
+		t.Fatalf("MoveShard(%d, b): %v", shard, err)
+	}
+
+	next := tc.router.Map()
+	if next.Version != m.Version+1 {
+		t.Errorf("map version %d after move, want %d", next.Version, m.Version+1)
+	}
+	if got := next.Owner(shard).Name; got != "b" {
+		t.Errorf("shard %d owner = %s, want b", shard, got)
+	}
+	if tc.servers["a"].Owns(shard) {
+		t.Error("source still owns the shard after handoff")
+	}
+	if !tc.servers["b"].Owns(shard) {
+		t.Error("target does not own the shard after handoff")
+	}
+	if len(tc.servers["b"].AdoptedState(shard)) == 0 {
+		t.Error("target recorded no adopted state")
+	}
+
+	// The source now refuses the shard's users; the router routes to the
+	// new owner and publishes keep flowing.
+	user := userOnShard(t, tc.servers["a"], shard)
+	if err := tc.servers["a"].Publish(friendTopic(1), user, audioItem(9001, 99)); err != ErrNotOwner {
+		t.Errorf("source Publish after handoff = %v, want ErrNotOwner", err)
+	}
+	if code := publishVia(t, tc.front.URL, user, 9002); code != http.StatusAccepted {
+		t.Errorf("publish via router after handoff: status %d", code)
+	}
+	httpTick(t, tc.front.URL)
+
+	// Moving a shard to its current owner is a no-op, not an error.
+	if err := tc.router.MoveShard(shard, "b"); err != nil {
+		t.Errorf("MoveShard to current owner: %v", err)
+	}
+}
+
+// TestClusterCrashTakeoverByteIdentical is the crash half of the handoff
+// story: a node dies mid-run (kill -9 emulation), the router's probes
+// notice, the survivor adopts the orphaned shards from shared storage, and
+// the adopted state is byte-identical to what the dead node held — the WAL
+// was fsynced, so nothing is lost.
+func TestClusterCrashTakeoverByteIdentical(t *testing.T) {
+	tc := startCluster(t, 4, t.TempDir(), "a", "b")
+
+	for i := 0; i < 60; i++ {
+		if code := publishVia(t, tc.front.URL, notif.UserID(i%12+1), i+1); code != http.StatusAccepted {
+			t.Fatalf("publish %d: status %d", i, code)
+		}
+		if i%20 == 19 {
+			httpTick(t, tc.front.URL)
+		}
+	}
+
+	m := tc.router.Map()
+	victim := m.OwnedBy("a")
+	if len(victim) == 0 {
+		t.Fatal("node a owns nothing; cannot test takeover")
+	}
+
+	// Kill node a: goroutines stop without draining, transport goes dark.
+	sa := tc.servers["a"]
+	sa.CrashStop()
+	want := make(map[int][]byte, len(victim))
+	for _, id := range victim {
+		want[id] = sa.shards[id].stateBytes()
+	}
+	_ = tc.nodes["a"].Close()
+
+	// Two failed probes cross the death threshold and trigger the
+	// coordinator: recompute, adopt, broadcast.
+	tc.router.Membership().CheckNow()
+	tc.router.Membership().CheckNow()
+
+	next := tc.router.Map()
+	if next.Version != m.Version+1 {
+		t.Fatalf("map version %d after death, want %d", next.Version, m.Version+1)
+	}
+	if got := len(next.OwnedBy("b")); got != 4 {
+		t.Fatalf("survivor owns %d shards, want all 4", got)
+	}
+	if tc.router.Handoffs() == 0 {
+		t.Error("coordinator recorded no handoffs")
+	}
+
+	sb := tc.servers["b"]
+	for _, id := range victim {
+		got := sb.AdoptedState(id)
+		if len(got) == 0 {
+			t.Errorf("shard %d: survivor has no adopted state", id)
+			continue
+		}
+		if !bytes.Equal(got, want[id]) {
+			t.Errorf("shard %d: adopted state differs from crashed node's (%d vs %d bytes)",
+				id, len(got), len(want[id]))
+		}
+	}
+
+	// The cluster serves again: publishes to the dead node's users land on
+	// the survivor, rounds advance, conservation holds.
+	user := userOnShard(t, sb, victim[0])
+	if code := publishVia(t, tc.front.URL, user, 9100); code != http.StatusAccepted {
+		t.Errorf("publish after takeover: status %d", code)
+	}
+	httpTick(t, tc.front.URL)
+
+	var hr RouterHealthResponse
+	if err := json.Unmarshal([]byte(httpGet(t, tc.front.URL+"/healthz")), &hr); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	for _, nh := range hr.Nodes {
+		if nh.Name == "a" && nh.Up {
+			t.Error("dead node still reported up")
+		}
+		if nh.Name == "b" && !nh.Up {
+			t.Error("survivor reported down")
+		}
+	}
+}
+
+// TestClusterBackpressurePropagates pins the end-to-end 429 and 503 paths:
+// a node's ErrBackpressure surfaces at the router as 429 + Retry-After,
+// and a dead node surfaces as 503 + Retry-After.
+func TestClusterBackpressurePropagates(t *testing.T) {
+	walDir := t.TempDir()
+	cfg := clusterNodeConfig(1, walDir)
+	cfg.IngestBuffer = 4
+	cfg.HighWater = 1
+	// Own the shard from boot but never start its goroutine, so ingest
+	// only fills (the same trick TestBackpressure uses) — the router's
+	// adopt command no-ops on an already-owned shard.
+	cfg.OwnedShards = nil
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode("a", s)
+	if err := n.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(RouterConfig{
+		Shards:        1,
+		Peers:         []cluster.Node{{Name: "a", Addr: n.Addr()}},
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		front.Close()
+		r.Stop()
+		_ = n.Close()
+		s.CrashStop()
+	})
+
+	// No ticks drain the ingest buffer, so the second publish crosses the
+	// high-water mark and must come back 429 with Retry-After.
+	saw429 := false
+	for i := 0; i < 10 && !saw429; i++ {
+		var req PublishRequest
+		req.Topic.Kind = "friend-feed"
+		req.Topic.Entity = 1
+		req.Recipients = []notif.UserID{1}
+		req.Item = audioItem(i+1, 2)
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(front.URL+"/v1/publish", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		}
+		resp.Body.Close()
+	}
+	if !saw429 {
+		t.Error("backpressure never propagated as 429")
+	}
+
+	// Kill the node's transport: one probe marks it down, and publishes
+	// turn into retryable 503s.
+	_ = n.Close()
+	r.Membership().CheckNow()
+	var req PublishRequest
+	req.Topic.Kind = "friend-feed"
+	req.Topic.Entity = 1
+	req.Recipients = []notif.UserID{1}
+	req.Item = audioItem(999, 2)
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(front.URL+"/v1/publish", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("publish to dead node: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestStandaloneClusterFieldsDefault pins the standalone healthz shape the
+// cluster fields extended: role standalone, map version 0, every shard
+// owned — bit-compatible with single-process deployments.
+func TestStandaloneClusterFieldsDefault(t *testing.T) {
+	s := startServer(t, testConfig(2))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var hr HealthResponse
+	if err := json.Unmarshal([]byte(httpGet(t, ts.URL+"/healthz")), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Role != "standalone" {
+		t.Errorf("role = %q, want standalone", hr.Role)
+	}
+	if hr.MapVersion != 0 {
+		t.Errorf("map_version = %d, want 0", hr.MapVersion)
+	}
+	if len(hr.OwnedShards) != 2 {
+		t.Errorf("owned_shards = %v, want both", hr.OwnedShards)
+	}
+}

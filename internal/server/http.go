@@ -45,12 +45,19 @@ type DeliveriesResponse struct {
 	Deliveries []notif.Delivery `json:"deliveries"`
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body. Role, MapVersion and
+// OwnedShards report the cluster view: standalone processes own every
+// shard at map version 0, cluster nodes own the subset the coordinator
+// assigned them, and the router aggregates these per node (see
+// RouterHealthResponse).
 type HealthResponse struct {
-	Status string   `json:"status"`
-	Shards int      `json:"shards"`
-	Rounds []int    `json:"rounds"`
-	Errors []string `json:"errors,omitempty"`
+	Status      string   `json:"status"`
+	Role        string   `json:"role"`
+	MapVersion  uint64   `json:"map_version"`
+	Shards      int      `json:"shards"`
+	OwnedShards []int    `json:"owned_shards"`
+	Rounds      []int    `json:"rounds"`
+	Errors      []string `json:"errors,omitempty"`
 }
 
 func parseTopicKind(s string) (notif.TopicKind, error) {
@@ -161,15 +168,22 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	// Indexed by shard id (zero for unowned shards in cluster node mode),
+	// so the standalone response shape is unchanged.
 	rounds := make([]int, len(s.shards))
-	for i, snap := range s.Snapshots() {
-		rounds[i] = snap.Round
+	for _, snap := range s.Snapshots() {
+		rounds[snap.Shard] = snap.Round
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"rounds": rounds})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Shards: len(s.shards)}
+	resp := HealthResponse{
+		Shards:      len(s.shards),
+		Role:        s.Role(),
+		MapVersion:  s.MapVersion(),
+		OwnedShards: s.OwnedShardIDs(),
+	}
 	for _, snap := range s.Snapshots() {
 		resp.Rounds = append(resp.Rounds, snap.Round)
 		if snap.Err != "" {
@@ -244,8 +258,10 @@ func writeShardGauges(w http.ResponseWriter, snaps []ShardSnapshot, s *Server) {
 		printf("richnote_shard_lyapunov_p_joules{shard=\"%d\"} %g\n", sn.Shard, sn.Lyapunov.FinalP)
 	}
 	gaugeHeader("richnote_shard_ingest_depth", "Publications waiting in the shard's ingest buffer.")
-	for i, sn := range snaps {
-		printf("richnote_shard_ingest_depth{shard=\"%d\"} %d\n", sn.Shard, len(s.shards[i].ingest))
+	for _, sn := range snaps {
+		// Index by the snapshot's shard id, not slice position: in cluster
+		// node mode Snapshots returns only the owned subset.
+		printf("richnote_shard_ingest_depth{shard=\"%d\"} %d\n", sn.Shard, len(s.shards[sn.Shard].ingest))
 	}
 
 	printf("# HELP richnote_shard_rounds_total Completed scheduling rounds per shard.\n# TYPE richnote_shard_rounds_total counter\n")

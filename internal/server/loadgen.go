@@ -25,6 +25,10 @@ import (
 type LoadConfig struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs lists multiple fronts (e.g. several routers); requests
+	// round-robin across them and a refused connection rotates to the next
+	// front on retry. When set it supersedes BaseURL.
+	BaseURLs []string
 	// Events is the number of publications to deliver; required.
 	Events int
 	// Concurrency is the closed-loop worker count; defaults to 8.
@@ -51,8 +55,11 @@ type LoadConfig struct {
 }
 
 func (c *LoadConfig) applyDefaults() error {
-	if c.BaseURL == "" {
-		return errors.New("server: load needs a base URL")
+	if len(c.BaseURLs) == 0 {
+		if c.BaseURL == "" {
+			return errors.New("server: load needs a base URL")
+		}
+		c.BaseURLs = []string{c.BaseURL}
 	}
 	if c.Events <= 0 {
 		return errors.New("server: load needs a positive event count")
@@ -88,9 +95,12 @@ type LoadResult struct {
 	Sent          int
 	Accepted      int
 	Backpressured int
-	Failed        int
-	Ticks         int
-	Elapsed       time.Duration
+	// Unavailable counts 503 responses — a cluster router mid-handoff or a
+	// node answering for a shard it no longer owns. Retried like 429s.
+	Unavailable int
+	Failed      int
+	Ticks       int
+	Elapsed     time.Duration
 	// Throughput is accepted events per second of wall-clock time.
 	Throughput float64
 	// LatencyMs summarizes per-request publish latency in milliseconds
@@ -111,9 +121,9 @@ type LatencySummary struct {
 // String renders the result for CLI output.
 func (r LoadResult) String() string {
 	return fmt.Sprintf(
-		"sent=%d accepted=%d backpressured=%d failed=%d ticks=%d in %s (%.1f events/s)\n"+
+		"sent=%d accepted=%d backpressured=%d unavailable=%d failed=%d ticks=%d in %s (%.1f events/s)\n"+
 			"publish latency: mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
-		r.Sent, r.Accepted, r.Backpressured, r.Failed, r.Ticks,
+		r.Sent, r.Accepted, r.Backpressured, r.Unavailable, r.Failed, r.Ticks,
 		r.Elapsed.Round(time.Millisecond), r.Throughput,
 		r.LatencyMs.Mean, r.LatencyMs.P50, r.LatencyMs.P95, r.LatencyMs.P99, r.LatencyMs.Max)
 }
@@ -125,13 +135,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		return LoadResult{}, err
 	}
 	var (
-		next     atomic.Int64 // next event index to claim
-		sent     atomic.Int64
-		accepted atomic.Int64
-		rejected atomic.Int64
-		failed   atomic.Int64
-		ticks    atomic.Int64
+		next        atomic.Int64 // next event index to claim
+		sent        atomic.Int64
+		accepted    atomic.Int64
+		rejected    atomic.Int64
+		unavailable atomic.Int64
+		failed      atomic.Int64
+		ticks       atomic.Int64
+		rr          atomic.Int64 // round-robin cursor over BaseURLs
 	)
+	pick := func() string {
+		return cfg.BaseURLs[int(rr.Add(1)-1)%len(cfg.BaseURLs)]
+	}
 	start := time.Now() //lint:allow wallclock load-generator throughput is measured against the real clock
 	var wg sync.WaitGroup
 	hists := make([]*metrics.Histogram, cfg.Concurrency)
@@ -146,14 +161,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 				if i >= cfg.Events || ctx.Err() != nil {
 					return
 				}
-				ok := publishOne(ctx, &cfg, rng, i, &sent, &rejected, hists[w])
+				ok := publishOne(ctx, &cfg, pick, rng, i, &sent, &rejected, &unavailable, hists[w])
 				if !ok {
 					failed.Add(1)
 					continue
 				}
 				n := accepted.Add(1)
 				if cfg.TickEvery > 0 && n%int64(cfg.TickEvery) == 0 {
-					if tick(ctx, &cfg) {
+					if tick(ctx, &cfg, pick()) {
 						ticks.Add(1)
 					}
 				}
@@ -171,6 +186,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		Sent:          int(sent.Load()),
 		Accepted:      int(accepted.Load()),
 		Backpressured: int(rejected.Load()),
+		Unavailable:   int(unavailable.Load()),
 		Failed:        int(failed.Load()),
 		Ticks:         int(ticks.Load()),
 		Elapsed:       elapsed,
@@ -252,13 +268,15 @@ func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
 }
 
 // publishOne posts one event, retrying on backpressure (honoring the
-// server's Retry-After) and on transport errors (capped exponential
-// backoff) within the shared MaxRetries budget. Only requests that actually
+// server's Retry-After), on 503 unavailability (a cluster mid-handoff) and
+// on transport errors (capped exponential backoff) within the shared
+// MaxRetries budget. Each attempt asks pick() for a front, so a refused
+// connection rotates to the next -addr. Only requests that actually
 // reached the server count toward sent, so the reported events/s rate is
 // honest under connection failures. It records the latency of the accepted
 // request and returns false when the event had to be abandoned.
-func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
-	sent, rejected *atomic.Int64, lat *metrics.Histogram) bool {
+func publishOne(ctx context.Context, cfg *LoadConfig, pick func() string, rng *rand.Rand, i int,
+	sent, rejected, unavailable *atomic.Int64, lat *metrics.Histogram) bool {
 	body, err := json.Marshal(event(cfg, rng, i))
 	if err != nil {
 		return false
@@ -267,7 +285,7 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 		if ctx.Err() != nil {
 			return false
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/publish", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, pick()+"/v1/publish", bytes.NewReader(body))
 		if err != nil {
 			return false
 		}
@@ -296,8 +314,12 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 			//lint:allow wallclock publish latency is real end-to-end time, not virtual time
 			lat.Add(float64(time.Since(t0)) / float64(time.Millisecond))
 			return true
-		case http.StatusTooManyRequests:
-			rejected.Add(1)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if status == http.StatusTooManyRequests {
+				rejected.Add(1)
+			} else {
+				unavailable.Add(1)
+			}
 			wait := time.Second
 			//lint:allow wallclock RFC 9110 HTTP-date Retry-After is an absolute wall-clock instant
 			if d, ok := parseRetryAfter(retryAfter, time.Now()); ok && d > 0 {
@@ -317,8 +339,8 @@ func publishOne(ctx context.Context, cfg *LoadConfig, rng *rand.Rand, i int,
 }
 
 // tick posts /v1/tick, returning whether the server advanced.
-func tick(ctx context.Context, cfg *LoadConfig) bool {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/tick", nil)
+func tick(ctx context.Context, cfg *LoadConfig, base string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/tick", nil)
 	if err != nil {
 		return false
 	}

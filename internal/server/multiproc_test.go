@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessCluster is the acceptance test for the multi-node
+// deployment: real richnote-serve processes — one router, three shard-owner
+// nodes sharing a WAL directory — driven by the real richnote-load binary
+// through the router. One node is SIGKILLed mid-run; the router's probes
+// must notice, command crash takeover of the orphaned shards from shared
+// storage, and the load run must still deliver every event. Afterwards the
+// cluster drains and the cross-node conservation invariant is checked over
+// the router's aggregated /metrics.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	binDir := t.TempDir()
+	serveBin := filepath.Join(binDir, "richnote-serve")
+	loadBin := filepath.Join(binDir, "richnote-load")
+	for bin, pkg := range map[string]string{
+		serveBin: "./cmd/richnote-serve",
+		loadBin:  "./cmd/richnote-load",
+	} {
+		cmd := exec.Command(goBin, "build", "-race", "-o", bin, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	const shards = 6
+	walDir := t.TempDir()
+	names := []string{"a", "b", "c"}
+	httpAddrs := make(map[string]string, len(names))
+	clusterAddrs := make(map[string]string, len(names))
+	procs := make(map[string]*exec.Cmd, len(names)+1)
+	logs := make(map[string]*bytes.Buffer, len(names)+1)
+
+	startProc := func(name string, args ...string) {
+		cmd := exec.Command(serveBin, args...)
+		var buf bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &buf, &buf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		procs[name] = cmd
+		logs[name] = &buf
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+	}
+
+	for _, name := range names {
+		httpAddrs[name] = "127.0.0.1:" + freePort(t)
+		clusterAddrs[name] = "127.0.0.1:" + freePort(t)
+		startProc(name,
+			"-role=node", "-node.name="+name,
+			"-addr="+httpAddrs[name], "-cluster.listen="+clusterAddrs[name],
+			"-shards="+strconv.Itoa(shards), "-round=0",
+			"-wal.dir="+walDir, "-wal.fsync=always",
+			"-network=cell",
+		)
+	}
+	for _, name := range names {
+		waitHTTP(t, "http://"+httpAddrs[name]+"/healthz", 10*time.Second, logs[name])
+	}
+
+	routerAddr := "127.0.0.1:" + freePort(t)
+	var peerParts []string
+	for _, name := range names {
+		peerParts = append(peerParts, name+"="+clusterAddrs[name])
+	}
+	startProc("router",
+		"-role=router", "-addr="+routerAddr,
+		"-shards="+strconv.Itoa(shards),
+		"-peers="+strings.Join(peerParts, ","),
+	)
+	routerURL := "http://" + routerAddr
+	waitHTTP(t, routerURL+"/healthz", 15*time.Second, logs["router"])
+
+	// Drive load through the router in the background.
+	load := exec.Command(loadBin,
+		"-addr="+routerURL,
+		"-events=1500", "-concurrency=6", "-users=40",
+		"-tick-every=100", "-timeout=120s",
+	)
+	var loadOut bytes.Buffer
+	load.Stdout, load.Stderr = &loadOut, &loadOut
+	if err := load.Start(); err != nil {
+		t.Fatalf("starting richnote-load: %v", err)
+	}
+	loadDone := make(chan error, 1)
+	go func() { loadDone <- load.Wait() }()
+	t.Cleanup(func() { _ = load.Process.Kill() })
+
+	// Wait until real traffic is flowing, then kill one node cold.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if metricSum(t, httpGetBody(t, routerURL+"/metrics"), "richnote_router_forwarded_publishes_total") >= 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never saw 200 forwarded publishes\nrouter log:\n%s\nload output:\n%s", logs["router"], &loadOut)
+		}
+		select {
+		case err := <-loadDone:
+			t.Fatalf("load finished before the kill (err %v); raise -events\n%s", err, &loadOut)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if err := procs["b"].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL node b: %v", err)
+	}
+	_, _ = procs["b"].Process.Wait()
+
+	// The router must notice the death, bump the map, and the survivors
+	// must cover the whole shard space between them.
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		var hr RouterHealthResponse
+		if err := json.Unmarshal([]byte(httpGetBody(t, routerURL+"/healthz")), &hr); err == nil {
+			covered := make(map[int]bool)
+			bDown := false
+			for _, nh := range hr.Nodes {
+				if nh.Name == "b" {
+					bDown = !nh.Up
+					continue
+				}
+				for _, s := range nh.OwnedShards {
+					covered[s] = true
+				}
+			}
+			if hr.MapVersion >= 2 && bDown && len(covered) == shards {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("takeover never completed\nrouter log:\n%s", logs["router"])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The load run must finish with every event accepted: events bound for
+	// the dead node's shards ride 503 + Retry-After until the survivors own
+	// them.
+	select {
+	case err := <-loadDone:
+		if err != nil {
+			t.Fatalf("richnote-load failed: %v\n%s", err, &loadOut)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("richnote-load never finished\n%s", &loadOut)
+	}
+	out := loadOut.String()
+	accepted := intField(t, out, "accepted")
+	failed := intField(t, out, "failed")
+	if accepted != 1500 || failed != 0 {
+		t.Fatalf("load accepted=%d failed=%d, want 1500/0\n%s", accepted, failed, out)
+	}
+
+	// Drain every queue through the router, then check conservation on the
+	// aggregated exposition: nothing the cluster accepted may be lost in
+	// the handoff.
+	drained := false
+	for i := 0; i < 300; i++ {
+		resp, err := http.Post(routerURL+"/v1/tick", "application/json", nil)
+		if err != nil {
+			t.Fatalf("tick: %v", err)
+		}
+		resp.Body.Close()
+		body := httpGetBody(t, routerURL+"/metrics")
+		if metricSum(t, body, "richnote_shard_queue_depth") == 0 &&
+			metricSum(t, body, "richnote_shard_broker_pending") == 0 &&
+			metricSum(t, body, "richnote_shard_ingest_depth") == 0 {
+			drained = true
+			break
+		}
+	}
+	if !drained {
+		t.Fatal("cluster queues never drained after the run")
+	}
+	body := httpGetBody(t, routerURL+"/metrics")
+	arrived := metricSum(t, body, "richnote_notifications_arrived_total")
+	delivered := metricSum(t, body, "richnote_notifications_delivered_total")
+	dropped := metricSum(t, body, "richnote_dropped_total")
+	if arrived == 0 || arrived != delivered+dropped {
+		t.Errorf("conservation violated across processes: arrived %g != delivered %g + dropped %g",
+			arrived, delivered, dropped)
+	}
+	if metricSum(t, body, "richnote_cluster_map_version") < 2 {
+		t.Error("map version not bumped in metrics")
+	}
+	if metricSum(t, body, "richnote_router_handoffs_total") == 0 {
+		t.Error("router reported no handoffs after a node death")
+	}
+}
+
+// freePort reserves an ephemeral TCP port and returns it as a string.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, port, err := net.SplitHostPort(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return port
+}
+
+// waitHTTP polls a URL until it answers 200.
+func waitHTTP(t *testing.T, url string, timeout time.Duration, log *bytes.Buffer) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never answered 200\nprocess log:\n%s", url, log)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	return httpGet(t, url)
+}
+
+// metricSum sums every sample of one metric family in a Prometheus text
+// exposition, across label sets.
+func metricSum(t *testing.T, body, name string) float64 {
+	t.Helper()
+	sum := 0.0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		// Exact family match: next char must be a label brace or space,
+		// not a longer metric name.
+		if rest == "" || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// intField extracts `key=N` from richnote-load's summary line.
+func intField(t *testing.T, out, key string) int {
+	t.Helper()
+	m := regexp.MustCompile(key + `=(\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no %s= in load output:\n%s", key, out)
+	}
+	v, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/richnote/richnote/internal/cluster"
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/transport"
+	"github.com/richnote/richnote/internal/wal"
+)
+
+// Node wraps a Server in the cluster's node role: it owns a subset of the
+// shard space (Config.OwnedShards, possibly empty until the coordinator
+// assigns some) and serves the binary transport the router and its peers
+// speak — publish forwarding, deliveries fetch, tick fan-out, health,
+// freeze/adopt handoff commands and stats aggregation. The HTTP API can
+// still run alongside for direct inspection; in cluster deployments the
+// router is the only HTTP front.
+type Node struct {
+	name string
+	srv  *Server
+	ts   *transport.Server
+}
+
+// NewNode names a server instance for cluster membership. Serve starts
+// the transport listener.
+func NewNode(name string, srv *Server) *Node {
+	return &Node{name: name, srv: srv}
+}
+
+// Name returns the node's cluster-wide identity.
+func (n *Node) Name() string { return n.name }
+
+// Server returns the wrapped server.
+func (n *Node) Server() *Server { return n.srv }
+
+// Serve starts the transport listener on addr (":0" for ephemeral).
+func (n *Node) Serve(addr string) error {
+	ts, err := transport.Listen(addr, n)
+	if err != nil {
+		return fmt.Errorf("server: node %s: %w", n.name, err)
+	}
+	n.ts = ts
+	return nil
+}
+
+// Addr returns the transport listener address; "" before Serve.
+func (n *Node) Addr() string {
+	if n.ts == nil {
+		return ""
+	}
+	return n.ts.Addr()
+}
+
+// Close stops the transport listener. The wrapped Server shuts down
+// separately (Shutdown), so in-flight rounds finish cleanly.
+func (n *Node) Close() error {
+	if n.ts == nil {
+		return nil
+	}
+	return n.ts.Close()
+}
+
+// frameTimeout bounds the server work behind one frame; generous because
+// adopt-time WAL replay is real work.
+const frameTimeout = 30 * time.Second
+
+// ServeFrame dispatches one cluster RPC. Implements transport.Handler;
+// returning an error makes the transport answer with a FrameError frame.
+func (n *Node) ServeFrame(typ byte, payload []byte) (byte, []byte, error) {
+	//lint:allow wallclock RPC deadlines bound real I/O and replay work, not scheduling time
+	ctx, cancel := context.WithTimeout(context.Background(), frameTimeout)
+	defer cancel()
+	var e wal.Encoder
+	switch typ {
+	case FramePing:
+		e.Str(n.name)
+		return FramePong, e.Bytes(), nil
+
+	case FramePublish:
+		d := wal.NewDecoder(payload)
+		topic, user, item := decodePublishReq(d)
+		if err := decodeErr(d, "publish request"); err != nil {
+			return 0, nil, err
+		}
+		out := publishOutcome{status: publishAccepted, mapVer: n.srv.MapVersion()}
+		switch err := n.srv.Publish(topic, user, item); {
+		case err == nil:
+		case err == ErrBackpressure:
+			out.status = publishBackpressure
+			out.retryAfter = retryAfterSeconds(n.srv.RetryAfter())
+		case err == ErrNotOwner:
+			out.status = publishNotOwner
+		default:
+			out.status = publishError
+			out.errText = err.Error()
+		}
+		encodePublishResp(&e, out)
+		return FramePublishResp, e.Bytes(), nil
+
+	case FrameDeliveries:
+		d := wal.NewDecoder(payload)
+		user := notif.UserID(d.I64())
+		if err := decodeErr(d, "deliveries request"); err != nil {
+			return 0, nil, err
+		}
+		owned := n.srv.Owns(n.srv.ShardFor(user))
+		var ds []notif.Delivery
+		if owned {
+			ds = n.srv.Deliveries(user)
+		}
+		encodeDeliveriesResp(&e, owned, ds)
+		return FrameDeliveriesResp, e.Bytes(), nil
+
+	case FrameTick:
+		if err := n.srv.Tick(ctx); err != nil {
+			return 0, nil, err
+		}
+		snaps := n.srv.Snapshots()
+		e.U32(uint32(len(snaps)))
+		for _, sn := range snaps {
+			e.U32(uint32(sn.Shard))
+			e.I64(int64(sn.Round))
+		}
+		return FrameTickResp, e.Bytes(), nil
+
+	case FrameHealth:
+		encodeNodeHealth(&e, n.health())
+		return FrameHealthResp, e.Bytes(), nil
+
+	case FrameMapUpdate:
+		m, err := cluster.Decode(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if m.Shards != n.srv.Shards() {
+			return 0, nil, fmt.Errorf("server: node %s: map has %d shards, this node runs %d", n.name, m.Shards, n.srv.Shards())
+		}
+		n.srv.SetMapVersion(m.Version)
+		e.U64(m.Version)
+		return FrameMapAck, e.Bytes(), nil
+
+	case FrameFreeze:
+		d := wal.NewDecoder(payload)
+		id := int(d.U32())
+		if err := decodeErr(d, "freeze request"); err != nil {
+			return 0, nil, err
+		}
+		snap, state, err := n.srv.FreezeShard(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		e.Str(string(snap))
+		e.Str(string(state))
+		return FrameFreezeResp, e.Bytes(), nil
+
+	case FrameAdopt:
+		d := wal.NewDecoder(payload)
+		id := int(d.U32())
+		mode := d.U8()
+		var snap string
+		if mode == adoptBytes {
+			snap = d.Str()
+		}
+		if err := decodeErr(d, "adopt request"); err != nil {
+			return 0, nil, err
+		}
+		var err error
+		switch mode {
+		case adoptFromWAL:
+			// Idempotent: a restarted coordinator re-commands the whole
+			// assignment; shards this node already owns are a no-op.
+			if id >= 0 && id < n.srv.Shards() && n.srv.Owns(id) {
+				err = nil
+			} else {
+				err = n.srv.AdoptShardFromWAL(id)
+			}
+		case adoptBytes:
+			err = n.srv.AdoptShardBytes(id, []byte(snap))
+		default:
+			err = fmt.Errorf("server: node %s: unknown adopt mode %d", n.name, mode)
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		e.Str(string(n.srv.AdoptedState(id)))
+		return FrameAdoptResp, e.Bytes(), nil
+
+	case FrameShardState:
+		d := wal.NewDecoder(payload)
+		id := int(d.U32())
+		if err := decodeErr(d, "shard state request"); err != nil {
+			return 0, nil, err
+		}
+		state, err := n.srv.ShardState(ctx, id)
+		if err != nil {
+			return 0, nil, err
+		}
+		e.Str(string(state))
+		return FrameShardStateResp, e.Bytes(), nil
+
+	case FrameStats:
+		encodeNodeStats(&e, n.stats())
+		return FrameStatsResp, e.Bytes(), nil
+
+	default:
+		return 0, nil, fmt.Errorf("server: node %s: unknown frame type %d", n.name, typ)
+	}
+}
+
+// health assembles this node's wire health report.
+func (n *Node) health() nodeHealth {
+	h := nodeHealth{
+		Name:       n.name,
+		Role:       "node",
+		MapVersion: n.srv.MapVersion(),
+	}
+	for _, sn := range n.srv.Snapshots() {
+		h.OwnedShards = append(h.OwnedShards, sn.Shard)
+		h.Rounds = append(h.Rounds, sn.Round)
+		h.Users += sn.Users
+		h.QueueDepth += sn.QueueDepth
+		if sn.Err != "" {
+			h.Errs = append(h.Errs, fmt.Sprintf("shard %d: %s", sn.Shard, sn.Err))
+		}
+	}
+	return h
+}
+
+// stats merges the owned shards' reports and delay histograms into the
+// node's wire stats.
+func (n *Node) stats() nodeStats {
+	s := nodeStats{
+		Backpressured: n.srv.Backpressured(),
+		Dropped:       n.srv.Dropped(),
+	}
+	for _, sn := range n.srv.Snapshots() {
+		s.Report.Merge(sn.Report)
+		if merged, err := metrics.MergeBuckets(s.DelayBuckets, sn.DelayBuckets); err == nil {
+			s.DelayBuckets = merged
+		}
+	}
+	return s
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/pubsub"
+	"github.com/richnote/richnote/internal/wal"
+)
+
+// The cluster RPC set carried over internal/transport frames (DESIGN.md
+// §13). Requests are even-numbered responses minus one; payloads use the
+// internal/wal codec like every other persistent byte string in the
+// system. The transport reserves 0xFF for handler errors.
+const (
+	FramePing           byte = 1
+	FramePong           byte = 2
+	FramePublish        byte = 3
+	FramePublishResp    byte = 4
+	FrameDeliveries     byte = 5
+	FrameDeliveriesResp byte = 6
+	FrameTick           byte = 7
+	FrameTickResp       byte = 8
+	FrameHealth         byte = 9
+	FrameHealthResp     byte = 10
+	FrameMapUpdate      byte = 11
+	FrameMapAck         byte = 12
+	FrameFreeze         byte = 13
+	FrameFreezeResp     byte = 14
+	FrameAdopt          byte = 15
+	FrameAdoptResp      byte = 16
+	FrameShardState     byte = 17
+	FrameShardStateResp byte = 18
+	FrameStats          byte = 19
+	FrameStatsResp      byte = 20
+)
+
+// Publish-forward outcome codes (FramePublishResp status byte).
+const (
+	publishAccepted     = 0
+	publishBackpressure = 1
+	publishNotOwner     = 2
+	publishError        = 3
+)
+
+// Adopt modes (FrameAdopt mode byte).
+const (
+	adoptFromWAL byte = 0 // crash takeover: restore from shared-storage files
+	adoptBytes   byte = 1 // planned handoff: snapshot bytes ride the frame
+)
+
+func encodePublishReq(e *wal.Encoder, topic pubsub.TopicID, user notif.UserID, item notif.Item) {
+	e.I64(int64(topic.Kind))
+	e.I64(topic.Entity)
+	e.I64(int64(user))
+	encodeItem(e, item)
+}
+
+func decodePublishReq(d *wal.Decoder) (pubsub.TopicID, notif.UserID, notif.Item) {
+	topic := pubsub.TopicID{Kind: notif.TopicKind(d.I64()), Entity: d.I64()}
+	user := notif.UserID(d.I64())
+	return topic, user, decodeItem(d)
+}
+
+// publishOutcome is the decoded FramePublishResp.
+type publishOutcome struct {
+	status     byte
+	retryAfter int // seconds, meaningful for backpressure
+	mapVer     uint64
+	errText    string
+}
+
+func encodePublishResp(e *wal.Encoder, o publishOutcome) {
+	e.U8(o.status)
+	e.U32(uint32(o.retryAfter))
+	e.U64(o.mapVer)
+	e.Str(o.errText)
+}
+
+func decodePublishResp(d *wal.Decoder) publishOutcome {
+	return publishOutcome{
+		status:     d.U8(),
+		retryAfter: int(d.U32()),
+		mapVer:     d.U64(),
+		errText:    d.Str(),
+	}
+}
+
+func encodeDeliveriesResp(e *wal.Encoder, owned bool, ds []notif.Delivery) {
+	e.Bool(owned)
+	e.U32(uint32(len(ds)))
+	for i := range ds {
+		encodeDelivery(e, &ds[i])
+	}
+}
+
+func decodeDeliveriesResp(d *wal.Decoder) (bool, []notif.Delivery) {
+	owned := d.Bool()
+	n := d.Count(80, "deliveries")
+	ds := make([]notif.Delivery, 0, n)
+	for i := 0; i < n; i++ {
+		ds = append(ds, decodeDelivery(d))
+	}
+	return owned, ds
+}
+
+// nodeHealth is the wire form of one node's health report.
+type nodeHealth struct {
+	Name        string
+	Role        string
+	MapVersion  uint64
+	OwnedShards []int
+	Rounds      []int // parallel to OwnedShards
+	Users       int
+	QueueDepth  int
+	Errs        []string
+}
+
+func encodeNodeHealth(e *wal.Encoder, h nodeHealth) {
+	e.Str(h.Name)
+	e.Str(h.Role)
+	e.U64(h.MapVersion)
+	e.U32(uint32(len(h.OwnedShards)))
+	for i, s := range h.OwnedShards {
+		e.U32(uint32(s))
+		e.I64(int64(h.Rounds[i]))
+	}
+	e.U32(uint32(h.Users))
+	e.U32(uint32(h.QueueDepth))
+	e.U32(uint32(len(h.Errs)))
+	for _, s := range h.Errs {
+		e.Str(s)
+	}
+}
+
+func decodeNodeHealth(d *wal.Decoder) nodeHealth {
+	h := nodeHealth{
+		Name:       d.Str(),
+		Role:       d.Str(),
+		MapVersion: d.U64(),
+	}
+	n := d.Count(12, "owned shards")
+	for i := 0; i < n; i++ {
+		h.OwnedShards = append(h.OwnedShards, int(d.U32()))
+		h.Rounds = append(h.Rounds, int(d.I64()))
+	}
+	h.Users = int(d.U32())
+	h.QueueDepth = int(d.U32())
+	ne := d.Count(4, "health errors")
+	for i := 0; i < ne; i++ {
+		h.Errs = append(h.Errs, d.Str())
+	}
+	return h
+}
+
+// encodeReport serializes a metrics.Report with LevelCounts in ascending
+// level order, so identical reports encode identically.
+func encodeReport(e *wal.Encoder, r metrics.Report) {
+	e.I64(int64(r.Users))
+	e.I64(int64(r.Arrived))
+	e.I64(int64(r.ClickedTotal))
+	e.I64(int64(r.Delivered))
+	e.I64(r.DeliveredBytes)
+	e.F64(r.UtilitySum)
+	e.F64(r.TrueUtilitySum)
+	e.I64(int64(r.ClickedAndDelivered))
+	e.I64(int64(r.DeliveredBeforeClick))
+	e.F64(r.EnergyJ)
+	e.I64(int64(r.DelayRoundsSum))
+	levels := make([]int, 0, len(r.LevelCounts))
+	for lvl := range r.LevelCounts {
+		levels = append(levels, lvl)
+	}
+	sort.Ints(levels)
+	e.U32(uint32(len(levels)))
+	for _, lvl := range levels {
+		e.I64(int64(lvl))
+		e.I64(int64(r.LevelCounts[lvl]))
+	}
+	e.I64(int64(r.TransferFailures))
+	e.I64(int64(r.RetriedDeliveries))
+	e.I64(int64(r.DegradedDeliveries))
+	e.I64(int64(r.Dropped))
+	e.F64(r.WastedEnergyJ)
+	e.F64(r.DelayP50Rounds)
+	e.F64(r.DelayP95Rounds)
+}
+
+func decodeReport(d *wal.Decoder) metrics.Report {
+	r := metrics.Report{
+		Users:                int(d.I64()),
+		Arrived:              int(d.I64()),
+		ClickedTotal:         int(d.I64()),
+		Delivered:            int(d.I64()),
+		DeliveredBytes:       d.I64(),
+		UtilitySum:           d.F64(),
+		TrueUtilitySum:       d.F64(),
+		ClickedAndDelivered:  int(d.I64()),
+		DeliveredBeforeClick: int(d.I64()),
+		EnergyJ:              d.F64(),
+		DelayRoundsSum:       int(d.I64()),
+	}
+	n := d.Count(16, "level counts")
+	if n > 0 {
+		r.LevelCounts = make(map[int]int, n)
+	}
+	for i := 0; i < n; i++ {
+		lvl := int(d.I64())
+		r.LevelCounts[lvl] = int(d.I64())
+	}
+	r.TransferFailures = int(d.I64())
+	r.RetriedDeliveries = int(d.I64())
+	r.DegradedDeliveries = int(d.I64())
+	r.Dropped = int(d.I64())
+	r.WastedEnergyJ = d.F64()
+	r.DelayP50Rounds = d.F64()
+	r.DelayP95Rounds = d.F64()
+	return r
+}
+
+func encodeBuckets(e *wal.Encoder, bs []metrics.Bucket) {
+	e.U32(uint32(len(bs)))
+	for _, b := range bs {
+		e.F64(b.UpperBound)
+		e.U64(b.Count)
+	}
+}
+
+func decodeBuckets(d *wal.Decoder) []metrics.Bucket {
+	n := d.Count(16, "buckets")
+	bs := make([]metrics.Bucket, 0, n)
+	for i := 0; i < n; i++ {
+		bs = append(bs, metrics.Bucket{UpperBound: d.F64(), Count: d.U64()})
+	}
+	return bs
+}
+
+// nodeStats is the wire form of one node's FrameStatsResp: the merged
+// report + delay histogram of its owned shards plus the ingest rejection
+// counters, ready for the router's Report.Merge/MergeBuckets aggregation.
+type nodeStats struct {
+	Report        metrics.Report
+	DelayBuckets  []metrics.Bucket
+	Backpressured uint64
+	Dropped       uint64
+}
+
+func encodeNodeStats(e *wal.Encoder, s nodeStats) {
+	encodeReport(e, s.Report)
+	encodeBuckets(e, s.DelayBuckets)
+	e.U64(s.Backpressured)
+	e.U64(s.Dropped)
+}
+
+func decodeNodeStats(d *wal.Decoder) nodeStats {
+	return nodeStats{
+		Report:        decodeReport(d),
+		DelayBuckets:  decodeBuckets(d),
+		Backpressured: d.U64(),
+		Dropped:       d.U64(),
+	}
+}
+
+// decodeErr finishes a decode, converting a latched decoder error into a
+// labeled error value.
+func decodeErr(d *wal.Decoder, what string) error {
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("server: decoding %s: %w", what, err)
+	}
+	return nil
+}

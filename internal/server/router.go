@@ -1,0 +1,677 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/richnote/richnote/internal/cluster"
+	"github.com/richnote/richnote/internal/metrics"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/pubsub"
+	"github.com/richnote/richnote/internal/transport"
+	"github.com/richnote/richnote/internal/wal"
+)
+
+// Router is the stateless HTTP front of a multi-node deployment (DESIGN.md
+// §13). It serves the same HTTP/JSON API as a standalone Server but owns no
+// shard state: each request is routed by the user ring to the owning node
+// and forwarded over the binary transport. The router doubles as the
+// cluster coordinator — it computes the initial shard map, probes node
+// health, and on a node death recomputes the map over the survivors and
+// commands the crash takeover (AdoptShardFromWAL on shared storage).
+//
+// Backpressure propagates end-to-end: a node's ErrBackpressure becomes the
+// router's 429 with the node's Retry-After; an unreachable or non-owning
+// node becomes a 503 with Retry-After, since a map update is usually
+// seconds away.
+type Router struct {
+	shards     int
+	ring       *ring
+	cfg        RouterConfig
+	membership *cluster.Membership
+
+	cmap atomic.Pointer[cluster.Map] // richnote:atomic
+
+	// rebalanceMu serializes map transitions (initial assignment, death
+	// rebalances, planned moves) so versions advance linearly.
+	rebalanceMu sync.Mutex
+
+	// These maps are built once in NewRouter and never mutated after; the
+	// pointed-to values carry their own atomicity.
+	clients   map[string]*transport.Client // node name → transport client
+	forwarded map[string]*atomic.Uint64    // node name → publishes forwarded
+	nodeUp    map[string]*atomic.Bool      // node name → last probe verdict
+
+	handoffs atomic.Uint64 // richnote:atomic — shards reassigned by this coordinator
+
+	latMu      sync.Mutex
+	fwdLatency metrics.Histogram // forward round-trip seconds; richnote:confined(latMu)
+}
+
+// RouterConfig configures a Router; Peers and Shards are required.
+type RouterConfig struct {
+	// Shards is the cluster-wide shard count; must match every node's
+	// Config.Shards.
+	Shards int
+	// Peers is the static seed membership: every shard-owner node's name
+	// and transport address.
+	Peers []cluster.Node
+	// ProbeInterval is the health-probe period; defaults to 500ms.
+	ProbeInterval time.Duration
+	// ProbeThreshold is the consecutive-failure count declaring a node
+	// dead; defaults to 2.
+	ProbeThreshold int
+	// RetryAfter is advertised on 503 responses while the map is catching
+	// up with a dead node; defaults to 1s.
+	RetryAfter time.Duration
+	// Client tunes the per-node transport clients.
+	Client transport.ClientConfig
+}
+
+// NewRouter builds a router over a static peer set. Start performs the
+// initial shard assignment and begins health probing.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("server: router needs a positive shard count, got %d", cfg.Shards)
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("server: router needs at least one peer")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeThreshold <= 0 {
+		cfg.ProbeThreshold = 2
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	r := &Router{
+		shards:    cfg.Shards,
+		ring:      newRing(cfg.Shards, 0),
+		cfg:       cfg,
+		clients:   make(map[string]*transport.Client, len(cfg.Peers)),
+		forwarded: make(map[string]*atomic.Uint64, len(cfg.Peers)),
+		nodeUp:    make(map[string]*atomic.Bool, len(cfg.Peers)),
+	}
+	for _, p := range cfg.Peers {
+		if _, dup := r.clients[p.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate peer name %q", p.Name)
+		}
+		r.clients[p.Name] = transport.NewClient(p.Addr, cfg.Client)
+		r.forwarded[p.Name] = &atomic.Uint64{}
+		up := &atomic.Bool{}
+		up.Store(true)
+		r.nodeUp[p.Name] = up
+	}
+	return r, nil
+}
+
+// Start computes map version 1 over the seed peers, commands each node to
+// adopt its assigned shards from shared storage, broadcasts the map, and
+// begins health probing. Nodes are expected to boot owning nothing
+// (Config.OwnedShards = []int{}); a node that cannot adopt fails startup.
+func (r *Router) Start() error {
+	r.rebalanceMu.Lock()
+	defer r.rebalanceMu.Unlock()
+
+	m, err := cluster.Compute(1, r.cfg.Peers, r.shards)
+	if err != nil {
+		return err
+	}
+	for _, n := range m.Nodes {
+		for _, shard := range m.OwnedBy(n.Name) {
+			if err := r.commandAdopt(n.Name, shard); err != nil {
+				return fmt.Errorf("server: initial assignment of shard %d to %s: %w", shard, n.Name, err)
+			}
+		}
+	}
+	r.broadcastMap(m)
+	r.cmap.Store(m)
+
+	// The membership probe is a transport ping: one small frame through
+	// the same pooled client the data path uses, so "healthy" means the
+	// path requests take is healthy.
+	probe := func(addr string) error {
+		name := r.nameForAddr(addr)
+		if name == "" {
+			return fmt.Errorf("server: probe for unknown peer address %s", addr)
+		}
+		_, _, err := r.clients[name].Call(FramePing, nil)
+		r.nodeUp[name].Store(err == nil)
+		return err
+	}
+	r.membership = cluster.NewMembership(r.cfg.Peers, probe, cluster.MembershipConfig{
+		Interval:  r.cfg.ProbeInterval,
+		Threshold: r.cfg.ProbeThreshold,
+	})
+	r.membership.OnChange(r.onMembershipChange)
+	r.membership.Start()
+	return nil
+}
+
+// Stop halts probing and drops every node connection. Shard-owner nodes
+// keep serving; only this front goes away.
+func (r *Router) Stop() {
+	if r.membership != nil {
+		r.membership.Stop()
+	}
+	for _, c := range r.clients {
+		c.Close()
+	}
+}
+
+// Map returns the current cluster map (nil before Start completes).
+func (r *Router) Map() *cluster.Map { return r.cmap.Load() }
+
+// Handoffs returns how many shard reassignments this coordinator has
+// commanded (crash takeovers + planned moves).
+func (r *Router) Handoffs() uint64 { return r.handoffs.Load() }
+
+// Membership exposes the health prober, mainly so tests can force a
+// CheckNow instead of waiting out probe intervals.
+func (r *Router) Membership() *cluster.Membership { return r.membership }
+
+func (r *Router) nameForAddr(addr string) string {
+	for _, p := range r.cfg.Peers {
+		if p.Addr == addr {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// onMembershipChange is the coordinator: on node death it recomputes the
+// map over the survivors, commands crash takeover of every orphaned shard,
+// and broadcasts the new map. Runs on the membership's probe goroutine.
+func (r *Router) onMembershipChange(live []cluster.Node) {
+	r.rebalanceMu.Lock()
+	defer r.rebalanceMu.Unlock()
+
+	old := r.cmap.Load()
+	if old == nil || len(live) == 0 {
+		return // nothing to reassign to; requests will 503 until nodes return
+	}
+	next, err := old.Rebalance(old.Version+1, live)
+	if err != nil {
+		return
+	}
+	liveNames := make(map[string]bool, len(live))
+	for _, n := range live {
+		liveNames[n.Name] = true
+	}
+	for s := 0; s < r.shards; s++ {
+		was, now := old.Owner(s), next.Owner(s)
+		if was.Name == now.Name {
+			continue
+		}
+		if !liveNames[now.Name] {
+			continue // both owners dead; shard stays orphaned until a restart
+		}
+		if err := r.commandAdopt(now.Name, s); err != nil {
+			// The target could not take the shard (transport failure or
+			// replay error). Publishing to it will 503 until the next
+			// membership change retries; honest failure beats a map that
+			// lies about ownership.
+			continue
+		}
+		r.handoffs.Add(1)
+	}
+	r.broadcastMap(next)
+	r.cmap.Store(next)
+}
+
+// commandAdopt tells a node to take over one shard from shared storage
+// (crash takeover: snapshot + WAL tail replay).
+func (r *Router) commandAdopt(node string, shard int) error {
+	var e wal.Encoder
+	e.U32(uint32(shard))
+	e.U8(adoptFromWAL)
+	_, _, err := r.clients[node].Call(FrameAdopt, e.Bytes())
+	return err
+}
+
+// broadcastMap ships a map to every reachable node. A node that misses the
+// update learns the version lag from forwarded publishes' map versions and
+// the next broadcast; the router never blocks on a dead node here.
+func (r *Router) broadcastMap(m *cluster.Map) {
+	payload := m.Encode()
+	for _, n := range m.Nodes {
+		if c, ok := r.clients[n.Name]; ok {
+			_, _, _ = c.Call(FrameMapUpdate, payload)
+		}
+	}
+}
+
+// MoveShard performs a planned handoff: freeze the shard on its current
+// owner, ship the snapshot bytes to the target over the transport, verify
+// the restored state is bit-identical, and publish the updated map. The
+// source's frozen state and the target's restored state are compared
+// byte-for-byte — a mismatch aborts with the map unchanged.
+func (r *Router) MoveShard(shard int, target string) error {
+	r.rebalanceMu.Lock()
+	defer r.rebalanceMu.Unlock()
+
+	m := r.cmap.Load()
+	if m == nil {
+		return fmt.Errorf("server: router has no map yet")
+	}
+	if shard < 0 || shard >= r.shards {
+		return fmt.Errorf("server: shard %d out of range [0,%d)", shard, r.shards)
+	}
+	src := m.Owner(shard)
+	if src.Name == target {
+		return nil
+	}
+	targetClient, ok := r.clients[target]
+	if !ok {
+		return fmt.Errorf("server: unknown target node %q", target)
+	}
+	next, err := m.WithOwner(m.Version+1, shard, target)
+	if err != nil {
+		return err
+	}
+
+	var e wal.Encoder
+	e.U32(uint32(shard))
+	_, resp, err := r.clients[src.Name].Call(FrameFreeze, e.Bytes())
+	if err != nil {
+		return fmt.Errorf("server: freezing shard %d on %s: %w", shard, src.Name, err)
+	}
+	d := wal.NewDecoder(resp)
+	snap, frozenState := d.Str(), d.Str()
+	if err := decodeErr(d, "freeze response"); err != nil {
+		return err
+	}
+
+	e.Reset()
+	e.U32(uint32(shard))
+	e.U8(adoptBytes)
+	e.Str(snap)
+	_, resp, err = targetClient.Call(FrameAdopt, e.Bytes())
+	if err != nil {
+		return fmt.Errorf("server: adopting shard %d on %s: %w", shard, target, err)
+	}
+	d = wal.NewDecoder(resp)
+	adoptedState := d.Str()
+	if err := decodeErr(d, "adopt response"); err != nil {
+		return err
+	}
+	if adoptedState != frozenState {
+		return fmt.Errorf("server: shard %d handoff state mismatch: source froze %d bytes, target restored %d bytes (not bit-identical)", shard, len(frozenState), len(adoptedState))
+	}
+
+	r.broadcastMap(next)
+	r.cmap.Store(next)
+	r.handoffs.Add(1)
+	return nil
+}
+
+// RouterHealthResponse is the router's GET /healthz body: its own status
+// plus one entry per node, aggregated live over the transport.
+type RouterHealthResponse struct {
+	Status     string             `json:"status"`
+	Role       string             `json:"role"`
+	MapVersion uint64             `json:"map_version"`
+	Shards     int                `json:"shards"`
+	Nodes      []RouterNodeHealth `json:"nodes"`
+}
+
+// RouterNodeHealth is one node's slice of the router's health report.
+type RouterNodeHealth struct {
+	Name        string   `json:"name"`
+	Addr        string   `json:"addr"`
+	Up          bool     `json:"up"`
+	MapVersion  uint64   `json:"map_version,omitempty"`
+	OwnedShards []int    `json:"owned_shards"`
+	Rounds      []int    `json:"rounds"`
+	Users       int      `json:"users"`
+	QueueDepth  int      `json:"queue_depth"`
+	Errors      []string `json:"errors,omitempty"`
+}
+
+// Handler returns the router's HTTP API — the same surface a standalone
+// Server exposes, served by forwarding.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/publish", r.handlePublish)
+	mux.HandleFunc("GET /v1/users/{id}/deliveries", r.handleDeliveries)
+	mux.HandleFunc("POST /v1/tick", r.handleTick)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return mux
+}
+
+func (r *Router) retrySeconds() int { return retryAfterSeconds(r.cfg.RetryAfter) }
+
+// forwardPublish routes one recipient's publication to the owning node.
+// The returned outcome folds transport failures into publishError so the
+// caller only reasons about the four status codes.
+func (r *Router) forwardPublish(topic pubsub.TopicID, user notif.UserID, item notif.Item) publishOutcome {
+	m := r.cmap.Load()
+	if m == nil {
+		return publishOutcome{status: publishError, errText: "router has no shard map yet"}
+	}
+	shard := r.ring.shardFor(user)
+	owner := m.Owner(shard)
+	c := r.clients[owner.Name]
+	if c == nil || !r.nodeUp[owner.Name].Load() {
+		return publishOutcome{status: publishNotOwner, errText: fmt.Sprintf("node %s (shard %d) is down", owner.Name, shard)}
+	}
+
+	var e wal.Encoder
+	encodePublishReq(&e, topic, user, item)
+	start := time.Now() //lint:allow wallclock forward latency measures real network round trips
+	_, resp, err := c.Call(FramePublish, e.Bytes())
+	elapsed := time.Since(start) //lint:allow wallclock forward latency measures real network round trips
+	r.latMu.Lock()
+	r.fwdLatency.Add(elapsed.Seconds())
+	r.latMu.Unlock()
+	if err != nil {
+		return publishOutcome{status: publishError, errText: err.Error()}
+	}
+	r.forwarded[owner.Name].Add(1)
+	d := wal.NewDecoder(resp)
+	out := decodePublishResp(d)
+	if err := decodeErr(d, "publish response"); err != nil {
+		return publishOutcome{status: publishError, errText: err.Error()}
+	}
+	return out
+}
+
+func (r *Router) handlePublish(w http.ResponseWriter, req *http.Request) {
+	var body PublishRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed publish request: "+err.Error())
+		return
+	}
+	kind, err := parseTopicKind(body.Topic.Kind)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	recipients := body.Recipients
+	if len(recipients) == 0 {
+		if body.Item.Recipient == 0 {
+			httpError(w, http.StatusBadRequest, "publish needs recipients or item.recipient")
+			return
+		}
+		recipients = []notif.UserID{body.Item.Recipient}
+	}
+	if body.Item.Topic == 0 {
+		body.Item.Topic = kind
+	}
+	if body.Item.CreatedAt.IsZero() {
+		body.Item.CreatedAt = time.Now().UTC() //lint:allow wallclock ingest timestamps are real arrival times
+	}
+	topic := pubsub.TopicID{Kind: kind, Entity: body.Topic.Entity}
+
+	var resp PublishResponse
+	backpressured, unavailable := false, false
+	retryAfter := 0
+	for _, rcpt := range recipients {
+		out := r.forwardPublish(topic, rcpt, body.Item)
+		switch out.status {
+		case publishAccepted:
+			resp.Accepted++
+		case publishBackpressure:
+			resp.Rejected++
+			backpressured = true
+			if out.retryAfter > retryAfter {
+				retryAfter = out.retryAfter
+			}
+		default: // not-owner (stale map / node down) or error
+			resp.Rejected++
+			unavailable = true
+		}
+	}
+	switch {
+	case unavailable:
+		// A map update is usually seconds away; tell the client when to retry.
+		w.Header().Set("Retry-After", strconv.Itoa(r.retrySeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	case backpressured:
+		if retryAfter < 1 {
+			retryAfter = r.retrySeconds()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	default:
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
+func (r *Router) handleDeliveries(w http.ResponseWriter, req *http.Request) {
+	id, err := strconv.ParseInt(req.PathValue("id"), 10, 64)
+	if err != nil || id <= 0 {
+		httpError(w, http.StatusBadRequest, "bad user id")
+		return
+	}
+	user := notif.UserID(id)
+	m := r.cmap.Load()
+	if m == nil {
+		httpError(w, http.StatusServiceUnavailable, "router has no shard map yet")
+		return
+	}
+	owner := m.Owner(r.ring.shardFor(user))
+	c := r.clients[owner.Name]
+	if c == nil {
+		httpError(w, http.StatusServiceUnavailable, "owning node unknown")
+		return
+	}
+	var e wal.Encoder
+	e.I64(int64(user))
+	_, resp, err := c.Call(FrameDeliveries, e.Bytes())
+	if err != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(r.retrySeconds()))
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	d := wal.NewDecoder(resp)
+	owned, ds := decodeDeliveriesResp(d)
+	if err := decodeErr(d, "deliveries response"); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !owned {
+		// The node's map lags ours (or ours lags the truth). Retryable.
+		w.Header().Set("Retry-After", strconv.Itoa(r.retrySeconds()))
+		httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("node %s no longer owns user %d's shard", owner.Name, user))
+		return
+	}
+	if ds == nil {
+		ds = []notif.Delivery{}
+	}
+	writeJSON(w, http.StatusOK, DeliveriesResponse{User: user, Deliveries: ds})
+}
+
+func (r *Router) handleTick(w http.ResponseWriter, req *http.Request) {
+	m := r.cmap.Load()
+	if m == nil {
+		httpError(w, http.StatusServiceUnavailable, "router has no shard map yet")
+		return
+	}
+	// Fan the tick out to every node in name order (deterministic), then
+	// splice the per-shard rounds into the standalone response shape.
+	rounds := make([]int, r.shards)
+	for _, n := range m.Nodes {
+		c := r.clients[n.Name]
+		if c == nil || !r.nodeUp[n.Name].Load() {
+			continue // dead node's shards report round 0 until takeover
+		}
+		_, resp, err := c.Call(FrameTick, nil)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("tick on node %s: %s", n.Name, err))
+			return
+		}
+		d := wal.NewDecoder(resp)
+		cnt := d.Count(12, "tick rounds")
+		for i := 0; i < cnt; i++ {
+			shard := int(d.U32())
+			round := int(d.I64())
+			if shard >= 0 && shard < r.shards {
+				rounds[shard] = round
+			}
+		}
+		if err := decodeErr(d, "tick response"); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rounds": rounds})
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	m := r.cmap.Load()
+	resp := RouterHealthResponse{
+		Status: "ok",
+		Role:   "router",
+		Shards: r.shards,
+	}
+	if m != nil {
+		resp.MapVersion = m.Version
+	}
+	names := make([]string, 0, len(r.clients))
+	for name := range r.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	anyUp := false
+	for _, name := range names {
+		nh := RouterNodeHealth{
+			Name:        name,
+			Addr:        r.clients[name].Addr(),
+			OwnedShards: []int{},
+			Rounds:      []int{},
+		}
+		if r.nodeUp[name].Load() {
+			if _, raw, err := r.clients[name].Call(FrameHealth, nil); err == nil {
+				d := wal.NewDecoder(raw)
+				h := decodeNodeHealth(d)
+				if decodeErr(d, "health response") == nil {
+					nh.Up = true
+					nh.MapVersion = h.MapVersion
+					if h.OwnedShards != nil {
+						nh.OwnedShards = h.OwnedShards
+					}
+					if h.Rounds != nil {
+						nh.Rounds = h.Rounds
+					}
+					nh.Users = h.Users
+					nh.QueueDepth = h.QueueDepth
+					nh.Errors = h.Errs
+				}
+			}
+		}
+		anyUp = anyUp || nh.Up
+		resp.Nodes = append(resp.Nodes, nh)
+	}
+	status := http.StatusOK
+	if !anyUp {
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// forwardLatencyBounds are the router's forward-latency histogram buckets,
+// spanning loopback microseconds to cross-zone worst cases.
+var forwardLatencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	m := r.cmap.Load()
+
+	// Aggregate node stats over the transport, merging reports and delay
+	// histograms exactly as a standalone server merges its shards.
+	var total metrics.Report
+	var delay []metrics.Bucket
+	if m != nil {
+		for _, n := range m.Nodes {
+			c := r.clients[n.Name]
+			if c == nil || !r.nodeUp[n.Name].Load() {
+				continue
+			}
+			_, raw, err := c.Call(FrameStats, nil)
+			if err != nil {
+				continue // a dead node's stats are simply absent this scrape
+			}
+			d := wal.NewDecoder(raw)
+			st := decodeNodeStats(d)
+			if decodeErr(d, "stats response") != nil {
+				continue
+			}
+			total.Merge(st.Report)
+			if merged, err := metrics.MergeBuckets(delay, st.DelayBuckets); err == nil {
+				delay = merged
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := metrics.WriteExposition(w, total, delay); err != nil {
+		return
+	}
+	r.writeRouterGauges(w, m)
+}
+
+// writeRouterGauges appends the router-tier series: per-node forwarding
+// counters, transport health, the map version and the forward-latency
+// histogram.
+func (r *Router) writeRouterGauges(w http.ResponseWriter, m *cluster.Map) {
+	printf := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	names := make([]string, 0, len(r.clients))
+	for name := range r.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	printf("# HELP richnote_router_forwarded_publishes_total Publish requests forwarded to each node.\n# TYPE richnote_router_forwarded_publishes_total counter\n")
+	for _, name := range names {
+		printf("richnote_router_forwarded_publishes_total{node=%q} %d\n", name, r.forwarded[name].Load())
+	}
+	printf("# HELP richnote_router_transport_errors_total Transport-level failures (dial, write, read, corruption) per node client.\n# TYPE richnote_router_transport_errors_total counter\n")
+	for _, name := range names {
+		printf("richnote_router_transport_errors_total{node=%q} %d\n", name, r.clients[name].Errors())
+	}
+	printf("# HELP richnote_router_reconnects_total Re-dials after an established connection was lost, per node client.\n# TYPE richnote_router_reconnects_total counter\n")
+	for _, name := range names {
+		printf("richnote_router_reconnects_total{node=%q} %d\n", name, r.clients[name].Reconnects())
+	}
+	printf("# HELP richnote_router_node_up Last probe verdict per node (1 up, 0 down).\n# TYPE richnote_router_node_up gauge\n")
+	for _, name := range names {
+		up := 0
+		if r.nodeUp[name].Load() {
+			up = 1
+		}
+		printf("richnote_router_node_up{node=%q} %d\n", name, up)
+	}
+	printf("# HELP richnote_cluster_map_version Version of the shard assignment map this router serves from.\n# TYPE richnote_cluster_map_version gauge\n")
+	version := uint64(0)
+	if m != nil {
+		version = m.Version
+	}
+	printf("richnote_cluster_map_version %d\n", version)
+	printf("# HELP richnote_router_handoffs_total Shard reassignments commanded by this coordinator (crash takeovers + planned moves).\n# TYPE richnote_router_handoffs_total counter\n")
+	printf("richnote_router_handoffs_total %d\n", r.handoffs.Load())
+
+	r.latMu.Lock()
+	buckets := r.fwdLatency.CumulativeBuckets(forwardLatencyBounds)
+	count := r.fwdLatency.Count()
+	sum := r.fwdLatency.Mean() * float64(count)
+	r.latMu.Unlock()
+	printf("# HELP richnote_router_forward_latency_seconds Round-trip latency of publish forwards to shard-owner nodes.\n# TYPE richnote_router_forward_latency_seconds histogram\n")
+	for _, b := range buckets {
+		printf("richnote_router_forward_latency_seconds_bucket{le=%q} %d\n", strconv.FormatFloat(b.UpperBound, 'g', -1, 64), b.Count)
+	}
+	printf("richnote_router_forward_latency_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	printf("richnote_router_forward_latency_seconds_sum %g\n", sum)
+	printf("richnote_router_forward_latency_seconds_count %d\n", count)
+}

@@ -152,6 +152,16 @@ type Config struct {
 	// defaults to 64. Smaller values bound replay time, larger values
 	// reduce snapshot I/O.
 	SnapshotEvery int
+
+	// OwnedShards restricts this process to a subset of the shard space
+	// (cluster node mode, DESIGN.md §13). nil means own everything — the
+	// standalone behavior, bit-identical to a build without cluster
+	// support. A non-nil (possibly empty) list owns exactly those shards:
+	// only they get WAL files, goroutines and users; publishes routed to
+	// any other shard return ErrNotOwner so the caller (the router) can
+	// forward them to the owning node. Shards outside the list can still
+	// be adopted later via AdoptShardBytes/AdoptShardFromWAL.
+	OwnedShards []int
 }
 
 func (c *Config) applyDefaults() error {
@@ -226,7 +236,38 @@ type Server struct {
 
 	state    atomic.Int32
 	stopOnce sync.Once
+
+	// adopted records the canonical state bytes each adopted shard restored
+	// to, keyed by shard id — the byte string handoff tests compare against
+	// the source's final snapshot.
+	adoptedMu sync.Mutex
+	adopted   map[int][]byte
+
+	// Cluster identity surfaced on /healthz: the role label ("standalone"
+	// unless the CLI sets router/node) and the version of the last cluster
+	// map this process acknowledged.
+	role       atomic.Value  // richnote:atomic
+	mapVersion atomic.Uint64 // richnote:atomic
 }
+
+// Role returns the cluster role label; "standalone" unless SetRole was
+// called.
+func (s *Server) Role() string {
+	if v := s.role.Load(); v != nil {
+		return v.(string)
+	}
+	return "standalone"
+}
+
+// SetRole labels this process's cluster role for /healthz.
+func (s *Server) SetRole(role string) { s.role.Store(role) }
+
+// MapVersion returns the last acknowledged cluster map version (0 when
+// standalone).
+func (s *Server) MapVersion() uint64 { return s.mapVersion.Load() }
+
+// SetMapVersion records a newly acknowledged cluster map version.
+func (s *Server) SetMapVersion(v uint64) { s.mapVersion.Store(v) }
 
 // New validates the configuration, builds the shards and registers any
 // configured users. Call Start to begin serving rounds.
@@ -242,12 +283,31 @@ func New(cfg Config) (*Server, error) {
 		cfg:           cfg,
 		ring:          newRing(cfg.Shards, 0),
 		roundsPerWeek: int(7 * 24 * time.Hour / cfg.VirtualRound),
+		adopted:       make(map[int][]byte),
 	}
 	if s.roundsPerWeek < 1 {
 		s.roundsPerWeek = 1
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(i, s, enricher))
+	}
+	// Ownership: nil OwnedShards owns everything (standalone); a list owns
+	// exactly those shards. Everything below — WAL restore, registration,
+	// compaction, Start — iterates owned shards only.
+	if cfg.OwnedShards == nil {
+		for _, sh := range s.shards {
+			sh.owned.Store(true)
+		}
+	} else {
+		if cfg.WALDir == "" {
+			return nil, errors.New("server: cluster node mode (OwnedShards set) requires WALDir — shard handoff ships WAL snapshots")
+		}
+		for _, id := range cfg.OwnedShards {
+			if id < 0 || id >= cfg.Shards {
+				return nil, fmt.Errorf("server: owned shard %d out of range [0,%d)", id, cfg.Shards)
+			}
+			s.shards[id].owned.Store(true)
+		}
 	}
 	// Restore before registration: a shard with a snapshot rebuilds every
 	// user it knew (including auto-registered ones) from its own stored
@@ -259,6 +319,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: wal dir: %w", err)
 		}
 		for _, sh := range s.shards {
+			if !sh.owned.Load() {
+				continue
+			}
 			if err := sh.openWAL(); err != nil {
 				return nil, err
 			}
@@ -271,8 +334,13 @@ func New(cfg Config) (*Server, error) {
 	// rebuilt them — the snapshot's accumulated state is authoritative.
 	// Each config entry may claim the restore exemption once, so duplicate
 	// entries in cfg.Users still fail in addUser like they always did.
+	// Users routed to unowned shards are skipped: the owning node
+	// registers them from its own config.
 	for _, uc := range cfg.Users {
 		sh := s.shards[s.ring.shardFor(uc.User)]
+		if !sh.owned.Load() {
+			continue
+		}
 		if restored[uc.User] {
 			delete(restored, uc.User)
 			continue
@@ -289,6 +357,9 @@ func New(cfg Config) (*Server, error) {
 	// scheduled compaction.
 	if cfg.WALDir != "" {
 		for _, sh := range s.shards {
+			if !sh.owned.Load() {
+				continue
+			}
 			if err := sh.writeSnapshot(); err != nil {
 				return nil, err
 			}
@@ -300,12 +371,17 @@ func New(cfg Config) (*Server, error) {
 // Shards returns the shard count.
 func (s *Server) Shards() int { return len(s.shards) }
 
-// Start launches the shard goroutines. It is an error to start twice.
+// Start launches the goroutines of the owned shards. It is an error to
+// start twice.
 func (s *Server) Start() error {
 	if !s.state.CompareAndSwap(stateNew, stateStarted) {
 		return errors.New("server: already started")
 	}
 	for _, sh := range s.shards {
+		if !sh.owned.Load() {
+			continue
+		}
+		sh.started.Store(true)
 		go sh.run(s.cfg.RoundEvery)
 	}
 	return nil
@@ -318,13 +394,18 @@ func (s *Server) Tick(ctx context.Context) error {
 	if s.state.Load() != stateStarted {
 		return errors.New("server: not running")
 	}
-	replies := make([]chan error, len(s.shards))
-	for i, sh := range s.shards {
-		replies[i] = make(chan error, 1)
+	var replies []chan error
+	for _, sh := range s.shards {
+		if !sh.started.Load() {
+			continue // unowned or frozen: nothing to tick
+		}
+		reply := make(chan error, 1)
 		select {
-		case sh.ticks <- tickReq{reply: replies[i]}:
+		case sh.ticks <- tickReq{reply: reply}:
+			replies = append(replies, reply)
 		case <-sh.done:
-			return errors.New("server: not running")
+			// Frozen or crashed between the started check and the send;
+			// its rounds now belong to another node.
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -358,6 +439,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	})
 	for _, sh := range s.shards {
+		if !sh.started.Load() {
+			continue // never ran (unowned): no goroutine to wait for
+		}
 		select {
 		case <-sh.done:
 		case <-ctx.Done():
@@ -382,6 +466,9 @@ func (s *Server) CrashStop() {
 		}
 	})
 	for _, sh := range s.shards {
+		if !sh.started.Load() {
+			continue
+		}
 		<-sh.done
 	}
 }
@@ -394,6 +481,9 @@ func (s *Server) Publish(topic pubsub.TopicID, recipient notif.UserID, item noti
 		return errors.New("server: publication has no recipient")
 	}
 	sh := s.shards[s.ring.shardFor(recipient)]
+	if !sh.owned.Load() {
+		return ErrNotOwner
+	}
 	if len(sh.ingest) >= s.cfg.HighWater {
 		sh.backpressured.Add(1)
 		return ErrBackpressure
@@ -410,6 +500,10 @@ func (s *Server) Publish(topic pubsub.TopicID, recipient notif.UserID, item noti
 // ErrBackpressure signals that a shard's ingest buffer is saturated.
 var ErrBackpressure = errors.New("server: shard ingest over high-water mark")
 
+// ErrNotOwner signals that the recipient's shard is not owned by this
+// process; the router maps it to a forward to the owning node.
+var ErrNotOwner = errors.New("server: shard not owned by this node")
+
 // Deliveries returns a user's recent deliveries, newest last.
 func (s *Server) Deliveries(user notif.UserID) []notif.Delivery {
 	return s.shards[s.ring.shardFor(user)].Deliveries(user)
@@ -419,16 +513,40 @@ func (s *Server) Deliveries(user notif.UserID) []notif.Delivery {
 // compacted WAL snapshots) after defaulting.
 func (s *Server) SnapshotEvery() int { return s.cfg.SnapshotEvery }
 
-// Snapshots returns the latest per-shard views, in shard order. Each entry
-// is a deep copy: the published snapshot's reference fields (DelayBuckets,
+// Snapshots returns the latest per-shard views of the owned shards, in
+// shard order (all shards in standalone mode). Each entry is a deep copy:
+// the published snapshot's reference fields (DelayBuckets,
 // Report.LevelCounts) are cloned so one reader mutating its result cannot
 // corrupt what other readers — or the next publish — observe.
 func (s *Server) Snapshots() []ShardSnapshot {
-	out := make([]ShardSnapshot, len(s.shards))
-	for i, sh := range s.shards {
-		out[i] = sh.snapshot().clone()
+	out := make([]ShardSnapshot, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if !sh.owned.Load() {
+			continue
+		}
+		out = append(out, sh.snapshot().clone())
 	}
 	return out
+}
+
+// ShardFor maps a user to its shard index — the same consistent-hash ring
+// every node and router computes, so routing decisions agree everywhere.
+func (s *Server) ShardFor(user notif.UserID) int { return s.ring.shardFor(user) }
+
+// Owns reports whether this process currently owns a shard.
+func (s *Server) Owns(shard int) bool {
+	return shard >= 0 && shard < len(s.shards) && s.shards[shard].owned.Load()
+}
+
+// OwnedShardIDs returns the ascending list of shards this process owns.
+func (s *Server) OwnedShardIDs() []int {
+	owned := []int{}
+	for _, sh := range s.shards {
+		if sh.owned.Load() {
+			owned = append(owned, sh.id)
+		}
+	}
+	return owned
 }
 
 // clone deep-copies the snapshot's reference fields. Lyapunov and the

@@ -35,6 +35,21 @@ type tickReq struct {
 	reply chan error
 }
 
+// freezeReq asks the shard to stop serving and hand its state over
+// (cluster handoff, handoff.go): drain ingest, compact into a final
+// snapshot, close the log and exit. The reply carries the snapshot file
+// bytes (what ships to the adopting node) and the canonical state bytes
+// at freeze (what handoff tests compare against the adopter).
+type freezeReq struct {
+	reply chan freezeResp
+}
+
+type freezeResp struct {
+	snapBytes []byte
+	state     []byte
+	err       error
+}
+
 // shard owns a disjoint subset of users: their pub/sub buffers, scheduling
 // queues Q(t), virtual energy queues P(t), device/network/battery state and
 // the per-round control loop. All of that state is confined to the shard
@@ -75,9 +90,19 @@ type shard struct {
 
 	ingest chan envelope
 	ticks  chan tickReq
+	freeze chan freezeReq
+	stateq chan chan []byte
 	stop   chan struct{}
 	crash  chan struct{}
 	done   chan struct{}
+
+	// owned gates the publish path: only an owned shard accepts envelopes
+	// (ErrNotOwner otherwise) and appears in Snapshots. started records
+	// whether the shard goroutine was ever launched, so shutdown paths
+	// know which done channels will actually close. Both flip during the
+	// cluster handoff protocol (handoff.go).
+	owned   atomic.Bool // richnote:atomic
+	started atomic.Bool // richnote:atomic
 
 	// backpressured counts publishes turned away with HTTP 429 because the
 	// ingest buffer crossed the high-water mark (overload); droppedIngest
@@ -140,6 +165,8 @@ func newShard(id int, srv *Server, enricher *utility.Enricher) *shard {
 		userCfgs: make(map[notif.UserID]UserConfig),
 		ingest:   make(chan envelope, srv.cfg.IngestBuffer),
 		ticks:    make(chan tickReq),
+		freeze:   make(chan freezeReq),
+		stateq:   make(chan chan []byte),
 		stop:     make(chan struct{}),
 		crash:    make(chan struct{}),
 		done:     make(chan struct{}),
@@ -171,6 +198,13 @@ func (sh *shard) run(every time.Duration) {
 			sh.runRound()
 		case req := <-sh.ticks:
 			req.reply <- sh.runRound()
+		case reply := <-sh.stateq:
+			// Canonical state read on the owning goroutine: the only safe
+			// way to call stateBytes on a running shard.
+			reply <- sh.stateBytes()
+		case req := <-sh.freeze:
+			req.reply <- sh.doFreeze()
+			return
 		case <-sh.stop:
 			sh.drainAndFinish()
 			return

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a blocking request/response client for one peer address. It
+// keeps a small pool of connections (one in-flight exchange per
+// connection), dials lazily, and on any transport error discards the
+// failed connection and retries the call once on a fresh dial — so a peer
+// restart costs one reconnect, not a failed request. Counters expose the
+// transport health the router's /metrics reports per node.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	maxIdle     int
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	dialed bool // at least one successful dial (so later dials count as reconnects)
+	closed bool
+
+	calls      atomic.Uint64 // richnote:atomic
+	errors     atomic.Uint64 // richnote:atomic
+	reconnects atomic.Uint64 // richnote:atomic
+}
+
+type clientConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint64
+}
+
+// ClientConfig tunes a Client; the zero value gets sensible defaults.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment; defaults to 2s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one full exchange (write request, read response);
+	// defaults to 30s — generous because handoff snapshots ride ordinary
+	// frames.
+	CallTimeout time.Duration
+	// MaxIdle bounds pooled connections; defaults to 4.
+	MaxIdle int
+}
+
+// NewClient builds a client for one peer address. No connection is made
+// until the first Call.
+func NewClient(addr string, cfg ClientConfig) *Client {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = 4
+	}
+	return &Client{
+		addr:        addr,
+		dialTimeout: cfg.DialTimeout,
+		callTimeout: cfg.CallTimeout,
+		maxIdle:     cfg.MaxIdle,
+	}
+}
+
+// Addr returns the peer address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Calls returns the number of completed exchanges (including the failed
+// ones counted by Errors).
+func (c *Client) Calls() uint64 { return c.calls.Load() }
+
+// Errors returns the number of transport-level failures (dial, write,
+// read, or frame corruption). Application-level FrameError responses are
+// not transport errors.
+func (c *Client) Errors() uint64 { return c.errors.Load() }
+
+// Reconnects returns the number of re-dials after the client had already
+// been connected — each one is a peer restart, network blip or idle-pool
+// refill observed on the wire.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// Call performs one request/response exchange. On a transport error the
+// failed connection is dropped and the call retried once on a fresh dial;
+// the second failure is returned. A FrameError response is returned as an
+// error carrying the peer's message, without counting as a transport
+// failure.
+func (c *Client) Call(typ byte, payload []byte) (byte, []byte, error) {
+	c.calls.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cc, err := c.get()
+		if err != nil {
+			c.errors.Add(1)
+			lastErr = err
+			continue
+		}
+		respType, resp, err := c.exchange(cc, typ, payload)
+		if err != nil {
+			_ = cc.conn.Close()
+			c.errors.Add(1)
+			lastErr = err
+			continue
+		}
+		c.put(cc)
+		if respType == FrameError {
+			return respType, nil, fmt.Errorf("transport: %s: remote error: %s", c.addr, resp)
+		}
+		return respType, resp, nil
+	}
+	return 0, nil, lastErr
+}
+
+func (c *Client) exchange(cc *clientConn, typ byte, payload []byte) (byte, []byte, error) {
+	cc.nextID++
+	id := cc.nextID
+	//lint:allow wallclock transport exchange deadlines are real wall-clock I/O timeouts
+	if err := cc.conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
+		return 0, nil, fmt.Errorf("transport: %s: set deadline: %w", c.addr, err)
+	}
+	if err := writeFrame(cc.bw, id, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	respID, respType, resp, err := readFrame(cc.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if respID != id {
+		return 0, nil, fmt.Errorf("transport: %s: response id %d for request %d (desynchronized connection)", c.addr, respID, id)
+	}
+	return respType, resp, nil
+}
+
+// get pops an idle connection or dials a new one.
+func (c *Client) get() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: client for %s is closed", c.addr)
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	wasDialed := c.dialed
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: client for %s is closed", c.addr)
+	}
+	if wasDialed {
+		c.reconnects.Add(1)
+	}
+	c.dialed = true
+	c.mu.Unlock()
+	return &clientConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// put returns a healthy connection to the pool, closing it if full.
+func (c *Client) put(cc *clientConn) {
+	// Clear the exchange deadline so a pooled connection cannot expire idle.
+	_ = cc.conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.maxIdle {
+		c.mu.Unlock()
+		_ = cc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
+}
+
+// Close drops every pooled connection; in-flight exchanges finish on their
+// own connections and are discarded on return.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		_ = cc.conn.Close()
+	}
+}

@@ -1,0 +1,125 @@
+// Package transport implements the cluster's binary wire protocol
+// (DESIGN.md §13): length-prefixed, CRC-framed request/response frames over
+// TCP, connecting the router tier to the shard-owner nodes and the nodes to
+// each other during shard handoff.
+//
+// Frame layout reuses the internal/wal record framing conventions,
+// little-endian throughout:
+//
+//	[u32 frameLen] [u64 id] [u8 type] [payload] [u32 crc]
+//
+// frameLen counts id+type+payload (9 + len(payload)); crc is IEEE CRC-32
+// over exactly those bytes. id is a request identifier assigned by the
+// client; the response echoes it, which is what lets a client detect a
+// desynchronized connection and drop it rather than mis-pair an exchange.
+// Frame type identifiers are owned by the caller (internal/server defines
+// the cluster RPC set); the transport only frames, checks and routes them.
+// Payload encoding is the caller's business too — in practice the cluster
+// speaks internal/wal's Encoder/Decoder, the same codec the snapshots a
+// handoff ships are written in.
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// frameHeaderLen is the fixed prefix before the payload: u32 frameLen,
+// u64 id, u8 type — identical to the WAL record header.
+const frameHeaderLen = 4 + 8 + 1
+
+// MaxFrameLen bounds a single frame. Shard handoff ships whole compacted
+// snapshots in one frame, so the ceiling is generous; anything larger is a
+// framing error, not a bigger buffer.
+const MaxFrameLen = 256 << 20
+
+// ErrFrameTooLarge rejects frames whose declared length exceeds MaxFrameLen.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// ErrFrameCorrupt rejects frames whose CRC does not match their contents.
+var ErrFrameCorrupt = errors.New("transport: frame checksum mismatch")
+
+// putU32/getU32 mirror the WAL codec so the two framings stay byte-level
+// twins; the transport cannot import them (they are unexported there) and
+// four lines of shifts beat exporting an internal detail.
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b[0:4], uint32(v))
+	putU32(b[4:8], uint32(v>>32))
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b[0:4])) | uint64(getU32(b[4:8]))<<32
+}
+
+// writeFrame frames and writes one message. The payload is copied into the
+// writer's buffer, so callers may reuse it immediately.
+func writeFrame(w *bufio.Writer, id uint64, typ byte, payload []byte) error {
+	if len(payload) > MaxFrameLen-9 {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	putU32(hdr[0:4], uint32(9+len(payload)))
+	putU64(hdr[4:12], id)
+	hdr[12] = typ
+	crc := crc32.ChecksumIEEE(hdr[4:frameHeaderLen])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var foot [4]byte
+	putU32(foot[:], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	if _, err := w.Write(foot[:]); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads and verifies one frame. The returned payload is freshly
+// allocated and owned by the caller. An io.EOF between frames surfaces as
+// io.EOF so connection teardown is distinguishable from mid-frame damage.
+func readFrame(r *bufio.Reader) (id uint64, typ byte, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, 0, nil, io.EOF
+		}
+		return 0, 0, nil, fmt.Errorf("transport: read frame length: %w", err)
+	}
+	frameLen := int(getU32(lenBuf[:]))
+	if frameLen < 9 {
+		return 0, 0, nil, fmt.Errorf("%w: declared frame length %d", ErrFrameCorrupt, frameLen)
+	}
+	if frameLen > MaxFrameLen {
+		return 0, 0, nil, fmt.Errorf("%w: declared frame length %d", ErrFrameTooLarge, frameLen)
+	}
+	buf := make([]byte, frameLen+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	frame := buf[:frameLen]
+	wantCRC := getU32(buf[frameLen:])
+	if crc32.ChecksumIEEE(frame) != wantCRC {
+		return 0, 0, nil, fmt.Errorf("%w: frame id %d", ErrFrameCorrupt, getU64(frame[0:8]))
+	}
+	return getU64(frame[0:8]), frame[8], frame[9:], nil
+}

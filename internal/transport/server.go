@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// FrameError is the reserved response type carrying a handler error; its
+// payload is the error text as raw bytes. Callers must not reuse it for
+// their own frame types.
+const FrameError byte = 0xFF
+
+// Handler serves one request frame. It returns the response type and
+// payload; returning an error instead makes the server answer with a
+// FrameError frame carrying the error text. Handlers are invoked
+// sequentially per connection but concurrently across connections, so they
+// must be safe for concurrent use.
+type Handler interface {
+	ServeFrame(typ byte, payload []byte) (respType byte, resp []byte, err error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(typ byte, payload []byte) (byte, []byte, error)
+
+// ServeFrame implements Handler.
+func (f HandlerFunc) ServeFrame(typ byte, payload []byte) (byte, []byte, error) {
+	return f(typ, payload)
+}
+
+// Server accepts framed-protocol connections and dispatches each request
+// frame to the handler, writing the response frame with the request's id.
+// One goroutine per connection; frames on a connection are answered in
+// order (the Client pairs request and response by id and pools connections
+// for parallelism).
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts a transport server on addr (":0" picks an ephemeral port)
+// and begins accepting connections.
+func Listen(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address, e.g. "127.0.0.1:43017".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close() // shutting down; refuse late arrivals
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		id, typ, payload, err := s.readOne(br)
+		if err != nil {
+			return // EOF, teardown, or a corrupt frame: drop the connection
+		}
+		respType, resp, err := s.handler.ServeFrame(typ, payload)
+		if err != nil {
+			respType, resp = FrameError, []byte(err.Error())
+		}
+		if err := writeFrame(bw, id, respType, resp); err != nil {
+			return
+		}
+	}
+}
+
+// readOne reads the next request, mapping clean EOF to a silent close.
+func (s *Server) readOne(br *bufio.Reader) (uint64, byte, []byte, error) {
+	id, typ, payload, err := readFrame(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, 0, nil, io.EOF
+		}
+		return 0, 0, nil, err
+	}
+	return id, typ, payload, nil
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// per-connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
