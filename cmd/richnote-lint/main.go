@@ -6,9 +6,11 @@
 //
 //	go run ./cmd/richnote-lint ./...
 //	go run ./cmd/richnote-lint -list
+//	go run ./cmd/richnote-lint -json ./...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,12 +18,23 @@ import (
 	"github.com/richnote/richnote/internal/lint"
 )
 
+// jsonFinding is the machine-readable shape of one finding, stable for
+// the CI artifact.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: richnote-lint [-dir d] [-list] [packages]\n\n"+
+			"usage: richnote-lint [-dir d] [-list] [-json] [packages]\n\n"+
 				"Machine-checks the repo's determinism, confinement and\n"+
 				"budget-accounting invariants. Defaults to ./...\n\n")
 		flag.PrintDefaults()
@@ -45,12 +58,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "richnote-lint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "richnote-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "richnote-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
-	fmt.Printf("richnote-lint: ok (%d analyzers)\n", len(analyzers))
+	if !*asJSON {
+		fmt.Printf("richnote-lint: ok (%d analyzers)\n", len(analyzers))
+	}
 }

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// AllocFree enforces the // richnote:allocfree marker on hot-path
+// functions: the per-round planner, the forest batch scorer and the WAL
+// append path are called once per round per shard, and a steady-state
+// allocation there turns into GC pressure that shows up directly in the
+// round-latency histogram. The marker makes the no-alloc property a
+// reviewed, lint-checked contract instead of a benchmark regression.
+//
+// Flagged constructs: make/new, slice and map literals, address-of
+// composite literals, closures, go statements, string concatenation and
+// string<->[]byte/[]rune conversions, map assignments (which may grow
+// the table), implicit variadic slices, and arguments boxed into
+// interface parameters. Pointer-shaped values (pointers, channels,
+// maps, funcs) store directly in an interface word and are exempt from
+// the boxing rule — sort.Stable(&s.incs) stays clean.
+//
+// Two idioms are deliberately permitted: append (amortized growth into
+// a reused buffer is the hot-path pattern, not a steady-state alloc)
+// and anything under an if statement whose condition tests nil or
+// cap/len — the standard shapes of error paths and warm-up allocations
+// ("if cap(buf) < n { buf = make(...) }"), which run off the steady
+// state.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc: "functions marked // richnote:allocfree must contain no " +
+		"steady-state allocating constructs; warm-up allocations belong " +
+		"behind a cap/len or nil guard",
+	IncludeTests: false,
+	Run:          runAllocFree,
+}
+
+var allocfreeRE = regexp.MustCompile(`richnote:allocfree\b`)
+
+func runAllocFree(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			if !allocfreeRE.MatchString(fd.Doc.Text()) {
+				continue
+			}
+			p.checkAllocFree(fd)
+		}
+	}
+}
+
+func (p *Pass) checkAllocFree(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		if allocGuarded(stack) {
+			return
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			p.checkAllocCall(v, name, stack)
+		case *ast.CompositeLit:
+			switch p.typeOf(v).Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(v.Pos(), "slice literal allocates inside richnote:allocfree function %s", name)
+			case *types.Map:
+				p.Reportf(v.Pos(), "map literal allocates inside richnote:allocfree function %s", name)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+					p.Reportf(v.Pos(), "address of a composite literal allocates on the heap inside richnote:allocfree function %s", name)
+				}
+			}
+		case *ast.FuncLit:
+			p.Reportf(v.Pos(), "closure allocates inside richnote:allocfree function %s", name)
+		case *ast.GoStmt:
+			p.Reportf(v.Pos(), "go statement allocates a goroutine inside richnote:allocfree function %s", name)
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringType(p.typeOf(v)) {
+				p.Reportf(v.Pos(), "string concatenation allocates inside richnote:allocfree function %s", name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := p.typeOf(idx.X).Underlying().(*types.Map); isMap {
+						p.Reportf(idx.Pos(), "map assignment may grow the map inside richnote:allocfree function %s", name)
+					}
+				}
+			}
+		}
+	})
+}
+
+// checkAllocCall classifies one call inside an allocfree body:
+// allocating builtins, allocating conversions, implicit variadic
+// slices and interface boxing of arguments.
+func (p *Pass) checkAllocCall(call *ast.CallExpr, name string, stack []ast.Node) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				p.Reportf(call.Pos(), "call to %s allocates inside richnote:allocfree function %s", b.Name(), name)
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copies.
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, p.typeOf(call.Args[0])
+		if (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src)) {
+			p.Reportf(call.Pos(), "conversion between string and byte/rune slice allocates inside richnote:allocfree function %s", name)
+		}
+		return
+	}
+
+	sig, _ := p.typeOf(call.Fun).Underlying().(*types.Signature)
+	if sig == nil {
+		return
+	}
+
+	// Implicit variadic slice (append's amortized growth is exempt).
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		p.Reportf(call.Pos(), "implicit variadic slice allocates inside richnote:allocfree function %s", name)
+		return
+	}
+
+	// Interface boxing at argument positions.
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok && call.Ellipsis == token.NoPos {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := p.typeOf(arg)
+		if at == nil || types.IsInterface(at) || isDirectIface(at) {
+			continue
+		}
+		if tv, ok := p.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		p.Reportf(arg.Pos(), "argument %s is boxed into an interface inside richnote:allocfree function %s", types.ExprString(arg), name)
+	}
+}
+
+// allocGuarded reports whether any enclosing if statement's condition
+// tests nil or cap/len — the error-path and warm-up shapes the analyzer
+// exempts.
+func allocGuarded(stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op == token.EQL || v.Op == token.NEQ {
+					for _, side := range []ast.Expr{v.X, v.Y} {
+						if id, ok := ast.Unparen(side).(*ast.Ident); ok && id.Name == "nil" {
+							guarded = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// isDirectIface reports whether values of the type are stored directly
+// in an interface word, so converting them to an interface does not
+// allocate.
+func isDirectIface(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -18,4 +18,10 @@ func TestSpendCheckFixture(t *testing.T) { linttest.Run(t, lint.SpendCheck, "tes
 
 func TestConfinedFixture(t *testing.T) { linttest.Run(t, lint.Confined, "testdata/confined") }
 
+func TestAtomicCheckFixture(t *testing.T) { linttest.Run(t, lint.AtomicCheck, "testdata/atomiccheck") }
+
+func TestCodecSymFixture(t *testing.T) { linttest.Run(t, lint.CodecSym, "testdata/codecsym") }
+
+func TestAllocFreeFixture(t *testing.T) { linttest.Run(t, lint.AllocFree, "testdata/allocfree") }
+
 func TestUnitCheckFixture(t *testing.T) { linttest.Run(t, lint.UnitCheck, "testdata/unitcheck") }

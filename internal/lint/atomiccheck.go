@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCheck enforces the richnote:atomic field marker:
+//
+//	snap  atomic.Pointer[ShardSnapshot] // richnote:atomic
+//	drops uint64                        // richnote:atomic
+//
+// A marked field may be touched from any goroutine, but only through a
+// method call on the field (the sync/atomic value types) or by passing
+// its address to a sync/atomic function; a bare read, write or copy
+// tears. Resolution is type-aware: the field is matched through the
+// selector's object even at the end of a chain (srv.shard.hits), the
+// sync/atomic call is matched by the callee's package path rather than
+// the import name, and an alias taken with &s.field is followed through
+// its local variable — dereferencing the alias or handing it to a
+// non-atomic function is flagged where v1's name matching saw nothing.
+//
+// Test files are exempt for the same reason as confined: tests poke
+// state before any concurrency starts.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc: "fields marked richnote:atomic may only be accessed through " +
+		"sync/atomic value methods or by address in a sync/atomic call, " +
+		"including through local aliases of the field's address",
+	IncludeTests: false,
+	Run:          runAtomicCheck,
+}
+
+func runAtomicCheck(p *Pass) {
+	marks := collectFieldMarks(p, "atomic")
+	if len(marks) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		file := f
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj, _ := p.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if obj == nil {
+				return
+			}
+			if _, ok := marks[obj]; !ok {
+				return
+			}
+			p.checkAtomicUse(file, obj, sel, stack)
+		})
+	}
+}
+
+// checkAtomicUse classifies one resolved use of a richnote:atomic
+// field.
+func (p *Pass) checkAtomicUse(f *ast.File, field *types.Var, sel *ast.SelectorExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+
+	// s.field.Method(...) — a method call on the atomic value type.
+	if outer, ok := parent.(*ast.SelectorExpr); ok && outer.X == ast.Expr(sel) {
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(outer) {
+				return
+			}
+		}
+		p.Reportf(sel.Sel.Pos(),
+			"field %s is marked richnote:atomic; reading %s.%s without a method call tears",
+			field.Name(), field.Name(), outer.Sel.Name)
+		return
+	}
+
+	// &s.field — safe inside a sync/atomic call, followed when stored
+	// in a local alias, flagged otherwise.
+	if unary, ok := parent.(*ast.UnaryExpr); ok && unary.Op.String() == "&" && unary.X == ast.Expr(sel) {
+		p.checkAtomicAddress(f, field, unary, stack[:len(stack)-1])
+		return
+	}
+
+	p.Reportf(sel.Sel.Pos(),
+		"field %s is marked richnote:atomic; access it only through sync/atomic value methods or by address in a sync/atomic call",
+		field.Name())
+}
+
+// checkAtomicAddress handles &s.field: directly inside a sync/atomic
+// call it is the intended idiom; assigned to a local variable the alias
+// is traced through the enclosing function; anything else leaks a raw
+// pointer to state that must only be touched atomically.
+func (p *Pass) checkAtomicAddress(f *ast.File, field *types.Var, addr *ast.UnaryExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		if p.isSyncAtomicCall(f, parent) {
+			return
+		}
+		p.Reportf(addr.Pos(),
+			"address of richnote:atomic field %s passed to a non-sync/atomic function; the callee can access it non-atomically",
+			field.Name())
+	case *ast.AssignStmt:
+		// p := &s.field — find the alias variable and audit its uses.
+		for i, rhs := range parent.Rhs {
+			if rhs != ast.Expr(addr) || len(parent.Lhs) != len(parent.Rhs) {
+				continue
+			}
+			id, ok := ast.Unparen(parent.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			alias := objectOf(p.TypesInfo, id)
+			if alias == nil {
+				continue
+			}
+			decl := enclosingFuncDecl(stack)
+			if decl == nil || decl.Body == nil {
+				continue
+			}
+			p.auditAtomicAlias(f, field, alias, decl.Body)
+			return
+		}
+		p.Reportf(addr.Pos(),
+			"address of richnote:atomic field %s escapes into a non-local target; keep atomic addresses inside sync/atomic calls",
+			field.Name())
+	default:
+		p.Reportf(addr.Pos(),
+			"address of richnote:atomic field %s taken outside a sync/atomic call", field.Name())
+	}
+}
+
+// isSyncAtomicCall reports whether the call resolves to a function in
+// sync/atomic (AddUint64, LoadPointer, ...).
+func (p *Pass) isSyncAtomicCall(f *ast.File, call *ast.CallExpr) bool {
+	_, ok := p.pkgCall(f, call, "sync/atomic")
+	return ok
+}
+
+// auditAtomicAlias flags unsafe uses of a local alias of an atomic
+// field's address: dereferences tear, and passing the alias to anything
+// but a sync/atomic function or a method call on the alias hands out
+// uncontrolled access.
+func (p *Pass) auditAtomicAlias(f *ast.File, field *types.Var, alias types.Object, body *ast.BlockStmt) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || p.TypesInfo.Uses[id] != alias {
+			return
+		}
+		if len(stack) == 0 {
+			return
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.StarExpr:
+			if parent.X == ast.Expr(id) {
+				p.Reportf(id.Pos(),
+					"dereferencing %s, an alias of richnote:atomic field %s, bypasses sync/atomic",
+					alias.Name(), field.Name())
+			}
+		case *ast.SelectorExpr:
+			// alias.Load() etc: method call on the aliased value.
+			if parent.X == ast.Expr(id) && len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(parent) {
+					return
+				}
+			}
+			p.Reportf(id.Pos(),
+				"field access through %s, an alias of richnote:atomic field %s, bypasses sync/atomic",
+				alias.Name(), field.Name())
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if arg != ast.Expr(id) {
+					continue
+				}
+				if !p.isSyncAtomicCall(f, parent) {
+					p.Reportf(id.Pos(),
+						"alias %s of richnote:atomic field %s passed to a non-sync/atomic function",
+						alias.Name(), field.Name())
+				}
+			}
+		}
+	})
+}

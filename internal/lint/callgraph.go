@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the package-local static call graph: every function or
+// method declared in the analysis unit, with the calls its body makes
+// whose callee resolves statically through the type information.
+// Dynamic calls (function values, interface methods without a concrete
+// receiver) resolve to the interface method object or not at all; the
+// graph records what go/types can prove, which is exactly the set the
+// interprocedural analyzers are allowed to follow.
+type CallGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	calls map[*types.Func][]CallEdge
+}
+
+// CallEdge is one resolved call site inside Caller.
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Site   *ast.CallExpr
+}
+
+// DeclOf returns the syntax of a function declared in this package, or
+// nil for external and interface callees.
+func (g *CallGraph) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.decls[fn]
+}
+
+// EdgesFrom returns the resolved call sites inside fn's body.
+func (g *CallGraph) EdgesFrom(fn *types.Func) []CallEdge {
+	if g == nil {
+		return nil
+	}
+	return g.calls[fn]
+}
+
+// buildCallGraph walks every declared function body once.
+func buildCallGraph(pi *PackageInfo) *CallGraph {
+	g := &CallGraph{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func][]CallEdge),
+	}
+	for _, f := range pi.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pi.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			g.decls[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeOf(pi.Info, call); callee != nil {
+					g.calls[fn] = append(g.calls[fn], CallEdge{Caller: fn, Callee: callee, Site: call})
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// calleeOf statically resolves a call expression to the function or
+// method it invokes, or nil for builtins, conversions and dynamic
+// calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}

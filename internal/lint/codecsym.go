@@ -1,0 +1,734 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// CodecSym verifies that every hand-written binary encoder has a
+// decoder reading exactly the byte sequence it writes — the invariant
+// all of crash recovery, shard handoff and the cluster RPC layer rest
+// on. A codec asymmetry becomes a lint finding instead of a
+// corrupted-handoff debugging session.
+//
+// The analyzer abstracts each codec function into its *op sequence*:
+// calls to the fixed-width primitives of a type named Encoder or
+// Decoder (U8/U32/U64/I64/F64/Bool/Str/Time, with Decoder.Count
+// normalizing to the u32 the count occupies on the wire), calls to
+// other paired codec functions (encodeItem inside encodeQueued), and
+// the loop/branch structure around them. Ops are collected in Go
+// evaluation order — composite-literal fields, if-statement inits and
+// return expressions included — and the writer's sequence must mirror
+// the reader's node for node. Local helpers that take the codec but are
+// not pair members are inlined; calls that do not carry an Encoder or
+// Decoder argument cannot move bytes and are ignored.
+//
+// Pairs are recognized three ways:
+//
+//   - by name: encodeX ↔ decodeX (same X, same package);
+//   - by convention: a method Encode/Save/Marshal on T paired with a
+//     package function Decode/Load/Unmarshal returning T or *T;
+//   - by annotation: declarations sharing // richnote:codecpair(<key>)
+//     form a pair regardless of name (the shard's encodeState ↔
+//     restoreState, logPublish ↔ decodeEnvelope).
+//
+// An encodeX/decodeX function that moves bytes but has no counterpart
+// is reported as an orphan, and a package declaring both an Encoder and
+// a Decoder type must give them mirrored primitive method sets.
+//
+// Out of scope, deliberately: codecs built on raw byte-slice helpers
+// with no Encoder/Decoder value (internal/transport's frame header —
+// pinned by its round-trip tests) and intentionally asymmetric framings
+// (the snapshot CRC trailer, which the writer appends to the same
+// buffer but the reader strips before constructing its decoder).
+var CodecSym = &Analyzer{
+	Name: "codecsym",
+	Doc: "pair hand-written encoders with their decoders (by encodeX/decodeX " +
+		"name, Encode/Decode convention or richnote:codecpair annotation) and " +
+		"verify the read sequence mirrors the write sequence in field order " +
+		"and width",
+	IncludeTests: false,
+	Run:          runCodecSym,
+}
+
+// codecpairRE extracts the pair key from a declaration comment.
+var codecpairRE = regexp.MustCompile(`richnote:codecpair\(([^)]*)\)`)
+
+// codecPrims maps primitive method names to their canonical wire shape.
+// Count reads the u32 an encoder writes with U32(len(...)).
+var codecPrims = map[string]string{
+	"U8": "u8", "U32": "u32", "U64": "u64", "I64": "i64",
+	"F64": "f64", "Bool": "bool", "Str": "str", "Time": "time",
+	"Count": "u32",
+}
+
+// op kinds.
+const (
+	opPrim = iota // one fixed-width primitive
+	opCall        // a call into another recognized codec pair
+	opLoop        // a repeated body
+	opCond        // branched bodies (if/switch)
+)
+
+// op is one node of a codec function's abstract byte sequence.
+type op struct {
+	kind     int
+	text     string // canonical prim name, or the callee pair key
+	side     string // for prims: "enc" or "dec", by receiver type
+	pos      token.Pos
+	branches [][]op // loop: one; cond: then/else or switch cases
+}
+
+func (o op) String() string {
+	switch o.kind {
+	case opPrim:
+		return o.text
+	case opCall:
+		return "<" + o.text + ">"
+	case opLoop:
+		return "loop{" + renderOps(o.branches[0]) + "}"
+	default:
+		parts := make([]string, 0, len(o.branches))
+		for _, b := range o.branches {
+			parts = append(parts, renderOps(b))
+		}
+		return "if{" + strings.Join(parts, " | ") + "}"
+	}
+}
+
+func renderOps(ops []op) string {
+	parts := make([]string, 0, len(ops))
+	for _, o := range ops {
+		parts = append(parts, o.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// codecFn is one declaration participating in pair matching.
+type codecFn struct {
+	decl *ast.FuncDecl
+	fn   *types.Func
+	ops  []op
+}
+
+func runCodecSym(p *Pass) {
+	c := &codecChecker{p: p, extracted: make(map[*types.Func][]op)}
+	c.collect()
+	c.matchAnnotated()
+	c.matchByName()
+	c.matchByConvention()
+	c.checkMirror()
+}
+
+type codecChecker struct {
+	p         *Pass
+	decls     []*ast.FuncDecl
+	extracted map[*types.Func][]op
+	// paired marks declarations consumed by a rule, so the orphan check
+	// and later rules skip them.
+	paired map[*ast.FuncDecl]bool
+}
+
+func (c *codecChecker) collect() {
+	c.paired = make(map[*ast.FuncDecl]bool)
+	for _, f := range c.p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.decls = append(c.decls, fd)
+			}
+		}
+	}
+}
+
+func (c *codecChecker) funcOf(decl *ast.FuncDecl) *types.Func {
+	fn, _ := c.p.TypesInfo.Defs[decl.Name].(*types.Func)
+	return fn
+}
+
+// annotationKey returns the richnote:codecpair key on a declaration.
+func annotationKey(decl *ast.FuncDecl) string {
+	if decl.Doc == nil {
+		return ""
+	}
+	if m := codecpairRE.FindStringSubmatch(decl.Doc.Text()); m != nil {
+		return strings.TrimSpace(m[1])
+	}
+	return ""
+}
+
+// matchAnnotated pairs declarations sharing a codecpair key.
+func (c *codecChecker) matchAnnotated() {
+	groups := make(map[string][]*ast.FuncDecl)
+	var keys []string
+	for _, decl := range c.decls {
+		if key := annotationKey(decl); key != "" {
+			if len(groups[key]) == 0 {
+				keys = append(keys, key)
+			}
+			groups[key] = append(groups[key], decl)
+		}
+	}
+	for _, key := range keys {
+		g := groups[key]
+		for _, decl := range g {
+			c.paired[decl] = true
+		}
+		if len(g) != 2 {
+			c.p.Reportf(g[0].Pos(),
+				"richnote:codecpair(%s) must annotate exactly one encoder and one decoder; found %d declarations", key, len(g))
+			continue
+		}
+		a, b := c.fnFor(g[0]), c.fnFor(g[1])
+		if a == nil || b == nil {
+			continue
+		}
+		writer, reader := a, b
+		if roleOf(b.ops) == "enc" || roleOf(a.ops) == "dec" {
+			writer, reader = b, a
+		}
+		if roleOf(writer.ops) == "dec" || roleOf(reader.ops) == "enc" {
+			c.p.Reportf(g[0].Pos(),
+				"richnote:codecpair(%s) needs one writing and one reading side; could not classify %s and %s",
+				key, g[0].Name.Name, g[1].Name.Name)
+			continue
+		}
+		c.compare("codecpair("+key+")", writer, reader)
+	}
+}
+
+// roleOf classifies an op sequence by the side tags the extractor
+// recorded on its primitives: a writer's prims come from an Encoder,
+// a reader's from a Decoder. Mixed or prim-free sequences return "".
+func roleOf(ops []op) string {
+	enc, dec := 0, 0
+	var count func([]op)
+	count = func(ops []op) {
+		for _, o := range ops {
+			if o.kind == opPrim {
+				switch o.side {
+				case "enc":
+					enc++
+				case "dec":
+					dec++
+				}
+			}
+			for _, b := range o.branches {
+				count(b)
+			}
+		}
+	}
+	count(ops)
+	switch {
+	case enc > 0 && dec == 0:
+		return "enc"
+	case dec > 0 && enc == 0:
+		return "dec"
+	}
+	return ""
+}
+
+// fnFor extracts (once) the op sequence for a declaration.
+func (c *codecChecker) fnFor(decl *ast.FuncDecl) *codecFn {
+	fn := c.funcOf(decl)
+	if fn == nil {
+		return nil
+	}
+	ops, ok := c.extracted[fn]
+	if !ok {
+		x := &opExtractor{p: c.p, visited: map[*types.Func]bool{fn: true}}
+		ops = x.stmts(decl.Body.List)
+		c.extracted[fn] = ops
+	}
+	return &codecFn{decl: decl, fn: fn, ops: ops}
+}
+
+// matchByName pairs encodeX with decodeX and reports orphans that move
+// bytes without a counterpart.
+func (c *codecChecker) matchByName() {
+	encs := make(map[string]*ast.FuncDecl)
+	decs := make(map[string]*ast.FuncDecl)
+	var order []string
+	add := func(m map[string]*ast.FuncDecl, key string, decl *ast.FuncDecl) {
+		if _, ok := m[key]; !ok {
+			m[key] = decl
+			order = append(order, key)
+		}
+	}
+	for _, decl := range c.decls {
+		if c.paired[decl] {
+			continue
+		}
+		name := decl.Name.Name
+		if suffix, ok := cutAnyPrefix(name, "encode", "Encode"); ok && suffix != "" {
+			add(encs, suffix, decl)
+		} else if suffix, ok := cutAnyPrefix(name, "decode", "Decode"); ok && suffix != "" {
+			add(decs, suffix, decl)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, key := range order {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		enc, dec := encs[key], decs[key]
+		switch {
+		case enc != nil && dec != nil:
+			c.paired[enc], c.paired[dec] = true, true
+			w, r := c.fnFor(enc), c.fnFor(dec)
+			if w != nil && r != nil {
+				c.compare(enc.Name.Name+"/"+dec.Name.Name, w, r)
+			}
+		case enc != nil:
+			if f := c.fnFor(enc); f != nil && len(f.ops) > 0 {
+				c.p.Reportf(enc.Pos(),
+					"encoder %s moves bytes but has no matching decode%s in this package; pair it or annotate both sides with richnote:codecpair",
+					enc.Name.Name, key)
+			}
+		case dec != nil:
+			if f := c.fnFor(dec); f != nil && len(f.ops) > 0 {
+				c.p.Reportf(dec.Pos(),
+					"decoder %s moves bytes but has no matching encode%s in this package; pair it or annotate both sides with richnote:codecpair",
+					dec.Name.Name, key)
+			}
+		}
+	}
+}
+
+func cutAnyPrefix(s string, prefixes ...string) (string, bool) {
+	for _, p := range prefixes {
+		if rest, ok := strings.CutPrefix(s, p); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// matchByConvention pairs a method Encode/Save/Marshal on T with the
+// package-level function Decode/Load/Unmarshal returning T or *T.
+func (c *codecChecker) matchByConvention() {
+	conventions := [][2]string{{"Encode", "Decode"}, {"Save", "Load"}, {"Marshal", "Unmarshal"}}
+	for _, decl := range c.decls {
+		if c.paired[decl] || decl.Recv == nil || len(decl.Recv.List) == 0 {
+			continue
+		}
+		var counterpart string
+		for _, conv := range conventions {
+			if decl.Name.Name == conv[0] {
+				counterpart = conv[1]
+			}
+		}
+		if counterpart == "" {
+			continue
+		}
+		fn := c.funcOf(decl)
+		recv := receiverTypeName(fn)
+		if recv == nil {
+			continue
+		}
+		for _, cand := range c.decls {
+			if c.paired[cand] || cand.Recv != nil || cand.Name.Name != counterpart {
+				continue
+			}
+			cfn := c.funcOf(cand)
+			if cfn == nil || !resultsInclude(cfn, recv) {
+				continue
+			}
+			c.paired[decl], c.paired[cand] = true, true
+			w, r := c.fnFor(decl), c.fnFor(cand)
+			if w != nil && r != nil {
+				c.compare(recv.Name()+"."+decl.Name.Name+"/"+cand.Name.Name, w, r)
+			}
+			break
+		}
+	}
+}
+
+// resultsInclude reports whether the function returns T or *T.
+func resultsInclude(fn *types.Func, tn *types.TypeName) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named := namedOf(sig.Results().At(i).Type()); named != nil && named.Obj() == tn {
+			return true
+		}
+	}
+	return false
+}
+
+// compare walks the writer's and reader's op trees in lockstep and
+// reports the first divergence.
+func (c *codecChecker) compare(pair string, w, r *codecFn) {
+	if desc, wpos, ok := diffOps(w.ops, r.ops, ""); !ok {
+		pos := wpos
+		if pos == token.NoPos {
+			pos = w.decl.Pos()
+		}
+		c.p.Reportf(pos,
+			"codec asymmetry in %s: %s (reader at %s); writer sequence [%s], reader sequence [%s]",
+			pair, desc, c.p.Fset.Position(r.decl.Pos()), renderOps(w.ops), renderOps(r.ops))
+	}
+}
+
+// diffOps returns a description of the first mismatch between the two
+// sequences, the writer-side position to report it at, and whether the
+// sequences agree.
+func diffOps(w, r []op, path string) (string, token.Pos, bool) {
+	n := len(w)
+	if len(r) < n {
+		n = len(r)
+	}
+	for i := 0; i < n; i++ {
+		a, b := w[i], r[i]
+		at := fmt.Sprintf("step %s%d", path, i+1)
+		if a.kind != b.kind || a.text != b.text {
+			return fmt.Sprintf("at %s the writer emits %s but the reader consumes %s", at, a, b), a.pos, false
+		}
+		if len(a.branches) != len(b.branches) {
+			return fmt.Sprintf("at %s the writer has %d branches but the reader %d", at, len(a.branches), len(b.branches)), a.pos, false
+		}
+		for bi := range a.branches {
+			sub := path + fmt.Sprintf("%d.", i+1)
+			if len(a.branches) > 1 {
+				sub = path + fmt.Sprintf("%d[%d].", i+1, bi+1)
+			}
+			if desc, pos, ok := diffOps(a.branches[bi], b.branches[bi], sub); !ok {
+				return desc, pos, false
+			}
+		}
+	}
+	if len(w) != len(r) {
+		var pos token.Pos
+		desc := ""
+		if len(w) > len(r) {
+			pos = w[n].pos
+			desc = fmt.Sprintf("the writer emits %d op(s) the reader never consumes, starting with %s", len(w)-n, w[n])
+		} else {
+			pos = r[n].pos
+			desc = fmt.Sprintf("the reader consumes %d op(s) the writer never emits, starting with %s", len(r)-n, r[n])
+		}
+		return desc, pos, false
+	}
+	return "", token.NoPos, true
+}
+
+// checkMirror enforces the primitive method-set mirror on packages that
+// define both an Encoder and a Decoder type: every width the writer can
+// emit must be readable, and vice versa (Count is decoder-only by
+// design — it is the validated read of an encoder's U32 length).
+func (c *codecChecker) checkMirror() {
+	encMethods := make(map[string]token.Pos)
+	decMethods := make(map[string]token.Pos)
+	sawEnc, sawDec := false, false
+	for _, f := range c.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if ts, ok := n.(*ast.TypeSpec); ok {
+				switch ts.Name.Name {
+				case "Encoder":
+					sawEnc = true
+				case "Decoder":
+					sawDec = true
+				}
+			}
+			return true
+		})
+	}
+	if !sawEnc || !sawDec {
+		return
+	}
+	for _, decl := range c.decls {
+		if decl.Recv == nil || len(decl.Recv.List) == 0 {
+			continue
+		}
+		if _, ok := codecPrims[decl.Name.Name]; !ok {
+			continue
+		}
+		switch baseTypeName(decl.Recv.List[0].Type) {
+		case "Encoder":
+			encMethods[decl.Name.Name] = decl.Pos()
+		case "Decoder":
+			decMethods[decl.Name.Name] = decl.Pos()
+		}
+	}
+	for name, pos := range encMethods {
+		if _, ok := decMethods[name]; !ok {
+			c.p.Reportf(pos,
+				"Encoder.%s has no Decoder.%s; every primitive the writer can emit must be readable", name, name)
+		}
+	}
+	for name, pos := range decMethods {
+		if name == "Count" {
+			continue
+		}
+		if _, ok := encMethods[name]; !ok {
+			c.p.Reportf(pos,
+				"Decoder.%s has no Encoder.%s; the reader consumes a primitive no writer emits", name, name)
+		}
+	}
+}
+
+// ---- op extraction ----------------------------------------------------
+
+// opExtractor builds the abstract byte sequence of one function body in
+// Go evaluation order.
+type opExtractor struct {
+	p       *Pass
+	visited map[*types.Func]bool
+	depth   int
+}
+
+func (x *opExtractor) stmts(list []ast.Stmt) []op {
+	var ops []op
+	for _, s := range list {
+		ops = append(ops, x.stmt(s)...)
+	}
+	return ops
+}
+
+func (x *opExtractor) stmt(s ast.Stmt) []op {
+	switch v := s.(type) {
+	case nil:
+		return nil
+	case *ast.ExprStmt:
+		return x.expr(v.X)
+	case *ast.AssignStmt:
+		var ops []op
+		for _, lhs := range v.Lhs {
+			ops = append(ops, x.expr(lhs)...)
+		}
+		for _, rhs := range v.Rhs {
+			ops = append(ops, x.expr(rhs)...)
+		}
+		return ops
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		var ops []op
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, val := range vs.Values {
+					ops = append(ops, x.expr(val)...)
+				}
+			}
+		}
+		return ops
+	case *ast.ReturnStmt:
+		var ops []op
+		for _, e := range v.Results {
+			ops = append(ops, x.expr(e)...)
+		}
+		return ops
+	case *ast.IfStmt:
+		ops := x.stmt(v.Init)
+		ops = append(ops, x.expr(v.Cond)...)
+		thenOps := x.stmts(v.Body.List)
+		elseOps := x.stmt(v.Else)
+		if len(thenOps) == 0 && len(elseOps) == 0 {
+			return ops
+		}
+		return append(ops, op{kind: opCond, pos: v.Pos(), branches: [][]op{thenOps, elseOps}})
+	case *ast.BlockStmt:
+		return x.stmts(v.List)
+	case *ast.ForStmt:
+		ops := x.stmt(v.Init)
+		body := x.expr(v.Cond)
+		body = append(body, x.stmts(v.Body.List)...)
+		body = append(body, x.stmt(v.Post)...)
+		if len(body) == 0 {
+			return ops
+		}
+		return append(ops, op{kind: opLoop, pos: v.Pos(), branches: [][]op{body}})
+	case *ast.RangeStmt:
+		ops := x.expr(v.X)
+		body := x.stmts(v.Body.List)
+		if len(body) == 0 {
+			return ops
+		}
+		return append(ops, op{kind: opLoop, pos: v.Pos(), branches: [][]op{body}})
+	case *ast.SwitchStmt:
+		ops := x.stmt(v.Init)
+		ops = append(ops, x.expr(v.Tag)...)
+		return x.caseBranches(ops, v.Pos(), v.Body)
+	case *ast.TypeSwitchStmt:
+		ops := x.stmt(v.Init)
+		ops = append(ops, x.stmt(v.Assign)...)
+		return x.caseBranches(ops, v.Pos(), v.Body)
+	case *ast.SendStmt:
+		return append(x.expr(v.Chan), x.expr(v.Value)...)
+	case *ast.IncDecStmt:
+		return x.expr(v.X)
+	case *ast.GoStmt:
+		return x.expr(v.Call)
+	case *ast.DeferStmt:
+		return x.expr(v.Call)
+	case *ast.LabeledStmt:
+		return x.stmt(v.Stmt)
+	}
+	return nil
+}
+
+func (x *opExtractor) caseBranches(ops []op, pos token.Pos, body *ast.BlockStmt) []op {
+	var branches [][]op
+	any := false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b := x.stmts(cc.Body)
+		if len(b) > 0 {
+			any = true
+		}
+		branches = append(branches, b)
+	}
+	if !any {
+		return ops
+	}
+	return append(ops, op{kind: opCond, pos: pos, branches: branches})
+}
+
+func (x *opExtractor) exprs(list []ast.Expr) []op {
+	var ops []op
+	for _, e := range list {
+		ops = append(ops, x.expr(e)...)
+	}
+	return ops
+}
+
+func (x *opExtractor) expr(e ast.Expr) []op {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *ast.CallExpr:
+		return x.call(v)
+	case *ast.BinaryExpr:
+		return append(x.expr(v.X), x.expr(v.Y)...)
+	case *ast.UnaryExpr:
+		return x.expr(v.X)
+	case *ast.StarExpr:
+		return x.expr(v.X)
+	case *ast.ParenExpr:
+		return x.expr(v.X)
+	case *ast.SelectorExpr:
+		return x.expr(v.X)
+	case *ast.IndexExpr:
+		return append(x.expr(v.X), x.expr(v.Index)...)
+	case *ast.SliceExpr:
+		ops := x.expr(v.X)
+		ops = append(ops, x.expr(v.Low)...)
+		ops = append(ops, x.expr(v.High)...)
+		ops = append(ops, x.expr(v.Max)...)
+		return ops
+	case *ast.KeyValueExpr:
+		return append(x.expr(v.Key), x.expr(v.Value)...)
+	case *ast.CompositeLit:
+		return x.exprs(v.Elts)
+	case *ast.TypeAssertExpr:
+		return x.expr(v.X)
+	case *ast.FuncLit:
+		return nil // closure bodies run elsewhere (callbacks)
+	}
+	return nil
+}
+
+// call classifies one call expression: a codec primitive, a pair
+// member, an inlined local helper carrying the codec, or byte-neutral
+// noise.
+func (x *opExtractor) call(call *ast.CallExpr) []op {
+	// Receiver and arguments evaluate before the call acts.
+	var pre []op
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		pre = x.expr(sel.X)
+	}
+	pre = append(pre, x.exprs(call.Args)...)
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if side := x.codecSide(sel.X); side != "" {
+			if canon, ok := codecPrims[sel.Sel.Name]; ok {
+				return append(pre, op{kind: opPrim, text: canon, side: side, pos: call.Pos()})
+			}
+			// Err/Bytes/Reset/Remaining/Len: byte-neutral codec methods.
+			return pre
+		}
+	}
+
+	if !x.carriesCodec(call) {
+		return pre
+	}
+	callee := calleeOf(x.p.TypesInfo, call)
+	if callee == nil {
+		return pre
+	}
+	if key := pairKeyOf(callee); key != "" {
+		return append(pre, op{kind: opCall, text: key, pos: call.Pos()})
+	}
+	// A local helper that takes the codec but is no pair member: inline
+	// its ops so idioms like decodeErr(d, ...) need no special casing.
+	decl := x.p.CallGraph().DeclOf(callee)
+	if decl == nil || decl.Body == nil || x.visited[callee] || x.depth >= 8 {
+		return pre
+	}
+	x.visited[callee] = true
+	x.depth++
+	ops := append(pre, x.stmts(decl.Body.List)...)
+	x.depth--
+	delete(x.visited, callee)
+	return ops
+}
+
+// codecSide reports whether the expression is an Encoder ("enc") or
+// Decoder ("dec") value, by defined type name.
+func (x *opExtractor) codecSide(e ast.Expr) string {
+	return codecSideOf(x.p.typeOf(e))
+}
+
+func codecSideOf(t types.Type) string {
+	named := namedOf(t)
+	if named == nil {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Encoder":
+		return "enc"
+	case "Decoder":
+		return "dec"
+	}
+	return ""
+}
+
+// carriesCodec reports whether any argument (or the method receiver)
+// is an Encoder or Decoder value — the filter separating byte-moving
+// calls from everything else.
+func (x *opExtractor) carriesCodec(call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x.codecSide(sel.X) != "" {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if x.codecSide(arg) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// pairKeyOf returns the canonical pair key a callee contributes as a
+// nested op: encodeItem and decodeItem both map to "Item", and
+// annotated pair members map to their annotation key. Non-members
+// return "".
+func pairKeyOf(fn *types.Func) string {
+	name := fn.Name()
+	if suffix, ok := cutAnyPrefix(name, "encode", "Encode", "decode", "Decode"); ok && suffix != "" {
+		return suffix
+	}
+	return ""
+}

@@ -2,29 +2,42 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"regexp"
 	"strings"
 )
 
-// Confined enforces the shard single-goroutine discipline through two
-// field markers:
+// Confined enforces the shard single-goroutine discipline through the
+// field marker
 //
 //	devices map[...]*sched.Device // richnote:confined(shard)
-//	snap    atomic.Pointer[...]   // richnote:atomic
 //
 // A richnote:confined field may only be touched from methods declared
 // on the struct that owns it — the type whose methods all run on the
 // owning goroutine (the optional parenthesized label names that
-// goroutine for humans). A richnote:atomic field may be touched from
-// anywhere, but only through a method call on the field (the
-// sync/atomic value types) or by passing its address to a sync/atomic
-// function; a bare read or write tears.
+// goroutine for humans). The check is type-aware: the selector must
+// resolve to the annotated field object, and the enclosing method's
+// receiver type must resolve to the owning struct, so a colliding field
+// name on an unrelated type is never confused with the marked one.
 //
-// The check is syntactic: a selector whose field name matches an
-// annotated field is assumed to be that field. Unexported field names
-// cannot leak across packages, and within a package the shard's field
-// names are unambiguous; a colliding name on an unrelated type would
-// need a rename or a //lint:allow.
+// v2 is also interprocedural within the package: even inside an owner
+// method, a reference-typed confined field must not leak off the owning
+// goroutine. Flagged escapes are
+//
+//   - capture by a `go func(){...}()` closure,
+//   - being returned from an owner method,
+//   - being sent on a channel,
+//   - being stored into a package-level variable or a field of a
+//     different struct, and
+//   - being passed to a same-package function whose body stores the
+//     parameter into such a sink (one call level deep, resolved through
+//     the package call graph).
+//
+// Passing a confined value to another package is not flagged — the
+// analysis cannot see across package bodies — and values *derived* from
+// a confined field (an element of a confined map, a field of a confined
+// struct) are out of scope; the invariant tracked is the annotated
+// field itself.
 //
 // Test files are exempt: in-package tests poke shard state from the
 // test goroutine before the shard loop starts, which is safe and
@@ -32,8 +45,9 @@ import (
 var Confined = &Analyzer{
 	Name: "confined",
 	Doc: "fields marked richnote:confined(<label>) may only be accessed from " +
-		"methods of the owning struct; fields marked richnote:atomic only " +
-		"through sync/atomic value methods or helpers",
+		"methods of the owning struct and must not escape the owning " +
+		"goroutine via returns, channel sends, goroutine captures or stores " +
+		"into non-confined sinks",
 	IncludeTests: false,
 	Run:          runConfined,
 }
@@ -41,74 +55,22 @@ var Confined = &Analyzer{
 // markerRE matches the field annotations inside a comment.
 var markerRE = regexp.MustCompile(`richnote:(confined|atomic)(?:\(([^)]*)\))?`)
 
-type confinedMark struct {
-	owner string // struct type name declaring the field
+// fieldMark is one annotated struct field, resolved to its go/types
+// objects.
+type fieldMark struct {
 	kind  string // "confined" or "atomic"
 	label string // optional goroutine label
+	owner *types.TypeName
+	field *types.Var
 }
 
-func runConfined(p *Pass) {
-	marks := collectMarks(p.Files)
-	if len(marks) == 0 {
-		return
-	}
+// collectFieldMarks resolves every annotated field of the given kind
+// declared in the pass's files. Fields that did not resolve (type
+// errors) are skipped; the driver has already reported the type-check
+// failure.
+func collectFieldMarks(p *Pass, kind string) map[*types.Var]fieldMark {
+	marks := make(map[*types.Var]fieldMark)
 	for _, f := range p.Files {
-		file := f
-		walkStack(file, func(n ast.Node, stack []ast.Node) {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return
-			}
-			ms := marks[sel.Sel.Name]
-			if len(ms) == 0 {
-				return
-			}
-			var parent ast.Node
-			if len(stack) > 0 {
-				parent = stack[len(stack)-1]
-			}
-			// A call f.x(...) selects a method named like the field,
-			// not the field itself.
-			if call, ok := parent.(*ast.CallExpr); ok && call.Fun == n {
-				return
-			}
-			for _, m := range ms {
-				switch m.kind {
-				case "confined":
-					if enclosingReceiver(stack) == m.owner {
-						return
-					}
-				case "atomic":
-					if atomicUse(file, n, stack) {
-						return
-					}
-				}
-			}
-			// Report against the first mark (multiple owners for one
-			// field name would each have allowed the access above).
-			m := ms[0]
-			switch m.kind {
-			case "confined":
-				where := m.owner
-				if m.label != "" {
-					where = m.label
-				}
-				p.Reportf(sel.Sel.Pos(),
-					"field %s is confined to the %s goroutine (richnote:confined); access it only from %s methods",
-					sel.Sel.Name, where, m.owner)
-			case "atomic":
-				p.Reportf(sel.Sel.Pos(),
-					"field %s is marked richnote:atomic; access it only through sync/atomic value methods or by address in a sync/atomic call",
-					sel.Sel.Name)
-			}
-		})
-	}
-}
-
-// collectMarks scans struct declarations for annotated fields.
-func collectMarks(files []*ast.File) map[string][]confinedMark {
-	marks := make(map[string][]confinedMark)
-	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
 			if !ok {
@@ -118,14 +80,21 @@ func collectMarks(files []*ast.File) map[string][]confinedMark {
 			if !ok {
 				return true
 			}
+			owner, _ := p.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if owner == nil {
+				return true
+			}
 			for _, field := range st.Fields.List {
-				m, ok := fieldMark(field)
-				if !ok {
+				k, label, ok := fieldMarkText(field)
+				if !ok || k != kind {
 					continue
 				}
-				m.owner = ts.Name.Name
 				for _, name := range field.Names {
-					marks[name.Name] = append(marks[name.Name], m)
+					v, _ := p.TypesInfo.Defs[name].(*types.Var)
+					if v == nil {
+						continue
+					}
+					marks[v] = fieldMark{kind: k, label: label, owner: owner, field: v}
 				}
 			}
 			return true
@@ -134,9 +103,9 @@ func collectMarks(files []*ast.File) map[string][]confinedMark {
 	return marks
 }
 
-// fieldMark extracts a richnote marker from the field's doc or trailing
-// comment.
-func fieldMark(field *ast.Field) (confinedMark, bool) {
+// fieldMarkText extracts a richnote marker from the field's doc or
+// trailing comment.
+func fieldMarkText(field *ast.Field) (kind, label string, ok bool) {
 	var text strings.Builder
 	if field.Doc != nil {
 		text.WriteString(field.Doc.Text())
@@ -146,38 +115,326 @@ func fieldMark(field *ast.Field) (confinedMark, bool) {
 	}
 	sub := markerRE.FindStringSubmatch(text.String())
 	if sub == nil {
-		return confinedMark{}, false
+		return "", "", false
 	}
-	return confinedMark{kind: sub[1], label: strings.TrimSpace(sub[2])}, true
+	return sub[1], strings.TrimSpace(sub[2]), true
 }
 
-// atomicUse reports whether the selector is used safely for a
-// richnote:atomic field: as the receiver of a method call
-// (s.hits.Add(1) on an atomic value type), or as &s.field passed to a
-// sync/atomic function.
-func atomicUse(f *ast.File, sel ast.Node, stack []ast.Node) bool {
-	if len(stack) == 0 {
-		return false
+// confinedChecker carries the pass and the resolved mark set through
+// the access and escape rules.
+type confinedChecker struct {
+	p     *Pass
+	marks map[*types.Var]fieldMark
+}
+
+func runConfined(p *Pass) {
+	c := &confinedChecker{p: p, marks: collectFieldMarks(p, "confined")}
+	if len(c.marks) == 0 {
+		return
 	}
-	parent := stack[len(stack)-1]
-	// s.field.Method(...)
-	if outer, ok := parent.(*ast.SelectorExpr); ok && outer.X == sel && len(stack) >= 2 {
-		if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == parent {
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj, _ := p.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if obj == nil {
+				return
+			}
+			m, ok := c.marks[obj]
+			if !ok {
+				return
+			}
+			c.checkAccess(m, sel, stack)
+		})
+	}
+}
+
+// checkAccess applies the owner-method rule and, inside owner methods,
+// the escape rules to one resolved access of a confined field.
+func (c *confinedChecker) checkAccess(m fieldMark, sel *ast.SelectorExpr, stack []ast.Node) {
+	p := c.p
+	name := m.field.Name()
+	where := m.owner.Name()
+	if m.label != "" {
+		where = m.label
+	}
+
+	decl := enclosingFuncDecl(stack)
+	fn, _ := p.TypesInfo.Defs[funcDeclName(decl)].(*types.Func)
+	if receiverTypeName(fn) != m.owner {
+		p.Reportf(sel.Sel.Pos(),
+			"field %s is confined to the %s goroutine (richnote:confined); access it only from %s methods",
+			name, where, m.owner.Name())
+		return
+	}
+	if goCaptured(stack) {
+		p.Reportf(sel.Sel.Pos(),
+			"confined field %s is captured by a go statement's closure; confined state must stay on the %s goroutine",
+			name, where)
+		return
+	}
+	if kind, detail := c.escapeOf(m, sel, stack); kind != "" {
+		p.Reportf(sel.Sel.Pos(),
+			"confined field %s escapes the %s goroutine: %s%s", name, where, kind, detail)
+	}
+}
+
+// funcDeclName returns the declaration's name identifier, nil-safe.
+func funcDeclName(decl *ast.FuncDecl) *ast.Ident {
+	if decl == nil {
+		return nil
+	}
+	return decl.Name
+}
+
+// goCaptured reports whether the stack passes through a function
+// literal launched directly by a go statement (`go func(){...}()`).
+func goCaptured(stack []ast.Node) bool {
+	for i, n := range stack {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || i < 2 {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != lit {
+			continue
+		}
+		if g, ok := stack[i-2].(*ast.GoStmt); ok && g.Call == call {
 			return true
 		}
 	}
-	// atomic.AddUint64(&s.field, 1)
-	if unary, ok := parent.(*ast.UnaryExpr); ok && unary.X == sel {
-		for i := len(stack) - 2; i >= 0; i-- {
-			call, ok := stack[i].(*ast.CallExpr)
-			if !ok {
-				continue
+	return false
+}
+
+// refKind reports whether values of t have reference semantics — the
+// kinds whose escape actually shares confined state. Copies of plain
+// scalars and value structs are safe to hand out.
+func refKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// escapeOf classifies how a confined-field reference inside an owner
+// method leaks, or returns "" when the use is safe. expr starts as the
+// selector and is widened through &expr, parens and composite literals
+// before the verdict.
+func (c *confinedChecker) escapeOf(m fieldMark, sel ast.Expr, stack []ast.Node) (kind, detail string) {
+	p := c.p
+	expr := sel
+	t := p.typeOf(sel)
+	isRef := refKind(t)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			expr = parent
+		case *ast.UnaryExpr:
+			if parent.Op.String() != "&" || parent.X != expr {
+				return "", ""
 			}
-			if _, ok := pkgFuncCall(f, call, "sync/atomic"); ok {
-				return true
+			expr = parent
+			isRef = true // &field is a pointer into the owner
+		case *ast.KeyValueExpr:
+			if parent.Value != expr {
+				return "", ""
 			}
-			break
+			expr = parent
+		case *ast.CompositeLit:
+			expr = parent
+		case *ast.ReturnStmt:
+			if isRef && containsExpr(parent.Results, expr) {
+				return "returned from an owner method", ""
+			}
+			return "", ""
+		case *ast.SendStmt:
+			if isRef && parent.Value == expr {
+				return "sent on a channel", ""
+			}
+			return "", ""
+		case *ast.AssignStmt:
+			if !isRef {
+				return "", ""
+			}
+			return c.assignEscape(m, parent, expr)
+		case *ast.CallExpr:
+			if !isRef || parent.Fun == expr {
+				return "", ""
+			}
+			return c.callEscape(m, parent, expr)
+		default:
+			return "", ""
+		}
+	}
+	return "", ""
+}
+
+// containsExpr reports whether e is one of exprs.
+func containsExpr(exprs []ast.Expr, e ast.Expr) bool {
+	for _, x := range exprs {
+		if x == e {
+			return true
 		}
 	}
 	return false
+}
+
+// assignEscape checks the target a confined reference is assigned to:
+// locals are fine (they stay on the goroutine), confined fields of the
+// same owner are fine, anything else is a non-confined sink.
+func (c *confinedChecker) assignEscape(m fieldMark, as *ast.AssignStmt, expr ast.Expr) (string, string) {
+	p := c.p
+	idx := -1
+	for i, rhs := range as.Rhs {
+		if rhs == expr {
+			idx = i
+		}
+	}
+	if idx < 0 || len(as.Lhs) != len(as.Rhs) {
+		return "", ""
+	}
+	target := ast.Unparen(as.Lhs[idx])
+	// Store into a struct field: allowed only when the target field is
+	// itself confined to the same owner.
+	if fv := fieldVarOf(p.TypesInfo, target); fv != nil {
+		if tm, ok := c.marks[fv]; ok && tm.owner == m.owner {
+			return "", ""
+		}
+		return "stored into field " + fv.Name(), " (not confined to the same owner)"
+	}
+	if id, ok := target.(*ast.Ident); ok {
+		if v, ok := objectOf(p.TypesInfo, id).(*types.Var); ok {
+			if p.Pkg != nil && v.Parent() == p.Pkg.Scope() {
+				return "stored into package-level variable " + v.Name(), ""
+			}
+		}
+		return "", "" // local variable: stays on the goroutine
+	}
+	// Index/deref targets (someMap[k] = sh.field, *ptr = sh.field)
+	// store into memory whose confinement is unknown; treat the map or
+	// pointer's own confinement as the verdict only when it is simple.
+	if _, ok := target.(*ast.IndexExpr); ok {
+		return "", "" // writing into a container: tracked via that container's own mark
+	}
+	return "", ""
+}
+
+// objectOf returns Uses[id] or Defs[id].
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// callEscape follows a confined reference passed as an argument to a
+// same-package function one level deep: if the callee stores the
+// parameter into a global, a field, a channel or a goroutine capture,
+// the call site is the escape.
+func (c *confinedChecker) callEscape(m fieldMark, call *ast.CallExpr, expr ast.Expr) (string, string) {
+	p := c.p
+	idx := -1
+	for i, arg := range call.Args {
+		if arg == expr {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return "", ""
+	}
+	callee := calleeOf(p.TypesInfo, call)
+	if callee == nil {
+		return "", "" // dynamic or unresolved: out of scope
+	}
+	if receiverTypeName(callee) == m.owner {
+		return "", "" // another owner method: still on the goroutine
+	}
+	decl := p.CallGraph().DeclOf(callee)
+	if decl == nil {
+		return "", "" // other package or no body: analysis boundary
+	}
+	param := paramIdent(decl, idx)
+	if param == nil {
+		return "", ""
+	}
+	obj := p.TypesInfo.Defs[param]
+	if obj == nil {
+		return "", ""
+	}
+	if why := p.paramEscapes(decl, obj); why != "" {
+		return "passed to " + callee.Name() + ", which " + why, ""
+	}
+	return "", ""
+}
+
+// paramIdent maps a call argument index to the callee's parameter name,
+// accounting for grouped parameters (a, b int) and variadics.
+func paramIdent(decl *ast.FuncDecl, idx int) *ast.Ident {
+	var names []*ast.Ident
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			names = append(names, nil)
+			continue
+		}
+		names = append(names, field.Names...)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	if idx >= len(names) {
+		idx = len(names) - 1 // variadic tail
+	}
+	return names[idx]
+}
+
+// paramEscapes reports how the callee lets the parameter leave the
+// calling goroutine, or "" if it does not (one level deep; calls the
+// callee makes in turn are an accepted analysis boundary).
+func (p *Pass) paramEscapes(decl *ast.FuncDecl, obj types.Object) string {
+	var why string
+	walkStack(decl.Body, func(n ast.Node, stack []ast.Node) {
+		if why != "" {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.TypesInfo.Uses[id] != obj {
+			return
+		}
+		if goCaptured(stack) {
+			why = "captures it in a goroutine"
+			return
+		}
+		if len(stack) == 0 {
+			return
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SendStmt:
+			if parent.Value == id {
+				why = "sends it on a channel"
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if rhs != ast.Expr(id) || len(parent.Lhs) != len(parent.Rhs) {
+					continue
+				}
+				target := ast.Unparen(parent.Lhs[i])
+				if fv := fieldVarOf(p.TypesInfo, target); fv != nil {
+					why = "stores it into field " + fv.Name()
+				} else if tid, ok := target.(*ast.Ident); ok {
+					if v, ok := objectOf(p.TypesInfo, tid).(*types.Var); ok &&
+						p.Pkg != nil && v.Parent() == p.Pkg.Scope() {
+						why = "stores it into package-level variable " + v.Name()
+					}
+				}
+			}
+		}
+	})
+	return why
 }

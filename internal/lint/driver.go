@@ -1,36 +1,11 @@
 package lint
 
 import (
-	"bytes"
-	"encoding/json"
-	"errors"
-	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"io"
-	"os/exec"
-	"path/filepath"
 	"sort"
 	"strings"
 )
-
-// listPackage is the subset of `go list -json` output the driver needs.
-type listPackage struct {
-	Dir          string
-	ImportPath   string
-	GoFiles      []string
-	CgoFiles     []string
-	TestGoFiles  []string
-	XTestGoFiles []string
-}
-
-// parsedFile pairs a syntax tree with whether it came from a _test.go
-// file, which some analyzers exempt.
-type parsedFile struct {
-	ast  *ast.File
-	test bool
-}
 
 // allowDirective is one parsed //lint:allow <analyzer> <reason>
 // suppression.
@@ -40,51 +15,40 @@ type allowDirective struct {
 	analyzer string
 }
 
-// Run loads the packages matched by patterns (relative to dir), applies
-// the analyzers and returns the surviving findings sorted by position.
-// A finding is suppressed by a well-formed //lint:allow directive for
-// its analyzer (or "*") on the same line or the line directly above;
-// malformed directives are themselves reported under the pseudo-analyzer
-// "lint".
+// Run loads and type-checks the packages matched by patterns (relative
+// to dir), applies the analyzers and returns the surviving findings
+// sorted by position. A finding is suppressed by a well-formed
+// //lint:allow directive for its analyzer (or "*") on the same line or
+// the line directly above; malformed directives are themselves reported
+// under the pseudo-analyzer "lint", as are packages that fail to parse
+// or type-check (the rest of the run continues either way).
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
-	pkgs, err := goList(dir, patterns)
+	ld, err := loadPackages(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	var findings []Finding
-	var allows []allowDirective
-	for _, pkg := range pkgs {
-		files, err := parsePackage(fset, pkg)
-		if err != nil {
-			return nil, err
-		}
-		if len(files) == 0 {
-			continue
-		}
-		for _, pf := range files {
-			a, bad := scanAllows(fset, pf.ast)
-			allows = append(allows, a...)
-			findings = append(findings, bad...)
-		}
+	findings := append([]Finding(nil), ld.findings...)
+	for _, pkg := range ld.pkgs {
 		for _, a := range analyzers {
-			if !scopeMatches(a, pkg.ImportPath) {
+			if !scopeMatches(a, pkg.importPath) {
 				continue
 			}
-			var in []*ast.File
-			for _, pf := range files {
-				if pf.test && !a.IncludeTests {
+			for _, u := range pkg.units {
+				var in []*ast.File
+				for _, pf := range u.files {
+					if pf.test && !a.IncludeTests {
+						continue
+					}
+					in = append(in, pf.ast)
+				}
+				if len(in) == 0 {
 					continue
 				}
-				in = append(in, pf.ast)
+				findings = append(findings, RunAnalyzer(a, u.pi, in)...)
 			}
-			if len(in) == 0 {
-				continue
-			}
-			findings = append(findings, RunAnalyzer(a, fset, pkg.ImportPath, in)...)
 		}
 	}
-	findings = suppress(findings, allows)
+	findings = suppress(findings, ld.allows)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -99,64 +63,6 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error
 		return a.Analyzer < b.Analyzer
 	})
 	return findings, nil
-}
-
-// goList shells out to the go tool for package discovery — the
-// stdlib-only stand-in for go/packages.Load.
-func goList(dir string, patterns []string) ([]listPackage, error) {
-	args := append([]string{"list", "-json"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stdout, stderr bytes.Buffer
-	cmd.Stdout = &stdout
-	cmd.Stderr = &stderr
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("lint: go list %s: %w\n%s",
-			strings.Join(patterns, " "), err, stderr.String())
-	}
-	var pkgs []listPackage
-	dec := json.NewDecoder(&stdout)
-	for {
-		var pkg listPackage
-		if err := dec.Decode(&pkg); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
-}
-
-// parsePackage parses the package's compiled and test files with
-// comments (the confined markers and allow directives live there).
-func parsePackage(fset *token.FileSet, pkg listPackage) ([]parsedFile, error) {
-	var out []parsedFile
-	add := func(names []string, test bool) error {
-		for _, name := range names {
-			path := filepath.Join(pkg.Dir, name)
-			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return fmt.Errorf("lint: %w", err)
-			}
-			out = append(out, parsedFile{ast: f, test: test})
-		}
-		return nil
-	}
-	if err := add(pkg.GoFiles, false); err != nil {
-		return nil, err
-	}
-	if err := add(pkg.CgoFiles, false); err != nil {
-		return nil, err
-	}
-	if err := add(pkg.TestGoFiles, true); err != nil {
-		return nil, err
-	}
-	if err := add(pkg.XTestGoFiles, true); err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // scopeMatches reports whether the analyzer applies to the package: nil
@@ -231,7 +137,7 @@ func suppress(findings []Finding, allows []allowDirective) []Finding {
 		}
 		return false
 	}
-	kept := findings[:0]
+	kept := append([]Finding(nil), findings...)[:0]
 	for _, f := range findings {
 		if f.Analyzer != "lint" && (covered(f, f.Pos.Line) || covered(f, f.Pos.Line-1)) {
 			continue

@@ -28,7 +28,31 @@ func (b *battery) Spend(j float64) float64 {
 }
 
 type shard struct {
-	round int // richnote:confined(shard)
+	round  int    // richnote:confined(shard)
+	legacy uint64 // richnote:atomic
+}
+
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) U32(v uint32) {}
+func (e *Encoder) U64(v uint64) {}
+
+type Decoder struct{ off int }
+
+func (d *Decoder) U32() uint32 { return 0 }
+func (d *Decoder) U64() uint64 { return 0 }
+
+func encodeThing(e *Encoder, v uint64) {
+	e.U64(v)
+}
+
+func decodeThing(d *Decoder) uint64 {
+	return uint64(d.U32())
+}
+
+// richnote:allocfree
+func hot(n int) []byte {
+	return make([]byte, n)
 }
 
 func Violate(s *shard, b *battery, sizeBytes int64, quotaMB float64) float64 {
@@ -36,6 +60,7 @@ func Violate(s *shard, b *battery, sizeBytes int64, quotaMB float64) float64 {
 	start := time.Now()
 	b.Spend(2)
 	s.round++
+	s.legacy++
 	_ = start
 	return float64(sizeBytes) + quotaMB
 }
@@ -47,6 +72,7 @@ const smokeAllowed = `package sim
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,10 +84,39 @@ func (b *battery) Spend(j float64) float64 {
 }
 
 type shard struct {
-	round int // richnote:confined(shard)
+	round  int    // richnote:confined(shard)
+	legacy uint64 // richnote:atomic
 }
 
 func (s *shard) bump() { s.round++ }
+
+func touch(s *shard) { atomic.AddUint64(&s.legacy, 1) }
+
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) U32(v uint32) {}
+func (e *Encoder) U64(v uint64) {}
+
+type Decoder struct{ off int }
+
+func (d *Decoder) U32() uint32 { return 0 }
+func (d *Decoder) U64() uint64 { return 0 }
+
+func encodeThing(e *Encoder, v uint64) {
+	e.U64(v)
+}
+
+func decodeThing(d *Decoder) uint64 {
+	return d.U64()
+}
+
+// richnote:allocfree
+func hot(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
 
 const bytesPerMB = 1 << 20
 
@@ -71,6 +126,7 @@ func Allowed(s *shard, b *battery, sizeBytes int64, quotaMB float64, seed int64)
 	start := time.Now()
 	spent := b.Spend(rng.Float64())
 	s.bump()
+	touch(s)
 	_ = start
 	return float64(sizeBytes)/bytesPerMB + quotaMB + spent
 }
@@ -182,10 +238,40 @@ func TestDriverScopeGating(t *testing.T) {
 	for _, f := range findings {
 		got[f.Analyzer] = true
 	}
-	for _, name := range []string{"spendcheck", "confined", "unitcheck"} {
+	for _, name := range []string{"spendcheck", "confined", "atomiccheck", "codecsym", "allocfree", "unitcheck"} {
 		if !got[name] {
 			t.Errorf("unscoped analyzer %s did not fire:\n%s", name, render(findings))
 		}
+	}
+}
+
+// TestDriverContinuesPastTypecheckFailure: a package that does not
+// type-check becomes a finding of its own, and analysis of the healthy
+// packages still runs (satellite: driver robustness).
+func TestDriverContinuesPastTypecheckFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        smokeGoMod,
+		"broken/bad.go": "package broken\n\nfunc f() int { return undefinedSymbol }\n",
+		"sim/bad.go":    smokeViolations,
+	})
+	findings, err := lint.Run(dir, []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTypeFailure, sawSeedrand bool
+	for _, f := range findings {
+		if f.Analyzer == "lint" && strings.Contains(f.Message, "does not type-check") {
+			sawTypeFailure = true
+		}
+		if f.Analyzer == "seedrand" {
+			sawSeedrand = true
+		}
+	}
+	if !sawTypeFailure {
+		t.Errorf("no type-check failure finding for the broken package:\n%s", render(findings))
+	}
+	if !sawSeedrand {
+		t.Errorf("healthy package was not analyzed after the type-check failure:\n%s", render(findings))
 	}
 }
 

@@ -1,20 +1,25 @@
 // Package lint implements richnote-lint, the repo's in-house static
 // analyzers. They machine-check the invariants that keep the system
-// deterministic, goroutine-confined and budget-correct — properties
-// that previously lived only in doc comments (network.Model is not
-// concurrency-safe; RNGs are injected and seeded; radio overhead is
-// charged only after an affordable selection is confirmed).
+// deterministic, goroutine-confined, budget-correct and codec-symmetric
+// — properties that previously lived only in doc comments (network.Model
+// is not concurrency-safe; RNGs are injected and seeded; radio overhead
+// is charged only after an affordable selection is confirmed; every
+// encoder has a decoder that reads exactly the bytes it wrote).
 //
 // The Analyzer/Pass shapes deliberately mirror
 // golang.org/x/tools/go/analysis so each analyzer can be ported to a
 // real multichecker unchanged if that dependency is ever vendored; the
 // build here is stdlib-only, so the driver loads packages with
-// `go list -json` and go/parser instead of go/packages.
+// `go list -json`, parses them with go/parser and type-checks them with
+// go/types + go/importer in source mode (see typecheck.go) instead of
+// go/packages.
 //
-// Analyses are syntactic (no go/types): package references are resolved
-// through each file's import table, which is exact for this codebase.
-// The one theoretical gap — shadowing an imported package name with a
-// local variable — is not an idiom this repo uses.
+// Analyses are type-aware: every Pass carries a *types.Info and a
+// package-local call graph, so package references, method receivers and
+// field selections resolve through the type checker rather than name
+// matching. On a package with type errors the resolution maps are
+// partial; analyzers degrade to their syntactic fallbacks and the
+// driver reports the type-check failure as a finding of its own.
 //
 // Intentional violations are suppressed with a directive on the same
 // line or the line directly above:
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path"
 	"strconv"
 	"strings"
@@ -53,16 +59,39 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass hands one analyzer one package worth of parsed files.
+// Pass hands one analyzer one type-checked package worth of files.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	// Path is the package import path (fixture directory name under
 	// linttest).
-	Path  string
+	Path string
+	// Files holds the syntax trees the analyzer should walk — already
+	// filtered by IncludeTests. The type information below may cover a
+	// superset (the whole analysis unit).
 	Files []*ast.File
+	// Pkg is the type-checked package; nil only when the unit was
+	// built without type checking.
+	Pkg *types.Package
+	// TypesInfo resolves identifiers, selections and expression types
+	// for the unit. Never nil, but possibly sparsely populated when
+	// the package has type errors.
+	TypesInfo *types.Info
+	// TypeErrors lists the unit's type-check errors (empty for a clean
+	// package).
+	TypeErrors []error
 
+	unit   *PackageInfo
 	report func(Finding)
+}
+
+// CallGraph returns the package-local call graph for the unit the pass
+// belongs to, built lazily and shared across analyzers.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.unit == nil {
+		return nil
+	}
+	return p.unit.CallGraph()
 }
 
 // Finding is one reported violation.
@@ -85,17 +114,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzer applies a single analyzer to already-parsed files,
+// RunAnalyzer applies a single analyzer to one type-checked unit,
 // without scope gating or //lint:allow filtering (the driver layers
-// those on). The linttest fixture runner calls this directly.
-func RunAnalyzer(a *Analyzer, fset *token.FileSet, pkgPath string, files []*ast.File) []Finding {
+// those on). files selects the syntax trees to walk; nil means every
+// file in the unit. The linttest fixture runner calls this directly.
+func RunAnalyzer(a *Analyzer, unit *PackageInfo, files []*ast.File) []Finding {
+	if files == nil {
+		files = unit.Files
+	}
+	info := unit.Info
+	if info == nil {
+		info = &types.Info{}
+	}
 	var out []Finding
 	pass := &Pass{
-		Analyzer: a,
-		Fset:     fset,
-		Path:     pkgPath,
-		Files:    files,
-		report:   func(f Finding) { out = append(out, f) },
+		Analyzer:   a,
+		Fset:       unit.Fset,
+		Path:       unit.Path,
+		Files:      files,
+		Pkg:        unit.Pkg,
+		TypesInfo:  info,
+		TypeErrors: unit.TypeErrors,
+		unit:       unit,
+		report:     func(f Finding) { out = append(out, f) },
 	}
 	a.Run(pass)
 	return out
@@ -103,8 +144,150 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, pkgPath string, files []*ast.
 
 // All returns the full richnote-lint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SeedRand, WallClock, SpendCheck, Confined, UnitCheck}
+	return []*Analyzer{
+		SeedRand, WallClock, SpendCheck, Confined, AtomicCheck,
+		CodecSym, AllocFree, UnitCheck,
+	}
 }
+
+// ---- typed resolution helpers ----------------------------------------
+
+// pkgCall matches call against package-level calls pkg.Fn for any of
+// the given import paths and returns the function name. Resolution goes
+// through the type information when the callee resolved; on packages
+// with type errors it falls back to the file's import table, which is
+// exact for unshadowed references.
+func (p *Pass) pkgCall(f *ast.File, call *ast.CallExpr, importPaths ...string) (string, bool) {
+	if fn := calleeOf(p.TypesInfo, call); fn != nil {
+		if fn.Pkg() == nil {
+			return "", false
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() != nil {
+			return "", false
+		}
+		for _, path := range importPaths {
+			if fn.Pkg().Path() == path {
+				return fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	// Callee did not resolve (type errors, or a selector go/types gave
+	// up on): fall back to the syntactic import-table match.
+	if p.typesResolved(call.Fun) {
+		return "", false
+	}
+	return pkgFuncCall(f, call, importPaths...)
+}
+
+// typesResolved reports whether the expression's operands resolved in
+// the unit's Uses map — the signal separating "resolved to something
+// that is not the package function we asked about" from "not resolved
+// at all" for fallback decisions.
+func (p *Pass) typesResolved(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, ok := p.TypesInfo.Uses[v]
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := p.TypesInfo.Uses[v.Sel]
+		return ok
+	}
+	return false
+}
+
+// pkgNameOf resolves an identifier used as a selector qualifier to the
+// import path it names, with the same typed-then-syntactic fallback as
+// pkgCall.
+func (p *Pass) pkgNameOf(f *ast.File, id *ast.Ident) (string, bool) {
+	if obj, ok := p.TypesInfo.Uses[id]; ok {
+		pn, ok := obj.(*types.PkgName)
+		if !ok {
+			return "", false
+		}
+		return pn.Imported().Path(), true
+	}
+	for _, spec := range f.Imports {
+		ip, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		if importedAs(f, ip) == id.Name {
+			return ip, true
+		}
+	}
+	return "", false
+}
+
+// typeOf returns the type of an expression, or nil when the unit's
+// information does not cover it.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// fieldVarOf resolves a selector (or plain identifier, for selections
+// inside method bodies) to the struct field object it denotes, or nil.
+func fieldVarOf(info *types.Info, e ast.Expr) *types.Var {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[v.Sel].(*types.Var); ok && obj.IsField() {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[v].(*types.Var); ok && obj.IsField() {
+			return obj
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Alias:
+			t = types.Unalias(v)
+		case *types.Named:
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// receiverTypeName returns the defined type a method's receiver belongs
+// to, or nil for functions.
+func receiverTypeName(fn *types.Func) *types.TypeName {
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	if named := namedOf(sig.Recv().Type()); named != nil {
+		return named.Obj()
+	}
+	return nil
+}
+
+// isStdlibPath reports whether an import path belongs to the standard
+// library (no dot in the first path element).
+func isStdlibPath(path string) bool {
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}
+
+// ---- syntactic helpers (fallbacks and unitcheck) ----------------------
 
 // importedAs returns the local name under which f imports importPath,
 // or "" if the file does not import it. Blank and dot imports return ""
@@ -195,6 +378,16 @@ func enclosingReceiver(stack []ast.Node) string {
 		return baseTypeName(decl.Recv.List[0].Type)
 	}
 	return ""
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl on the stack.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if decl, ok := stack[i].(*ast.FuncDecl); ok {
+			return decl
+		}
+	}
+	return nil
 }
 
 // baseTypeName unwraps pointers and type parameters to the receiver's

@@ -9,20 +9,16 @@
 //
 // Every want must be matched by a distinct finding on its line and
 // every finding must be covered by a want; anything else fails the
-// test. Fixtures are parsed, not compiled, so they may reference
-// nothing outside the standard library.
+// test. Fixtures are type-checked against the standard library (and
+// only the standard library), matching the typed driver: a fixture that
+// does not resolve fails the test before any analyzer runs, so want
+// comments always exercise the analyzer's typed path rather than its
+// degraded syntactic fallback.
 package linttest
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
 	"regexp"
-	"sort"
-	"strings"
 	"testing"
 
 	"github.com/richnote/richnote/internal/lint"
@@ -42,23 +38,25 @@ type expectation struct {
 	matched bool
 }
 
-// Run applies the analyzer to every .go file in dir and diffs the
-// findings against the fixture's want comments.
+// Run type-checks the fixture directory, applies the analyzer and diffs
+// the findings against the fixture's want comments.
 func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	t.Helper()
-	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	pi, err := lint.LoadFixture(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) == 0 {
-		t.Fatalf("linttest: no fixture files in %s", dir)
+	for _, terr := range pi.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
 	}
-	wants, err := collectWants(t, fset, files)
+	if len(pi.TypeErrors) > 0 {
+		t.FailNow()
+	}
+	wants, err := collectWants(pi)
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := lint.RunAnalyzer(a, fset, filepath.Base(dir), files)
+	findings := lint.RunAnalyzer(a, pi, nil)
 	for _, f := range findings {
 		if !claim(wants, f) {
 			t.Errorf("unexpected finding: %s", f)
@@ -71,41 +69,16 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	}
 }
 
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("linttest: %w", err)
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
-			parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("linttest: %w", err)
-		}
-		files = append(files, f)
-	}
-	return files, nil
-}
-
-func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
-	t.Helper()
+func collectWants(pi *lint.PackageInfo) ([]*expectation, error) {
 	var wants []*expectation
-	for _, f := range files {
+	for _, f := range pi.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
 				m := wantRE.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				pos := fset.Position(c.Pos())
+				pos := pi.Fset.Position(c.Pos())
 				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
 				if len(quoted) == 0 {
 					return nil, fmt.Errorf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)

@@ -24,7 +24,9 @@ var seedRandGlobals = map[string]bool{
 // SeedRand forbids ambient randomness in the deterministic packages:
 // pipeline builds must be byte-identical at any worker count (PR 1) and
 // shards must never share RNG state (PR 2), so every random draw has to
-// come from an injected, seed-derived *rand.Rand.
+// come from an injected, seed-derived *rand.Rand. Calls resolve through
+// the type checker, so a method named Intn on an injected generator is
+// never confused with the package-level function.
 var SeedRand = &Analyzer{
 	Name: "seedrand",
 	Doc: "forbid global math/rand functions, rand.Seed and time-derived RNG " +
@@ -44,7 +46,7 @@ func runSeedRand(p *Pass) {
 			if !ok {
 				return true
 			}
-			name, ok := pkgFuncCall(file, call, randImports...)
+			name, ok := p.pkgCall(file, call, randImports...)
 			if !ok {
 				return true
 			}
@@ -56,7 +58,7 @@ func runSeedRand(p *Pass) {
 				p.Reportf(call.Pos(),
 					"global math/rand.%s draws from the shared ambient source and is nondeterministic under concurrency; use an injected *rand.Rand", name)
 			case name == "NewSource" || name == "NewPCG" || name == "NewChaCha8":
-				if tn, ok := timeDerived(file, call.Args); ok {
+				if tn, ok := p.timeDerived(file, call.Args); ok {
 					p.Reportf(call.Pos(),
 						"RNG source seeded from time.%s is irreproducible; derive the seed from configuration", tn)
 				}
@@ -64,10 +66,10 @@ func runSeedRand(p *Pass) {
 				// rand.New(rand.NewSource(...)) is handled by the
 				// NewSource case above; only flag time leaking into New
 				// through some other construction.
-				if hasNestedSourceCtor(file, call.Args) {
+				if p.hasNestedSourceCtor(file, call.Args) {
 					return true
 				}
-				if tn, ok := timeDerived(file, call.Args); ok {
+				if tn, ok := p.timeDerived(file, call.Args); ok {
 					p.Reportf(call.Pos(),
 						"RNG seeded from time.%s is irreproducible; derive the seed from configuration", tn)
 				}
@@ -80,7 +82,7 @@ func runSeedRand(p *Pass) {
 // timeDerived reports whether any expression in args references the
 // time package (time.Now().UnixNano() and friends), returning the
 // selected name.
-func timeDerived(f *ast.File, args []ast.Expr) (string, bool) {
+func (p *Pass) timeDerived(f *ast.File, args []ast.Expr) (string, bool) {
 	var name string
 	for _, arg := range args {
 		ast.Inspect(arg, func(n ast.Node) bool {
@@ -92,7 +94,7 @@ func timeDerived(f *ast.File, args []ast.Expr) (string, bool) {
 			if !ok {
 				return true
 			}
-			if _, ok := pkgRef(f, id, "time"); ok && name == "" {
+			if path, ok := p.pkgNameOf(f, id); ok && path == "time" && name == "" {
 				name = sel.Sel.Name
 			}
 			return true
@@ -103,7 +105,7 @@ func timeDerived(f *ast.File, args []ast.Expr) (string, bool) {
 
 // hasNestedSourceCtor reports whether args contain a rand source
 // constructor call (which the NewSource/NewPCG case already checks).
-func hasNestedSourceCtor(f *ast.File, args []ast.Expr) bool {
+func (p *Pass) hasNestedSourceCtor(f *ast.File, args []ast.Expr) bool {
 	found := false
 	for _, arg := range args {
 		ast.Inspect(arg, func(n ast.Node) bool {
@@ -111,7 +113,7 @@ func hasNestedSourceCtor(f *ast.File, args []ast.Expr) bool {
 			if !ok {
 				return true
 			}
-			if name, ok := pkgFuncCall(f, call, randImports...); ok {
+			if name, ok := p.pkgCall(f, call, randImports...); ok {
 				if name == "NewSource" || name == "NewPCG" || name == "NewChaCha8" {
 					found = true
 				}

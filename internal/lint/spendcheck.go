@@ -1,6 +1,9 @@
 package lint
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/types"
+)
 
 // spendMethods are the budget/battery mutators whose return value is
 // the accounting truth: what was *actually* spent, charged or
@@ -56,6 +59,21 @@ func runSpendCheck(p *Pass) {
 			why, ok := spendMethods[sel.Sel.Name]
 			if !ok {
 				return true
+			}
+			// With type information the name match is tightened: a
+			// standard-library method of the same name (os.File.Sync,
+			// bytes.Buffer-style APIs) is not a budget mutator, and a
+			// method that returns nothing has nothing to discard.
+			if fn := calleeOf(p.TypesInfo, call); fn != nil {
+				if fn.Pkg() == nil {
+					return true
+				}
+				if fn.Pkg() != p.Pkg && isStdlibPath(fn.Pkg().Path()) {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 0 {
+					return true
+				}
 			}
 			p.Reportf(call.Pos(),
 				"result of %s is discarded; it reports %s and must be checked", sel.Sel.Name, why)

@@ -1,0 +1,69 @@
+// Package allocfree exercises the allocfree analyzer: functions marked
+// // richnote:allocfree must contain no steady-state allocating
+// constructs; warm-up allocations hide behind cap/len or nil guards.
+package allocfree
+
+import "sort"
+
+type byIncs []int
+
+func (b byIncs) Len() int           { return len(b) }
+func (b byIncs) Less(i, j int) bool { return b[i] < b[j] }
+func (b byIncs) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+
+type solver struct {
+	buf   []byte
+	incs  byIncs
+	cache map[int]int
+}
+
+type point struct{ x int }
+
+func run() {}
+
+func sink(v any) { _ = v }
+
+func variadic(vs ...int) {}
+
+// hot is the steady-state path: every construct here is either
+// genuinely alloc-free or one of the two permitted idioms.
+//
+// richnote:allocfree
+func (s *solver) hot(n int) int {
+	if cap(s.buf) < n {
+		s.buf = make([]byte, 0, n) // ok: warm-up behind a cap guard
+	}
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, 1) // ok: amortized append into a reused buffer
+	sort.Stable(&s.incs)     // ok: pointer-shaped interface value
+	q := point{x: n}         // ok: value composite literal stays on the stack
+	total := q.x
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// leaky trips every allocating construct the analyzer knows.
+//
+// richnote:allocfree
+func (s *solver) leaky(n int, name string) string {
+	b := make([]byte, n) // want `call to make allocates`
+	_ = b
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	v := []int{1, 2} // want `slice literal allocates`
+	_ = v
+	p := &point{x: 1} // want `address of a composite literal allocates`
+	_ = p
+	f := func() {} // want `closure allocates`
+	f()
+	go run()          // want `go statement allocates a goroutine`
+	s.cache[n] = n    // want `map assignment may grow the map`
+	sink(n)           // want `boxed into an interface`
+	variadic(1, 2)    // want `implicit variadic slice allocates`
+	return name + "!" // want `string concatenation allocates`
+}
+
+// cold carries no marker: allocate freely.
+func cold(n int) []byte { return make([]byte, n) }

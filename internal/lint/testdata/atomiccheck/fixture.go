@@ -1,0 +1,44 @@
+// Package atomiccheck exercises the atomiccheck analyzer:
+// richnote:atomic fields are touched only through sync/atomic value
+// methods or by address inside a sync/atomic call, including through
+// local aliases of the field's address.
+package atomiccheck
+
+import "sync/atomic"
+
+type shard struct {
+	hits   atomic.Uint64 // richnote:atomic
+	legacy uint64        // richnote:atomic
+	round  int
+}
+
+func ok(s *shard) uint64 {
+	s.hits.Add(1)                  // ok: method call on the atomic value
+	atomic.AddUint64(&s.legacy, 1) // ok: address inside a sync/atomic call
+	s.round++                      // ok: unmarked field
+	return s.hits.Load() + atomic.LoadUint64(&s.legacy)
+}
+
+func tears(s *shard) uint64 {
+	s.legacy++    // want `marked richnote:atomic`
+	v := s.legacy // want `marked richnote:atomic`
+	_ = v
+	return s.legacy // want `marked richnote:atomic`
+}
+
+func leakAddress(s *shard) {
+	observe(&s.legacy) // want `passed to a non-sync/atomic function`
+}
+
+func observe(p *uint64) { _ = p }
+
+func aliased(s *shard) {
+	p := &s.legacy
+	atomic.AddUint64(p, 1) // ok: alias used inside a sync/atomic call
+	*p = 7                 // want `dereferencing p, an alias of richnote:atomic field legacy`
+}
+
+func aliasEscape(s *shard) {
+	q := &s.legacy
+	observe(q) // want `alias q of richnote:atomic field legacy passed to a non-sync/atomic function`
+}

@@ -1,0 +1,118 @@
+// Package codecsym exercises the codecsym analyzer: hand-written
+// encoders pair with decoders (by name, by Encode/Decode convention or
+// by richnote:codecpair annotation) and the read sequence must mirror
+// the write sequence in field order and width.
+package codecsym
+
+// Encoder and Decoder mimic internal/wal's fixed-width codec types.
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) U8(v uint8)   {}
+func (e *Encoder) U32(v uint32) {}
+func (e *Encoder) U64(v uint64) {}
+func (e *Encoder) I64(v int64)  {}
+func (e *Encoder) Str(s string) {}
+func (e *Encoder) Bool(v bool)  {}
+
+type Decoder struct{ buf []byte }
+
+func (d *Decoder) U8() uint8   { return 0 }
+func (d *Decoder) U32() uint32 { return 0 }
+func (d *Decoder) U64() uint64 { return 0 }
+func (d *Decoder) I64() int64  { return 0 }
+func (d *Decoder) Str() string { return "" }
+func (d *Decoder) Bool() bool  { return false }
+func (d *Decoder) Err() error  { return nil }
+
+// Count is decoder-only by design (the validated read of an encoder's
+// U32 length) and is excluded from the mirror rule.
+func (d *Decoder) Count(minElemSize int, what string) int { return 0 }
+
+// F64 has no encoder counterpart: the mirror rule fires.
+func (d *Decoder) F64() float64 { return 0 } // want `Decoder.F64 has no Encoder.F64`
+
+type item struct {
+	id   uint64
+	name string
+}
+
+func encodeItem(e *Encoder, it item) {
+	e.U64(it.id)
+	e.Str(it.name)
+}
+
+func decodeItem(d *Decoder) item {
+	return item{id: d.U64(), name: d.Str()} // ok: u64 str mirrors the writer
+}
+
+func encodeList(e *Encoder, items []item) {
+	e.U32(uint32(len(items)))
+	for _, it := range items {
+		encodeItem(e, it)
+	}
+}
+
+func decodeList(d *Decoder) []item {
+	n := d.Count(1, "items") // ok: Count reads the writer's u32 length
+	out := make([]item, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeItem(d))
+	}
+	return out
+}
+
+func encodeBad(e *Encoder, v uint32, t int64) {
+	e.U32(v)
+	e.I64(t) // want `the writer emits i64 but the reader consumes u64`
+}
+
+func decodeBad(d *Decoder) (uint32, int64) {
+	v := d.U32()
+	t := int64(d.U64())
+	return v, t
+}
+
+func encodeTrail(e *Encoder, a, b uint32) {
+	e.U32(a)
+	e.U32(b) // want `the writer emits 1 op\(s\) the reader never consumes`
+}
+
+func decodeTrail(d *Decoder) uint32 {
+	return d.U32()
+}
+
+func encodeOrphan(e *Encoder, v uint32) { // want `has no matching decodeOrphan`
+	e.U32(v)
+}
+
+// writeHeader and readHeader share no name prefix; the annotation pairs
+// them.
+//
+// richnote:codecpair(header)
+func writeHeader(e *Encoder, n uint32) {
+	e.U32(n)
+	e.Bool(true)
+}
+
+// richnote:codecpair(header)
+func readHeader(d *Decoder) (uint32, bool) {
+	n := d.U32()
+	ok := d.Bool()
+	return n, ok
+}
+
+// richnote:codecpair(halfpair)
+func writeHalf(e *Encoder, v uint32) { // want `must annotate exactly one encoder and one decoder`
+	e.U32(v)
+}
+
+// table exercises the Encode-method / Decode-function convention.
+type table struct{ n uint32 }
+
+func (t *table) Encode(e *Encoder) {
+	e.U32(t.n)
+}
+
+func Decode(d *Decoder) *table {
+	return &table{n: d.U32()} // ok: mirrors table.Encode
+}

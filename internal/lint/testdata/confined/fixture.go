@@ -1,9 +1,7 @@
 // Package confined exercises the confined analyzer: richnote:confined
-// fields stay inside the owning type's methods; richnote:atomic fields
-// are only touched through sync/atomic values or helpers.
+// fields stay inside the owning type's methods, and — v2 — must not
+// escape the owning goroutine even from owner methods.
 package confined
-
-import "sync/atomic"
 
 // walWriter mimics internal/wal.Writer, a single-owner durability
 // handle.
@@ -12,12 +10,15 @@ type walWriter struct{ seq uint64 }
 func (w *walWriter) Append(b []byte) (uint64, error) { w.seq++; return w.seq, nil }
 
 type shard struct {
-	devices map[int]int   // richnote:confined(shard)
-	round   int           // richnote:confined(shard)
-	log     *walWriter    // richnote:confined(shard)
-	hits    atomic.Uint64 // richnote:atomic
-	legacy  uint64        // richnote:atomic
+	devices map[int]int // richnote:confined(shard)
+	round   int         // richnote:confined(shard)
+	log     *walWriter  // richnote:confined(shard)
 }
+
+// inspector is an unrelated struct; its fields are non-confined sinks.
+type inspector struct{ view map[int]int }
+
+var debugDevices map[int]int
 
 func (s *shard) runRound() int {
 	s.round++
@@ -27,17 +28,56 @@ func (s *shard) runRound() int {
 			return 0
 		}
 	}
-	s.hits.Add(1)
 	return len(s.devices)
 }
 
-func poke(s *shard) uint64 {
-	s.round++                      // want `confined to the shard goroutine`
-	delete(s.devices, 1)           // want `confined to the shard goroutine`
-	s.hits.Add(1)                  // ok: method call on an atomic value
-	atomic.AddUint64(&s.legacy, 1) // ok: address passed to sync/atomic
-	s.legacy++                     // want `marked richnote:atomic`
-	return s.hits.Load()
+func (s *shard) shareLocal() int {
+	m := s.devices // ok: a local alias stays on the goroutine
+	return len(m)
+}
+
+func (s *shard) roundCopy() int {
+	return s.round // ok: a value copy of a scalar cannot share state
+}
+
+func (s *shard) leakReturn() map[int]int {
+	return s.devices // want `escapes the shard goroutine: returned from an owner method`
+}
+
+func (s *shard) leakGo() {
+	go func() {
+		s.round++ // want `captured by a go statement's closure`
+	}()
+}
+
+func (s *shard) leakStore() {
+	debugDevices = s.devices // want `stored into package-level variable debugDevices`
+}
+
+func (s *shard) leakField(i *inspector) {
+	i.view = s.devices // want `stored into field view`
+}
+
+func (s *shard) leakSend(ch chan map[int]int) {
+	ch <- s.devices // want `sent on a channel`
+}
+
+func (s *shard) leakCall() {
+	stash(s.devices) // want `passed to stash, which stores it into package-level variable debugDevices`
+}
+
+func stash(m map[int]int) { debugDevices = m }
+
+func inspect(m map[int]int) int { return len(m) }
+
+func (s *shard) passReadOnly() int {
+	return inspect(s.devices) // ok: the callee never lets the parameter leave
+}
+
+func poke(s *shard) int {
+	s.round++            // want `confined to the shard goroutine`
+	delete(s.devices, 1) // want `confined to the shard goroutine`
+	return s.round       // want `confined to the shard goroutine`
 }
 
 // restore mimics a recovery path living outside the owning type: writes

@@ -1,0 +1,524 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the typed half of the driver: it discovers packages with
+// `go list -json`, parses them once, type-checks them bottom-up with
+// go/types + go/importer (source mode — the only stdlib importer that
+// works without compiled export data), and hands each analyzer a
+// *types.Info. Results are cached process-wide so repeated Run calls
+// (the repo test, the wall-clock budget test, cmd/richnote-lint) pay
+// for go list, parsing and type checking exactly once per tree.
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+}
+
+// parsedFile pairs a syntax tree with whether it came from a _test.go
+// file, which some analyzers exempt.
+type parsedFile struct {
+	ast  *ast.File
+	test bool
+}
+
+// PackageInfo is one type-checked analysis unit: a package's files plus
+// the go/types results for them. The in-package test unit re-checks the
+// compiled files together with the _test.go files; external test files
+// (package foo_test) form their own unit.
+type PackageInfo struct {
+	Fset  *token.FileSet
+	Path  string
+	Files []*ast.File
+	// Pkg is the type-checked package. It is non-nil even when the
+	// package has type errors (go/types returns what it could).
+	Pkg *types.Package
+	// Info holds the resolution maps for Files. Always non-nil; on a
+	// package with type errors some entries are missing and analyzers
+	// degrade to their syntactic fallbacks.
+	Info *types.Info
+	// TypeErrors collects every error the type checker reported for
+	// this unit, in source order.
+	TypeErrors []error
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// CallGraph returns the package-local call graph for the unit, built on
+// first use.
+func (pi *PackageInfo) CallGraph() *CallGraph {
+	pi.graphOnce.Do(func() { pi.graph = buildCallGraph(pi) })
+	return pi.graph
+}
+
+// unit is a PackageInfo plus the per-file test flags the driver uses to
+// gate IncludeTests.
+type unit struct {
+	pi    *PackageInfo
+	files []parsedFile
+}
+
+// loadedPackage is one matched package with its analysis units: the
+// primary unit (compiled files, plus in-package test files when
+// present) and, when the package has external tests, the xtest unit.
+type loadedPackage struct {
+	importPath string
+	units      []*unit
+}
+
+// load is everything Run needs for one (dir, patterns) invocation.
+type load struct {
+	fset     *token.FileSet
+	pkgs     []*loadedPackage
+	allows   []allowDirective
+	findings []Finding // parse/typecheck failures, pseudo-analyzer "lint"
+}
+
+var (
+	loadMu    sync.Mutex
+	loadCache = map[string]*load{}
+
+	// The file set, source importer and its package cache are shared
+	// across loads so the standard library is type-checked from source
+	// once per process, not once per Run.
+	sharedFset     *token.FileSet
+	sharedStdlib   types.ImporterFrom
+	disableCgoOnce sync.Once
+)
+
+// loadPackages returns the cached load for (dir, patterns), building it
+// on first use.
+func loadPackages(dir string, patterns []string) (*load, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	key := abs + "\x00" + strings.Join(patterns, "\x00")
+	if ld, ok := loadCache[key]; ok {
+		return ld, nil
+	}
+	ld, err := loadUncached(abs, patterns)
+	if err != nil {
+		return nil, err
+	}
+	loadCache[key] = ld
+	return ld, nil
+}
+
+// loadUncached builds a load from scratch. Callers must hold loadMu.
+func loadUncached(dir string, patterns []string) (*load, error) {
+	// go/importer's source mode resolves imports through go/build; with
+	// cgo enabled it would try to run the cgo tool on packages like net.
+	// The analyses never need cgo-generated code, so pin the build
+	// context to pure Go before the first import.
+	disableCgoOnce.Do(func() { build.Default.CgoEnabled = false })
+	if sharedFset == nil {
+		sharedFset = token.NewFileSet()
+		sharedStdlib = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	}
+
+	matched, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := goListModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	local, order, err := resolveLocalClosure(dir, modulePath, matched)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &load{fset: sharedFset}
+	matchedSet := make(map[string]bool, len(matched))
+	for _, pkg := range matched {
+		matchedSet[pkg.ImportPath] = true
+	}
+
+	imp := &moduleImporter{
+		modulePath: modulePath,
+		local:      make(map[string]*types.Package),
+		fallback:   sharedStdlib,
+	}
+
+	// Pass 1: type-check every local package's compiled files bottom-up
+	// and publish the results to the importer, so later packages (and
+	// test units) resolve module-local imports from this cache instead
+	// of re-checking them.
+	type checked struct {
+		pkg      *listPackage
+		compiled []parsedFile
+		base     *PackageInfo
+	}
+	baseByPath := make(map[string]*checked, len(order))
+	for _, path := range order {
+		pkg := local[path]
+		compiled := parseFiles(ld, pkg, append(append([]string(nil), pkg.GoFiles...), pkg.CgoFiles...), false)
+		if len(compiled) == 0 {
+			baseByPath[path] = &checked{pkg: pkg}
+			continue
+		}
+		base := typecheckUnit(ld, imp, path, compiled)
+		if base.Pkg != nil {
+			imp.local[path] = base.Pkg
+		}
+		baseByPath[path] = &checked{pkg: pkg, compiled: compiled, base: base}
+		if matchedSet[path] {
+			reportTypeErrors(ld, path, base)
+		}
+	}
+
+	// Pass 2: build analysis units for the matched packages. In-package
+	// tests are re-checked together with the compiled files under a
+	// throwaway package so test-only symbols resolve without polluting
+	// the import cache pass 1 built.
+	for _, pkg := range matched {
+		c := baseByPath[pkg.ImportPath]
+		if c == nil {
+			continue
+		}
+		lp := &loadedPackage{importPath: pkg.ImportPath}
+		scanAllowFiles(ld, c.compiled)
+
+		if len(pkg.TestGoFiles) > 0 {
+			testFiles := parseFiles(ld, c.pkg, pkg.TestGoFiles, true)
+			scanAllowFiles(ld, testFiles)
+			all := append(append([]parsedFile(nil), c.compiled...), testFiles...)
+			full := typecheckUnit(ld, imp, pkg.ImportPath, all)
+			reportTypeErrors(ld, pkg.ImportPath, full)
+			lp.units = append(lp.units, &unit{pi: full, files: all})
+		} else if c.base != nil {
+			lp.units = append(lp.units, &unit{pi: c.base, files: c.compiled})
+		}
+
+		if len(pkg.XTestGoFiles) > 0 {
+			xFiles := parseFiles(ld, c.pkg, pkg.XTestGoFiles, true)
+			scanAllowFiles(ld, xFiles)
+			xt := typecheckUnit(ld, imp, pkg.ImportPath+"_test", xFiles)
+			reportTypeErrors(ld, pkg.ImportPath+"_test", xt)
+			xt.Path = pkg.ImportPath // scope gating keys on the real path
+			lp.units = append(lp.units, &unit{pi: xt, files: xFiles})
+		}
+
+		if len(lp.units) > 0 {
+			ld.pkgs = append(ld.pkgs, lp)
+		}
+	}
+	return ld, nil
+}
+
+// LoadFixture parses and type-checks one standalone fixture directory
+// against the standard library — the linttest entry point. The unit's
+// import path is the directory's base name; fixtures may import only
+// the standard library. Unlike loadUncached, errors here are returned,
+// not recorded as findings: a fixture that fails to parse or resolve is
+// a broken test, not an analyzable package.
+func LoadFixture(dir string) (*PackageInfo, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	disableCgoOnce.Do(func() { build.Default.CgoEnabled = false })
+	if sharedFset == nil {
+		sharedFset = token.NewFileSet()
+		sharedStdlib = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no fixture files in %s", dir)
+	}
+	var files []parsedFile
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, parsedFile{ast: f})
+	}
+	imp := &moduleImporter{local: make(map[string]*types.Package), fallback: sharedStdlib}
+	return typecheckUnit(&load{fset: sharedFset}, imp, filepath.Base(dir), files), nil
+}
+
+// parseFiles parses the named files of a package, recording parse
+// failures as findings and keeping whatever partial syntax the parser
+// salvaged.
+func parseFiles(ld *load, pkg *listPackage, names []string, test bool) []parsedFile {
+	var out []parsedFile
+	for _, name := range names {
+		path := filepath.Join(pkg.Dir, name)
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.findings = append(ld.findings, Finding{
+				Analyzer: "lint",
+				Pos:      token.Position{Filename: path},
+				Message:  fmt.Sprintf("package %s does not parse: %v", pkg.ImportPath, firstLine(err.Error())),
+			})
+		}
+		if f != nil {
+			out = append(out, parsedFile{ast: f, test: test})
+		}
+	}
+	return out
+}
+
+// scanAllowFiles collects //lint:allow directives (and malformed-
+// directive findings) from already-parsed files.
+func scanAllowFiles(ld *load, files []parsedFile) {
+	for _, pf := range files {
+		a, bad := scanAllows(ld.fset, pf.ast)
+		ld.allows = append(ld.allows, a...)
+		ld.findings = append(ld.findings, bad...)
+	}
+}
+
+// typecheckUnit runs go/types over one set of files, collecting rather
+// than aborting on errors so a broken package still yields partial
+// resolution maps for best-effort analysis.
+func typecheckUnit(ld *load, imp *moduleImporter, path string, files []parsedFile) *PackageInfo {
+	pi := &PackageInfo{
+		Fset: ld.fset,
+		Path: path,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	asts := make([]*ast.File, 0, len(files))
+	for _, pf := range files {
+		asts = append(asts, pf.ast)
+	}
+	pi.Files = asts
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pi.TypeErrors = append(pi.TypeErrors, err) },
+	}
+	pkg, err := conf.Check(path, ld.fset, asts, pi.Info)
+	if err != nil && len(pi.TypeErrors) == 0 {
+		pi.TypeErrors = append(pi.TypeErrors, err)
+	}
+	pi.Pkg = pkg
+	return pi
+}
+
+// reportTypeErrors converts a unit's type errors into a single driver
+// finding (satellite: a package that fails to type-check is a finding,
+// not a run-aborting error). Analysis still runs on the partial maps.
+func reportTypeErrors(ld *load, path string, pi *PackageInfo) {
+	if len(pi.TypeErrors) == 0 {
+		return
+	}
+	first := pi.TypeErrors[0]
+	pos := token.Position{}
+	if te, ok := first.(types.Error); ok {
+		pos = te.Fset.Position(te.Pos)
+	}
+	extra := ""
+	if n := len(pi.TypeErrors); n > 1 {
+		extra = fmt.Sprintf(" (and %d more)", n-1)
+	}
+	ld.findings = append(ld.findings, Finding{
+		Analyzer: "lint",
+		Pos:      pos,
+		Message: fmt.Sprintf("package %s does not type-check: %v%s; typed analysis for it is partial",
+			path, firstLine(first.Error()), extra),
+	})
+}
+
+// moduleImporter resolves module-local imports from the packages the
+// loader has already checked and everything else (the standard library)
+// through the shared source importer.
+type moduleImporter struct {
+	modulePath string
+	local      map[string]*types.Package
+	fallback   types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	if path == m.modulePath || strings.HasPrefix(path, m.modulePath+"/") {
+		return nil, fmt.Errorf("module package %s has not been type-checked (does it build?)", path)
+	}
+	return m.fallback.ImportFrom(path, srcDir, mode)
+}
+
+// goList shells out to the go tool for package discovery — the
+// stdlib-only stand-in for go/packages.Load.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		pkg := new(listPackage)
+		if err := dec.Decode(pkg); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goListModule returns the module path for dir.
+func goListModule(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("lint: go list -m: %w\n%s", err, stderr.String())
+	}
+	return strings.TrimSpace(stdout.String()), nil
+}
+
+// resolveLocalClosure expands the matched packages to the full
+// module-local import closure (including test imports of the matched
+// packages) and returns it in dependency order, so pass 1 can check
+// each package after everything it imports.
+func resolveLocalClosure(dir, modulePath string, matched []*listPackage) (map[string]*listPackage, []string, error) {
+	isLocal := func(path string) bool {
+		return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+	}
+	local := make(map[string]*listPackage, len(matched))
+	var queue []string
+	enqueue := func(paths ...string) {
+		for _, p := range paths {
+			if isLocal(p) {
+				if _, ok := local[p]; !ok {
+					queue = append(queue, p)
+				}
+			}
+		}
+	}
+	for _, pkg := range matched {
+		local[pkg.ImportPath] = pkg
+	}
+	for _, pkg := range matched {
+		enqueue(pkg.Imports...)
+		enqueue(pkg.TestImports...)
+		enqueue(pkg.XTestImports...)
+	}
+	for len(queue) > 0 {
+		var missing []string
+		for _, p := range queue {
+			if _, ok := local[p]; !ok {
+				missing = append(missing, p)
+			}
+		}
+		queue = nil
+		if len(missing) == 0 {
+			continue
+		}
+		extra, err := goList(dir, missing)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, pkg := range extra {
+			if _, ok := local[pkg.ImportPath]; ok {
+				continue
+			}
+			local[pkg.ImportPath] = pkg
+			// Dependency-only packages contribute their compiled
+			// imports; their tests are never analyzed or checked.
+			enqueue(pkg.Imports...)
+		}
+	}
+
+	// Topological sort by compiled imports; ties (and the impossible
+	// cycle case, which type checking will report anyway) break by path
+	// so the order — and therefore finding order — is deterministic.
+	order := make([]string, 0, len(local))
+	state := make(map[string]int, len(local)) // 0 new, 1 visiting, 2 done
+	paths := make([]string, 0, len(local))
+	for p := range local {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var visit func(string)
+	visit = func(p string) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		deps := append([]string(nil), local[p].Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := local[d]; ok && state[d] == 0 {
+				visit(d)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return local, order, nil
+}
+
+// firstLine truncates a multi-line error to its first line.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -43,7 +43,7 @@ func runWallClock(p *Pass) {
 			if !ok {
 				return true
 			}
-			name, ok := pkgFuncCall(file, call, "time")
+			name, ok := p.pkgCall(file, call, "time")
 			if !ok || !wallClockFuncs[name] {
 				return true
 			}

@@ -36,6 +36,8 @@ type Solver struct {
 // The returned Result's Assignment aliases solver-owned scratch: it is
 // valid until the next Solve call on the same Solver. Callers that
 // retain it across solves must copy it first.
+//
+// richnote:allocfree
 func (s *Solver) Solve(groups []Group, budget float64, opts Options) Result {
 	n := len(groups)
 	if cap(s.assignment) < n {

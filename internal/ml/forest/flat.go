@@ -126,6 +126,8 @@ func (fl *flatForest) predictTree(root int32, x []float64) float64 {
 // walk's capacity misses into hits; per-row probabilities accumulate into
 // out in tree order and divide once at the end, which keeps every output
 // bit-identical to calling PredictMeanProba row by row.
+//
+// richnote:allocfree
 func (f *Forest) PredictMeanProbaBatch(rows [][]float64, out []float64) []float64 {
 	if cap(out) < len(rows) {
 		out = make([]float64, len(rows))

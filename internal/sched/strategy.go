@@ -120,6 +120,8 @@ func (*RichNote) Name() string { return "richnote" }
 // Ua(i, j) = Q·s(i) + (P−κ)·ρ(i, j) + V·U(i, j), solves the MCKP under the
 // round's byte budget and returns the selections sorted by descending
 // combined utility (Algorithm 2, step 1).
+//
+// richnote:allocfree
 func (s *RichNote) Plan(queue []Queued, ctx *PlanContext) []Selection {
 	if ctx.Controller == nil || len(queue) == 0 || ctx.BudgetBytes <= 0 {
 		return nil
@@ -246,6 +248,8 @@ func (u *Util) Plan(queue []Queued, ctx *PlanContext) []Selection {
 // queue permutation, clamped levels and utilities come from the plan
 // scratch; levels and utilities are computed once up front instead of
 // inside the sort comparator.
+//
+// richnote:allocfree
 func planFixed(queue []Queued, ctx *PlanContext, level int, byUtility bool) []Selection {
 	if len(queue) == 0 || ctx.BudgetBytes <= 0 {
 		return nil

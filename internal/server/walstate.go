@@ -56,6 +56,9 @@ func (sh *shard) snapPath() string {
 // logPublish appends one accepted publication to the shard log. Called at
 // the top of accept outside replay; the encoder and the writer's own
 // scratch are reused, so the steady-state append allocates nothing.
+//
+// richnote:allocfree
+// richnote:codecpair(publishRecord) — replayed by decodeEnvelope.
 func (sh *shard) logPublish(env envelope) {
 	sh.walEnc.Reset()
 	e := &sh.walEnc
@@ -294,6 +297,8 @@ func (sh *shard) stateBytes() []byte {
 // ExportState for its own ordering guarantees). Excluded on purpose:
 // wall-clock telemetry (obs.Recorder spans, LastRound/AvgRound) and
 // lastErr, which describe the process, not the schedule.
+//
+// richnote:codecpair(shardState) — read back by restoreState.
 func (sh *shard) encodeState(e *wal.Encoder) {
 	e.I64(int64(sh.round))
 	e.U64(sh.backpressured.Load())
@@ -376,6 +381,8 @@ func (sh *shard) encodeState(e *wal.Encoder) {
 // re-created from their stored configs (re-seeding their RNG streams),
 // subscriptions re-registered, and every component's state restored
 // through its own owner method. Must run on a freshly constructed shard.
+//
+// richnote:codecpair(shardState)
 func (sh *shard) restoreState(d *wal.Decoder) error {
 	if len(sh.devices) != 0 {
 		return fmt.Errorf("server: restore into shard %d with %d users already registered", sh.id, len(sh.devices))
@@ -554,6 +561,7 @@ func decodeItem(d *wal.Decoder) notif.Item {
 	}
 }
 
+// richnote:codecpair(publishRecord)
 func decodeEnvelope(d *wal.Decoder) envelope {
 	return envelope{
 		topic: pubsub.TopicID{Kind: notif.TopicKind(d.I64()), Entity: d.I64()},

@@ -137,6 +137,8 @@ func (w *Writer) Seq() uint64 { return w.seq }
 // Under SyncAlways the record is flushed and fsynced before Append
 // returns; otherwise durability is deferred to Commit/Sync. The payload
 // is copied into the write buffer, so callers may reuse it immediately.
+//
+// richnote:allocfree
 func (w *Writer) Append(typ byte, payload []byte) (uint64, error) {
 	w.seq++
 	frameLen := uint32(9 + len(payload))
