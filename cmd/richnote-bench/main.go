@@ -6,6 +6,13 @@
 //
 //	richnote-bench [-users N] [-rounds N] [-seed N] [-out DIR] [-only IDs] [-quick]
 //	               [-workers N] [-cpuprofile FILE] [-memprofile FILE]
+//
+// The -capacity mode instead runs the serving-capacity benchmark
+// (DESIGN.md §14): max sustained users per node at a fixed round interval
+// under a sparse workload, comparing the event-driven round loop against
+// the full-scan reference, written to C1.csv:
+//
+//	richnote-bench -capacity [-quick] [-seed N] [-out DIR]
 package main
 
 import (
@@ -40,8 +47,13 @@ func run() error {
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		prom    = flag.Bool("prom", false, "also print the Prometheus exposition of one paper-default RichNote run")
+		capac   = flag.Bool("capacity", false, "run the serving-capacity benchmark (event-driven vs full-scan) instead of the paper experiments")
 	)
 	flag.Parse()
+
+	if *capac {
+		return runCapacity(*outDir, *quick, *seed)
+	}
 
 	stopCPU, err := obs.StartCPUProfile(*cpuProf)
 	if err != nil {

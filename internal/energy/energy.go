@@ -177,6 +177,21 @@ func (b *Battery) Tick(hourOfDay int) {
 	b.level = math.Max(0, math.Min(1, b.level))
 }
 
+// FastForward applies k consecutive Ticks in one call; hourAt returns the
+// hour of day for the i-th skipped tick (i in [0, k)). There is no closed
+// form for the batch — the jitter stream has no jump-ahead and the level
+// clamps per tick — so the ticks are replayed in a tight loop over the
+// arena-resident RNG, which is bit-identical to k separate Tick calls by
+// construction. Devices parked by the event-driven round loop use this to
+// catch their diurnal battery trajectory up on wake (DESIGN.md §14).
+//
+// richnote:allocfree
+func (b *Battery) FastForward(k int, hourAt func(int) int) {
+	for i := 0; i < k; i++ {
+		b.Tick(hourAt(i))
+	}
+}
+
 // Draws returns how many RNG draws the battery has consumed. Together with
 // the seed it pins the jitter stream, for snapshot/restore.
 func (b *Battery) Draws() uint64 { return b.draws }

@@ -192,6 +192,45 @@ func (c *Controller) EndRound() {
 	}
 }
 
+// Quiescent reports whether an idle round (no arrivals, no deliveries)
+// leaves the controller unchanged except for round telemetry. That holds
+// exactly when the backlog is zero (nothing accrues to sumQ or drift) and
+// the virtual energy queue sits strictly above κ, where Replenish is a
+// no-op by Algorithm 2's step-2 gate — so Q and P are both fixed points,
+// L(t) is constant, and the per-round drift term is +0.0. The lastL
+// check guards the closed form in FastForward: after any EndRound it is
+// tautologically true, so a quiescent controller stays quiescent until
+// an arrival perturbs Q. Shards park a device only while its controller
+// is quiescent (DESIGN.md §14).
+func (c *Controller) Quiescent() bool {
+	return c.q == 0 && c.p > c.cfg.Kappa && c.initialized && c.lastL == c.Lyapunov()
+}
+
+// FastForward advances the controller across k idle rounds in one step.
+// For a quiescent controller the per-round updates collapse to a closed
+// form: Replenish is gated off (P > κ), sumQ accrues k·0, maxQ cannot
+// grow, and driftSum accrues k·(L−lastL) = k·(+0.0) — so only the round
+// counter moves. Adding +0.0 to a float is the identity unless the
+// target is -0.0, and driftSum can never be -0.0 (each drift term is
+// either nonzero or x−x = +0.0), so skipping the additions entirely is
+// bit-identical to k EndRound calls. Non-quiescent controllers (only
+// reachable if a caller ignores the parking contract) replay EndRound
+// k times, which is still exact provided P > κ keeps Replenish silent.
+//
+// richnote:allocfree
+func (c *Controller) FastForward(k int) {
+	if k <= 0 {
+		return
+	}
+	if c.Quiescent() {
+		c.rounds += k
+		return
+	}
+	for i := 0; i < k; i++ {
+		c.EndRound()
+	}
+}
+
 // State is the complete mutable state of a Controller, exported for
 // snapshot/restore. Config is excluded: restore happens into a controller
 // rebuilt from the same configuration.

@@ -44,22 +44,55 @@ type userCounters struct {
 type Collector struct {
 	users  map[notif.UserID]*userCounters
 	delays Histogram // queuing delay per delivery, in rounds
+
+	// running mirrors the whole-collector fold incrementally: every event
+	// updates it alongside the per-user counters, so the per-round snapshot
+	// path reads an O(1) Running() instead of the O(users) Aggregate().
+	// Integer fields match Aggregate exactly; float sums accumulate in
+	// event order rather than Aggregate's sorted-user order, so their low
+	// bits may differ — Running is telemetry, Aggregate remains the exact
+	// end-of-run fold. runningDelays counts delay samples per
+	// DefaultDelayBucketBounds bucket (first bound the sample fits under),
+	// with runningDelayOver holding samples above the last bound; together
+	// they answer bucket-resolution percentiles and cumulative buckets
+	// without sorting the raw sample slice every round.
+	running          Report
+	runningDelays    []uint64
+	runningDelayOver uint64
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{users: make(map[notif.UserID]*userCounters)}
+	return &Collector{
+		users:         make(map[notif.UserID]*userCounters),
+		running:       Report{LevelCounts: make(map[int]int)},
+		runningDelays: make([]uint64, len(DefaultDelayBucketBounds)),
+	}
 }
 
 // DelayHistogram exposes the queuing-delay distribution across all
 // recorded deliveries.
 func (c *Collector) DelayHistogram() *Histogram { return &c.delays }
 
+// ensureRunning lazily initializes the running-aggregate buffers so a
+// collector assembled without NewCollector (none in-tree, but cheap to
+// defend) still maintains them.
+func (c *Collector) ensureRunning() {
+	if c.running.LevelCounts == nil {
+		c.running.LevelCounts = make(map[int]int)
+	}
+	if c.runningDelays == nil {
+		c.runningDelays = make([]uint64, len(DefaultDelayBucketBounds))
+	}
+}
+
 func (c *Collector) user(u notif.UserID) *userCounters {
 	uc := c.users[u]
 	if uc == nil {
 		uc = &userCounters{levelCounts: make(map[int]int)}
 		c.users[u] = uc
+		c.ensureRunning()
+		c.running.Users++
 	}
 	return uc
 }
@@ -69,8 +102,10 @@ func (c *Collector) user(u notif.UserID) *userCounters {
 func (c *Collector) OnArrive(u notif.UserID, clicked bool) {
 	uc := c.user(u)
 	uc.arrived++
+	c.running.Arrived++
 	if clicked {
 		uc.clickedTotal++
+		c.running.ClickedTotal++
 	}
 }
 
@@ -78,6 +113,7 @@ func (c *Collector) OnArrive(u notif.UserID, clicked bool) {
 // (per-round radio ramp/tail overhead) to the user's energy tally.
 func (c *Collector) OnEnergy(u notif.UserID, joules float64) {
 	c.user(u).energyJ += joules
+	c.running.EnergyJ += joules
 }
 
 // OnTransferFailure records one failed transfer attempt and the energy the
@@ -88,11 +124,15 @@ func (c *Collector) OnTransferFailure(u notif.UserID, wastedJ float64) {
 	uc.transferFailures++
 	uc.energyJ += wastedJ
 	uc.wastedEnergyJ += wastedJ
+	c.running.TransferFailures++
+	c.running.EnergyJ += wastedJ
+	c.running.WastedEnergyJ += wastedJ
 }
 
 // OnDrop records an item abandoned after exhausting its retry budget.
 func (c *Collector) OnDrop(u notif.UserID) {
 	c.user(u).dropped++
+	c.running.Dropped++
 }
 
 // DeliveryOutcome carries the ground truth needed to score one delivery.
@@ -107,26 +147,113 @@ type DeliveryOutcome struct {
 // OnDeliver records a delivery and its outcome.
 func (c *Collector) OnDeliver(d notif.Delivery, out DeliveryOutcome) {
 	uc := c.user(d.Recipient)
+	delay := d.QueuingDelayRounds()
 	uc.delivered++
 	uc.deliveredBytes += d.Size
 	uc.utilitySum += d.Utility
 	uc.trueUtilitySum += d.TrueUtility
 	uc.energyJ += d.EnergyJ
-	uc.delayRoundsSum += d.QueuingDelayRounds()
-	c.delays.Add(float64(d.QueuingDelayRounds()))
+	uc.delayRoundsSum += delay
+	c.delays.Add(float64(delay))
+	c.recordDelaySample(float64(delay))
 	uc.levelCounts[d.Level]++
+	c.running.Delivered++
+	c.running.DeliveredBytes += d.Size
+	c.running.UtilitySum += d.Utility
+	c.running.TrueUtilitySum += d.TrueUtility
+	c.running.EnergyJ += d.EnergyJ
+	c.running.DelayRoundsSum += delay
+	c.running.LevelCounts[d.Level]++
 	if d.Retries > 0 {
 		uc.retriedDeliveries++
+		c.running.RetriedDeliveries++
 	}
 	if d.Degraded {
 		uc.degradedDeliveries++
+		c.running.DegradedDeliveries++
 	}
 	if out.Clicked {
 		uc.clickedAndDelivered++
+		c.running.ClickedAndDelivered++
 		if out.BeforeClick {
 			uc.deliveredBeforeClick++
+			c.running.DeliveredBeforeClick++
 		}
 	}
+}
+
+// recordDelaySample files one delay sample into the running bucket
+// counts: the first DefaultDelayBucketBounds bound the sample fits under,
+// or the overflow tail.
+func (c *Collector) recordDelaySample(v float64) {
+	c.ensureRunning()
+	for i, b := range DefaultDelayBucketBounds {
+		if v <= b {
+			c.runningDelays[i]++
+			return
+		}
+	}
+	c.runningDelayOver++
+}
+
+// Running returns the incrementally maintained aggregate. Integer tallies
+// are identical to Aggregate; float sums are accumulated in event order
+// (Aggregate folds per sorted user) and the delay percentiles are
+// bucket-resolution (nearest-rank over DefaultDelayBucketBounds, clamped
+// to the largest bound), so treat it as the per-round telemetry view and
+// Aggregate as the exact end-of-run report. O(buckets) per call.
+func (c *Collector) Running() Report {
+	c.ensureRunning()
+	r := c.running
+	r.LevelCounts = make(map[int]int, len(c.running.LevelCounts))
+	for lvl, n := range c.running.LevelCounts {
+		r.LevelCounts[lvl] = n
+	}
+	r.DelayP50Rounds = c.runningPercentile(50)
+	r.DelayP95Rounds = c.runningPercentile(95)
+	return r
+}
+
+// runningPercentile answers a nearest-rank percentile from the running
+// bucket counts: the upper bound of the bucket holding the rank-th
+// sample. Samples above the last bound clamp to it (keeping the value
+// finite for JSON-rendered snapshots); delays in practice are small
+// integers well inside the bounds.
+func (c *Collector) runningPercentile(p float64) float64 {
+	total := c.runningDelayOver
+	for _, n := range c.runningDelays {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, n := range c.runningDelays {
+		cum += n
+		if cum >= rank {
+			return DefaultDelayBucketBounds[i]
+		}
+	}
+	return DefaultDelayBucketBounds[len(DefaultDelayBucketBounds)-1]
+}
+
+// RunningDelayBuckets returns the cumulative delay histogram at
+// DefaultDelayBucketBounds from the running counts — identical, count for
+// count, to DelayHistogram().CumulativeBuckets(DefaultDelayBucketBounds)
+// but O(buckets) instead of O(samples × buckets) per call.
+func (c *Collector) RunningDelayBuckets() []Bucket {
+	c.ensureRunning()
+	out := make([]Bucket, len(DefaultDelayBucketBounds))
+	cum := uint64(0)
+	for i, b := range DefaultDelayBucketBounds {
+		cum += c.runningDelays[i]
+		out[i] = Bucket{UpperBound: b, Count: cum}
+	}
+	return out
 }
 
 // Report is the aggregate outcome of a run.
@@ -203,6 +330,25 @@ func (c *Collector) Merge(o *Collector) {
 		for lvl, n := range ouc.levelCounts {
 			uc.levelCounts[lvl] += n
 		}
+	}
+	c.recomputeRunning()
+}
+
+// recomputeRunning rebuilds the running aggregate from the ground-truth
+// per-user counters and raw delay samples. Called after bulk mutations
+// (Merge, RestoreState) where maintaining deltas would be error-prone;
+// the O(users + samples) cost is paid once per merge/recovery, never per
+// round. The rebuilt float sums follow Aggregate's sorted-user order
+// rather than the live event order — an allowed divergence, since Running
+// is telemetry (its integer fields are what snapshots compare).
+func (c *Collector) recomputeRunning() {
+	agg := c.Aggregate()
+	agg.DelayP50Rounds, agg.DelayP95Rounds = 0, 0
+	c.running = agg
+	c.runningDelays = make([]uint64, len(DefaultDelayBucketBounds))
+	c.runningDelayOver = 0
+	for _, v := range c.delays.samples {
+		c.recordDelaySample(v)
 	}
 }
 

@@ -119,5 +119,6 @@ func (c *Collector) RestoreState(s CollectorState) error {
 	}
 	c.delays.samples = append([]float64(nil), s.DelaySamples...)
 	c.delays.sorted = false
+	c.recomputeRunning()
 	return nil
 }

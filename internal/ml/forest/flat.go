@@ -185,6 +185,82 @@ func (f *Forest) PredictMeanProbaBatch(rows [][]float64, out []float64) []float6
 	return out
 }
 
+// PredictProbaBatch scores every row with the vote-fraction score (as
+// PredictProba) into out, which is grown as needed and returned truncated
+// to len(rows). Passing a reused out slice makes the steady-state call
+// allocation-free.
+//
+// Like PredictMeanProbaBatch the walk is tree-major, streaming each
+// tree's contiguous node block through the cache once per batch. Votes
+// are accumulated per row as small integer counts in float64, so the
+// accumulation order cannot perturb a single bit and each output equals
+// PredictProba row by row exactly — which is what lets the server score
+// a whole round's enrichment batch in one call without disturbing the
+// bit-identical determinism contract (DESIGN.md §14).
+//
+// richnote:allocfree
+func (f *Forest) PredictProbaBatch(rows [][]float64, out []float64) []float64 {
+	if cap(out) < len(rows) {
+		out = make([]float64, len(rows))
+	}
+	out = out[:len(rows)]
+	nTrees := f.flat.trees()
+	if nTrees == 0 {
+		// Unbuilt arena (possible only for hand-assembled forests) or an
+		// empty ensemble: fall back to the per-row path, which handles both.
+		for i := range out {
+			out[i] = f.PredictProba(rows[i])
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	wide := true
+	for _, x := range rows {
+		if len(x) < f.nFeatures {
+			wide = false
+			break
+		}
+	}
+	fl := &f.flat
+	for t := 0; t < nTrees; t++ {
+		root := fl.roots[t]
+		ri := 0
+		if wide {
+			for ; ri+2 <= len(rows); ri += 2 {
+				p0, p1 := fl.predictTree2Wide(root, rows[ri], rows[ri+1])
+				if p0 >= 0.5 {
+					out[ri]++
+				}
+				if p1 >= 0.5 {
+					out[ri+1]++
+				}
+			}
+		} else {
+			for ; ri+2 <= len(rows); ri += 2 {
+				p0, p1 := fl.predictTree2(root, rows[ri], rows[ri+1])
+				if p0 >= 0.5 {
+					out[ri]++
+				}
+				if p1 >= 0.5 {
+					out[ri+1]++
+				}
+			}
+		}
+		if ri < len(rows) {
+			if fl.predictTree(root, rows[ri]) >= 0.5 {
+				out[ri]++
+			}
+		}
+	}
+	div := float64(nTrees)
+	for i := range out {
+		out[i] /= div
+	}
+	return out
+}
+
 // predictTree2Wide is predictTree2 without the short-vector stop, valid
 // only when both rows have at least nFeatures entries (checked once per
 // batch): then int(feat) < len(x) always holds and the walk is identical.

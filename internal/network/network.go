@@ -170,6 +170,21 @@ func (m *Model) Restore(state State, draws uint64) error {
 	return nil
 }
 
+// StepN advances the chain k rounds and returns the final state. The
+// chain has no usable jump-ahead (each transition consumes one uniform
+// draw from a stream without skip support), so the steps are replayed in
+// a tight loop — bit-identical to k Step calls, which is what the
+// event-driven round loop relies on when waking a parked device
+// (DESIGN.md §14).
+//
+// richnote:allocfree
+func (m *Model) StepN(k int) State {
+	for i := 0; i < k; i++ {
+		m.Step()
+	}
+	return m.state
+}
+
 // Step advances the chain one round and returns the new state.
 func (m *Model) Step() State {
 	row := m.matrix[index(m.state)]

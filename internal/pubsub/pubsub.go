@@ -82,6 +82,12 @@ type subscription struct {
 	cadence int
 }
 
+// subKey identifies one subscription for dirty tracking.
+type subKey struct {
+	topic TopicID
+	user  notif.UserID
+}
+
 // Broker is a topic-based pub/sub broker.
 type Broker struct {
 	mu     sync.Mutex
@@ -89,11 +95,39 @@ type Broker struct {
 
 	published uint64
 	delivered uint64
+
+	// dirty tracks exactly the subscriptions holding buffered items, so a
+	// flush walks O(dirty) instead of O(all topics) — on a million-user
+	// shard almost every subscription is idle almost every round. The
+	// counters keep Stats.Pending and PendingRound O(1); all three are
+	// maintained at every pending-buffer mutation. dirtyKeys is flush
+	// scratch, reused across rounds.
+	dirty        map[subKey]struct{}
+	dirtyKeys    []subKey
+	pendingAll   int
+	pendingRound int
 }
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
-	return &Broker{topics: make(map[TopicID]map[notif.UserID]*subscription)}
+	return &Broker{
+		topics: make(map[TopicID]map[notif.UserID]*subscription),
+		dirty:  make(map[subKey]struct{}),
+	}
+}
+
+// dropPending forgets a subscription's buffered items, maintaining the
+// dirty set and pending counters. Caller holds b.mu.
+func (b *Broker) dropPending(topic TopicID, sub *subscription) {
+	if len(sub.pending) == 0 {
+		return
+	}
+	b.pendingAll -= len(sub.pending)
+	if sub.mode == ModeRound {
+		b.pendingRound -= len(sub.pending)
+	}
+	delete(b.dirty, subKey{topic: topic, user: sub.user})
+	sub.pending = nil
 }
 
 // Subscribe registers the user on a topic with the given mode and handler.
@@ -128,10 +162,14 @@ func (b *Broker) SubscribeCadence(user notif.UserID, topic TopicID, mode Mode, c
 		subs = make(map[notif.UserID]*subscription)
 		b.topics[topic] = subs
 	}
-	if prev, ok := subs[user]; ok && prev.mode == mode {
-		prev.handler = h
-		prev.cadence = cadence
-		return nil
+	if prev, ok := subs[user]; ok {
+		if prev.mode == mode {
+			prev.handler = h
+			prev.cadence = cadence
+			return nil
+		}
+		// Mode change replaces the subscription and drops its pending items.
+		b.dropPending(topic, prev)
 	}
 	subs[user] = &subscription{user: user, mode: mode, handler: h, cadence: cadence}
 	return nil
@@ -143,9 +181,11 @@ func (b *Broker) Unsubscribe(user notif.UserID, topic TopicID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	subs := b.topics[topic]
-	if _, ok := subs[user]; !ok {
+	sub, ok := subs[user]
+	if !ok {
 		return fmt.Errorf("%w: user %d topic %s", ErrNotSubscribed, user, topic)
 	}
+	b.dropPending(topic, sub)
 	delete(subs, user)
 	if len(subs) == 0 {
 		delete(b.topics, topic)
@@ -166,6 +206,13 @@ func (b *Broker) Publish(topic TopicID, item notif.Item) {
 			b.delivered++
 		default:
 			sub.pending = append(sub.pending, item)
+			b.pendingAll++
+			if sub.mode == ModeRound {
+				b.pendingRound++
+			}
+			if len(sub.pending) == 1 {
+				b.dirty[subKey{topic: topic, user: sub.user}] = struct{}{}
+			}
 		}
 	}
 	b.mu.Unlock()
@@ -207,27 +254,49 @@ func sortedSubUsers(subs map[notif.UserID]*subscription) []notif.UserID {
 }
 
 // flushModes drains pending items of subscriptions matching the predicate,
-// across all topics, grouped per subscription. Subscriptions drain in
-// canonical order (topic by kind/entity, then user ascending) so handler
-// invocation order — and therefore any downstream queue order — is
-// deterministic rather than at the mercy of map iteration.
+// grouped per subscription. Only the dirty set — subscriptions actually
+// holding buffered items — is visited, sorted into the same canonical
+// order the historical all-topics walk produced (topic by kind/entity,
+// then user ascending), so handler invocation order — and therefore any
+// downstream queue order — is deterministic and unchanged while the cost
+// drops from O(all topics) to O(dirty log dirty). Dirty entries whose
+// subscription does not match (a cadence-gated round feed, a batch feed
+// during EndRound) keep their mark for a later flush.
 func (b *Broker) flushModes(match func(*subscription) bool) {
 	type flushUnit struct {
 		handler Handler
 		items   []notif.Item
 	}
 	b.mu.Lock()
-	var units []flushUnit
-	for _, t := range b.sortedTopics() {
-		subs := b.topics[t]
-		for _, u := range sortedSubUsers(subs) {
-			sub := subs[u]
-			if match(sub) && len(sub.pending) > 0 {
-				units = append(units, flushUnit{handler: sub.handler, items: sub.pending})
-				b.delivered += uint64(len(sub.pending))
-				sub.pending = nil
-			}
+	keys := b.dirtyKeys[:0]
+	for k := range b.dirty {
+		keys = append(keys, k)
+	}
+	b.dirtyKeys = keys
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].topic != keys[j].topic {
+			return topicLess(keys[i].topic, keys[j].topic)
 		}
+		return keys[i].user < keys[j].user
+	})
+	var units []flushUnit
+	for _, k := range keys {
+		sub := b.topics[k.topic][k.user]
+		if sub == nil || len(sub.pending) == 0 {
+			delete(b.dirty, k) // defensive: a stale mark cannot survive
+			continue
+		}
+		if !match(sub) {
+			continue
+		}
+		units = append(units, flushUnit{handler: sub.handler, items: sub.pending})
+		b.delivered += uint64(len(sub.pending))
+		b.pendingAll -= len(sub.pending)
+		if sub.mode == ModeRound {
+			b.pendingRound -= len(sub.pending)
+		}
+		sub.pending = nil
+		delete(b.dirty, k)
 	}
 	b.mu.Unlock()
 	for _, u := range units {
@@ -264,17 +333,12 @@ type Stats struct {
 	Pending int
 }
 
-// Stats returns a snapshot of broker counters.
+// Stats returns a snapshot of broker counters. Pending is a maintained
+// counter, so the call is O(1) regardless of topic count.
 func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	pending := 0
-	for _, subs := range b.topics {
-		for _, sub := range subs {
-			pending += len(sub.pending)
-		}
-	}
-	return Stats{Published: b.published, Delivered: b.delivered, Topics: len(b.topics), Pending: pending}
+	return Stats{Published: b.published, Delivered: b.delivered, Topics: len(b.topics), Pending: b.pendingAll}
 }
 
 // PendingState is one subscription's buffered publications in canonical
@@ -334,21 +398,31 @@ func (b *Broker) RestoreState(s BrokerState) error {
 	}
 	b.published = s.Published
 	b.delivered = s.Delivered
+	// Rebuild the dirty set and pending counters from the ground truth; the
+	// walk is O(all topics) but restore is a once-per-recovery event.
+	clear(b.dirty)
+	b.pendingAll, b.pendingRound = 0, 0
+	for t, subs := range b.topics {
+		for u, sub := range subs {
+			if len(sub.pending) == 0 {
+				continue
+			}
+			b.dirty[subKey{topic: t, user: u}] = struct{}{}
+			b.pendingAll += len(sub.pending)
+			if sub.mode == ModeRound {
+				b.pendingRound += len(sub.pending)
+			}
+		}
+	}
 	return nil
 }
 
 // PendingRound counts publications buffered in round-mode subscriptions
-// only — the backlog the next EndRound drain will hand to handlers.
+// only — the backlog the next EndRound drain will hand to handlers. A
+// maintained counter: O(1), called once per round by the server's
+// snapshot path.
 func (b *Broker) PendingRound() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	pending := 0
-	for _, subs := range b.topics {
-		for _, sub := range subs {
-			if sub.mode == ModeRound {
-				pending += len(sub.pending)
-			}
-		}
-	}
-	return pending
+	return b.pendingRound
 }

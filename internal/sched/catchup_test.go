@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCatchUpMatchesScannedRounds is the device-level lazy fast-forward
+// guarantee: over randomized seeded traces with long idle gaps, a device
+// that parks through its quiescent stretches and catches up on wake must
+// export state deeply equal to a twin that ran every round — budget
+// accrual, battery and network RNG draw counts, controller Q/P/telemetry
+// and metrics all included.
+func TestCatchUpMatchesScannedRounds(t *testing.T) {
+	for _, seed := range []int64{3, 404, 61507} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			scanned := newStateTestDevice(t, seed)
+			parked := newStateTestDevice(t, seed)
+			script := rand.New(rand.NewSource(seed * 31))
+
+			round := 0
+			for round < 120 {
+				// A burst of active rounds with occasional enqueues.
+				active := 2 + script.Intn(5)
+				for a := 0; a < active && round < 120; a++ {
+					if script.Intn(2) == 0 {
+						batch := stateTestItems(round, 1+script.Intn(2))
+						if err := scanned.Enqueue(stateTestItems(round, len(batch))); err != nil {
+							t.Fatal(err)
+						}
+						if err := parked.Enqueue(batch); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if _, err := scanned.RunRound(round); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := parked.RunRound(round); err != nil {
+						t.Fatal(err)
+					}
+					round++
+				}
+				// Drain until quiescent: the parked twin keeps stepping while
+				// it still has work (mirroring the shard's dirty rule).
+				for !parked.Quiescent() && round < 120 {
+					if _, err := scanned.RunRound(round); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := parked.RunRound(round); err != nil {
+						t.Fatal(err)
+					}
+					round++
+				}
+				// A long idle gap: the scanned twin runs every empty round,
+				// the parked twin skips all of them and fast-forwards.
+				gap := 3 + script.Intn(20)
+				for g := 0; g < gap && round < 120; g++ {
+					if _, err := scanned.RunRound(round); err != nil {
+						t.Fatal(err)
+					}
+					round++
+				}
+				if err := parked.CatchUp(round); err != nil {
+					t.Fatalf("CatchUp(%d): %v", round, err)
+				}
+				if !reflect.DeepEqual(parked.ExportState(), scanned.ExportState()) {
+					t.Fatalf("state diverged after catching up to round %d", round)
+				}
+			}
+		})
+	}
+}
+
+// TestCatchUpRefusesQueuedItems pins the guardrail: fast-forward is only
+// defined for empty queues (a queued item would have been delivered or
+// retried during the skipped rounds), so CatchUp must refuse.
+func TestCatchUpRefusesQueuedItems(t *testing.T) {
+	d := newStateTestDevice(t, 9)
+	if _, err := d.RunRound(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(stateTestItems(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CatchUp(5); err == nil {
+		t.Fatal("CatchUp over a non-empty queue accepted")
+	}
+	// No-op catch-ups (already current or target in the past) succeed.
+	if err := d.CatchUp(1); err != nil {
+		t.Fatalf("no-op CatchUp: %v", err)
+	}
+}

@@ -54,6 +54,11 @@ type DeviceConfig struct {
 	// than the original plan.
 	DegradeOnFailure bool
 
+	// StartRound is the first round this device will execute. Devices
+	// registered mid-run start at the shard's current round; they never ran
+	// the earlier rounds, so CatchUp must not replay them. Defaults to 0.
+	StartRound int
+
 	// Controller is required when Strategy is *RichNote; ignored otherwise.
 	Controller *lyapunov.Controller
 
@@ -125,6 +130,18 @@ type Device struct {
 	// settled flags queue indices leaving the queue this round, whether
 	// delivered or dropped after exhausting their retry budget.
 	settled []bool // richnote:confined(shard)
+
+	// nextRound is the round the next RunRound or CatchUp will process;
+	// the gap between it and the shard clock is exactly what CatchUp
+	// replays when an event-driven shard wakes a parked device.
+	nextRound int // richnote:confined(shard)
+	// ffBase anchors ffHour: the round whose hour ffHour(0) returns. Bound
+	// through a field (rather than a per-call closure) so CatchUp stays
+	// allocation-free.
+	ffBase int // richnote:confined(shard)
+	// ffHour is the hourAt method value (bound once in NewDevice so
+	// CatchUp passes it to Battery.FastForward without allocating).
+	ffHour func(int) int // richnote:confined(shard)
 }
 
 // NewDevice validates the configuration and returns a device.
@@ -154,14 +171,28 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 		return nil, ErrNeedController
 	}
 	d := &Device{
-		cfg:   cfg,
-		theta: float64(cfg.WeeklyBudgetBytes) / float64(cfg.RoundsPerWeek),
+		cfg:       cfg,
+		theta:     float64(cfg.WeeklyBudgetBytes) / float64(cfg.RoundsPerWeek),
+		nextRound: cfg.StartRound,
 	}
 	if cfg.Controller != nil {
 		d.kappa = cfg.Controller.Config().Kappa
 	}
+	d.bindFastForward()
 	d.bindPlanContext()
 	return d, nil
+}
+
+// bindFastForward creates the hourAt method value once, so CatchUp can
+// hand it to Battery.FastForward without allocating per call.
+func (d *Device) bindFastForward() {
+	d.ffHour = d.hourAt
+}
+
+// hourAt maps an offset from ffBase to the wall-clock hour of that round
+// — exactly the hour RunRound would have passed to Battery.Tick.
+func (d *Device) hourAt(i int) int {
+	return d.cfg.Epoch.Add(time.Duration(d.ffBase+i) * d.cfg.RoundLen).Hour()
 }
 
 // bindPlanContext builds the reusable plan context once: its energy
@@ -276,10 +307,84 @@ type RoundResult struct {
 	QueueAfter int
 }
 
+// NextRound returns the round the next RunRound or CatchUp will process.
+func (d *Device) NextRound() int { return d.nextRound }
+
+// Quiescent reports whether skipping this device's upcoming rounds is
+// exactly reproducible later: the scheduling queue is empty (an idle
+// round plans nothing and delivers nothing) and the Lyapunov controller,
+// if any, is quiescent (Q is zero and P sits above κ where replenishment
+// is gated off). The battery and connectivity walks do advance every
+// round, but their idle trajectory depends only on the round index and
+// their own RNG streams, which CatchUp replays draw-for-draw — so a
+// quiescent device may be parked and caught up bit-identically
+// (DESIGN.md §14). Note the backlog check is on the controller's Q, not
+// just the queue: float residue left in Q by the [·]+ floors keeps a
+// device conservatively dirty.
+func (d *Device) Quiescent() bool {
+	if len(d.queue) != 0 {
+		return false
+	}
+	if d.cfg.Controller != nil && !d.cfg.Controller.Quiescent() {
+		return false
+	}
+	return true
+}
+
+// SkipRound records that the device sat out the given round without
+// executing it — the shard's legacy behavior when an inbox flush fails
+// validation. Only the round bookkeeping advances; budget, battery and
+// RNG streams stay untouched, exactly as the historical full-scan loop
+// left them.
+func (d *Device) SkipRound(round int) {
+	if round+1 > d.nextRound {
+		d.nextRound = round + 1
+	}
+}
+
+// CatchUp fast-forwards a parked device across the rounds it skipped,
+// leaving it bit-identical to one that executed each round with an empty
+// queue: the data budget accrues in closed form (AccrueN, or a single
+// idempotent Reset for the per-round variant), the battery replays its
+// k diurnal ticks, the controller advances its round counter (closed
+// form — see lyapunov.FastForward), and the connectivity walk replays
+// its k draws. Replenish needs no replay: the parking contract
+// guarantees P > κ for every skipped round, where it is a no-op, and
+// ReplenishRate is a pure function of battery level so not evaluating
+// it has no effect. The component replays run sequentially rather than
+// interleaved per round, which is exact because their RNG streams are
+// independent. A device with queued items cannot be caught up.
+//
+// richnote:allocfree
+func (d *Device) CatchUp(toRound int) error {
+	k := toRound - d.nextRound
+	if k <= 0 {
+		return nil
+	}
+	if len(d.queue) != 0 {
+		return fmt.Errorf("sched: catch up to round %d with %d queued items", toRound, len(d.queue))
+	}
+	if d.cfg.PerRoundBudget {
+		// Each skipped round resets to θ; k idempotent resets collapse to one.
+		d.budget.Reset(d.theta)
+	} else {
+		d.budget.AccrueN(int64(k), d.theta)
+	}
+	d.ffBase = d.nextRound
+	d.cfg.Battery.FastForward(k, d.ffHour)
+	if d.cfg.Controller != nil {
+		d.cfg.Controller.FastForward(k)
+	}
+	d.cfg.Network.StepN(k)
+	d.nextRound = toRound
+	return nil
+}
+
 // RunRound executes Algorithm 2 for one round: budget update, energy
 // replenishment, network step, selection, delivery and queue settlement.
 func (d *Device) RunRound(round int) (RoundResult, error) {
 	res := RoundResult{Round: round}
+	d.nextRound = round + 1
 
 	// Step 2 of Algorithm 2: data and energy budget update.
 	if d.cfg.PerRoundBudget {

@@ -6,14 +6,30 @@ package sched
 // by construction, not by caller discipline. Debit and Refund return the
 // amount actually moved; the spendcheck analyzer (DESIGN.md §9) flags any
 // caller that discards those results.
+//
+// The balance is held lazily as base + pendingRounds·θ: Accrue and
+// AccrueN only bump the pending round count, and the product is folded
+// into base ("materialized") the moment anything other than an accrual
+// touches the ledger. Because both the per-round loop (k calls to
+// Accrue) and the fast-forward path (one AccrueN(k)) leave the identical
+// (base, pendingRounds) pair, a parked device caught up after k idle
+// rounds is bit-identical to one scanned every round — the whole point
+// of the representation. Materialization points are part of the
+// trajectory: snapshots export the lazy pair, not the folded value, so a
+// crash-recovered ledger folds at exactly the same Debit it would have
+// live (DESIGN.md §14).
 type dataBudget struct {
-	balance  float64 // current balance B(t), bytes
-	debited  float64 // cumulative bytes charged for transfer attempts
-	refunded float64 // cumulative bytes refunded for failed attempts
+	base          float64 // materialized balance, bytes
+	pendingRounds int64   // accrued rounds not yet folded into base
+	pendingTheta  float64 // per-round increment θ the pending rounds accrue at
+	debited       float64 // cumulative bytes charged for transfer attempts
+	refunded      float64 // cumulative bytes refunded for failed attempts
 }
 
 // Balance returns the current budget in bytes.
-func (b *dataBudget) Balance() float64 { return b.balance }
+func (b *dataBudget) Balance() float64 {
+	return b.base + float64(b.pendingRounds)*b.pendingTheta
+}
 
 // Debited returns the cumulative bytes charged.
 func (b *dataBudget) Debited() float64 { return b.debited }
@@ -21,27 +37,68 @@ func (b *dataBudget) Debited() float64 { return b.debited }
 // Refunded returns the cumulative bytes refunded.
 func (b *dataBudget) Refunded() float64 { return b.refunded }
 
+// lazy exposes the unmaterialized representation for snapshot export.
+func (b *dataBudget) lazy() (base float64, pendingRounds int64) {
+	return b.base, b.pendingRounds
+}
+
+// materialize folds the pending accruals into the base balance.
+func (b *dataBudget) materialize() {
+	if b.pendingRounds != 0 {
+		b.base += float64(b.pendingRounds) * b.pendingTheta
+		b.pendingRounds = 0
+	}
+}
+
 // Accrue adds the per-round increment θ to the balance.
-func (b *dataBudget) Accrue(n float64) { b.balance += n }
+//
+// richnote:allocfree
+func (b *dataBudget) Accrue(n float64) { b.AccrueN(1, n) }
+
+// AccrueN adds k rounds' worth of the per-round increment θ in one step —
+// the closed form a parked device uses to catch up. A θ different from
+// the pending one (impossible for a device, whose θ is fixed at
+// construction) materializes first so mixed-rate accruals stay exact.
+//
+// richnote:allocfree
+func (b *dataBudget) AccrueN(k int64, n float64) {
+	if k <= 0 {
+		return
+	}
+	if b.pendingRounds != 0 && b.pendingTheta != n {
+		b.materialize()
+	}
+	b.pendingTheta = n
+	b.pendingRounds += k
+}
 
 // Reset sets the balance to n, discarding any rollover (the PerRoundBudget
 // variant).
-func (b *dataBudget) Reset(n float64) { b.balance = n }
+func (b *dataBudget) Reset(n float64) {
+	b.base = n
+	b.pendingRounds = 0
+}
 
 // Debit charges n bytes against the plan and returns the amount charged.
 // Affordability is the caller's check (deliverRound skips selections larger
 // than the balance); Debit itself never blocks, matching Algorithm 2's
 // unconditional step-3 deduction.
 func (b *dataBudget) Debit(n float64) float64 {
-	b.balance -= n
+	b.materialize()
+	b.base -= n
 	b.debited += n
 	return n
 }
 
-// restore overwrites the ledger with snapshotted values. Only the device's
-// RestoreState calls it; the caller validates refunded <= debited.
-func (b *dataBudget) restore(balance, debited, refunded float64) {
-	b.balance = balance
+// restore overwrites the ledger with snapshotted values, preserving the
+// lazy split so materialization happens at the same future operation it
+// would have in the run that took the snapshot. Only the device's
+// RestoreState calls it; the caller validates refunded <= debited and
+// supplies the device's fixed θ.
+func (b *dataBudget) restore(base float64, pendingRounds int64, theta, debited, refunded float64) {
+	b.base = base
+	b.pendingRounds = pendingRounds
+	b.pendingTheta = theta
 	b.debited = debited
 	b.refunded = refunded
 }
@@ -55,7 +112,8 @@ func (b *dataBudget) Refund(n float64) float64 {
 	if n < 0 {
 		n = 0
 	}
-	b.balance += n
+	b.materialize()
+	b.base += n
 	b.refunded += n
 	return n
 }

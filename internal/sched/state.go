@@ -18,10 +18,15 @@ type DeviceState struct {
 	// Queue is the scheduling queue, in order.
 	Queue []Queued
 
-	// Cellular data-plan ledger B(t).
-	BudgetBalance  float64
-	BudgetDebited  float64
-	BudgetRefunded float64
+	// Cellular data-plan ledger B(t), exported in its lazy representation
+	// (balance = base + pending·θ): folding the pending product into the
+	// base happens at the same future Debit/Refund/Reset in a restored run
+	// as it would have live, keeping recovery bit-identical (θ itself is
+	// fixed by the device configuration and not exported).
+	BudgetBase          float64
+	BudgetPendingRounds int64
+	BudgetDebited       float64
+	BudgetRefunded      float64
 
 	// Battery level and jitter-stream position.
 	BatteryLevel float64
@@ -37,6 +42,11 @@ type DeviceState struct {
 	// Lyapunov controller state; HasController is false for baselines.
 	Controller    lyapunov.State
 	HasController bool
+
+	// NextRound is the round the device will process next; the event-driven
+	// shard settles every device to its clock before exporting, but the
+	// field keeps the device export self-contained.
+	NextRound int
 }
 
 // ExportState captures the device's mutable state. The queue is deep-copied
@@ -44,16 +54,19 @@ type DeviceState struct {
 // inside are treated as immutable once queued (the scheduler only rewrites
 // Attempts/LevelCap through the copy's own entries).
 func (d *Device) ExportState() DeviceState {
+	base, pending := d.budget.lazy()
 	s := DeviceState{
-		Queue:          append([]Queued(nil), d.queue...),
-		BudgetBalance:  d.budget.Balance(),
-		BudgetDebited:  d.budget.Debited(),
-		BudgetRefunded: d.budget.Refunded(),
-		BatteryLevel:   d.cfg.Battery.Level(),
-		BatteryDraws:   d.cfg.Battery.Draws(),
-		NetworkState:   d.cfg.Network.State(),
-		NetworkDraws:   d.cfg.Network.Draws(),
-		FaultDraws:     d.cfg.Faults.Draws(),
+		Queue:               append([]Queued(nil), d.queue...),
+		BudgetBase:          base,
+		BudgetPendingRounds: pending,
+		BudgetDebited:       d.budget.Debited(),
+		BudgetRefunded:      d.budget.Refunded(),
+		BatteryLevel:        d.cfg.Battery.Level(),
+		BatteryDraws:        d.cfg.Battery.Draws(),
+		NetworkState:        d.cfg.Network.State(),
+		NetworkDraws:        d.cfg.Network.Draws(),
+		FaultDraws:          d.cfg.Faults.Draws(),
+		NextRound:           d.nextRound,
 	}
 	if d.cfg.Controller != nil {
 		s.Controller = d.cfg.Controller.ExportState()
@@ -71,6 +84,9 @@ func (d *Device) RestoreState(s DeviceState) error {
 	if s.HasController != (d.cfg.Controller != nil) {
 		return fmt.Errorf("sched: restore controller presence mismatch: snapshot %t, device %t",
 			s.HasController, d.cfg.Controller != nil)
+	}
+	if s.BudgetPendingRounds < 0 {
+		return fmt.Errorf("sched: restore negative pending accrual rounds %d", s.BudgetPendingRounds)
 	}
 	if s.BudgetRefunded > s.BudgetDebited {
 		return fmt.Errorf("sched: restore ledger refunded %f exceeds debited %f",
@@ -96,6 +112,7 @@ func (d *Device) RestoreState(s DeviceState) error {
 		}
 	}
 	d.queue = append(d.queue[:0], s.Queue...)
-	d.budget.restore(s.BudgetBalance, s.BudgetDebited, s.BudgetRefunded)
+	d.budget.restore(s.BudgetBase, s.BudgetPendingRounds, d.theta, s.BudgetDebited, s.BudgetRefunded)
+	d.nextRound = s.NextRound
 	return nil
 }

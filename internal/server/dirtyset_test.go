@@ -1,0 +1,270 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/richnote/richnote/internal/core"
+	"github.com/richnote/richnote/internal/network"
+	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/pubsub"
+	"github.com/richnote/richnote/internal/wal"
+)
+
+// dirtyWorkload is a pre-generated publish script: pubs[r] lists the
+// publications to issue before ticking round r. Generating the script up
+// front (instead of publishing from a shared rng while driving) lets
+// several servers replay the identical workload.
+type dirtyWorkload struct {
+	pubs [][]dirtyPub
+}
+
+type dirtyPub struct {
+	topic pubsub.TopicID
+	user  notif.UserID
+	item  notif.Item
+}
+
+// genDirtyWorkload builds a seeded bursty workload over nUsers users and
+// nRounds rounds: short publish bursts separated by long idle gaps, which
+// is exactly the shape where the event-driven loop parks users for many
+// rounds and the lazy fast-forward path has real distance to cover.
+func genDirtyWorkload(seed int64, nUsers, nRounds int) dirtyWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	w := dirtyWorkload{pubs: make([][]dirtyPub, nRounds)}
+	id := 0
+	r := 0
+	for r < nRounds {
+		// A burst: 1-3 rounds of publishes to a random handful of users,
+		// across all three topic cadences.
+		burst := 1 + rng.Intn(3)
+		for b := 0; b < burst && r < nRounds; b++ {
+			n := 1 + rng.Intn(4)
+			for i := 0; i < n; i++ {
+				user := notif.UserID(1 + rng.Intn(nUsers))
+				var topic pubsub.TopicID
+				switch rng.Intn(3) {
+				case 0:
+					topic = pubsub.TopicID{Kind: notif.TopicFriendFeed, Entity: 1}
+				case 1:
+					topic = pubsub.TopicID{Kind: notif.TopicArtistPage, Entity: 2}
+				default:
+					topic = pubsub.TopicID{Kind: notif.TopicPlaylist, Entity: 3}
+				}
+				id++
+				w.pubs[r] = append(w.pubs[r], dirtyPub{topic: topic, user: user, item: audioItem(id, 99)})
+			}
+			r++
+		}
+		// A gap: up to ~12 idle rounds where parked users stay parked.
+		r += rng.Intn(13)
+	}
+	return w
+}
+
+// drive replays workload rounds [from, to) against a server.
+func (w dirtyWorkload) drive(t *testing.T, s *Server, from, to int) {
+	t.Helper()
+	ctx := context.Background()
+	for r := from; r < to; r++ {
+		if r < len(w.pubs) {
+			for _, p := range w.pubs[r] {
+				if err := s.Publish(p.topic, p.user, p.item); err != nil {
+					t.Fatalf("round %d publish: %v", r, err)
+				}
+			}
+		}
+		if err := s.Tick(ctx); err != nil {
+			t.Fatalf("tick %d: %v", r, err)
+		}
+	}
+}
+
+// dirtyConfig is the equivalence-test config: faults on (so RNG draw
+// counters and retry state matter), the paper's three-state walk, a mix
+// of strategies, and small snapshot intervals so crashes land both on
+// and between compaction boundaries.
+func dirtyConfig(walDir string, fullScan bool) Config {
+	m := network.PaperMatrix()
+	return Config{
+		Shards:        2,
+		Seed:          42,
+		WALDir:        walDir,
+		WALFsync:      wal.SyncAlways,
+		SnapshotEvery: 7,
+		ForceFullScan: fullScan,
+		Faults:        network.FaultConfig{CellLoss: 0.2, CellDisconnect: 0.1},
+		Default: UserConfig{
+			NetworkMatrix:     &m,
+			WeeklyBudgetBytes: 1 << 30,
+		},
+		Users: []UserConfig{
+			{User: 1, NetworkMatrix: &m, WeeklyBudgetBytes: 1 << 30},
+			{User: 2, NetworkMatrix: &m, Strategy: core.StrategyFIFO, FixedLevel: 2, WeeklyBudgetBytes: 1 << 30},
+			{User: 3, NetworkMatrix: &m, Strategy: core.StrategyUtil, WeeklyBudgetBytes: 1 << 29},
+		},
+	}
+}
+
+// TestDirtySetEquivalence is the event-driven acceptance test: over
+// randomized seeded traces (bursty publishes, long idle gaps, faults on)
+// the dirty-set server must export canonical state byte-identical to a
+// full-scan reference running the same script — including across a WAL
+// crash and replay at a random round, which must drive the same
+// dirty-set path.
+func TestDirtySetEquivalence(t *testing.T) {
+	const nUsers, nRounds = 9, 40
+	for _, seed := range []int64{1, 7331, 902245} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := genDirtyWorkload(seed, nUsers, nRounds)
+
+			full, err := New(dirtyConfig("", true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			event, err := New(dirtyConfig("", false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			cfg := dirtyConfig(dir, false)
+			crashed, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []*Server{full, event, crashed} {
+				if err := s.Start(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Crash the WAL-backed event-driven server at a random round,
+			// restore it, and check the recovered shard state matches what
+			// the crashed process held.
+			crashAt := 5 + rand.New(rand.NewSource(seed^0x5ca1ab1e)).Intn(nRounds-10)
+			w.drive(t, crashed, 0, crashAt)
+			crashed.CrashStop()
+			captured := shardStates(crashed)
+			crashed, err = New(cfg)
+			if err != nil {
+				t.Fatalf("recovery New at round %d: %v", crashAt, err)
+			}
+			compareStates(t, fmt.Sprintf("recovered at round %d", crashAt), shardStates(crashed), captured)
+			if err := crashed.Start(); err != nil {
+				t.Fatal(err)
+			}
+			w.drive(t, crashed, crashAt, nRounds)
+
+			w.drive(t, full, 0, nRounds)
+			w.drive(t, event, 0, nRounds)
+
+			full.CrashStop()
+			event.CrashStop()
+			crashed.CrashStop()
+
+			fullStates := shardStates(full)
+			compareStates(t, "event-driven vs full-scan", shardStates(event), fullStates)
+			compareStates(t, "crash-recovered event-driven vs full-scan", shardStates(crashed), fullStates)
+		})
+	}
+}
+
+// TestDirtySetInvariant checks the bookkeeping directly: after every
+// round of a bursty run, the live dirty set must cover exactly the
+// non-quiescent-or-inboxed users (modulo quiescent stragglers the next
+// round will park — those may be in the set but never missing from it).
+func TestDirtySetInvariant(t *testing.T) {
+	w := genDirtyWorkload(99, 6, 25)
+	s, err := New(dirtyConfig("", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: the shard goroutines are not running, so Tick-free
+	// direct driving from the test goroutine is safe (the confined
+	// analyzer exempts tests for exactly this pattern).
+	for r := 0; r < 25; r++ {
+		for _, p := range w.pubs[r] {
+			sh := s.shards[s.ShardFor(p.user)]
+			sh.accept(envelope{topic: p.topic, user: p.user, item: p.item})
+		}
+		for _, sh := range s.shards {
+			if err := sh.runRound(); err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+		}
+		for _, sh := range s.shards {
+			for _, u := range sh.userOrder {
+				needsStep := !sh.devices[u].Quiescent() || len(sh.inbox[u]) > 0
+				if needsStep && !sh.isDirty[u] {
+					t.Fatalf("round %d: user %d needs stepping but is parked", r, u)
+				}
+			}
+			if len(sh.dirty) != len(sh.isDirty) {
+				t.Fatalf("round %d: dirty list (%d) and index (%d) diverged", r, len(sh.dirty), len(sh.isDirty))
+			}
+		}
+	}
+}
+
+// TestStepDirtyZeroAlloc pins the steady-state allocation budget of the
+// event-driven core: with a stable dirty set (always-offline devices
+// holding undeliverable queues), stepDirty — catch-up, inbox flush,
+// Algorithm 2, aggregate refresh, park/keep bookkeeping — must not
+// allocate.
+func TestStepDirtyZeroAlloc(t *testing.T) {
+	off := network.Matrix{
+		{1, 0, 0},
+		{1, 0, 0},
+		{1, 0, 0},
+	}
+	cfg := Config{
+		Shards: 1,
+		Seed:   7,
+		Default: UserConfig{
+			NetworkMatrix:     &off,
+			StartState:        network.StateOff,
+			WeeklyBudgetBytes: 1 << 30,
+		},
+	}
+	for u := 1; u <= 8; u++ {
+		cfg.Users = append(cfg.Users, UserConfig{
+			User:              notif.UserID(u),
+			NetworkMatrix:     &off,
+			StartState:        network.StateOff,
+			WeeklyBudgetBytes: 1 << 30,
+		})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard goroutine never started; drive the confined path directly.
+	sh := s.shards[0]
+	for u := 1; u <= 8; u++ {
+		sh.accept(envelope{topic: friendTopic(1), user: notif.UserID(u), item: audioItem(u, 99)})
+	}
+	// Warm up: flush the staged publications into queues and let every
+	// scratch buffer reach steady-state capacity. The devices are
+	// permanently offline, so the queues never drain and all 8 users stay
+	// dirty forever.
+	for i := 0; i < 8; i++ {
+		if err := sh.runRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sh.dirty) != 8 {
+		t.Fatalf("dirty set is %d users, want all 8 (offline devices cannot drain)", len(sh.dirty))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := sh.stepDirty(); err != nil {
+			t.Fatal(err)
+		}
+		sh.round++
+	})
+	if allocs != 0 {
+		t.Fatalf("stepDirty allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+}

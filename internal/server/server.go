@@ -153,6 +153,14 @@ type Config struct {
 	// reduce snapshot I/O.
 	SnapshotEvery int
 
+	// ForceFullScan disables dirty-set scheduling: every round steps every
+	// registered user in ascending order, the pre-event-driven reference
+	// behavior. The two modes produce byte-identical canonical state (the
+	// equivalence tests pin this); full scan exists as the comparison
+	// baseline for those tests and for the capacity benchmark, not for
+	// production use.
+	ForceFullScan bool
+
 	// OwnedShards restricts this process to a subset of the shard space
 	// (cluster node mode, DESIGN.md §13). nil means own everything — the
 	// standalone behavior, bit-identical to a build without cluster

@@ -35,6 +35,27 @@ type tickReq struct {
 	reply chan error
 }
 
+// stagedNotif is one broker-flushed publication awaiting batch scoring
+// and enrichment at the round boundary.
+type stagedNotif struct {
+	user notif.UserID
+	n    trace.Notification
+}
+
+// feedEntry is one confirmed delivery awaiting the round's single
+// feed-lock flush.
+type feedEntry struct {
+	user notif.UserID
+	d    notif.Delivery
+}
+
+// userAgg caches one user's last contribution to the shard's running
+// aggregates, so refreshAgg can fold in deltas.
+type userAgg struct {
+	queued int
+	lyap   lyapunov.Stats
+}
+
 // freezeReq asks the shard to stop serving and hand its state over
 // (cluster handoff, handoff.go): drain ingest, compact into a final
 // snapshot, close the log and exit. The reply carries the snapshot file
@@ -73,9 +94,45 @@ type shard struct {
 	round   int                                      // richnote:confined(shard)
 	lastErr error                                    // richnote:confined(shard)
 	// userOrder keeps the registered users sorted ascending; maintained
-	// incrementally by addUser so runRound iterates deterministically
+	// incrementally by addUser so full scans iterate deterministically
 	// without rebuilding and re-sorting the key set every round.
 	userOrder []notif.UserID // richnote:confined(shard)
+
+	// Event-driven round state (DESIGN.md §14). dirty lists the users the
+	// next round must step — everyone else is parked, to be caught up
+	// bit-identically on wake via Device.CatchUp. The invariant: a user is
+	// dirty iff its device is not quiescent or its inbox is non-empty,
+	// except that a quiescent device may linger in the set until the next
+	// round parks it (stepping a quiescent device is itself equivalent to
+	// parking it, so the slack never changes exported state). dirty stays
+	// ascending: survivors keep their order and flushStaged appends set
+	// dirtyUnsorted, resorted once at the round boundary.
+	dirty         []notif.UserID        // richnote:confined(shard)
+	isDirty       map[notif.UserID]bool // richnote:confined(shard)
+	dirtyUnsorted bool                  // richnote:confined(shard)
+
+	// staged collects the round's broker-flushed publications in handler
+	// order so content scoring runs as one cross-user batch (tree-major
+	// forest walk) instead of per item; stagedNs/stagedScores are the
+	// reusable batch buffers.
+	staged       []stagedNotif         // richnote:confined(shard)
+	stagedNs     []*trace.Notification // richnote:confined(shard)
+	stagedScores []float64             // richnote:confined(shard)
+
+	// pendingFeed batches the round's confirmed deliveries so feedMu is
+	// taken once per round (flushFeeds) instead of once per delivery.
+	pendingFeed []feedEntry // richnote:confined(shard)
+
+	// Running per-shard aggregates, maintained by delta each time a device
+	// is stepped so publishSnapshot is O(dirty) instead of O(users):
+	// aggQueue sums queue depth + inbox backlog, aggLyap folds controller
+	// telemetry, and aggByUser caches each user's last contribution.
+	// Parked devices contribute their park-time stats (the Rounds
+	// denominator lags until they wake) — snapshot telemetry, not
+	// canonical state.
+	aggByUser map[notif.UserID]*userAgg // richnote:confined(shard)
+	aggQueue  int                       // richnote:confined(shard)
+	aggLyap   lyapunov.Stats            // richnote:confined(shard)
 
 	// Durability state (walstate.go), active when Config.WALDir is set:
 	// the per-shard append-only log, reusable encode scratch for log
@@ -137,12 +194,15 @@ type ShardSnapshot struct {
 	// auto-registration disabled, or registration/subscription failures).
 	Backpressured uint64
 	Dropped       uint64
-	// Report aggregates the shard's delivery metrics; DelayBuckets holds
-	// the queuing-delay histogram at metrics.DefaultDelayBucketBounds.
+	// Report aggregates the shard's delivery metrics from the collector's
+	// running mirror (see metrics.Collector.Running: counters exact, delay
+	// percentiles at bucket resolution); DelayBuckets holds the
+	// queuing-delay histogram at metrics.DefaultDelayBucketBounds.
 	Report       metrics.Report
 	DelayBuckets []metrics.Bucket
 	// Lyapunov sums controller telemetry across the shard's RichNote
-	// devices (see lyapunov.Stats.Add).
+	// devices (see lyapunov.Stats.Add), maintained incrementally by delta
+	// as devices step; parked devices contribute their last-stepped stats.
 	Lyapunov lyapunov.Stats
 	// LastRound and AvgRound are round-loop wall-clock latencies.
 	LastRound time.Duration
@@ -153,24 +213,26 @@ type ShardSnapshot struct {
 
 func newShard(id int, srv *Server, enricher *utility.Enricher) *shard {
 	sh := &shard{
-		id:       id,
-		srv:      srv,
-		broker:   pubsub.NewBroker(),
-		enricher: enricher,
-		col:      metrics.NewCollector(),
-		rec:      obs.NewRecorder(),
-		devices:  make(map[notif.UserID]*sched.Device),
-		inbox:    make(map[notif.UserID][]sched.Queued),
-		subs:     make(map[notif.UserID]map[pubsub.TopicID]bool),
-		userCfgs: make(map[notif.UserID]UserConfig),
-		ingest:   make(chan envelope, srv.cfg.IngestBuffer),
-		ticks:    make(chan tickReq),
-		freeze:   make(chan freezeReq),
-		stateq:   make(chan chan []byte),
-		stop:     make(chan struct{}),
-		crash:    make(chan struct{}),
-		done:     make(chan struct{}),
-		feeds:    make(map[notif.UserID][]notif.Delivery),
+		id:        id,
+		srv:       srv,
+		broker:    pubsub.NewBroker(),
+		enricher:  enricher,
+		col:       metrics.NewCollector(),
+		rec:       obs.NewRecorder(),
+		devices:   make(map[notif.UserID]*sched.Device),
+		inbox:     make(map[notif.UserID][]sched.Queued),
+		subs:      make(map[notif.UserID]map[pubsub.TopicID]bool),
+		isDirty:   make(map[notif.UserID]bool),
+		aggByUser: make(map[notif.UserID]*userAgg),
+		userCfgs:  make(map[notif.UserID]UserConfig),
+		ingest:    make(chan envelope, srv.cfg.IngestBuffer),
+		ticks:     make(chan tickReq),
+		freeze:    make(chan freezeReq),
+		stateq:    make(chan chan []byte),
+		stop:      make(chan struct{}),
+		crash:     make(chan struct{}),
+		done:      make(chan struct{}),
+		feeds:     make(map[notif.UserID][]notif.Delivery),
 	}
 	sh.publishSnapshot(0)
 	return sh
@@ -288,8 +350,9 @@ func kindCadence(k notif.TopicKind) int {
 }
 
 // subscribe idempotently connects a user to a topic in round mode; the
-// handler enriches publications and stages them in the user's inbox, to be
-// enqueued at the round boundary that drains them.
+// handler stages publications for the round's batch scoring pass
+// (flushStaged), which enriches them into the user's inbox in the same
+// handler order the historical per-item path used.
 func (sh *shard) subscribe(user notif.UserID, topic pubsub.TopicID) error {
 	if sh.subs[user][topic] {
 		return nil
@@ -302,12 +365,10 @@ func (sh *shard) subscribe(user notif.UserID, topic pubsub.TopicID) error {
 			if item.Recipient != user {
 				continue
 			}
-			n := &trace.Notification{Item: item, Round: sh.round}
-			rich, err := sh.enricher.Enrich(n)
-			if err != nil {
-				continue // malformed publications are dropped, not fatal
-			}
-			sh.inbox[user] = append(sh.inbox[user], sched.Queued{Rich: rich})
+			sh.staged = append(sh.staged, stagedNotif{
+				user: user,
+				n:    trace.Notification{Item: item, Round: sh.round},
+			})
 		}
 	})
 	if err != nil {
@@ -397,12 +458,21 @@ func (sh *shard) addUser(cfg UserConfig) error {
 		MaxAttempts:           cfg.MaxAttempts,
 		DegradeOnFailure:      cfg.DegradeOnFailure,
 		MaxDeliveriesPerRound: cfg.MaxDeliveriesPerRound,
-		OnDelivery:            func(d notif.Delivery) { sh.recordDelivery(user, d) },
+		// Mid-run registrations start at the shard clock: they never ran the
+		// earlier rounds, so CatchUp must not replay them.
+		StartRound: sh.round,
+		OnDelivery: func(d notif.Delivery) { sh.stageDelivery(user, d) },
 	})
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
 	sh.devices[user] = device
+	sh.aggByUser[user] = &userAgg{}
+	sh.refreshAgg(user, device)
+	// New devices start dirty: a RichNote controller needs rounds to climb
+	// P above κ before it can park, and any pending publish will want the
+	// first round anyway. The first quiescent round parks it.
+	sh.markDirty(user)
 	// Remember the applied config (defaults resolved, matrix copied so the
 	// caller's pointer cannot alias): snapshots store it to rebuild the
 	// device stack at restore time.
@@ -418,29 +488,30 @@ func (sh *shard) addUser(cfg UserConfig) error {
 }
 
 // runRound executes one scheduling round: drain the broker's round-mode
-// buffers, flush inboxes into scheduling queues and run Algorithm 2 on
-// every device, in ascending user order for determinism.
+// buffers, batch-score and enrich the flushed publications into inboxes,
+// then run Algorithm 2 on the dirty set — every device, in ascending user
+// order, when Config.ForceFullScan pins the reference loop. WAL replay
+// drives this same path, so recovery reproduces the event-driven
+// trajectory record for record.
 func (sh *shard) runRound() error {
 	start := time.Now() //lint:allow wallclock round-latency telemetry, not scheduling time
 	sh.drainIngest()
 	sh.broker.EndRoundIndex(sh.round)
+	sh.flushStaged()
 
 	var firstErr error
-	for _, u := range sh.userOrder {
-		device := sh.devices[u]
-		if batch := sh.inbox[u]; len(batch) > 0 {
-			if err := device.Enqueue(batch); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			sh.inbox[u] = nil
+	if sh.srv.cfg.ForceFullScan {
+		firstErr = sh.stepAll()
+	} else {
+		if sh.dirtyUnsorted {
+			// Survivors stay sorted; only flushStaged appends disorder the
+			// tail. One sort at the boundary keeps stepDirty allocation-free.
+			sort.Slice(sh.dirty, func(i, j int) bool { return sh.dirty[i] < sh.dirty[j] })
+			sh.dirtyUnsorted = false
 		}
-		if _, err := device.RunRound(sh.round); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		firstErr = sh.stepDirty()
 	}
+	sh.flushFeeds()
 	sh.round++
 	if firstErr != nil {
 		sh.lastErr = firstErr
@@ -454,16 +525,242 @@ func (sh *shard) runRound() error {
 	return firstErr
 }
 
-// recordDelivery appends to the user's recent-delivery feed, keeping the
-// newest RecentDeliveries entries.
-func (sh *shard) recordDelivery(user notif.UserID, d notif.Delivery) {
-	sh.feedMu.Lock()
-	defer sh.feedMu.Unlock()
-	feed := append(sh.feeds[user], d)
-	if limit := sh.srv.cfg.RecentDeliveries; len(feed) > limit {
-		feed = append(feed[:0], feed[len(feed)-limit:]...)
+// markDirty queues a user for the next round step. No-op in full-scan
+// mode, where every round visits every user anyway.
+func (sh *shard) markDirty(u notif.UserID) {
+	if sh.srv.cfg.ForceFullScan || sh.isDirty[u] {
+		return
 	}
-	sh.feeds[user] = feed
+	sh.isDirty[u] = true
+	sh.dirty = append(sh.dirty, u)
+	sh.dirtyUnsorted = true
+}
+
+// flushStaged turns the round's broker-flushed publications into inbox
+// entries: one batch scoring call across all users (amortizing the
+// forest's tree-major arena walk), then per-item enrichment in the same
+// staged (handler-invocation) order the historical inline path appended
+// in — so inbox order, and every downstream queue order, is unchanged.
+// Recipients of new inbox items are marked dirty.
+func (sh *shard) flushStaged() {
+	if len(sh.staged) == 0 {
+		return
+	}
+	ns := sh.stagedNs[:0]
+	for i := range sh.staged {
+		ns = append(ns, &sh.staged[i].n)
+	}
+	sh.stagedNs = ns
+	scorer := sh.enricher.Scorer()
+	if bs, ok := scorer.(utility.BatchScorer); ok {
+		sh.stagedScores = bs.ScoreBatch(ns, sh.stagedScores[:0])
+	} else {
+		scores := sh.stagedScores[:0]
+		for _, n := range ns {
+			scores = append(scores, scorer.Score(n))
+		}
+		sh.stagedScores = scores
+	}
+	for i := range sh.staged {
+		st := &sh.staged[i]
+		rich, err := sh.enricher.EnrichScored(&st.n, sh.stagedScores[i])
+		if err != nil {
+			continue // malformed publications are dropped, not fatal
+		}
+		sh.inbox[st.user] = append(sh.inbox[st.user], sched.Queued{Rich: rich})
+		sh.markDirty(st.user)
+	}
+	for i := range sh.staged {
+		sh.staged[i] = stagedNotif{}
+		sh.stagedNs[i] = nil
+	}
+	sh.staged = sh.staged[:0]
+	sh.stagedNs = sh.stagedNs[:0]
+}
+
+// stepDirty is the event-driven steady-state core: step exactly the dirty
+// users, park the ones that went quiescent, keep the rest. The dirty
+// list is compacted in place and the loop allocates nothing — idle
+// resident users cost zero here, which is what makes round cost O(dirty)
+// instead of O(users).
+//
+// richnote:allocfree
+func (sh *shard) stepDirty() error {
+	var firstErr error
+	keep := sh.dirty[:0]
+	for _, u := range sh.dirty {
+		stillDirty, err := sh.stepUser(u)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if stillDirty {
+			keep = append(keep, u)
+		} else {
+			delete(sh.isDirty, u)
+		}
+	}
+	sh.dirty = keep
+	return firstErr
+}
+
+// stepAll is the full-scan reference loop (Config.ForceFullScan): every
+// registered user, every round, in ascending order. It shares stepUser
+// with the event-driven path — CatchUp is a no-op because no device ever
+// falls behind — so the two modes differ only in which users they visit,
+// and the equivalence test pins their exported state byte-equal.
+func (sh *shard) stepAll() error {
+	var firstErr error
+	for _, u := range sh.userOrder {
+		if _, err := sh.stepUser(u); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// stepUser runs one user's round: wake the device (CatchUp replays any
+// parked rounds bit-identically), flush its inbox into the scheduling
+// queue, execute Algorithm 2, refresh the shard aggregates, and report
+// whether the user must stay dirty. An inbox flush that fails validation
+// preserves the legacy full-scan behavior: the device sits the round out
+// (SkipRound) with its inbox intact.
+//
+// richnote:allocfree
+func (sh *shard) stepUser(u notif.UserID) (bool, error) {
+	dev := sh.devices[u]
+	if err := dev.CatchUp(sh.round); err != nil {
+		// Unreachable: dirty-tracked devices are either current or parked
+		// with empty queues. Stay dirty so the error cannot recur silently.
+		sh.refreshAgg(u, dev)
+		return true, err
+	}
+	if batch := sh.inbox[u]; len(batch) > 0 {
+		if err := dev.Enqueue(batch); err != nil {
+			dev.SkipRound(sh.round)
+			sh.refreshAgg(u, dev)
+			return true, err
+		}
+		for i := range batch {
+			batch[i] = sched.Queued{}
+		}
+		sh.inbox[u] = batch[:0]
+	}
+	_, err := dev.RunRound(sh.round)
+	sh.refreshAgg(u, dev)
+	return !dev.Quiescent(), err
+}
+
+// refreshAgg folds the user's current queue depth and controller
+// telemetry into the shard's running aggregates by delta against the
+// user's cached last contribution. The MaxQ/Rounds running maxima are
+// exact because both are per-user monotone; the float sums accumulate in
+// step order rather than one deterministic fold order, which is fine for
+// what they feed (snapshot telemetry).
+//
+// richnote:allocfree
+func (sh *shard) refreshAgg(u notif.UserID, dev *sched.Device) {
+	a := sh.aggByUser[u]
+	q := dev.QueueLen() + len(sh.inbox[u])
+	sh.aggQueue += q - a.queued
+	a.queued = q
+	if st, ok := dev.ControllerStats(); ok {
+		sh.aggLyap.AvgQ += st.AvgQ - a.lyap.AvgQ
+		sh.aggLyap.AvgDrift += st.AvgDrift - a.lyap.AvgDrift
+		sh.aggLyap.FinalQ += st.FinalQ - a.lyap.FinalQ
+		sh.aggLyap.FinalP += st.FinalP - a.lyap.FinalP
+		sh.aggLyap.FinalLyap += st.FinalLyap - a.lyap.FinalLyap
+		if st.MaxQ > sh.aggLyap.MaxQ {
+			sh.aggLyap.MaxQ = st.MaxQ
+		}
+		if st.Rounds > sh.aggLyap.Rounds {
+			sh.aggLyap.Rounds = st.Rounds
+		}
+		a.lyap = st
+	}
+}
+
+// rebuildAgg recomputes the running aggregates from scratch — restore
+// and settle paths, where an O(users) walk is already being paid.
+func (sh *shard) rebuildAgg() {
+	sh.aggQueue = 0
+	sh.aggLyap = lyapunov.Stats{}
+	for _, u := range sh.userOrder {
+		*sh.aggByUser[u] = userAgg{}
+		sh.refreshAgg(u, sh.devices[u])
+	}
+}
+
+// rebuildDirty derives the dirty set from device state: dirty iff the
+// device is not quiescent or holds inbox items. This is exactly the
+// live set's invariant (modulo quiescent stragglers the next round would
+// park, whose stepping is equivalent to parking), so a restored shard
+// resumes the same trajectory the crashed one was on.
+func (sh *shard) rebuildDirty() {
+	sh.dirty = sh.dirty[:0]
+	clear(sh.isDirty)
+	sh.dirtyUnsorted = false
+	if sh.srv.cfg.ForceFullScan {
+		return
+	}
+	for _, u := range sh.userOrder {
+		if !sh.devices[u].Quiescent() || len(sh.inbox[u]) > 0 {
+			sh.isDirty[u] = true
+			sh.dirty = append(sh.dirty, u) // userOrder ascending ⇒ sorted
+		}
+	}
+}
+
+// settleAll catches every parked device up to the shard clock so exported
+// state is identical to a full-scan run's. Called before canonical state
+// encodes (stateBytes, writeSnapshot); the amortized O(users) cost rides
+// on paths that are already O(users). Aggregates are rebuilt afterwards
+// since catch-up advances controller round counters.
+func (sh *shard) settleAll() {
+	settled := false
+	for _, u := range sh.userOrder {
+		dev := sh.devices[u]
+		if dev.NextRound() >= sh.round {
+			continue
+		}
+		if err := dev.CatchUp(sh.round); err != nil && sh.lastErr == nil {
+			sh.lastErr = err // unreachable: parked devices have empty queues
+		}
+		settled = true
+	}
+	if settled {
+		sh.rebuildAgg()
+	}
+}
+
+// stageDelivery buffers a confirmed delivery for the round's single
+// feed-lock flush. Runs on the shard goroutine via Device.OnDelivery.
+func (sh *shard) stageDelivery(user notif.UserID, d notif.Delivery) {
+	sh.pendingFeed = append(sh.pendingFeed, feedEntry{user: user, d: d})
+}
+
+// flushFeeds applies the round's staged deliveries to the recent-delivery
+// feeds under one feedMu acquisition, keeping the newest RecentDeliveries
+// entries per user in delivery order — byte-for-byte what the historical
+// per-delivery locking produced, at one lock round-trip per round.
+func (sh *shard) flushFeeds() {
+	if len(sh.pendingFeed) == 0 {
+		return
+	}
+	limit := sh.srv.cfg.RecentDeliveries
+	sh.feedMu.Lock()
+	for i := range sh.pendingFeed {
+		en := &sh.pendingFeed[i]
+		feed := append(sh.feeds[en.user], en.d)
+		if len(feed) > limit {
+			feed = append(feed[:0], feed[len(feed)-limit:]...)
+		}
+		sh.feeds[en.user] = feed
+	}
+	sh.feedMu.Unlock()
+	for i := range sh.pendingFeed {
+		sh.pendingFeed[i] = feedEntry{}
+	}
+	sh.pendingFeed = sh.pendingFeed[:0]
 }
 
 // Deliveries returns the user's recent deliveries, newest last.
@@ -473,8 +770,13 @@ func (sh *shard) Deliveries(user notif.UserID) []notif.Delivery {
 	return append([]notif.Delivery(nil), sh.feeds[user]...)
 }
 
-// publishSnapshot recomputes the shard's read-side view. Called on the
-// shard goroutine only.
+// publishSnapshot recomputes the shard's read-side view from running
+// aggregates: QueueDepth and Lyapunov come from the per-user delta cache
+// refreshAgg maintains, Report/DelayBuckets from the collector's running
+// mirror. The historical version walked every device and re-folded every
+// metric sample per round — O(users + samples); this is O(1) plus the
+// snapshot copy, so snapshot cost no longer grows with resident idle
+// users. Called on the shard goroutine only.
 func (sh *shard) publishSnapshot(lastRound time.Duration) {
 	snap := &ShardSnapshot{
 		Shard:         sh.id,
@@ -483,15 +785,11 @@ func (sh *shard) publishSnapshot(lastRound time.Duration) {
 		BrokerPending: sh.broker.PendingRound(),
 		Backpressured: sh.backpressured.Load(),
 		Dropped:       sh.droppedIngest.Load(),
-		Report:        sh.col.Aggregate(),
-		DelayBuckets:  sh.col.DelayHistogram().CumulativeBuckets(metrics.DefaultDelayBucketBounds),
+		Report:        sh.col.Running(),
+		DelayBuckets:  sh.col.RunningDelayBuckets(),
+		QueueDepth:    sh.aggQueue,
+		Lyapunov:      sh.aggLyap,
 		LastRound:     lastRound,
-	}
-	for u, dev := range sh.devices {
-		snap.QueueDepth += dev.QueueLen() + len(sh.inbox[u])
-		if st, ok := dev.ControllerStats(); ok {
-			snap.Lyapunov.Add(st)
-		}
 	}
 	if span, ok := sh.rec.Span("round"); ok && span.Count > 0 {
 		snap.AvgRound = span.Duration / time.Duration(span.Count)

@@ -41,8 +41,13 @@ const (
 
 // Snapshot header framing.
 const (
-	snapMagic   = "RNSNAP"
-	snapVersion = 1
+	snapMagic = "RNSNAP"
+	// snapVersion 2: DeviceState's materialized BudgetBalance became the
+	// lazy (BudgetBase, BudgetPendingRounds) pair and gained NextRound, so
+	// a recovered device materializes accrual at the same future operation
+	// the crashed one would have — a bit-identity requirement, not just a
+	// format change. v1 snapshots are not readable.
+	snapVersion = 2
 )
 
 func (sh *shard) walPath() string {
@@ -103,6 +108,7 @@ func (sh *shard) logRound(completed int) {
 // truncation leaves stale records in the log, and replay skips them by
 // sequence comparison.
 func (sh *shard) writeSnapshot() error {
+	sh.settleAll()
 	sh.snapEnc.Reset()
 	e := &sh.snapEnc
 	e.Str(snapMagic)
@@ -286,7 +292,10 @@ func (sh *shard) loadSnapshot() (uint64, error) {
 // stateBytes returns the shard's canonical state encoding — the exact
 // payload a snapshot would store. Crash-recovery tests compare these byte
 // strings between a recovered shard and an uninterrupted reference.
+// Parked devices are settled to the shard clock first so the encoding is
+// independent of which users the event-driven loop happened to skip.
 func (sh *shard) stateBytes() []byte {
+	sh.settleAll()
 	var e wal.Encoder
 	sh.encodeState(&e)
 	return append([]byte(nil), e.Bytes()...)
@@ -484,7 +493,16 @@ func (sh *shard) restoreState(d *wal.Decoder) error {
 		}
 		sh.setFeed(u, feed)
 	}
-	return d.Err()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// Derive the event-driven bookkeeping from the restored ground truth:
+	// the dirty set is exactly {¬quiescent ∨ inbox≠∅} and the running
+	// aggregates re-fold from per-device state, so replay drives the same
+	// dirty-set path the crashed process was on.
+	sh.rebuildAgg()
+	sh.rebuildDirty()
+	return nil
 }
 
 // setFeed installs one restored recent-delivery feed.
@@ -695,7 +713,8 @@ func encodeDeviceState(e *wal.Encoder, s sched.DeviceState) {
 	for i := range s.Queue {
 		encodeQueued(e, &s.Queue[i])
 	}
-	e.F64(s.BudgetBalance)
+	e.F64(s.BudgetBase)
+	e.I64(s.BudgetPendingRounds)
 	e.F64(s.BudgetDebited)
 	e.F64(s.BudgetRefunded)
 	e.F64(s.BatteryLevel)
@@ -703,6 +722,7 @@ func encodeDeviceState(e *wal.Encoder, s sched.DeviceState) {
 	e.I64(int64(s.NetworkState))
 	e.U64(s.NetworkDraws)
 	e.U64(s.FaultDraws)
+	e.I64(int64(s.NextRound))
 	e.Bool(s.HasController)
 	if s.HasController {
 		e.F64(s.Controller.Q)
@@ -723,7 +743,8 @@ func decodeDeviceState(d *wal.Decoder) sched.DeviceState {
 	for i := 0; i < n; i++ {
 		s.Queue = append(s.Queue, decodeQueued(d))
 	}
-	s.BudgetBalance = d.F64()
+	s.BudgetBase = d.F64()
+	s.BudgetPendingRounds = d.I64()
 	s.BudgetDebited = d.F64()
 	s.BudgetRefunded = d.F64()
 	s.BatteryLevel = d.F64()
@@ -731,6 +752,7 @@ func decodeDeviceState(d *wal.Decoder) sched.DeviceState {
 	s.NetworkState = network.State(d.I64())
 	s.NetworkDraws = d.U64()
 	s.FaultDraws = d.U64()
+	s.NextRound = int(d.I64())
 	s.HasController = d.Bool()
 	if s.HasController {
 		s.Controller = lyapunov.State{

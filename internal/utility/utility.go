@@ -34,17 +34,54 @@ type ContentScorer interface {
 	Score(n *trace.Notification) float64
 }
 
+// BatchScorer is the optional bulk interface a ContentScorer may
+// implement: score a whole slice of notifications in one call, writing
+// into out (grown as needed) and returning it truncated to len(ns). Every
+// output must be bit-identical to calling Score element by element — the
+// batch exists to amortize per-call costs (the forest's arena walk is
+// tree-major, so cross-user batches stream each tree through the cache
+// once), never to change results. Callers fall back to a Score loop for
+// scorers without it.
+type BatchScorer interface {
+	ScoreBatch(ns []*trace.Notification, out []float64) []float64
+}
+
 // ForestScorer scores with a trained Random Forest over the paper's
 // feature space.
 type ForestScorer struct {
 	Forest *forest.Forest
+
+	// rows is the reusable feature matrix for ScoreBatch. Guarded by the
+	// documented contract that ScoreBatch is single-caller (the server's
+	// round loop); concurrent Score calls remain safe as they do not touch
+	// it.
+	rows [][]float64
 }
 
-var _ ContentScorer = (*ForestScorer)(nil)
+var (
+	_ ContentScorer = (*ForestScorer)(nil)
+	_ BatchScorer   = (*ForestScorer)(nil)
+)
 
 // Score implements ContentScorer.
 func (s *ForestScorer) Score(n *trace.Notification) float64 {
 	return s.Forest.PredictProba(trace.Features(n))
+}
+
+// ScoreBatch implements BatchScorer over the forest's tree-major batch
+// walk. Unlike Score it is not safe for concurrent calls (it reuses the
+// feature-row buffer); the server drives it from a single shard
+// goroutine per round.
+func (s *ForestScorer) ScoreBatch(ns []*trace.Notification, out []float64) []float64 {
+	if cap(s.rows) < len(ns) {
+		s.rows = make([][]float64, 0, len(ns))
+	}
+	rows := s.rows[:0]
+	for _, n := range ns {
+		rows = append(rows, trace.Features(n))
+	}
+	s.rows = rows
+	return s.Forest.PredictProbaBatch(rows, out)
 }
 
 // TrainForestScorer fits a Random Forest on the trace's click/hover labels
@@ -100,13 +137,25 @@ func NewEnricher(scorer ContentScorer, generator media.Generator) (*Enricher, er
 	return &Enricher{scorer: scorer, generator: generator}, nil
 }
 
+// Scorer returns the enricher's content scorer, letting callers that
+// batch-score (see BatchScorer) reuse the exact scorer EnrichScored
+// expects the utilities to come from.
+func (e *Enricher) Scorer() ContentScorer { return e.scorer }
+
 // Enrich produces the scheduler-ready rich item for a trace notification.
 func (e *Enricher) Enrich(n *trace.Notification) (notif.RichItem, error) {
+	return e.EnrichScored(n, e.scorer.Score(n))
+}
+
+// EnrichScored is Enrich with the content utility already computed — the
+// entry point for callers that scored a whole batch up front. The uc must
+// come from this enricher's scorer for the result to match Enrich; it is
+// clamped to [0, 1] exactly as Enrich clamps.
+func (e *Enricher) EnrichScored(n *trace.Notification, uc float64) (notif.RichItem, error) {
 	ps, err := e.generator.Generate(n.Item)
 	if err != nil {
 		return notif.RichItem{}, fmt.Errorf("utility: generate presentations: %w", err)
 	}
-	uc := e.scorer.Score(n)
 	if uc < 0 {
 		uc = 0
 	}
