@@ -15,16 +15,20 @@
 //	               [-snapshot.every N]
 //	               [-role standalone|node|router] [-node.name NAME]
 //	               [-cluster.listen :9090] [-peers a=host:port,b=host:port]
+//	               [-join host:port] [-announce.every 1s]
 //
-// Roles (DESIGN.md §13):
+// Roles (DESIGN.md §13, §15):
 //
 //	standalone  the default — one process owns every shard; behavior is
 //	            bit-identical to builds that predate clustering
 //	node        owns the shard subset the router assigns it; serves the
 //	            binary cluster transport on -cluster.listen (requires
-//	            -wal.dir and -node.name)
+//	            -wal.dir and -node.name); with -join it announces itself
+//	            to the router's cluster listener until admitted, so new
+//	            and restarted nodes join the map at runtime
 //	router      stateless HTTP front + coordinator; forwards to the nodes
-//	            named by -peers and owns no shard state
+//	            named by -peers, owns no shard state, and accepts node
+//	            join announces on -cluster.listen
 //
 // The server answers:
 //
@@ -91,13 +95,15 @@ func run() error {
 
 		role          = flag.String("role", "standalone", "process role: standalone, node or router")
 		nodeName      = flag.String("node.name", "", "cluster identity of this node (node role)")
-		clusterListen = flag.String("cluster.listen", ":9090", "cluster transport listen address (node role)")
+		clusterListen = flag.String("cluster.listen", ":9090", "cluster transport listen address (node and router roles)")
 		peers         = flag.String("peers", "", "comma-separated name=host:port shard-owner nodes (router role)")
+		joinAddr      = flag.String("join", "", "router cluster address to announce to (node role; enables join/rejoin)")
+		announceEvery = flag.Duration("announce.every", time.Second, "join announce interval (node role with -join)")
 	)
 	flag.Parse()
 
 	if *role == "router" {
-		return runRouter(*addr, *shards, *peers)
+		return runRouter(*addr, *shards, *peers, *clusterListen)
 	}
 	if *role != "standalone" && *role != "node" {
 		return fmt.Errorf("unknown role %q (want standalone, node or router)", *role)
@@ -190,6 +196,15 @@ func run() error {
 			return err
 		}
 		fmt.Printf("richnote-serve: node %s serving cluster transport on %s\n", *nodeName, node.Addr())
+		if *joinAddr != "" {
+			// Announce until admitted, and keep announcing after: a new node
+			// joins, a restarted node rejoins and reclaims its WAL-dir state,
+			// and a restarted router re-learns this node exists.
+			if err := node.Announce(*joinAddr, *announceEvery); err != nil {
+				return err
+			}
+			fmt.Printf("richnote-serve: node %s announcing to %s every %s\n", *nodeName, *joinAddr, *announceEvery)
+		}
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
@@ -260,12 +275,12 @@ func parsePeers(s string) ([]cluster.Node, error) {
 }
 
 // runRouter runs the stateless HTTP front + coordinator role.
-func runRouter(addr string, shards int, peersFlag string) error {
+func runRouter(addr string, shards int, peersFlag, clusterListen string) error {
 	peers, err := parsePeers(peersFlag)
 	if err != nil {
 		return err
 	}
-	r, err := server.NewRouter(server.RouterConfig{Shards: shards, Peers: peers})
+	r, err := server.NewRouter(server.RouterConfig{Shards: shards, Peers: peers, Listen: clusterListen})
 	if err != nil {
 		return err
 	}
@@ -280,8 +295,8 @@ func runRouter(addr string, shards int, peersFlag string) error {
 			errc <- err
 		}
 	}()
-	fmt.Printf("richnote-serve: router over %d nodes, %d shards, listening on %s (map v%d)\n",
-		len(peers), shards, addr, r.Map().Version)
+	fmt.Printf("richnote-serve: router over %d nodes, %d shards, listening on %s (map v%d), joins on %s\n",
+		len(peers), shards, addr, r.Map().Version, r.ClusterAddr())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -244,3 +244,186 @@ func TestMembershipStartStop(t *testing.T) {
 	m.Stop()  // idempotent
 	m.Start() // no-op after Stop
 }
+
+// TestRebalanceGrow pins the grow direction: rebalancing onto a live set
+// that includes a brand-new node moves ≈1/N of the shards, every moved
+// shard lands on the joiner, and survivors keep everything else.
+func TestRebalanceGrow(t *testing.T) {
+	const shards = 256
+	nodes := mkNodes(3)
+	before, err := Compute(1, nodes, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := Node{Name: "node3", Addr: "127.0.0.1:9999"}
+	live := append(append([]Node{}, nodes...), joiner)
+	after, err := before.Rebalance(2, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Version != 2 {
+		t.Fatalf("version = %d, want 2", after.Version)
+	}
+	moved := 0
+	for s := 0; s < shards; s++ {
+		if before.Owner(s) == after.Owner(s) {
+			continue
+		}
+		moved++
+		if after.Owner(s).Name != joiner.Name {
+			t.Errorf("shard %d moved from %s to %s, not to the joiner",
+				s, before.Owner(s).Name, after.Owner(s).Name)
+		}
+	}
+	want := shards / 4
+	if moved < want/3 || moved > want*3 {
+		t.Errorf("grow moved %d shards, want ≈%d", moved, want)
+	}
+	if moved == 0 {
+		t.Error("grow moved nothing to the joiner")
+	}
+	// Growing and shrinking in one call still holds the contract: drop a
+	// survivor, keep the joiner. Every shard ends on a live node.
+	mixed, err := before.Rebalance(3, []Node{nodes[0], nodes[1], joiner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		owner := mixed.Owner(s).Name
+		if owner != nodes[0].Name && owner != nodes[1].Name && owner != joiner.Name {
+			t.Fatalf("shard %d assigned to %q, not a live node", s, owner)
+		}
+	}
+}
+
+// TestAssembleAndUnassigned pins the explicit-unassigned machinery an
+// honest coordinator needs: Assemble accepts "" owners, Owner reports
+// them as nobody, Unassigned lists them, WithoutOwner creates them, and
+// the wire codec round-trips them.
+func TestAssembleAndUnassigned(t *testing.T) {
+	nodes := mkNodes(2)
+	owners := []string{"node0", "", "node1", "", "node0", "node1", "node0", ""}
+	m, err := Assemble(9, nodes, len(owners), owners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Unassigned(); !reflect.DeepEqual(got, []int{1, 3, 7}) {
+		t.Fatalf("Unassigned = %v, want [1 3 7]", got)
+	}
+	if got := m.Owner(1); got != (Node{}) {
+		t.Fatalf("unassigned shard owner = %+v, want zero Node", got)
+	}
+	if got := m.OwnerNames(); !reflect.DeepEqual(got, owners) {
+		t.Fatalf("OwnerNames = %v, want %v", got, owners)
+	}
+	for _, n := range nodes {
+		for _, s := range m.OwnedBy(n.Name) {
+			if m.Owner(s).Name != n.Name {
+				t.Fatalf("OwnedBy/Owner disagree on shard %d", s)
+			}
+		}
+	}
+
+	// Unassigned entries survive the wire.
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.OwnerNames(), owners) {
+		t.Fatalf("owners after codec round trip = %v, want %v", got.OwnerNames(), owners)
+	}
+	if !reflect.DeepEqual(got.Unassigned(), []int{1, 3, 7}) {
+		t.Fatalf("Unassigned after codec round trip = %v", got.Unassigned())
+	}
+
+	// WithoutOwner is the honest-failure transition.
+	less, err := m.WithoutOwner(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if less.Owner(0) != (Node{}) || m.Owner(0).Name != "node0" {
+		t.Fatal("WithoutOwner must clear the copy and leave the original")
+	}
+	if !reflect.DeepEqual(less.Unassigned(), []int{0, 1, 3, 7}) {
+		t.Fatalf("Unassigned after WithoutOwner = %v", less.Unassigned())
+	}
+
+	// Validation: owners length must match, names must be members.
+	if _, err := Assemble(1, nodes, 4, []string{"node0", "node1"}); err == nil {
+		t.Error("short owners slice accepted")
+	}
+	if _, err := Assemble(1, nodes, 2, []string{"node0", "phantom"}); err == nil {
+		t.Error("non-member owner accepted")
+	}
+}
+
+func TestComputeDuplicateAddr(t *testing.T) {
+	dup := []Node{{Name: "a", Addr: "127.0.0.1:9000"}, {Name: "b", Addr: "127.0.0.1:9000"}}
+	if _, err := Compute(1, dup, 4); err == nil {
+		t.Error("duplicate address accepted: nameForAddr would be ambiguous")
+	}
+}
+
+// TestMembershipAdmitAndOnProbe pins the join-side membership contract:
+// a dead node stays dead on its own, Admit readmits it (or adds a brand
+// new peer), and OnProbe fires after every pass so the coordinator can
+// re-drive pending adopts.
+func TestMembershipAdmitAndOnProbe(t *testing.T) {
+	var mu sync.Mutex
+	down := map[string]bool{}
+	probe := func(addr string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if down[addr] {
+			return errors.New("unreachable")
+		}
+		return nil
+	}
+	peers := mkNodes(2)
+	m := NewMembership(peers, probe, MembershipConfig{Interval: time.Hour, Threshold: 1})
+	passes := 0
+	m.OnProbe(func(live []Node) { passes++ })
+
+	m.CheckNow()
+	if passes != 1 {
+		t.Fatalf("OnProbe fired %d times after one pass", passes)
+	}
+
+	mu.Lock()
+	down[peers[1].Addr] = true
+	mu.Unlock()
+	m.CheckNow()
+	if got := m.Live(); len(got) != 1 {
+		t.Fatalf("live = %d, want 1 after death", len(got))
+	}
+
+	// Recovery alone does not readmit...
+	mu.Lock()
+	down[peers[1].Addr] = false
+	mu.Unlock()
+	m.CheckNow()
+	if got := m.Live(); len(got) != 1 {
+		t.Fatal("dead node slipped back in without Admit")
+	}
+
+	// ...Admit does, even at a new address.
+	m.Admit(Node{Name: peers[1].Name, Addr: "127.0.0.1:9777"})
+	m.CheckNow()
+	live := m.Live()
+	if len(live) != 2 {
+		t.Fatalf("live after Admit = %v", live)
+	}
+	if live[1].Addr != "127.0.0.1:9777" {
+		t.Fatalf("Admit kept the stale address: %v", live[1])
+	}
+
+	// Admit of a brand-new peer extends the probed set.
+	m.Admit(Node{Name: "node9", Addr: "127.0.0.1:9888"})
+	m.CheckNow()
+	if got := m.Live(); len(got) != 3 {
+		t.Fatalf("live after admitting a new peer = %d, want 3", len(got))
+	}
+	if passes != 5 {
+		t.Fatalf("OnProbe fired %d times over 5 passes", passes)
+	}
+}

@@ -21,11 +21,13 @@ type Node struct {
 	Addr string
 }
 
-// Map is a versioned assignment of every shard to exactly one node. The
-// assignment is a pure function of (sorted node set, shard count) via
-// consistent hashing, so every process that knows the same live node set
-// computes the same map — the version number exists to order successive
-// maps, not to carry information the node set does not.
+// Map is a versioned assignment of every shard to at most one node. The
+// initial assignment is a pure function of (sorted node set, shard count)
+// via consistent hashing, so every process that knows the same live node
+// set computes the same map; planned handoffs (WithOwner), failed adopts
+// (WithoutOwner) and recovery (Assemble) then diverge from the pure
+// placement, which is why maps ship the full assignment explicitly. The
+// version number orders successive maps.
 //
 // Consistent hashing gives the rebalance property the tests pin down:
 // adding a node moves ≈1/N of the shards (all of them *to* the new node),
@@ -36,8 +38,14 @@ type Map struct {
 	Shards  int
 	Nodes   []Node // sorted by Name, unique
 
-	owner []int // shard → index into Nodes
+	owner []int // shard → index into Nodes, or unowned
 }
+
+// unowned marks a shard no node currently serves. Maps derived purely
+// from a node set never contain it; it enters through Assemble and
+// WithoutOwner when the coordinator must record honestly that a handoff
+// or takeover adopt failed and the shard is nobody's until a retry lands.
+const unowned = -1
 
 // replicas is the virtual-point count per node, matching the user→shard
 // ring in internal/server for the same smoothness reasons.
@@ -50,7 +58,9 @@ type point struct {
 
 // Compute builds the map for a node set. Nodes are sorted by name; order
 // of the input does not matter. Empty or duplicate names are errors — a
-// cluster with ambiguous identity must not limp onward.
+// cluster with ambiguous identity must not limp onward — and so are
+// duplicate non-empty addresses, which would make address→name lookups
+// (the prober's verdict attribution) silently ambiguous.
 func Compute(version uint64, nodes []Node, shards int) (*Map, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: cannot compute a map over zero nodes")
@@ -60,12 +70,19 @@ func Compute(version uint64, nodes []Node, shards int) (*Map, error) {
 	}
 	sorted := append([]Node(nil), nodes...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	byAddr := make(map[string]string, len(sorted))
 	for i, n := range sorted {
 		if n.Name == "" {
 			return nil, fmt.Errorf("cluster: node with empty name (addr %q)", n.Addr)
 		}
 		if i > 0 && sorted[i-1].Name == n.Name {
 			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		if n.Addr != "" {
+			if prev, dup := byAddr[n.Addr]; dup {
+				return nil, fmt.Errorf("cluster: nodes %q and %q share address %q", prev, n.Name, n.Addr)
+			}
+			byAddr[n.Addr] = n.Name
 		}
 	}
 
@@ -96,8 +113,13 @@ func Compute(version uint64, nodes []Node, shards int) (*Map, error) {
 	return &Map{Version: version, Shards: shards, Nodes: sorted, owner: owner}, nil
 }
 
-// Owner returns the node owning a shard.
+// Owner returns the node owning a shard, or the zero Node (Name == "")
+// for a shard the map honestly records as unassigned. Callers must treat
+// an unassigned shard as unavailable, never guess an owner for it.
 func (m *Map) Owner(shard int) Node {
+	if m.owner[shard] == unowned {
+		return Node{}
+	}
 	return m.Nodes[m.owner[shard]]
 }
 
@@ -106,11 +128,34 @@ func (m *Map) Owner(shard int) Node {
 func (m *Map) OwnedBy(name string) []int {
 	owned := []int{}
 	for s, ni := range m.owner {
-		if m.Nodes[ni].Name == name {
+		if ni != unowned && m.Nodes[ni].Name == name {
 			owned = append(owned, s)
 		}
 	}
 	return owned
+}
+
+// Unassigned returns the ascending list of shards no node owns; empty
+// (not nil) when the map is fully assigned.
+func (m *Map) Unassigned() []int {
+	shards := []int{}
+	for s, ni := range m.owner {
+		if ni == unowned {
+			shards = append(shards, s)
+		}
+	}
+	return shards
+}
+
+// OwnerNames returns the per-shard owner names ("" for an unassigned
+// shard) — the explicit form Assemble consumes, so coordinators can edit
+// ownership shard by shard and rebuild a validated map.
+func (m *Map) OwnerNames() []string {
+	names := make([]string, m.Shards)
+	for s := range names {
+		names[s] = m.Owner(s).Name
+	}
+	return names
 }
 
 // NodeAddr returns the transport address for a node name, or "" if the
@@ -124,10 +169,16 @@ func (m *Map) NodeAddr(name string) string {
 	return ""
 }
 
-// Rebalance derives the successor map after the live node set shrank:
-// shards whose owner survived keep it (untouched shards never move, even
-// across planned reassignments), and shards orphaned by dead nodes are
-// reassigned by consistent hashing over the survivors.
+// Rebalance derives the successor map after the live node set changed,
+// in either direction. Shrink: shards whose owner survived keep it
+// (untouched shards never move, even across planned reassignments), and
+// shards orphaned by dead nodes — or recorded unassigned — are handed to
+// their consistent-hash owner over the survivors. Grow: a live node
+// absent from this map claims exactly the shards consistent hashing
+// assigns it over the new set — ≈1/N of the space, all moving *to* the
+// joiner — while every other shard keeps its current owner. Rebalance
+// only decides the target assignment; the coordinator drives the actual
+// freezes and adopts and publishes versions as each one lands.
 func (m *Map) Rebalance(version uint64, live []Node) (*Map, error) {
 	base, err := Compute(version, live, m.Shards)
 	if err != nil {
@@ -137,12 +188,24 @@ func (m *Map) Rebalance(version uint64, live []Node) (*Map, error) {
 	for i, n := range base.Nodes {
 		idx[n.Name] = i
 	}
+	member := make(map[string]bool, len(m.Nodes))
+	for _, n := range m.Nodes {
+		member[n.Name] = true
+	}
 	owner := make([]int, m.Shards)
 	for s := range owner {
-		if i, ok := idx[m.Owner(s).Name]; ok {
-			owner[s] = i
-		} else {
+		if !member[base.Nodes[base.owner[s]].Name] {
+			// The hash hands this shard to a node this map has never
+			// seen: a joiner claiming its 1/N share.
 			owner[s] = base.owner[s]
+			continue
+		}
+		// idx never maps "" (Compute rejects empty names), so an
+		// unassigned shard falls through to the rehash branch.
+		if i, ok := idx[m.Owner(s).Name]; ok {
+			owner[s] = i // survivor keeps its shard
+		} else {
+			owner[s] = base.owner[s] // orphaned or unassigned: rehash
 		}
 	}
 	return &Map{Version: version, Shards: m.Shards, Nodes: base.Nodes, owner: owner}, nil
@@ -169,6 +232,53 @@ func (m *Map) WithOwner(version uint64, shard int, node string) (*Map, error) {
 	return &Map{Version: version, Shards: m.Shards, Nodes: m.Nodes, owner: owner}, nil
 }
 
+// WithoutOwner returns a copy of the map with one shard explicitly
+// unassigned: the coordinator's honest record that a handoff or takeover
+// failed and nobody serves the shard until an adopt retry lands.
+func (m *Map) WithoutOwner(version uint64, shard int) (*Map, error) {
+	if shard < 0 || shard >= m.Shards {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, m.Shards)
+	}
+	owner := append([]int(nil), m.owner...)
+	owner[shard] = unowned
+	return &Map{Version: version, Shards: m.Shards, Nodes: m.Nodes, owner: owner}, nil
+}
+
+// Assemble builds a map from explicit per-shard owner names — the
+// coordinator's constructor for assignments that cannot be derived from
+// a node set alone: takeover outcomes where some adopts failed (those
+// shards are honestly unowned, name ""), and router restart recovery,
+// where ownership is whatever the nodes report rather than what
+// consistent hashing would recompute. Every non-empty owner must be a
+// member of nodes; the node set goes through Compute's validation
+// (sorted, unique names, unique addresses).
+func Assemble(version uint64, nodes []Node, shards int, owners []string) (*Map, error) {
+	base, err := Compute(version, nodes, shards)
+	if err != nil {
+		return nil, err
+	}
+	if len(owners) != shards {
+		return nil, fmt.Errorf("cluster: assemble: %d owners for %d shards", len(owners), shards)
+	}
+	idx := make(map[string]int, len(base.Nodes))
+	for i, n := range base.Nodes {
+		idx[n.Name] = i
+	}
+	owner := make([]int, shards)
+	for s, name := range owners {
+		if name == "" {
+			owner[s] = unowned
+			continue
+		}
+		i, ok := idx[name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: assemble: shard %d owner %q is not a member", s, name)
+		}
+		owner[s] = i
+	}
+	return &Map{Version: version, Shards: shards, Nodes: base.Nodes, owner: owner}, nil
+}
+
 // Encode serializes the map with the WAL codec, shipping the full
 // assignment explicitly — planned handoffs can diverge from the pure
 // consistent-hash placement, so receivers must not recompute.
@@ -183,7 +293,9 @@ func (m *Map) Encode() []byte {
 		e.Str(n.Addr)
 	}
 	for _, o := range m.owner {
-		e.U32(uint32(o))
+		// Owner indices ride as two's-complement int32 in a U32 slot so
+		// the unowned marker (-1) survives the wire.
+		e.U32(uint32(int32(o)))
 	}
 	return append([]byte(nil), e.Bytes()...)
 }
@@ -208,13 +320,13 @@ func Decode(b []byte) (*Map, error) {
 	}
 	owner := make([]int, 0, shards)
 	for s := 0; s < shards; s++ {
-		owner = append(owner, int(d.U32()))
+		owner = append(owner, int(int32(d.U32())))
 	}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("cluster: decoding map: %w", err)
 	}
 	for _, o := range owner {
-		if o < 0 || o >= len(nodes) {
+		if o != unowned && (o < 0 || o >= len(nodes)) {
 			return nil, fmt.Errorf("cluster: decoding map: owner index %d out of range for %d nodes", o, len(nodes))
 		}
 	}

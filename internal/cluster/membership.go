@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -21,22 +22,25 @@ type MembershipConfig struct {
 	Threshold int
 }
 
-// Membership watches a static seed set of nodes with periodic health
-// probes. Death is one-way: a node that misses Threshold consecutive
-// probes is removed from the live set permanently, and the OnChange
-// callback fires with the survivors so the coordinator can recompute the
-// cluster map and drive handoff. A dead node that comes back must rejoin
-// as a fresh process under a new cluster start — half-rejoined nodes with
-// stale shard state are a correctness hazard this PR refuses to have.
+// Membership watches a seed set of nodes with periodic health probes. A
+// node that misses Threshold consecutive probes is removed from the live
+// set, and the OnChange callback fires with the survivors so the
+// coordinator can recompute the cluster map and drive handoff. Death is
+// no longer one-way: a node readmitted through the coordinator's join
+// protocol (Admit, DESIGN.md §15) re-enters the live set with a clean
+// failure count and is probed from the next pass — but only through that
+// validated path; a dead node never slips back in just by answering
+// probes again.
 type Membership struct {
 	probe     ProbeFunc
 	interval  time.Duration
 	threshold int
 
 	mu       sync.Mutex
-	peers    []Node // live peers, sorted by name (as given to New)
+	peers    []Node // live peers, sorted by name
 	fails    map[string]int
 	onChange func(live []Node)
+	onProbe  func(live []Node)
 	started  bool
 	stopped  bool
 	stop     chan struct{}
@@ -71,6 +75,40 @@ func (m *Membership) OnChange(fn func(live []Node)) {
 	m.mu.Lock()
 	m.onChange = fn
 	m.mu.Unlock()
+}
+
+// OnProbe registers a callback invoked after every completed probe pass
+// (from the probe goroutine, or from CheckNow's caller) with the current
+// live set, whether or not the set changed. Coordinators hang periodic
+// retry work off it — adoptions that failed at death time are re-driven
+// pass by pass. Set it before Start.
+func (m *Membership) OnProbe(fn func(live []Node)) {
+	m.mu.Lock()
+	m.onProbe = fn
+	m.mu.Unlock()
+}
+
+// Admit adds a node to the live set, or revives a dead one — the
+// join/rejoin path. The node's failure count resets and its address is
+// updated in place (a restarted node usually comes back on a new port);
+// probing covers it from the next pass. Admit never fires OnChange: the
+// coordinator admitting the node already knows, and drives the rebalance
+// itself. Admit after Stop is a no-op.
+func (m *Membership) Admit(n Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	m.fails[n.Name] = 0
+	for i := range m.peers {
+		if m.peers[i].Name == n.Name {
+			m.peers[i].Addr = n.Addr
+			return
+		}
+	}
+	m.peers = append(m.peers, n)
+	sort.Slice(m.peers, func(i, j int) bool { return m.peers[i].Name < m.peers[j].Name })
 }
 
 // Live returns a copy of the current live node set.
@@ -136,7 +174,7 @@ func (m *Membership) CheckNow() {
 		}
 		if m.fails[p.Name] >= m.threshold {
 			changed = true
-			continue // dead: drop from the live set, permanently
+			continue // dead: drop from the live set until readmitted
 		}
 		live = append(live, p)
 	}
@@ -145,10 +183,15 @@ func (m *Membership) CheckNow() {
 		m.peers = live
 		fire = m.onChange
 	}
+	probed := m.onProbe
+	snapshot := append([]Node(nil), m.peers...)
 	m.mu.Unlock()
 
 	if fire != nil {
-		fire(append([]Node(nil), live...))
+		fire(snapshot)
+	}
+	if probed != nil {
+		probed(snapshot)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"github.com/richnote/richnote/internal/cluster"
 	"github.com/richnote/richnote/internal/notif"
+	"github.com/richnote/richnote/internal/transport"
 	"github.com/richnote/richnote/internal/wal"
 )
 
@@ -66,7 +67,8 @@ func startCluster(t *testing.T, shards int, walDir string, names ...string) *tes
 	r, err := NewRouter(RouterConfig{
 		Shards:        shards,
 		Peers:         peers,
-		ProbeInterval: time.Hour, // tests drive probes via CheckNow
+		Listen:        "127.0.0.1:0", // join announces, ephemeral port
+		ProbeInterval: time.Hour,     // tests drive probes via CheckNow
 	})
 	if err != nil {
 		t.Fatalf("NewRouter: %v", err)
@@ -496,4 +498,498 @@ func TestStandaloneClusterFieldsDefault(t *testing.T) {
 	if len(hr.OwnedShards) != 2 {
 		t.Errorf("owned_shards = %v, want both", hr.OwnedShards)
 	}
+}
+
+// TestRouterDuplicateAddrRejected pins the S4 fix: two peers sharing an
+// address would make the probe's address→name resolution ambiguous, so
+// construction refuses it.
+func TestRouterDuplicateAddrRejected(t *testing.T) {
+	_, err := NewRouter(RouterConfig{
+		Shards: 2,
+		Peers: []cluster.Node{
+			{Name: "a", Addr: "127.0.0.1:9000"},
+			{Name: "b", Addr: "127.0.0.1:9000"},
+		},
+	})
+	if err == nil {
+		t.Fatal("duplicate peer address accepted")
+	}
+}
+
+// TestClusterMoveRollbackOnFailedAdopt pins the S1 fix: a planned move
+// whose adopt fails mid-flight must roll the shard back onto its source —
+// before the fix the source had already frozen the shard and the move
+// returned, leaving it serving nobody until a process restart.
+func TestClusterMoveRollbackOnFailedAdopt(t *testing.T) {
+	tc := startCluster(t, 4, t.TempDir(), "a", "b")
+
+	for i := 0; i < 40; i++ {
+		if code := publishVia(t, tc.front.URL, notif.UserID(i%12+1), i+1); code != http.StatusAccepted {
+			t.Fatalf("publish %d: status %d", i, code)
+		}
+		if i%20 == 19 {
+			httpTick(t, tc.front.URL)
+		}
+	}
+
+	m := tc.router.Map()
+	owned := m.OwnedBy("a")
+	if len(owned) == 0 {
+		t.Fatal("node a owns nothing")
+	}
+	shard := owned[0]
+
+	// Wedge the target: crash b's server but keep its transport answering,
+	// so the freeze succeeds, the probe keeps passing, and only the adopt
+	// fails ("server not running").
+	tc.servers["b"].CrashStop()
+
+	err := tc.router.MoveShard(shard, "b")
+	if err == nil {
+		t.Fatal("MoveShard onto a crashed server succeeded")
+	}
+
+	// The shard must still serve on the source with the map untouched.
+	if got := tc.router.Map().Version; got != m.Version {
+		t.Errorf("map version changed to %d on a rolled-back move, want %d", got, m.Version)
+	}
+	if got := tc.router.Map().Owner(shard).Name; got != "a" {
+		t.Errorf("shard %d owner = %q after rollback, want a", shard, got)
+	}
+	if !tc.servers["a"].Owns(shard) {
+		t.Fatal("source does not own the shard after rollback: wedged")
+	}
+	if len(tc.servers["a"].AdoptedState(shard)) == 0 {
+		t.Error("rollback did not record adopted state on the source")
+	}
+	if got := tc.router.Pending(); len(got) != 0 {
+		t.Errorf("successful rollback left shards pending: %v", got)
+	}
+
+	// Publishes to the shard's users keep landing.
+	user := userOnShard(t, tc.servers["a"], shard)
+	if code := publishVia(t, tc.front.URL, user, 9001); code != http.StatusAccepted {
+		t.Errorf("publish after rollback: status %d, want 202", code)
+	}
+}
+
+// TestClusterTakeoverMapDoesNotLie pins the S2 fix: when a crash
+// takeover's adopt fails, the map must record the shard as unassigned
+// and queue a retry — before the fix it broadcast the recomputed map
+// anyway, claiming ownership the target had refused, and the shard's
+// requests bounced off ErrNotOwner forever.
+//
+// Placement at 8 shards is pinned by the hash: a owns {0,2,5}; when a
+// dies its shards rebalance 0,2→b and 5→c.
+func TestClusterTakeoverMapDoesNotLie(t *testing.T) {
+	tc := startCluster(t, 8, t.TempDir(), "a", "b", "c")
+
+	for i := 0; i < 40; i++ {
+		if code := publishVia(t, tc.front.URL, notif.UserID(i%24+1), i+1); code != http.StatusAccepted {
+			t.Fatalf("publish %d: status %d", i, code)
+		}
+		if i%20 == 19 {
+			httpTick(t, tc.front.URL)
+		}
+	}
+	m := tc.router.Map()
+	if got := m.OwnedBy("a"); !equalInts(got, []int{0, 2, 5}) {
+		t.Fatalf("placement drifted: a owns %v, test assumes [0 2 5]", got)
+	}
+
+	// Wedge c (crashed server, live transport) and kill a outright.
+	tc.servers["c"].CrashStop()
+	tc.servers["a"].CrashStop()
+	_ = tc.nodes["a"].Close()
+	tc.router.Membership().CheckNow()
+	tc.router.Membership().CheckNow() // threshold 2: a is now dead
+
+	// Shards 0,2 adopt onto b; shard 5's adopt onto c fails, so the map
+	// must say "nobody" — not "c".
+	next := tc.router.Map()
+	if next.Version <= m.Version {
+		t.Fatalf("map version %d after takeover, want > %d", next.Version, m.Version)
+	}
+	if got := next.Unassigned(); !equalInts(got, []int{5}) {
+		t.Fatalf("Unassigned = %v, want [5]", got)
+	}
+	if next.Owner(5).Name != "" {
+		t.Fatalf("map claims %q owns shard 5, whose adopt failed", next.Owner(5).Name)
+	}
+	if got := tc.router.Pending(); !equalInts(got, []int{5}) {
+		t.Fatalf("Pending = %v, want [5]", got)
+	}
+	for _, s := range []int{0, 2} {
+		if next.Owner(s).Name != "b" || !tc.servers["b"].Owns(s) {
+			t.Errorf("shard %d not adopted by b (map says %q)", s, next.Owner(s).Name)
+		}
+	}
+
+	// The router is honest outward too: healthz lists the gap, and the
+	// unassigned shard's users get a retryable 503, not silent loss.
+	if body := httpGet(t, tc.front.URL+"/healthz"); !strings.Contains(body, "\"unassigned_shards\":[5]") {
+		t.Errorf("healthz does not report the unassigned shard: %s", body)
+	}
+	user := userOnShard(t, tc.servers["b"], 5)
+	var req PublishRequest
+	req.Topic.Kind = "friend-feed"
+	req.Topic.Entity = 1
+	req.Recipients = []notif.UserID{user}
+	req.Item = audioItem(9100, 99)
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(tc.front.URL+"/v1/publish", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("publish to unassigned shard: status %d, want 503", resp.StatusCode)
+	}
+
+	// Heal: once c's transport dies too, the next probe passes rehash the
+	// whole space onto b — including the pending shard, whose state adopts
+	// from the shared WAL dir with nothing lost.
+	_ = tc.nodes["c"].Close()
+	tc.router.Membership().CheckNow()
+	tc.router.Membership().CheckNow()
+	final := tc.router.Map()
+	if got := len(final.OwnedBy("b")); got != 8 {
+		t.Fatalf("survivor owns %d of 8 shards after heal", got)
+	}
+	if got := tc.router.Pending(); len(got) != 0 {
+		t.Fatalf("Pending = %v after heal, want empty", got)
+	}
+	if code := publishVia(t, tc.front.URL, user, 9101); code != http.StatusAccepted {
+		t.Errorf("publish after heal: status %d, want 202", code)
+	}
+}
+
+// TestRouterTickPartial pins the S5 fix (a tick with a dead node returns
+// the partial results honestly, with last-known rounds for the dead
+// node's shards) and the S3 fix (a forward-path transport error marks
+// the node down immediately).
+func TestRouterTickPartial(t *testing.T) {
+	tc := startCluster(t, 4, t.TempDir(), "a", "b")
+
+	for i := 0; i < 20; i++ {
+		if code := publishVia(t, tc.front.URL, notif.UserID(i%12+1), i+1); code != http.StatusAccepted {
+			t.Fatalf("publish %d: status %d", i, code)
+		}
+	}
+	httpTick(t, tc.front.URL) // every shard reaches round 1; rounds cached
+
+	bShards := tc.router.Map().OwnedBy("b")
+	if len(bShards) == 0 {
+		t.Fatal("node b owns nothing")
+	}
+	bUser := userOnShard(t, tc.servers["b"], bShards[0])
+
+	// Kill b without letting the prober notice.
+	tc.servers["b"].CrashStop()
+	_ = tc.nodes["b"].Close()
+
+	// S3: the failed forward itself must flip the node down — before the
+	// fix only the prober did, so every publish in a probe interval ate a
+	// fresh dial timeout.
+	if code := publishVia(t, tc.front.URL, bUser, 9200); code != http.StatusServiceUnavailable {
+		t.Fatalf("publish to killed node: status %d, want 503", code)
+	}
+	if tc.router.isUp("b") {
+		t.Fatal("transport error on the forward path did not mark the node down")
+	}
+
+	// S5: the tick covers a, reports b's shards at their last-known round,
+	// and says exactly what it missed.
+	resp, err := http.Post(tc.front.URL+"/v1/tick", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("partial tick status = %d, want 503", resp.StatusCode)
+	}
+	var tr RouterTickResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Partial || len(tr.Errors) == 0 {
+		t.Errorf("partial tick reported partial=%t errors=%v", tr.Partial, tr.Errors)
+	}
+	if len(tr.Rounds) != 4 {
+		t.Fatalf("rounds = %v, want 4 entries", tr.Rounds)
+	}
+	for _, s := range tc.router.Map().OwnedBy("a") {
+		if tr.Rounds[s] != 2 {
+			t.Errorf("live shard %d at round %d, want 2 (it ticked)", s, tr.Rounds[s])
+		}
+	}
+	for _, s := range bShards {
+		if tr.Rounds[s] != 1 {
+			t.Errorf("dead shard %d reports round %d, want last-known 1", s, tr.Rounds[s])
+		}
+	}
+}
+
+// TestClusterRouterRestartRecovery pins the coordinator-restart story: a
+// new router over the same peers must rebuild the map from what the
+// nodes actually own — recomputing from seed placement would silently
+// disown every post-seed move.
+func TestClusterRouterRestartRecovery(t *testing.T) {
+	tc := startCluster(t, 4, t.TempDir(), "a", "b")
+
+	for i := 0; i < 40; i++ {
+		if code := publishVia(t, tc.front.URL, notif.UserID(i%12+1), i+1); code != http.StatusAccepted {
+			t.Fatalf("publish %d: status %d", i, code)
+		}
+		if i%20 == 19 {
+			httpTick(t, tc.front.URL)
+		}
+	}
+
+	// Diverge from seed placement with one planned move.
+	m := tc.router.Map()
+	owned := m.OwnedBy("a")
+	if len(owned) == 0 {
+		t.Fatal("node a owns nothing")
+	}
+	moved := owned[0]
+	if err := tc.router.MoveShard(moved, "b"); err != nil {
+		t.Fatalf("MoveShard: %v", err)
+	}
+	oldVersion := tc.router.Map().Version
+
+	// The router dies; a replacement starts over the same seed peers.
+	tc.router.Stop()
+	var peers []cluster.Node
+	for name, n := range tc.nodes {
+		peers = append(peers, cluster.Node{Name: name, Addr: n.Addr()})
+	}
+	r2, err := NewRouter(RouterConfig{
+		Shards:        4,
+		Peers:         peers,
+		Listen:        "127.0.0.1:0",
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Start(); err != nil {
+		t.Fatalf("restarted router Start: %v", err)
+	}
+	front2 := httptest.NewServer(r2.Handler())
+	t.Cleanup(func() {
+		front2.Close()
+		r2.Stop()
+	})
+
+	// Recovery must adopt the nodes' truth: the moved shard stays on b,
+	// the version moves strictly forward, nothing is re-adopted.
+	rm := r2.Map()
+	if rm.Version <= oldVersion {
+		t.Errorf("recovered map version %d, want > %d", rm.Version, oldVersion)
+	}
+	if got := rm.Owner(moved).Name; got != "b" {
+		t.Errorf("recovered map says %q owns the moved shard, want b (seed recompute would say a)", got)
+	}
+	if len(rm.Unassigned()) != 0 {
+		t.Errorf("recovery left shards unassigned: %v", rm.Unassigned())
+	}
+	if tc.servers["a"].Owns(moved) {
+		t.Error("recovery disturbed node ownership: a re-owns the moved shard")
+	}
+
+	// The new front serves immediately.
+	user := userOnShard(t, tc.servers["b"], moved)
+	if code := publishVia(t, front2.URL, user, 9300); code != http.StatusAccepted {
+		t.Errorf("publish through restarted router: status %d", code)
+	}
+}
+
+// TestClusterJoinRebalance is the tentpole arc in-process: a brand-new
+// node announces itself, the coordinator admits it and moves its
+// consistent-hash share (pinned at 8 shards: {1,6} from a) onto it via
+// byte-verified planned handoffs, each advancing the map version, with
+// zero lost events.
+func TestClusterJoinRebalance(t *testing.T) {
+	walDir := t.TempDir()
+	tc := startCluster(t, 8, walDir, "a", "b")
+
+	for i := 0; i < 60; i++ {
+		if code := publishVia(t, tc.front.URL, notif.UserID(i%24+1), i+1); code != http.StatusAccepted {
+			t.Fatalf("publish %d: status %d", i, code)
+		}
+		if i%20 == 19 {
+			httpTick(t, tc.front.URL)
+		}
+	}
+	m := tc.router.Map()
+	if got := m.OwnedBy("a"); !equalInts(got, []int{0, 1, 2, 5, 6}) {
+		t.Fatalf("placement drifted: a owns %v, test assumes [0 1 2 5 6]", got)
+	}
+
+	// Boot c the way `richnote-serve -role=node -join=...` does: empty
+	// ownership, same shared WAL dir, announce loop against the router's
+	// cluster listener.
+	sc, err := New(clusterNodeConfig(8, walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc.SetRole("node")
+	nc := NewNode("c", sc)
+	if err := nc.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nc.Close()
+		sc.CrashStop()
+	})
+	if err := nc.Announce(tc.router.ClusterAddr(), 25*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebalance runs on its own goroutine; wait for c's share.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if cm := tc.router.Map(); len(cm.OwnedBy("c")) == 2 && nc.Joined() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("join rebalance never completed: c owns %v, joined=%t",
+				tc.router.Map().OwnedBy("c"), nc.Joined())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	final := tc.router.Map()
+	if got := final.OwnedBy("c"); !equalInts(got, []int{1, 6}) {
+		t.Fatalf("c owns %v, want the hash share [1 6]", got)
+	}
+	// Version advanced strictly: +1 membership extension, +1 per move.
+	if final.Version < m.Version+3 {
+		t.Errorf("map version %d after join, want ≥ %d (extension + 2 moves)", final.Version, m.Version+3)
+	}
+	// Byte-verified handoffs recorded restored state on the joiner, and
+	// the sources dropped ownership.
+	for _, s := range []int{1, 6} {
+		if len(sc.AdoptedState(s)) == 0 {
+			t.Errorf("joiner has no adopted state for shard %d", s)
+		}
+		if !sc.Owns(s) {
+			t.Errorf("joiner does not own shard %d", s)
+		}
+		if tc.servers["a"].Owns(s) || tc.servers["b"].Owns(s) {
+			t.Errorf("a source still owns moved shard %d", s)
+		}
+	}
+	// Untouched shards never moved.
+	for _, s := range []int{0, 2, 5} {
+		if got := final.Owner(s).Name; got != "a" {
+			t.Errorf("shard %d moved to %q; only the joiner's share may move", s, got)
+		}
+	}
+
+	// Zero lost events: publishes flow to the moved shards' users, and
+	// conservation holds over all three nodes after a drain.
+	user := userOnShard(t, sc, 1)
+	if code := publishVia(t, tc.front.URL, user, 9400); code != http.StatusAccepted {
+		t.Errorf("publish to moved shard after join: status %d", code)
+	}
+	servers := []*Server{tc.servers["a"], tc.servers["b"], sc}
+	for i := 0; i < 200; i++ {
+		httpTick(t, tc.front.URL)
+		depth := 0
+		for _, s := range servers {
+			for _, snap := range s.Snapshots() {
+				depth += snap.QueueDepth + snap.BrokerPending
+			}
+		}
+		if depth == 0 {
+			break
+		}
+	}
+	var arrived, delivered, dropped int
+	for _, s := range servers {
+		for _, snap := range s.Snapshots() {
+			arrived += snap.Report.Arrived
+			delivered += snap.Report.Delivered
+			dropped += snap.Report.Dropped
+		}
+	}
+	if arrived == 0 || arrived != delivered+dropped {
+		t.Errorf("conservation violated after join: arrived %d != delivered %d + dropped %d",
+			arrived, delivered, dropped)
+	}
+
+	// The probe loop now covers c: kill it and the membership notices.
+	if got := len(tc.router.Membership().Live()); got != 3 {
+		t.Fatalf("membership probes %d nodes after join, want 3", got)
+	}
+}
+
+// TestClusterJoinValidation pins the announce-time checks: wrong shard
+// count, missing WAL dir, a live peer's name at a different address, and
+// a live peer's address under a different name are all rejected; a live
+// member re-announcing is answered idempotently.
+func TestClusterJoinValidation(t *testing.T) {
+	tc := startCluster(t, 4, t.TempDir(), "a", "b")
+	c := transport.NewClient(tc.router.ClusterAddr(), transport.ClientConfig{})
+	defer c.Close()
+
+	announce := func(jr joinReq) joinResp {
+		t.Helper()
+		var e wal.Encoder
+		encodeJoinReq(&e, jr)
+		_, raw, err := c.Call(FrameJoin, e.Bytes())
+		if err != nil {
+			t.Fatalf("FrameJoin: %v", err)
+		}
+		d := wal.NewDecoder(raw)
+		resp := decodeJoinResp(d)
+		if err := decodeErr(d, "join response"); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	aAddr := tc.nodes["a"].Addr()
+	cases := []struct {
+		name string
+		req  joinReq
+	}{
+		{"shard count mismatch", joinReq{Name: "x", Addr: "127.0.0.1:1", Shards: 7, WALDir: "/tmp/w"}},
+		{"missing WAL dir", joinReq{Name: "x", Addr: "127.0.0.1:1", Shards: 4}},
+		{"live name, new address", joinReq{Name: "a", Addr: "127.0.0.1:1", Shards: 4, WALDir: "/tmp/w"}},
+		{"live address, new name", joinReq{Name: "x", Addr: aAddr, Shards: 4, WALDir: "/tmp/w"}},
+		{"unreachable joiner", joinReq{Name: "x", Addr: "127.0.0.1:1", Shards: 4, WALDir: "/tmp/w"}},
+	}
+	for _, tt := range cases {
+		if resp := announce(tt.req); resp.Status != joinRejected || resp.ErrText == "" {
+			t.Errorf("%s: status=%d err=%q, want rejection with reason", tt.name, resp.Status, resp.ErrText)
+		}
+	}
+	if got := len(tc.router.Membership().Live()); got != 2 {
+		t.Fatalf("rejected joins changed membership: %d live", got)
+	}
+
+	// A live member's announce is idempotent, not an error.
+	resp := announce(joinReq{Name: "a", Addr: aAddr, Shards: 4, WALDir: "/tmp/w"})
+	if resp.Status != joinAlreadyMember {
+		t.Errorf("re-announce of a live member: status=%d err=%q, want already-member", resp.Status, resp.ErrText)
+	}
+}
+
+// equalInts compares two int slices (nil == empty).
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

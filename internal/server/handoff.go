@@ -19,10 +19,13 @@ import (
 //	          snapshot + WAL tail from shared storage and replays
 //
 // A shard slot can be adopted only while it is "virgin" in this process —
-// never owned, never started, no users. Re-adopting a shard this process
-// previously froze requires a process restart: reviving a used slot would
-// race its old goroutine's teardown, and a node that gave a shard away
-// has no business taking it back mid-generation.
+// never owned, never started, no users — with one exception: a slot this
+// process froze for a planned handoff, whose goroutine has fully exited
+// (FreezeShard waits on done before returning). Such a slot is recycled
+// back to virgin on adopt, which is what lets a failed mid-move adopt
+// roll the shard back onto its source instead of wedging it until a
+// process restart. Any other used slot still refuses adoption: reviving
+// it would race its old goroutine's teardown.
 
 // doFreeze runs on the shard goroutine (the freeze case in run): it
 // drains the ingest buffer so every accepted publication is folded into
@@ -78,15 +81,21 @@ func (s *Server) FreezeShard(id int) (snap, state []byte, err error) {
 	// drain inside doFreeze, so nothing accepted after this line can miss
 	// the snapshot.
 	sh.owned.Store(false)
+	done := sh.doneCh()
 	req := freezeReq{reply: make(chan freezeResp, 1)}
 	select {
 	case sh.freeze <- req:
-	case <-sh.done:
+	case <-done:
 		return nil, nil, fmt.Errorf("server: freeze shard %d: already stopped", id)
 	}
 	resp := <-req.reply
-	<-sh.done
+	<-done
 	sh.started.Store(false)
+	if resp.err == nil {
+		// The goroutine exited with the state compacted on disk: this slot
+		// is eligible for recycling if the move it was frozen for fails.
+		sh.frozen.Store(true)
+	}
 	return resp.snapBytes, resp.state, resp.err
 }
 
@@ -104,6 +113,12 @@ func (s *Server) adoptable(id int) (*shard, error) {
 	sh := s.shards[id]
 	if sh.owned.Load() || sh.started.Load() {
 		return nil, fmt.Errorf("server: adopt: shard %d already owned by this process", id)
+	}
+	if sh.frozen.Load() {
+		// Not virgin, but this process froze it and the goroutine has
+		// fully exited, so nothing races the reset: recycle the slot so a
+		// failed planned move can re-adopt the frozen snapshot here.
+		sh.recycle()
 	}
 	// Safe off-goroutine read: the slot was never owned or started (checked
 	// above), so no shard goroutine has ever touched this map.
@@ -200,7 +215,7 @@ func (s *Server) ShardState(ctx context.Context, id int) ([]byte, error) {
 	reply := make(chan []byte, 1)
 	select {
 	case sh.stateq <- reply:
-	case <-sh.done:
+	case <-sh.doneCh():
 		return nil, fmt.Errorf("server: shard %d stopped", id)
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"github.com/richnote/richnote/internal/notif"
 )
 
 // TestMultiProcessCluster is the acceptance test for the multi-node
@@ -73,16 +75,24 @@ func TestMultiProcessCluster(t *testing.T) {
 		})
 	}
 
-	for _, name := range names {
-		httpAddrs[name] = "127.0.0.1:" + freePort(t)
-		clusterAddrs[name] = "127.0.0.1:" + freePort(t)
+	// The router's cluster listener address is fixed up front so every
+	// node can carry -join from boot: seed nodes announce idempotently,
+	// and a restarted node (or router) finds the same rendezvous.
+	routerClusterAddr := "127.0.0.1:" + freePort(t)
+	startNode := func(name string) {
 		startProc(name,
 			"-role=node", "-node.name="+name,
 			"-addr="+httpAddrs[name], "-cluster.listen="+clusterAddrs[name],
 			"-shards="+strconv.Itoa(shards), "-round=0",
 			"-wal.dir="+walDir, "-wal.fsync=always",
 			"-network=cell",
+			"-join="+routerClusterAddr, "-announce.every=250ms",
 		)
+	}
+	for _, name := range names {
+		httpAddrs[name] = "127.0.0.1:" + freePort(t)
+		clusterAddrs[name] = "127.0.0.1:" + freePort(t)
+		startNode(name)
 	}
 	for _, name := range names {
 		waitHTTP(t, "http://"+httpAddrs[name]+"/healthz", 10*time.Second, logs[name])
@@ -97,6 +107,7 @@ func TestMultiProcessCluster(t *testing.T) {
 		"-role=router", "-addr="+routerAddr,
 		"-shards="+strconv.Itoa(shards),
 		"-peers="+strings.Join(peerParts, ","),
+		"-cluster.listen="+routerClusterAddr,
 	)
 	routerURL := "http://" + routerAddr
 	waitHTTP(t, routerURL+"/healthz", 15*time.Second, logs["router"])
@@ -215,6 +226,126 @@ func TestMultiProcessCluster(t *testing.T) {
 	}
 	if metricSum(t, body, "richnote_router_handoffs_total") == 0 {
 		t.Error("router reported no handoffs after a node death")
+	}
+
+	// ---- Rejoin arc: the SIGKILLed node comes back on fresh ports with
+	// the same name and WAL dir, announces itself, and the coordinator
+	// rebalances its consistent-hash share back onto it via byte-verified
+	// planned handoffs (MoveShard fails internally on any byte mismatch,
+	// so b owning shards again IS the byte-equality assertion).
+	preRejoinVersion := metricSum(t, body, "richnote_cluster_map_version")
+	preRejoinHandoffs := metricSum(t, body, "richnote_router_handoffs_total")
+	httpAddrs["b"] = "127.0.0.1:" + freePort(t)
+	clusterAddrs["b"] = "127.0.0.1:" + freePort(t)
+	startNode("b")
+	waitHTTP(t, "http://"+httpAddrs["b"]+"/healthz", 10*time.Second, logs["b"])
+
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		var hr RouterHealthResponse
+		if err := json.Unmarshal([]byte(httpGetBody(t, routerURL+"/healthz")), &hr); err == nil {
+			covered := make(map[int]bool)
+			bOwns := 0
+			for _, nh := range hr.Nodes {
+				for _, s := range nh.OwnedShards {
+					covered[s] = true
+				}
+				if nh.Name == "b" && nh.Up {
+					bOwns = len(nh.OwnedShards)
+				}
+			}
+			if bOwns > 0 && len(covered) == shards && len(hr.UnassignedShards) == 0 &&
+				float64(hr.MapVersion) > preRejoinVersion {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoin rebalance never completed\nrouter log:\n%s\nnode b log:\n%s",
+				logs["router"], logs["b"])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	body = httpGetBody(t, routerURL+"/metrics")
+	if got := metricSum(t, body, "richnote_router_handoffs_total"); got <= preRejoinHandoffs {
+		t.Errorf("rejoin moved no shards: handoffs %g, was %g", got, preRejoinHandoffs)
+	}
+	if got := metricSum(t, body, "richnote_cluster_map_version"); got <= preRejoinVersion {
+		t.Errorf("map version %g after rejoin, want > %g", got, preRejoinVersion)
+	}
+
+	// Zero lost events across the rejoin: the moved shards carried their
+	// state, so the cluster-wide conservation totals still balance.
+	arrived = metricSum(t, body, "richnote_notifications_arrived_total")
+	delivered = metricSum(t, body, "richnote_notifications_delivered_total")
+	dropped = metricSum(t, body, "richnote_dropped_total")
+	if arrived == 0 || arrived != delivered+dropped {
+		t.Errorf("conservation violated after rejoin: arrived %g != delivered %g + dropped %g",
+			arrived, delivered, dropped)
+	}
+
+	// ---- Router restart recovery: kill the coordinator cold and start a
+	// replacement on the same cluster listener. It must rebuild the map
+	// from what the nodes report owning — including everything that moved
+	// after the seed assignment — not recompute from seed placement.
+	preRestartVersion := metricSum(t, body, "richnote_cluster_map_version")
+	if err := procs["router"].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL router: %v", err)
+	}
+	_, _ = procs["router"].Process.Wait()
+
+	routerAddr2 := "127.0.0.1:" + freePort(t)
+	peerParts = peerParts[:0]
+	for _, name := range names {
+		peerParts = append(peerParts, name+"="+clusterAddrs[name])
+	}
+	startProc("router2",
+		"-role=router", "-addr="+routerAddr2,
+		"-shards="+strconv.Itoa(shards),
+		"-peers="+strings.Join(peerParts, ","),
+		"-cluster.listen="+routerClusterAddr,
+	)
+	router2URL := "http://" + routerAddr2
+	waitHTTP(t, router2URL+"/healthz", 15*time.Second, logs["router2"])
+
+	var hr RouterHealthResponse
+	if err := json.Unmarshal([]byte(httpGetBody(t, router2URL+"/healthz")), &hr); err != nil {
+		t.Fatalf("restarted router healthz: %v\n%s", err, logs["router2"])
+	}
+	if float64(hr.MapVersion) <= preRestartVersion {
+		t.Errorf("recovered map version %d, want > %g (strictly increasing across router restarts)",
+			hr.MapVersion, preRestartVersion)
+	}
+	if len(hr.UnassignedShards) != 0 {
+		t.Errorf("recovery left shards unassigned: %v", hr.UnassignedShards)
+	}
+	covered := make(map[int]string)
+	for _, nh := range hr.Nodes {
+		if !nh.Up {
+			t.Errorf("node %s down after router restart", nh.Name)
+		}
+		for _, s := range nh.OwnedShards {
+			covered[s] = nh.Name
+		}
+	}
+	if len(covered) != shards {
+		t.Errorf("recovered map covers %d of %d shards: %v", len(covered), shards, covered)
+	}
+
+	// The replacement serves traffic immediately over the recovered map.
+	var pub PublishRequest
+	pub.Topic.Kind = "friend-feed"
+	pub.Topic.Entity = 1
+	pub.Recipients = []notif.UserID{1}
+	pub.Item = audioItem(990001, 2)
+	pubBody, _ := json.Marshal(pub)
+	resp, err := http.Post(router2URL+"/v1/publish", "application/json", bytes.NewReader(pubBody))
+	if err != nil {
+		t.Fatalf("publish through restarted router: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("publish through restarted router: status %d, want 202\nrouter2 log:\n%s",
+			resp.StatusCode, logs["router2"])
 	}
 }
 

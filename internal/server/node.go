@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/richnote/richnote/internal/cluster"
@@ -23,6 +24,13 @@ type Node struct {
 	name string
 	srv  *Server
 	ts   *transport.Server
+
+	// Join announce loop (DESIGN.md §15): a node told where the
+	// coordinator listens keeps announcing itself until admitted — and
+	// keeps announcing after, so a restarted router re-learns it exists.
+	announceStop chan struct{}
+	announceDone chan struct{}
+	joined       atomic.Bool // richnote:atomic — last announce was accepted
 }
 
 // NewNode names a server instance for cluster membership. Serve starts
@@ -55,9 +63,86 @@ func (n *Node) Addr() string {
 	return n.ts.Addr()
 }
 
-// Close stops the transport listener. The wrapped Server shuts down
-// separately (Shutdown), so in-flight rounds finish cleanly.
+// Announce starts the join loop: every interval the node announces
+// itself to the coordinator's cluster listener until stopped (Close).
+// The loop never gives up and never stops once joined — announces are
+// idempotent on the router, cost one tiny frame, and a router restart
+// silently un-joins every post-seed node until its next announce folds
+// it back in. Requires Serve first (the announce carries the transport
+// address the router will dial back).
+func (n *Node) Announce(routerAddr string, every time.Duration) error {
+	if n.ts == nil {
+		return fmt.Errorf("server: node %s: Announce before Serve (no address to advertise)", n.name)
+	}
+	if n.announceStop != nil {
+		return fmt.Errorf("server: node %s: announce loop already running", n.name)
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	n.announceStop = make(chan struct{})
+	n.announceDone = make(chan struct{})
+	go n.announceLoop(routerAddr, every)
+	return nil
+}
+
+// Joined reports whether the most recent announce was accepted (or
+// answered "already a member").
+func (n *Node) Joined() bool { return n.joined.Load() }
+
+func (n *Node) announceLoop(routerAddr string, every time.Duration) {
+	defer close(n.announceDone)
+	c := transport.NewClient(routerAddr, transport.ClientConfig{})
+	defer c.Close()
+	//lint:allow wallclock announce cadence paces real network retries
+	t := time.NewTicker(every)
+	defer t.Stop()
+	n.announceOnce(c)
+	for {
+		select {
+		case <-n.announceStop:
+			return
+		case <-t.C:
+			n.announceOnce(c)
+		}
+	}
+}
+
+// announceOnce sends one FrameJoin and records the verdict. CallOnce, not
+// Call: the loop's own cadence is the retry policy, and doubling dials
+// against a down router helps nobody.
+func (n *Node) announceOnce(c *transport.Client) {
+	var e wal.Encoder
+	encodeJoinReq(&e, joinReq{
+		Name:   n.name,
+		Addr:   n.Addr(),
+		Shards: n.srv.Shards(),
+		WALDir: n.srv.cfg.WALDir,
+	})
+	_, resp, err := c.CallOnce(FrameJoin, e.Bytes())
+	if err != nil {
+		n.joined.Store(false)
+		return
+	}
+	d := wal.NewDecoder(resp)
+	jr := decodeJoinResp(d)
+	if decodeErr(d, "join response") != nil {
+		n.joined.Store(false)
+		return
+	}
+	n.joined.Store(jr.Status == joinAccepted || jr.Status == joinAlreadyMember)
+}
+
+// Close stops the announce loop and the transport listener. The wrapped
+// Server shuts down separately (Shutdown), so in-flight rounds finish
+// cleanly.
 func (n *Node) Close() error {
+	if n.announceStop != nil {
+		close(n.announceStop)
+		<-n.announceDone
+		n.announceStop = nil
+		n.announceDone = nil
+	}
 	if n.ts == nil {
 		return nil
 	}

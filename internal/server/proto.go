@@ -35,6 +35,8 @@ const (
 	FrameShardStateResp byte = 18
 	FrameStats          byte = 19
 	FrameStatsResp      byte = 20
+	FrameJoin           byte = 21
+	FrameJoinResp       byte = 22
 )
 
 // Publish-forward outcome codes (FramePublishResp status byte).
@@ -50,6 +52,60 @@ const (
 	adoptFromWAL byte = 0 // crash takeover: restore from shared-storage files
 	adoptBytes   byte = 1 // planned handoff: snapshot bytes ride the frame
 )
+
+// Join outcome codes (FrameJoinResp status byte).
+const (
+	joinAccepted      byte = 0 // admitted; the coordinator schedules the rebalance
+	joinAlreadyMember byte = 1 // live at this address already; announces are idempotent
+	joinRejected      byte = 2 // validation failed; ErrText says why
+)
+
+// joinReq is a node's announce payload (DESIGN.md §15): its identity, the
+// transport address it serves, and the agreement checks the coordinator
+// validates before admitting it.
+type joinReq struct {
+	Name   string
+	Addr   string
+	Shards int
+	WALDir string
+}
+
+func encodeJoinReq(e *wal.Encoder, j joinReq) {
+	e.Str(j.Name)
+	e.Str(j.Addr)
+	e.U32(uint32(j.Shards))
+	e.Str(j.WALDir)
+}
+
+func decodeJoinReq(d *wal.Decoder) joinReq {
+	return joinReq{
+		Name:   d.Str(),
+		Addr:   d.Str(),
+		Shards: int(d.U32()),
+		WALDir: d.Str(),
+	}
+}
+
+// joinResp is the coordinator's verdict on an announce.
+type joinResp struct {
+	Status     byte
+	MapVersion uint64
+	ErrText    string
+}
+
+func encodeJoinResp(e *wal.Encoder, j joinResp) {
+	e.U8(j.Status)
+	e.U64(j.MapVersion)
+	e.Str(j.ErrText)
+}
+
+func decodeJoinResp(d *wal.Decoder) joinResp {
+	return joinResp{
+		Status:     d.U8(),
+		MapVersion: d.U64(),
+		ErrText:    d.Str(),
+	}
+}
 
 func encodePublishReq(e *wal.Encoder, topic pubsub.TopicID, user notif.UserID, item notif.Item) {
 	e.I64(int64(topic.Kind))

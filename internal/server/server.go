@@ -411,7 +411,7 @@ func (s *Server) Tick(ctx context.Context) error {
 		select {
 		case sh.ticks <- tickReq{reply: reply}:
 			replies = append(replies, reply)
-		case <-sh.done:
+		case <-sh.doneCh():
 			// Frozen or crashed between the started check and the send;
 			// its rounds now belong to another node.
 		case <-ctx.Done():
@@ -451,7 +451,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			continue // never ran (unowned): no goroutine to wait for
 		}
 		select {
-		case <-sh.done:
+		case <-sh.doneCh():
 		case <-ctx.Done():
 			return fmt.Errorf("server: shutdown: shard %d still draining: %w", sh.id, ctx.Err())
 		}
@@ -477,7 +477,7 @@ func (s *Server) CrashStop() {
 		if !sh.started.Load() {
 			continue
 		}
-		<-sh.done
+		<-sh.doneCh()
 	}
 }
 

@@ -151,15 +151,25 @@ type shard struct {
 	stateq chan chan []byte
 	stop   chan struct{}
 	crash  chan struct{}
+
+	// done is closed by the shard goroutine on exit. Its identity is the
+	// one piece of slot lifecycle that changes across a recycle (the old
+	// channel is closed and a re-adopted slot needs a fresh one), so every
+	// reader goes through doneCh and the replacement happens under doneMu.
+	doneMu sync.Mutex
 	done   chan struct{}
 
 	// owned gates the publish path: only an owned shard accepts envelopes
 	// (ErrNotOwner otherwise) and appears in Snapshots. started records
 	// whether the shard goroutine was ever launched, so shutdown paths
 	// know which done channels will actually close. Both flip during the
-	// cluster handoff protocol (handoff.go).
+	// cluster handoff protocol (handoff.go). frozen marks a slot this
+	// process froze for a planned handoff whose goroutine has fully
+	// exited — the one non-virgin state adoptable may recycle, so a failed
+	// move can roll the shard back without a process restart.
 	owned   atomic.Bool // richnote:atomic
 	started atomic.Bool // richnote:atomic
+	frozen  atomic.Bool // richnote:atomic
 
 	// backpressured counts publishes turned away with HTTP 429 because the
 	// ingest buffer crossed the high-water mark (overload); droppedIngest
@@ -238,13 +248,79 @@ func newShard(id int, srv *Server, enricher *utility.Enricher) *shard {
 	return sh
 }
 
+// doneCh returns the current generation's done channel. Callers about to
+// wait must capture it once and reuse the captured value — reading the
+// field again after a recycle would observe a different generation.
+func (sh *shard) doneCh() chan struct{} {
+	sh.doneMu.Lock()
+	d := sh.done
+	sh.doneMu.Unlock()
+	return d
+}
+
+// recycle returns a frozen slot to the virgin state so it can be adopted
+// again in this process — the planned-handoff rollback path, where the
+// source re-adopts the snapshot it just froze after the target failed to
+// take it. Only legal once FreezeShard completed: ownership is off and
+// the old goroutine has exited, so nothing races the rebuild. The
+// channels other goroutines hold references to (ingest, ticks, freeze,
+// stateq, stop, crash) keep their identity — ingest is drained, the rest
+// are unbuffered and idle — and only done is replaced, under doneMu,
+// because the old one is closed. The process-lifetime ingest counters
+// (backpressured, droppedIngest) survive; everything else is rebuilt by
+// the restore that follows.
+func (sh *shard) recycle() {
+	<-sh.doneCh() // already closed by the exited goroutine; never blocks
+	for {
+		select {
+		case <-sh.ingest:
+			continue
+		default:
+		}
+		break
+	}
+	sh.broker = pubsub.NewBroker()
+	sh.col = metrics.NewCollector()
+	sh.rec = obs.NewRecorder()
+	sh.devices = make(map[notif.UserID]*sched.Device)
+	sh.inbox = make(map[notif.UserID][]sched.Queued)
+	sh.subs = make(map[notif.UserID]map[pubsub.TopicID]bool)
+	sh.round = 0
+	sh.lastErr = nil
+	sh.userOrder = nil
+	sh.dirty = nil
+	sh.isDirty = make(map[notif.UserID]bool)
+	sh.dirtyUnsorted = false
+	sh.staged = nil
+	sh.stagedNs = nil
+	sh.stagedScores = nil
+	sh.pendingFeed = nil
+	sh.aggByUser = make(map[notif.UserID]*userAgg)
+	sh.aggQueue = 0
+	sh.aggLyap = lyapunov.Stats{}
+	sh.log = nil
+	sh.walEnc = wal.Encoder{}
+	sh.snapEnc = wal.Encoder{}
+	sh.userCfgs = make(map[notif.UserID]UserConfig)
+	sh.replaying = false
+	sh.doneMu.Lock()
+	sh.done = make(chan struct{})
+	sh.doneMu.Unlock()
+	sh.feedMu.Lock()
+	sh.feeds = make(map[notif.UserID][]notif.Delivery)
+	sh.feedMu.Unlock()
+	sh.frozen.Store(false)
+	sh.publishSnapshot(0)
+}
+
 // run is the shard goroutine: it owns every scheduling mutation. When
 // every is positive the shard self-ticks on a wall clock; ticks requests
 // force a synchronous round either way. On stop the shard drains whatever
 // ingest has buffered and runs one final round so accepted publications
 // are not stranded.
 func (sh *shard) run(every time.Duration) {
-	defer close(sh.done)
+	done := sh.doneCh()
+	defer close(done)
 	var tickC <-chan time.Time
 	if every > 0 {
 		//lint:allow wallclock the self-tick cadence is wall-clock by design; rounds it triggers use virtual time

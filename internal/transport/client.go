@@ -118,6 +118,31 @@ func (c *Client) Call(typ byte, payload []byte) (byte, []byte, error) {
 	return 0, nil, lastErr
 }
 
+// CallOnce performs one request/response exchange with no retry: a
+// transport failure is returned immediately. For callers with their own
+// retry cadence — a node's join-announce loop fires every second anyway,
+// so a second dial inside one announce only doubles the load on a router
+// that is down.
+func (c *Client) CallOnce(typ byte, payload []byte) (byte, []byte, error) {
+	c.calls.Add(1)
+	cc, err := c.get()
+	if err != nil {
+		c.errors.Add(1)
+		return 0, nil, err
+	}
+	respType, resp, err := c.exchange(cc, typ, payload)
+	if err != nil {
+		_ = cc.conn.Close()
+		c.errors.Add(1)
+		return 0, nil, err
+	}
+	c.put(cc)
+	if respType == FrameError {
+		return respType, nil, fmt.Errorf("transport: %s: remote error: %s", c.addr, resp)
+	}
+	return respType, resp, nil
+}
+
 func (c *Client) exchange(cc *clientConn, typ byte, payload []byte) (byte, []byte, error) {
 	cc.nextID++
 	id := cc.nextID

@@ -239,3 +239,36 @@ func TestLargePayloadRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestClientCallOnceNoRetry pins CallOnce's contract: one exchange, one
+// dial attempt, no retry — the single failure costs exactly one error,
+// where Call's retry-on-fresh-dial costs two.
+func TestClientCallOnceNoRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	c := NewClient(addr, ClientConfig{})
+	defer c.Close()
+	if _, _, err := c.CallOnce(1, nil); err == nil {
+		t.Fatal("CallOnce to a closed port succeeded")
+	}
+	if got := c.Errors(); got != 1 {
+		t.Fatalf("CallOnce counted %d errors, want exactly 1 (no retry)", got)
+	}
+
+	// Against a live server it behaves like Call.
+	s := startEcho(t)
+	c2 := NewClient(s.Addr(), ClientConfig{})
+	defer c2.Close()
+	typ, resp, err := c2.CallOnce(10, []byte("abc"))
+	if err != nil {
+		t.Fatalf("CallOnce: %v", err)
+	}
+	if typ != 11 || string(resp) != "cba" {
+		t.Fatalf("CallOnce returned typ=%d resp=%q", typ, resp)
+	}
+}
